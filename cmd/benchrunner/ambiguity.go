@@ -1,0 +1,167 @@
+package main
+
+import (
+	"fmt"
+
+	"kwsearch/internal/clean"
+	"kwsearch/internal/complete"
+	"kwsearch/internal/datagraph"
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/facet"
+	"kwsearch/internal/forms"
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/refine"
+	"kwsearch/internal/relstore"
+	"kwsearch/internal/rewrite"
+	"kwsearch/internal/schemagraph"
+)
+
+func init() {
+	register("E7", "slides 67-68 — query cleaning {Appl ipd nan}{att} → {apple ipad nano}{at&t}", runE7)
+	register("E8", "slides 72-73 — TASTIER prefix candidates filtered by δ-step index", runE8)
+	register("E9", "slides 97-99 — Keyword++: ibm→Brand=Lenovo, netbook→ORDER BY screen ASC", runE9)
+	register("E21", "slides 84-91 — faceted navigation: greedy cost vs fixed order", runE21)
+	register("E22", "slides 80-82 — cluster-based expansion F vs ambiguous baseline", runE22)
+	register("E24", "slides 59-63 — form generation: queriability-ranked coverage of a query log", runE24)
+}
+
+func runE7() error {
+	ix := invindex.New()
+	docs := []string{
+		"apple ipad nano tablet", "apple ipad nano silver", "apple ipad pro",
+		"apple ipod nano music", "at&t wireless plan", "at&t family plan",
+		"samsung galaxy tablet",
+	}
+	for i, d := range docs {
+		ix.Add(invindex.DocID(i), d)
+	}
+	c := clean.NewCleaner(ix)
+	got := c.Clean("Appl ipd nan att")
+	fmt.Printf("   'Appl ipd nan att' → %s (score %.2g)\n", got, got.Score)
+	return expect(got.String() == "{apple ipad nano} {at&t}",
+		"cleaned = %s, want {apple ipad nano} {at&t}", got)
+}
+
+func runE8() error {
+	db := relstore.NewDB()
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "node",
+		Columns: []relstore.Column{
+			{Name: "id", Type: relstore.KindInt},
+			{Name: "txt", Type: relstore.KindString, Text: true},
+		},
+		Key: "id",
+	})
+	rows := []string{
+		"srivastava streams", "sigmod 2007", "srivastava joins",
+		"icde 2009", "srivastava mining sigact", "unrelated content",
+	}
+	for i, txt := range rows {
+		db.MustInsert("node", map[string]relstore.Value{
+			"id": relstore.Int(int64(i)), "txt": relstore.String(txt),
+		})
+	}
+	g := datagraph.New(len(rows))
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(4, 5, 1)
+	cp := complete.New(db, g, 1)
+	cands := cp.CandidateCount([]string{"srivasta", "sig"})
+	preds := cp.Search([]string{"srivasta", "sig"}, 0)
+	fmt.Printf("   candidates before filtering: %d; after δ-step filtering: %d\n", cands, len(preds))
+	for _, p := range preds {
+		fmt.Printf("   node %d completes to %v\n", p.Doc, p.Completions)
+	}
+	return firstErr(
+		expect(cands == 3, "candidates = %d, want 3 (slide's {11,12,78})", cands),
+		expect(len(preds) == 2, "survivors = %d, want 2", len(preds)),
+	)
+}
+
+func runE9() error {
+	ip := rewrite.NewInterpreter(dataset.Products(), "product",
+		[]string{"brand"}, []string{"screen"})
+	cat, _ := ip.DQP("ibm", []string{"laptop"})
+	_, num := ip.DQP("netbook", []string{"laptop"})
+	if cat == nil || num == nil {
+		return fmt.Errorf("mappings not learned: cat=%v num=%v", cat, num)
+	}
+	dir := "DESC"
+	if num.Ascending {
+		dir = "ASC"
+	}
+	fmt.Printf("   ibm → %s=%s (KL contribution %.3f)\n", cat.Attr, cat.Value, cat.Divergence)
+	fmt.Printf("   netbook → ORDER BY %s %s (EMD %.3f)\n", num.Attr, dir, num.EMD)
+	return firstErr(
+		expect(cat.Value.Str == "Lenovo", "ibm mapped to %v", cat.Value),
+		expect(num.Ascending, "netbook should order ascending"),
+	)
+}
+
+func runE21() error {
+	db := dataset.EventsDB()
+	tbl := db.Table("event")
+	log := []facet.LogQuery{
+		{Conds: []facet.Condition{{Attr: "state", Value: relstore.String("TX")}}, Count: 6},
+		{Conds: []facet.Condition{{Attr: "state", Value: relstore.String("MI")}}, Count: 5},
+		{Conds: []facet.Condition{{Attr: "month", Value: relstore.String("Dec")}}, Count: 2},
+	}
+	greedy := facet.Build(tbl, tbl.Tuples(), []string{"month", "state"}, nil, log, facet.Options{})
+	fixed := facet.BuildFixedOrder(tbl, tbl.Tuples(), []string{"month", "state"}, nil, log, facet.Options{})
+	fmt.Printf("   greedy tree: root facet %q, expected cost %.3f\n", greedy.Root.Attr, greedy.Cost)
+	fmt.Printf("   fixed order: root facet %q, expected cost %.3f\n", fixed.Root.Attr, fixed.Cost)
+	return expect(greedy.Cost <= fixed.Cost+1e-9,
+		"greedy cost %v exceeds fixed %v", greedy.Cost, fixed.Cost)
+}
+
+func runE22() error {
+	ix := invindex.New()
+	docs := []string{
+		"java language object oriented software platform sun",
+		"java applet language developed sun",
+		"java software platform virtual machine",
+		"java island indonesia provinces",
+		"java island volcano indonesia",
+		"java band formed paris active 1972",
+		"java band albums paris",
+	}
+	for i, d := range docs {
+		ix.Add(invindex.DocID(i), d)
+	}
+	clusters := [][]invindex.DocID{{0, 1, 2}, {3, 4}, {5, 6}}
+	exps := refine.ExpandAllClusters(ix, []string{"java"}, clusters, 2)
+	base := refine.BaselineF(ix, []string{"java"}, clusters)
+	for i, e := range exps {
+		fmt.Printf("   cluster %d: %v  F=%.3f (baseline %.3f)\n", i, e.Terms, e.F, base[i])
+	}
+	avgBase := 0.0
+	for _, b := range base {
+		avgBase += b
+	}
+	avgBase /= float64(len(base))
+	fmt.Printf("   avg F: expanded %.3f vs baseline %.3f\n", refine.AvgF(exps), avgBase)
+	return expect(refine.AvgF(exps) > avgBase, "expansion did not improve F")
+}
+
+func runE24() error {
+	db := dataset.DBLP(dataset.DBLPConfig{
+		Authors: 80, Papers: 200, Conferences: 6, AuthorsPerPaper: 2,
+		CitesPerPaper: 1, TitleTermCount: 3, ExtraVocab: 40, Seed: 5,
+	})
+	g := schemagraph.FromDB(db)
+	fs := forms.Generate(db, g, forms.GenerateOptions{MaxTables: 3})
+	sel := forms.NewSelector(db, fs)
+	var log [][]string
+	for _, e := range dataset.QueryLog(db, 60, 7) {
+		log = append(log, e.Terms)
+	}
+	covAll := forms.LogCoverage(sel, fs, log)
+	half := fs[:len(fs)/2] // top half by queriability
+	covHalf := forms.LogCoverage(sel, half, log)
+	fmt.Printf("   forms: %d skeletons; coverage all=%.2f top-half=%.2f\n",
+		len(fs), covAll, covHalf)
+	return firstErr(
+		expect(covAll >= 0.9, "full coverage = %v, want >= 0.9", covAll),
+		expect(covHalf <= covAll, "restricted coverage exceeds full"),
+	)
+}

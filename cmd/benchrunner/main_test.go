@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+// TestAllExperimentsReproduce runs every registered experiment (the same
+// set `go run ./cmd/benchrunner` prints), so the paper-vs-measured claims
+// of EXPERIMENTS.md are enforced by `go test`.
+func TestAllExperimentsReproduce(t *testing.T) {
+	if len(experiments) < 25 {
+		t.Fatalf("only %d experiments registered", len(experiments))
+	}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			if err := e.run(); err != nil {
+				t.Fatalf("%s (%s): %v", e.id, e.title, err)
+			}
+		})
+	}
+}
+
+func TestExpNum(t *testing.T) {
+	if expNum("E5") != 5 || expNum("E26") != 26 {
+		t.Fatalf("expNum broken")
+	}
+}

@@ -1,0 +1,113 @@
+// Command kwsearch runs keyword queries over the built-in datasets under a
+// selectable result semantics.
+//
+// Usage:
+//
+//	kwsearch -data dblp -semantics cn -k 5 keyword search
+//	kwsearch -data seltzer -semantics banks Seltzer Berkeley
+//	kwsearch -data auctions -semantics slca seller Tom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kwsearch/internal/core"
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/snippet"
+)
+
+func main() {
+	data := flag.String("data", "dblp", "dataset: dblp | widom | seltzer | products | events | auctions | conf | bib")
+	sem := flag.String("semantics", "auto", "auto | cn | spark | banks | steiner | slca | elca")
+	k := flag.Int("k", 10, "number of results")
+	doClean := flag.Bool("clean", false, "run noisy-channel query cleaning first")
+	snip := flag.Bool("snippets", false, "print snippets for XML results")
+	flag.Parse()
+	query := strings.Join(flag.Args(), " ")
+	if query == "" {
+		fmt.Fprintln(os.Stderr, "usage: kwsearch [flags] keyword...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	engine, err := buildEngine(*data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	semantics, err := parseSemantics(*sem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *doClean && engine.Cleaner != nil {
+		cleaned := engine.Cleaner.Clean(query)
+		fmt.Printf("cleaned query: %s\n", cleaned)
+	}
+	results, err := engine.Search(query, core.Options{
+		K: *k, Semantics: semantics, Clean: *doClean,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Println("no results")
+		return
+	}
+	terms := engine.Terms(query, *doClean)
+	for i, r := range results {
+		fmt.Printf("%2d. %s\n", i+1, r)
+		if *snip && r.Node != nil {
+			for _, it := range snippet.Generate(r.Node, terms, 4) {
+				fmt.Printf("      %s: %s\n", it.Label, it.Value)
+			}
+		}
+	}
+}
+
+func buildEngine(data string) (*core.Engine, error) {
+	switch data {
+	case "dblp":
+		return core.NewRelational(dataset.DBLP(dataset.DefaultDBLPConfig())), nil
+	case "widom":
+		return core.NewRelational(dataset.WidomBib()), nil
+	case "seltzer":
+		return core.NewRelational(dataset.SeltzerBerkeley()), nil
+	case "products":
+		return core.NewRelational(dataset.Products()), nil
+	case "events":
+		return core.NewRelational(dataset.EventsDB()), nil
+	case "auctions":
+		return core.NewXML(dataset.AuctionsXML()), nil
+	case "conf":
+		return core.NewXML(dataset.ConfDemoXML()), nil
+	case "bib":
+		return core.NewXML(dataset.BibXML(dataset.DefaultBibConfig())), nil
+	}
+	return nil, fmt.Errorf("unknown dataset %q", data)
+}
+
+func parseSemantics(s string) (core.Semantics, error) {
+	switch s {
+	case "auto":
+		return core.Auto, nil
+	case "cn":
+		return core.CandidateNetworks, nil
+	case "spark":
+		return core.SparkNetworks, nil
+	case "banks":
+		return core.DistinctRoot, nil
+	case "steiner":
+		return core.SteinerTree, nil
+	case "slca":
+		return core.SLCA, nil
+	case "elca":
+		return core.ELCA, nil
+	}
+	return core.Auto, fmt.Errorf("unknown semantics %q", s)
+}

@@ -1,0 +1,10 @@
+// Package kwsearch reproduces the system landscape of the ICDE 2011
+// tutorial "Keyword-based Search and Exploration on Databases" (Chen, Wang,
+// Liu): keyword search over relational and XML data with the structural
+// disambiguation, keyword cleaning, query processing and result analysis
+// techniques the tutorial surveys, each implemented from scratch on
+// substrates in this module.
+//
+// Start with internal/core for the search façade, DESIGN.md for the module
+// map and experiment index, and EXPERIMENTS.md for the reproduced results.
+package kwsearch

@@ -1,0 +1,107 @@
+// Exploration scenario: the result-analysis half of the tutorial — faceted
+// navigation over a result set, result differentiation tables, aggregate
+// table analysis, text-cube cells, query forms, and Keyword++ query
+// rewriting over an entity table.
+package main
+
+import (
+	"fmt"
+
+	"kwsearch/internal/aggregate"
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/diff"
+	"kwsearch/internal/facet"
+	"kwsearch/internal/forms"
+	"kwsearch/internal/relstore"
+	"kwsearch/internal/rewrite"
+	"kwsearch/internal/schemagraph"
+)
+
+func main() {
+	// --- Faceted navigation over the events table -------------------------
+	db := dataset.EventsDB()
+	tbl := db.Table("event")
+	log := []facet.LogQuery{
+		{Conds: []facet.Condition{{Attr: "state", Value: relstore.String("TX")}}, Count: 6},
+		{Conds: []facet.Condition{{Attr: "state", Value: relstore.String("MI")}}, Count: 5},
+		{Conds: []facet.Condition{{Attr: "month", Value: relstore.String("Dec")}}, Count: 2},
+	}
+	tree := facet.Build(tbl, tbl.Tuples(), []string{"month", "state"}, nil, log, facet.Options{})
+	fmt.Printf("facet tree: root facet %q, expected navigation cost %.2f\n", tree.Root.Attr, tree.Cost)
+	for _, c := range tree.Root.Children {
+		fmt.Printf("  %s -> %d rows (p_proc %.2f)\n", c.Cond, len(c.Rows), c.PProc)
+	}
+
+	// --- Table analysis: aggregate keyword query ---------------------------
+	fmt.Println("\nminimal group-bys for {pool, motorcycle, american food} over (month, state):")
+	for _, cell := range aggregate.MinimalGroupBys(tbl, tbl.Tuples(), []string{"month", "state"},
+		[]string{"pool", "motorcycle", "american food"}) {
+		fmt.Printf("  %s\n", cell)
+	}
+
+	// --- Text cube over the laptops ----------------------------------------
+	var docs []aggregate.Doc
+	for _, r := range dataset.Laptops() {
+		docs = append(docs, aggregate.Doc{
+			Dims: map[string]string{"Brand": r.Brand, "Model": r.Model, "CPU": r.CPU, "OS": r.OS},
+			Text: r.Description,
+		})
+	}
+	fmt.Println("\ntext-cube cells for 'powerful laptop' (min support 2):")
+	for _, c := range aggregate.TopCells(docs, []string{"Brand", "Model", "CPU", "OS"},
+		[]string{"powerful", "laptop"}, 2, 4) {
+		fmt.Printf("  {%s} support=%d relevance=%.2f\n", c, c.Support, c.Relevance)
+	}
+
+	// --- Result differentiation --------------------------------------------
+	rs := []diff.ResultFeatures{
+		{Name: "ICDE 2000", Features: []diff.Feature{
+			{Type: "conf:year", Value: "2000"},
+			{Type: "paper:title", Value: "OLAP"},
+			{Type: "paper:title", Value: "data mining"},
+			{Type: "paper:title", Value: "query"},
+		}},
+		{Name: "ICDE 2010", Features: []diff.Feature{
+			{Type: "conf:year", Value: "2010"},
+			{Type: "paper:title", Value: "cloud"},
+			{Type: "paper:title", Value: "search"},
+			{Type: "paper:title", Value: "query"},
+		}},
+	}
+	table := diff.StrongLocalOptimal(rs, 3)
+	fmt.Printf("\ncomparison table (DoD %d):\n", diff.DoD(table))
+	for i, sel := range table.Selected {
+		fmt.Printf("  %s:", rs[i].Name)
+		for _, f := range sel {
+			fmt.Printf(" %s=%s", f.Type, f.Value)
+		}
+		fmt.Println()
+	}
+
+	// --- Query forms over the bibliography ----------------------------------
+	bib := dataset.WidomBib()
+	g := schemagraph.FromDB(bib)
+	fs := forms.Generate(bib, g, forms.GenerateOptions{MaxTables: 3})
+	sel := forms.NewSelector(bib, fs)
+	fmt.Println("\ntop forms for 'widom xml':")
+	for _, rf := range sel.Select([]string{"widom", "xml"}, 3) {
+		fmt.Printf("  %-28s score %.2f  group %s\n", rf.Form, rf.Score, rf.Group)
+	}
+
+	// --- Keyword++ rewriting over the product table -------------------------
+	ip := rewrite.NewInterpreter(dataset.Products(), "product",
+		[]string{"brand"}, []string{"screen"})
+	tr := ip.Translate("ibm laptop")
+	fmt.Println("\nKeyword++ translation of 'ibm laptop':")
+	for _, p := range tr.Predicates {
+		fmt.Printf("  predicate %s = %s (KL %.2f)\n", p.Attr, p.Value, p.Divergence)
+	}
+	for _, o := range tr.OrderBy {
+		dir := "DESC"
+		if o.Ascending {
+			dir = "ASC"
+		}
+		fmt.Printf("  ORDER BY %s %s (EMD %.2f)\n", o.Attr, dir, o.EMD)
+	}
+	fmt.Printf("  LIKE terms: %v\n", tr.LikeTerms)
+}

@@ -1,0 +1,79 @@
+// Quickstart: build a tiny bibliography database, run one keyword query,
+// print the top answers. This is the smallest end-to-end use of the
+// library's public façade.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kwsearch/internal/core"
+	"kwsearch/internal/relstore"
+)
+
+func main() {
+	// 1. Declare a schema: authors write papers.
+	db := relstore.NewDB()
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "author",
+		Columns: []relstore.Column{
+			{Name: "aid", Type: relstore.KindInt},
+			{Name: "name", Type: relstore.KindString, Text: true},
+		},
+		Key: "aid",
+	})
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "paper",
+		Columns: []relstore.Column{
+			{Name: "pid", Type: relstore.KindInt},
+			{Name: "title", Type: relstore.KindString, Text: true},
+		},
+		Key: "pid",
+	})
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "write",
+		Columns: []relstore.Column{
+			{Name: "aid", Type: relstore.KindInt},
+			{Name: "pid", Type: relstore.KindInt},
+		},
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "aid", RefTable: "author", RefColumn: "aid"},
+			{Column: "pid", RefTable: "paper", RefColumn: "pid"},
+		},
+	})
+
+	// 2. Load a few rows.
+	authors := []string{"Jennifer Widom", "Jeffrey Ullman", "Serge Abiteboul"}
+	for i, name := range authors {
+		db.MustInsert("author", map[string]relstore.Value{
+			"aid": relstore.Int(int64(i)), "name": relstore.String(name),
+		})
+	}
+	papers := []string{"Querying XML streams", "Datalog in practice", "Semistructured data"}
+	for i, title := range papers {
+		db.MustInsert("paper", map[string]relstore.Value{
+			"pid": relstore.Int(int64(i)), "title": relstore.String(title),
+		})
+	}
+	for _, w := range [][2]int64{{0, 0}, {1, 1}, {2, 2}, {0, 2}} {
+		db.MustInsert("write", map[string]relstore.Value{
+			"aid": relstore.Int(w[0]), "pid": relstore.Int(w[1]),
+		})
+	}
+
+	// 3. Search. The engine enumerates candidate networks (join trees),
+	// evaluates them, and ranks the joining trees of tuples.
+	engine := core.NewRelational(db)
+	results, err := engine.Search("Widom XML", core.Options{K: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Q: Widom XML")
+	for i, r := range results {
+		fmt.Printf("%d. %s\n", i+1, r)
+		for j, tp := range r.Tuples {
+			table := db.Table(r.CN.Nodes[j].Table)
+			fmt.Printf("   %-8s %s\n", tp.Table, tp.Text(table.Schema))
+		}
+	}
+}

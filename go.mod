@@ -1,0 +1,3 @@
+module kwsearch
+
+go 1.22

@@ -1,0 +1,156 @@
+// Package aggregate analyzes groups of results jointly (slides 16,
+// 164-167): minimal group-bys answering aggregate keyword queries (Zhou &
+// Pei EDBT'09 — "which month/state offers pool, motorcycle and American
+// food together?") and top-k cells of a text cube (TopCells, Ding et al.
+// ICDE'10).
+package aggregate
+
+import (
+	"sort"
+	"strings"
+
+	"kwsearch/internal/relstore"
+	"kwsearch/internal/text"
+)
+
+// Cell is one group-by cell: per grouping attribute either a concrete
+// value or "*" (any).
+type Cell struct {
+	Attrs  []string
+	Values []string // aligned with Attrs; "*" = wildcard
+}
+
+// String renders "(Dec, TX)" style.
+func (c Cell) String() string {
+	return "(" + strings.Join(c.Values, ", ") + ")"
+}
+
+// matches reports whether row values (aligned with c.Attrs) satisfy the
+// cell.
+func (c Cell) matches(vals []string) bool {
+	for i, v := range c.Values {
+		if v != "*" && v != vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// specializes reports whether c is a proper specialization of o (same
+// attrs; c fixes a superset of o's values).
+func (c Cell) specializes(o Cell) bool {
+	proper := false
+	for i := range c.Values {
+		switch {
+		case o.Values[i] == "*" && c.Values[i] != "*":
+			proper = true
+		case o.Values[i] != "*" && c.Values[i] != o.Values[i]:
+			return false
+		}
+	}
+	return proper
+}
+
+// coversPhrase reports whether the row text covers every token of the
+// phrase.
+func coversPhrase(rowText, phrase string) bool {
+	for _, tok := range text.Tokenize(phrase) {
+		if !text.Contains(rowText, tok) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimalGroupBys finds the minimal covering cells: value combinations
+// over attrs (with wildcards) whose rows collectively cover every keyword
+// phrase, such that no proper specialization also covers — exactly the
+// slide-165 output {(Dec, TX), (*, MI)}.
+func MinimalGroupBys(t *relstore.Table, rows []*relstore.Tuple, attrs []string, phrases []string) []Cell {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		idx[i] = t.ColumnIndex(a)
+		if idx[i] < 0 {
+			return nil
+		}
+	}
+	// Row projections and per-row phrase coverage.
+	rowVals := make([][]string, len(rows))
+	rowCover := make([][]bool, len(rows))
+	for ri, r := range rows {
+		vals := make([]string, len(attrs))
+		for i, ci := range idx {
+			vals[i] = r.Values[ci].Text()
+		}
+		rowVals[ri] = vals
+		txt := r.Text(t.Schema)
+		cov := make([]bool, len(phrases))
+		for pi, p := range phrases {
+			cov[pi] = coversPhrase(txt, p)
+		}
+		rowCover[ri] = cov
+	}
+	// Candidate values per attribute (plus wildcard).
+	domains := make([][]string, len(attrs))
+	for i := range attrs {
+		seen := map[string]bool{}
+		vals := []string{"*"}
+		for _, rv := range rowVals {
+			if !seen[rv[i]] {
+				seen[rv[i]] = true
+				vals = append(vals, rv[i])
+			}
+		}
+		domains[i] = vals
+	}
+	// Enumerate all cells and keep the covering ones.
+	var covering []Cell
+	var cur []string
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(attrs) {
+			cell := Cell{Attrs: attrs, Values: append([]string(nil), cur...)}
+			need := make([]bool, len(phrases))
+			got := 0
+			for ri := range rows {
+				if !cell.matches(rowVals[ri]) {
+					continue
+				}
+				for pi := range phrases {
+					if rowCover[ri][pi] && !need[pi] {
+						need[pi] = true
+						got++
+					}
+				}
+			}
+			if got == len(phrases) {
+				covering = append(covering, cell)
+			}
+			return
+		}
+		for _, v := range domains[i] {
+			cur = append(cur, v)
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	// Keep only cells with no covering proper specialization.
+	var out []Cell
+	for _, c := range covering {
+		minimal := true
+		for _, o := range covering {
+			if o.specializes(c) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].Values, ",") < strings.Join(out[j].Values, ",")
+	})
+	return out
+}

@@ -1,0 +1,140 @@
+package aggregate
+
+import (
+	"strings"
+	"testing"
+
+	"kwsearch/internal/dataset"
+)
+
+// TestSlide165MinimalGroupBys reproduces E10: the query {pool, motorcycle,
+// american food} over {month, state} yields exactly the cells (Dec, TX)
+// and (*, MI).
+func TestSlide165MinimalGroupBys(t *testing.T) {
+	db := dataset.EventsDB()
+	tbl := db.Table("event")
+	cells := MinimalGroupBys(tbl, tbl.Tuples(), []string{"month", "state"},
+		[]string{"pool", "motorcycle", "american food"})
+	if len(cells) != 2 {
+		for _, c := range cells {
+			t.Logf("cell %s", c)
+		}
+		t.Fatalf("cells = %d, want 2", len(cells))
+	}
+	got := cells[0].String() + " " + cells[1].String()
+	if !strings.Contains(got, "(*, MI)") || !strings.Contains(got, "(Dec, TX)") {
+		t.Errorf("cells = %s, want (Dec, TX) and (*, MI)", got)
+	}
+}
+
+func TestMinimalGroupBysPrunesGeneralizations(t *testing.T) {
+	db := dataset.EventsDB()
+	tbl := db.Table("event")
+	cells := MinimalGroupBys(tbl, tbl.Tuples(), []string{"month", "state"},
+		[]string{"pool", "motorcycle", "american food"})
+	for _, c := range cells {
+		if c.Values[0] == "*" && c.Values[1] == "*" {
+			t.Errorf("the all-wildcard cell is never minimal when a cover exists")
+		}
+	}
+	// (Dec, *) covers but specializes to (Dec, TX), so it must be absent.
+	for _, c := range cells {
+		if c.Values[0] == "Dec" && c.Values[1] == "*" {
+			t.Errorf("(Dec, *) should be pruned by its specialization (Dec, TX)")
+		}
+	}
+}
+
+func TestMinimalGroupBysNoCover(t *testing.T) {
+	db := dataset.EventsDB()
+	tbl := db.Table("event")
+	cells := MinimalGroupBys(tbl, tbl.Tuples(), []string{"month", "state"},
+		[]string{"pool", "spaceflight"})
+	if cells != nil {
+		t.Errorf("uncoverable query yielded %v", cells)
+	}
+	if got := MinimalGroupBys(tbl, tbl.Tuples(), []string{"nosuch"}, []string{"pool"}); got != nil {
+		t.Errorf("unknown attribute yielded %v", got)
+	}
+}
+
+func TestCellSpecializes(t *testing.T) {
+	a := Cell{Values: []string{"Dec", "TX"}}
+	b := Cell{Values: []string{"Dec", "*"}}
+	c := Cell{Values: []string{"*", "*"}}
+	if !a.specializes(b) || !b.specializes(c) || !a.specializes(c) {
+		t.Errorf("specialization chain broken")
+	}
+	if b.specializes(a) || a.specializes(a) {
+		t.Errorf("specializes must be strict")
+	}
+}
+
+func laptopDocs() []Doc {
+	var out []Doc
+	for _, r := range dataset.Laptops() {
+		out = append(out, Doc{
+			Dims: map[string]string{
+				"Brand": r.Brand, "Model": r.Model, "CPU": r.CPU, "OS": r.OS,
+			},
+			Text: r.Description,
+		})
+	}
+	return out
+}
+
+// TestSlide166TopCells reproduces E14: "powerful laptop" with minsup 2
+// surfaces the cells {Brand:Acer, Model:AOA110} and {CPU:1.7GHz}.
+func TestSlide166TopCells(t *testing.T) {
+	cells := TopCells(laptopDocs(), []string{"Brand", "Model", "CPU", "OS"},
+		[]string{"powerful", "laptop"}, 2, 0)
+	if len(cells) == 0 {
+		t.Fatal("no cells")
+	}
+	var labels []string
+	for _, c := range cells {
+		labels = append(labels, c.String())
+		if c.Support < 2 {
+			t.Errorf("cell %s below min support", c)
+		}
+	}
+	joined := strings.Join(labels, " | ")
+	if !strings.Contains(joined, "CPU:1.7GHz") {
+		t.Errorf("missing CPU:1.7GHz cell: %s", joined)
+	}
+	foundAcer := false
+	for _, l := range labels {
+		if strings.Contains(l, "Brand:Acer") || strings.Contains(l, "Model:AOA110") {
+			foundAcer = true
+		}
+	}
+	if !foundAcer {
+		t.Errorf("missing Acer/AOA110 cell: %s", joined)
+	}
+}
+
+func TestTopCellsMinSupportFiltersAndK(t *testing.T) {
+	cells := TopCells(laptopDocs(), []string{"Brand", "Model", "CPU", "OS"},
+		[]string{"powerful", "laptop"}, 3, 0)
+	for _, c := range cells {
+		if c.Support < 3 {
+			t.Fatalf("support filter failed: %+v", c)
+		}
+	}
+	top1 := TopCells(laptopDocs(), []string{"Brand"}, []string{"laptop"}, 1, 1)
+	if len(top1) != 1 {
+		t.Fatalf("k limit failed: %v", top1)
+	}
+	if got := TopCells(laptopDocs(), []string{"Brand"}, nil, 1, 5); got != nil {
+		t.Errorf("empty query cells = %v", got)
+	}
+}
+
+func TestTopCellsRelevanceOrdering(t *testing.T) {
+	cells := TopCells(laptopDocs(), []string{"Brand", "CPU"}, []string{"laptop"}, 1, 0)
+	for i := 1; i < len(cells); i++ {
+		if cells[i].Relevance > cells[i-1].Relevance {
+			t.Fatalf("cells not sorted by relevance")
+		}
+	}
+}

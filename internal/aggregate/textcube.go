@@ -1,0 +1,202 @@
+package aggregate
+
+import (
+	"sort"
+	"strings"
+
+	"kwsearch/internal/text"
+)
+
+// Doc is one row of a text cube: dimension values plus a text document.
+type Doc struct {
+	Dims map[string]string
+	Text string
+}
+
+// CubeCell is one cube cell with its query statistics.
+type CubeCell struct {
+	// Fixed maps the constrained dimensions to values; unmentioned
+	// dimensions are aggregated ("*").
+	Fixed map[string]string
+	// Support counts the cell's documents that match the query.
+	Support int
+	// Relevance is the average per-document query relevance (matched
+	// query-term count) over the matching documents.
+	Relevance float64
+}
+
+// label renders the fixed dimensions deterministically.
+func (c CubeCell) label(dims []string) string {
+	parts := make([]string, 0, len(dims))
+	for _, d := range dims {
+		if v, ok := c.Fixed[d]; ok {
+			parts = append(parts, d+":"+v)
+		} else {
+			parts = append(parts, d+":*")
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// String renders "Brand:Acer,Model:AOA110,CPU:*,OS:*" style using the
+// cell's own dimension order.
+func (c CubeCell) String() string {
+	keys := make([]string, 0, len(c.Fixed))
+	for k := range c.Fixed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + ":" + c.Fixed[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+// TopCells searches the text cube: it enumerates cells over every
+// dimension subset, keeps those whose matching-document support reaches
+// minSupport, and returns the top k by average relevance (slides 166-167).
+// Cells whose document sets coincide with a more general cell are dropped
+// in favour of the general one.
+func TopCells(docs []Doc, dims []string, query []string, minSupport, k int) []CubeCell {
+	terms := make([]string, 0, len(query))
+	for _, q := range query {
+		if n := text.Normalize(q); n != "" {
+			terms = append(terms, n)
+		}
+	}
+	if len(terms) == 0 {
+		return nil
+	}
+	// Per-document match status and relevance.
+	match := make([]bool, len(docs))
+	rel := make([]float64, len(docs))
+	for i, d := range docs {
+		all := true
+		score := 0.0
+		for _, t := range terms {
+			cnt := 0
+			for _, tok := range text.Tokenize(d.Text) {
+				if tok == t {
+					cnt++
+				}
+			}
+			if cnt == 0 {
+				all = false
+				break
+			}
+			score += float64(cnt)
+		}
+		match[i] = all
+		if all {
+			rel[i] = score
+		}
+	}
+
+	// Enumerate dimension subsets and their observed value combinations.
+	cells := map[string]*CubeCell{}
+	docsOf := map[string][]int{}
+	var subsets func(i int, fixedDims []string)
+	subsets = func(i int, fixedDims []string) {
+		if i == len(dims) {
+			// Group matching docs by their values on fixedDims.
+			for di, d := range docs {
+				if !match[di] {
+					continue
+				}
+				fixed := map[string]string{}
+				ok := true
+				for _, fd := range fixedDims {
+					v, has := d.Dims[fd]
+					if !has {
+						ok = false
+						break
+					}
+					fixed[fd] = v
+				}
+				if !ok {
+					continue
+				}
+				c := CubeCell{Fixed: fixed}
+				key := c.label(dims)
+				if _, seen := cells[key]; !seen {
+					cells[key] = &CubeCell{Fixed: fixed}
+				}
+				docsOf[key] = append(docsOf[key], di)
+			}
+			return
+		}
+		subsets(i+1, fixedDims)
+		with := make([]string, len(fixedDims)+1)
+		copy(with, fixedDims)
+		with[len(fixedDims)] = dims[i]
+		subsets(i+1, with)
+	}
+	subsets(0, nil)
+
+	var out []CubeCell
+	for key, c := range cells {
+		ds := docsOf[key]
+		if len(ds) < minSupport {
+			continue
+		}
+		sum := 0.0
+		for _, di := range ds {
+			sum += rel[di]
+		}
+		c.Support = len(ds)
+		c.Relevance = sum / float64(len(ds))
+		out = append(out, *c)
+	}
+	// Drop cells subsumed by a more general cell with the same documents.
+	filtered := out[:0]
+	for _, c := range out {
+		subsumed := false
+		for _, o := range out {
+			if len(o.Fixed) < len(c.Fixed) && o.Support == c.Support && sameDocs(docsOf, dims, o, c) && generalizes(o, c) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			filtered = append(filtered, c)
+		}
+	}
+	out = filtered
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Relevance != out[j].Relevance {
+			return out[i].Relevance > out[j].Relevance
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].String() < out[j].String()
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func generalizes(gen, spec CubeCell) bool {
+	for d, v := range gen.Fixed {
+		if spec.Fixed[d] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func sameDocs(docsOf map[string][]int, dims []string, a, b CubeCell) bool {
+	da := docsOf[a.label(dims)]
+	db := docsOf[b.label(dims)]
+	if len(da) != len(db) {
+		return false
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			return false
+		}
+	}
+	return true
+}

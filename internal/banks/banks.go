@@ -1,0 +1,304 @@
+// Package banks implements the BANKS family of graph keyword-search
+// algorithms: BANKS I backward (equi-distance) expanding search (Bhalotia
+// et al. ICDE'02) and BANKS II bidirectional search with spreading
+// activation (Kacholia et al. VLDB'05), both under the distinct-root
+// semantics of slide 31: an answer is a root r with
+// cost(r) = Σᵢ dist(r, Sᵢ).
+package banks
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"kwsearch/internal/datagraph"
+)
+
+// Answer is one distinct-root result: the root, its distance to the
+// nearest member of each keyword group, the matched member per group, and
+// the total cost.
+type Answer struct {
+	Root    datagraph.NodeID
+	Dists   []float64
+	Matches []datagraph.NodeID
+	Cost    float64
+	// Paths holds, per group, the node path from Root to Matches[i].
+	Paths [][]datagraph.NodeID
+}
+
+// Stats reports the work a search performed, for the E16 comparison.
+type Stats struct {
+	// Expansions counts heap pops that expanded a node's neighbours.
+	Expansions int
+	// Touched counts distinct (group, node) distance entries created.
+	Touched int
+}
+
+// Options bounds a search.
+type Options struct {
+	// K is the number of answers wanted.
+	K int
+	// MaxExpansions caps total expansions (0 = unlimited). With a cap the
+	// search may return fewer or suboptimal answers; both algorithms treat
+	// it as a work budget.
+	MaxExpansions int
+}
+
+// iterator is one per-group Dijkstra expansion ("backward" from the
+// keyword matches toward potential roots).
+type iterator struct {
+	group  int
+	dist   map[datagraph.NodeID]float64
+	parent map[datagraph.NodeID]datagraph.NodeID
+	origin map[datagraph.NodeID]datagraph.NodeID // which group member reached the node
+	h      *nodeHeap
+}
+
+type nodeEntry struct {
+	node datagraph.NodeID
+	dist float64
+	prio float64 // expansion priority (equals dist for BANKS I)
+}
+
+type nodeHeap []nodeEntry
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].prio < h[j].prio }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeEntry)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func newIterator(group int, members []datagraph.NodeID) *iterator {
+	it := &iterator{
+		group:  group,
+		dist:   map[datagraph.NodeID]float64{},
+		parent: map[datagraph.NodeID]datagraph.NodeID{},
+		origin: map[datagraph.NodeID]datagraph.NodeID{},
+		h:      &nodeHeap{},
+	}
+	for _, m := range members {
+		it.dist[m] = 0
+		it.origin[m] = m
+		heap.Push(it.h, nodeEntry{node: m, dist: 0, prio: 0})
+	}
+	return it
+}
+
+// frontier returns the smallest pending distance, or +Inf when exhausted.
+func (it *iterator) frontier() float64 {
+	for it.h.Len() > 0 {
+		top := (*it.h)[0]
+		if top.dist > it.dist[top.node] {
+			heap.Pop(it.h)
+			continue
+		}
+		return top.dist
+	}
+	return math.Inf(1)
+}
+
+// step pops and expands the next node; returns the node and false when
+// exhausted.
+func (it *iterator) step(g *datagraph.Graph, stats *Stats, prioFn func(n datagraph.NodeID, d float64) float64) (datagraph.NodeID, bool) {
+	for it.h.Len() > 0 {
+		e := heap.Pop(it.h).(nodeEntry)
+		if e.dist > it.dist[e.node] {
+			continue
+		}
+		stats.Expansions++
+		for _, edge := range g.Neighbors(e.node) {
+			nd := e.dist + edge.Weight
+			if cur, ok := it.dist[edge.To]; !ok || nd < cur {
+				if !ok {
+					stats.Touched++
+				}
+				it.dist[edge.To] = nd
+				it.parent[edge.To] = e.node
+				it.origin[edge.To] = it.origin[e.node]
+				prio := nd
+				if prioFn != nil {
+					prio = prioFn(edge.To, nd)
+				}
+				heap.Push(it.h, nodeEntry{node: edge.To, dist: nd, prio: prio})
+			}
+		}
+		return e.node, true
+	}
+	return 0, false
+}
+
+// collect assembles the Answer rooted at r if every iterator reached r.
+func collect(its []*iterator, r datagraph.NodeID) (Answer, bool) {
+	a := Answer{Root: r, Dists: make([]float64, len(its)),
+		Matches: make([]datagraph.NodeID, len(its)), Paths: make([][]datagraph.NodeID, len(its))}
+	for i, it := range its {
+		d, ok := it.dist[r]
+		if !ok {
+			return Answer{}, false
+		}
+		a.Dists[i] = d
+		a.Matches[i] = it.origin[r]
+		a.Cost += d
+		// Path root -> member follows parent pointers (which point toward
+		// the member, since expansion started there).
+		path := []datagraph.NodeID{r}
+		cur := r
+		for cur != it.origin[r] {
+			p, ok := it.parent[cur]
+			if !ok {
+				break
+			}
+			cur = p
+			path = append(path, cur)
+		}
+		a.Paths[i] = path
+	}
+	return a, true
+}
+
+// search is the shared engine: prioFn selects BANKS I (nil: pure
+// equi-distance) or BANKS II (activation-scaled priorities).
+func search(g *datagraph.Graph, groups [][]datagraph.NodeID, opts Options, prioFn func(it *iterator) func(datagraph.NodeID, float64) float64) ([]Answer, Stats) {
+	var stats Stats
+	if opts.K <= 0 {
+		opts.K = 10
+	}
+	its := make([]*iterator, len(groups))
+	reachedBy := map[datagraph.NodeID]int{}
+	for i, grp := range groups {
+		if len(grp) == 0 {
+			return nil, stats
+		}
+		its[i] = newIterator(i, grp)
+		stats.Touched += len(grp)
+	}
+	for _, it := range its {
+		for n := range it.dist {
+			reachedBy[n]++
+		}
+	}
+
+	// Candidate roots are re-collected whenever inspected: distances can
+	// still improve while the search runs (especially under the
+	// activation-ordered BANKS II expansion), so answers are built from
+	// the live distance maps rather than snapshotted.
+	candidates := map[datagraph.NodeID]bool{}
+	buildAnswers := func() []Answer {
+		out := make([]Answer, 0, len(candidates))
+		for r := range candidates {
+			if a, ok := collect(its, r); ok {
+				out = append(out, a)
+			}
+		}
+		sort.Slice(out, func(a, b int) bool {
+			if out[a].Cost != out[b].Cost {
+				return out[a].Cost < out[b].Cost
+			}
+			return out[a].Root < out[b].Root
+		})
+		return out
+	}
+	// Roots complete from the seeds alone (single-node answers).
+	for n, c := range reachedBy {
+		if c == len(groups) {
+			candidates[n] = true
+		}
+	}
+
+	for {
+		if opts.MaxExpansions > 0 && stats.Expansions >= opts.MaxExpansions {
+			break
+		}
+		// Pick the iterator to advance: smallest frontier (equi-distance).
+		best, bestVal := -1, math.Inf(1)
+		for i, it := range its {
+			f := it.frontier()
+			if f < bestVal {
+				best, bestVal = i, f
+			}
+		}
+		if best < 0 {
+			break // all exhausted
+		}
+		// Sound stopping rule, valid only for the pure Dijkstra order
+		// (prioFn == nil), where each iterator's frontier is its minimum
+		// pending distance: a root not yet discovered is still unpopped in
+		// at least one iterator i, so its final cost is at least
+		// frontier_i >= min_i frontier_i. Candidate costs only shrink, so
+		// comparing against the current k-th is conservative.
+		if prioFn == nil && len(candidates) >= opts.K {
+			cur := buildAnswers()
+			lb := math.Inf(1)
+			for _, it := range its {
+				if f := it.frontier(); f < lb {
+					lb = f
+				}
+			}
+			if len(cur) >= opts.K && cur[opts.K-1].Cost <= lb {
+				break
+			}
+		}
+		var pf func(datagraph.NodeID, float64) float64
+		if prioFn != nil {
+			pf = prioFn(its[best])
+		}
+		node, ok := its[best].step(g, &stats, pf)
+		if !ok {
+			continue
+		}
+		// The popped node now has a final distance for this iterator; if
+		// all iterators have reached it, it is a candidate root.
+		complete := true
+		for _, it := range its {
+			if _, ok := it.dist[node]; !ok {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			candidates[node] = true
+		}
+	}
+
+	answers := buildAnswers()
+	if len(answers) > opts.K {
+		answers = answers[:opts.K]
+	}
+	return answers, stats
+}
+
+// BackwardSearch is BANKS I: concurrent equi-distance backward expansion
+// from every keyword group. With no expansion cap the returned top-k is
+// exact for the distinct-root cost.
+func BackwardSearch(g *datagraph.Graph, groups [][]datagraph.NodeID, opts Options) ([]Answer, Stats) {
+	return search(g, groups, opts, nil)
+}
+
+// BidirectionalSearch is BANKS II-style search: expansion order is scaled
+// by spreading activation, penalizing high-degree hubs (the key idea of
+// Kacholia et al. VLDB'05 — do not flood the graph through hubs). It is a
+// heuristic, as in the paper: expansion is label-correcting rather than
+// dist-ordered, so the exact early-stop rule does not apply and the search
+// runs to its expansion budget (or exhaustion, where its answers converge
+// to BackwardSearch's). Its value shows under tight budgets on hub-heavy
+// graphs, where good answers surface before the hubs are expanded.
+func BidirectionalSearch(g *datagraph.Graph, groups [][]datagraph.NodeID, opts Options) ([]Answer, Stats) {
+	prioFn := func(it *iterator) func(datagraph.NodeID, float64) float64 {
+		return func(n datagraph.NodeID, d float64) float64 {
+			// Activation decays with degree: hubs spread little activation,
+			// so they are expanded late.
+			deg := float64(g.Degree(n))
+			if deg < 1 {
+				deg = 1
+			}
+			return d * (1 + math.Log(1+deg))
+		}
+	}
+	return search(g, groups, opts, prioFn)
+}

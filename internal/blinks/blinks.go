@@ -1,0 +1,244 @@
+// Package blinks implements index-backed graph keyword search: the
+// node-to-keyword distance index with TA-style top-k of SLINKS/BLINKS
+// (He et al. SIGMOD'07), a block-partitioned variant with block-level
+// lower bounds, and the hub-based proximity index of Goldman et al.
+// (VLDB'98) — the "specialized indexes for KWS" of slides 121-124.
+package blinks
+
+import (
+	"sort"
+
+	"kwsearch/internal/datagraph"
+)
+
+// Answer is a distinct-root result: cost(r) = Σᵢ dist(r, keywordᵢ).
+type Answer struct {
+	Root  datagraph.NodeID
+	Dists []float64
+	Cost  float64
+}
+
+// distEntry is one posting of the keyword-distance index.
+type distEntry struct {
+	node datagraph.NodeID
+	dist float64
+}
+
+// Index is the SLINKS-style node-to-keyword distance index: for every
+// indexed keyword, the exact shortest distance from each reachable node to
+// the nearest match, stored both as a sorted list (for sorted access) and
+// a map (for random access) — the two access paths Fagin's TA needs.
+type Index struct {
+	lists map[string][]distEntry
+	dists map[string]map[datagraph.NodeID]float64
+}
+
+// NewIndex precomputes distances for every keyword in keywordNodes (term ->
+// matching nodes) via one multi-source Dijkstra per keyword. Space is
+// O(K·V), which is the trade-off slide 123 calls out.
+func NewIndex(g *datagraph.Graph, keywordNodes map[string][]datagraph.NodeID) *Index {
+	ix := &Index{
+		lists: make(map[string][]distEntry, len(keywordNodes)),
+		dists: make(map[string]map[datagraph.NodeID]float64, len(keywordNodes)),
+	}
+	for term, nodes := range keywordNodes {
+		if len(nodes) == 0 {
+			continue
+		}
+		dist := multiSourceDijkstra(g, nodes)
+		ix.dists[term] = dist
+		list := make([]distEntry, 0, len(dist))
+		for n, d := range dist {
+			list = append(list, distEntry{node: n, dist: d})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].dist != list[j].dist {
+				return list[i].dist < list[j].dist
+			}
+			return list[i].node < list[j].node
+		})
+		ix.lists[term] = list
+	}
+	return ix
+}
+
+func multiSourceDijkstra(g *datagraph.Graph, sources []datagraph.NodeID) map[datagraph.NodeID]float64 {
+	// Add a virtual source by seeding all real sources at distance 0.
+	dist := map[datagraph.NodeID]float64{}
+	type item struct {
+		n datagraph.NodeID
+		d float64
+	}
+	h := make([]item, 0, len(sources))
+	pushItem := func(it item) {
+		h = append(h, it)
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h[p].d <= h[i].d {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+	}
+	popItem := func() item {
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(h) && h[l].d < h[small].d {
+				small = l
+			}
+			if r < len(h) && h[r].d < h[small].d {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			h[i], h[small] = h[small], h[i]
+			i = small
+		}
+		return top
+	}
+	for _, s := range sources {
+		if _, ok := dist[s]; !ok {
+			dist[s] = 0
+			pushItem(item{n: s, d: 0})
+		}
+	}
+	for len(h) > 0 {
+		it := popItem()
+		if it.d > dist[it.n] {
+			continue
+		}
+		for _, e := range g.Neighbors(it.n) {
+			nd := it.d + e.Weight
+			if cur, ok := dist[e.To]; !ok || nd < cur {
+				dist[e.To] = nd
+				pushItem(item{n: e.To, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// Distance returns the indexed node-to-keyword distance.
+func (ix *Index) Distance(term string, n datagraph.NodeID) (float64, bool) {
+	m, ok := ix.dists[term]
+	if !ok {
+		return 0, false
+	}
+	d, ok := m[n]
+	return d, ok
+}
+
+// Entries returns the total number of stored (keyword, node) distances —
+// the index-space measure of E23/E16.
+func (ix *Index) Entries() int {
+	n := 0
+	for _, l := range ix.lists {
+		n += len(l)
+	}
+	return n
+}
+
+// Stats reports query work for the benchmark comparisons.
+type Stats struct {
+	// SortedAccesses counts entries consumed from the sorted lists.
+	SortedAccesses int
+	// RandomAccesses counts point lookups into the distance maps.
+	RandomAccesses int
+	// BlocksScanned counts blocks opened (partitioned index only).
+	BlocksScanned int
+}
+
+// TopK runs Fagin's threshold algorithm over the keyword distance lists:
+// sorted access round-robin, random access to complete each discovered
+// root, stop when the k-th best cost is at most the threshold
+// τ = Σᵢ (current sorted-access depth distance). Exact under the
+// distinct-root cost.
+func (ix *Index) TopK(terms []string, k int) ([]Answer, Stats) {
+	var stats Stats
+	if k <= 0 {
+		k = 10
+	}
+	lists := make([][]distEntry, 0, len(terms))
+	for _, t := range terms {
+		l, ok := ix.lists[t]
+		if !ok || len(l) == 0 {
+			return nil, stats // a keyword with no matches has no answers
+		}
+		lists = append(lists, l)
+	}
+	pos := make([]int, len(lists))
+	seen := map[datagraph.NodeID]bool{}
+	var top []Answer
+
+	better := func(a, b Answer) bool {
+		if a.Cost != b.Cost {
+			return a.Cost < b.Cost
+		}
+		return a.Root < b.Root
+	}
+	insert := func(a Answer) {
+		top = append(top, a)
+		sort.Slice(top, func(i, j int) bool { return better(top[i], top[j]) })
+		if len(top) > k {
+			top = top[:k]
+		}
+	}
+	tryRoot := func(n datagraph.NodeID) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		a := Answer{Root: n, Dists: make([]float64, len(terms))}
+		for i, t := range terms {
+			stats.RandomAccesses++
+			d, ok := ix.Distance(t, n)
+			if !ok {
+				return // unreachable from keyword i
+			}
+			a.Dists[i] = d
+			a.Cost += d
+		}
+		insert(a)
+	}
+
+	for {
+		// Every root reachable from all keywords appears in every list, so
+		// as soon as one list is fully consumed, all viable roots have been
+		// completed by random access and the search is done.
+		anyExhausted := false
+		threshold := 0.0
+		for i, l := range lists {
+			if pos[i] < len(l) {
+				threshold += l[pos[i]].dist
+			} else {
+				anyExhausted = true
+			}
+		}
+		if anyExhausted {
+			break
+		}
+		if len(top) >= k && top[k-1].Cost <= threshold {
+			break
+		}
+		// One round of sorted access on every list.
+		for i, l := range lists {
+			if pos[i] >= len(l) {
+				continue
+			}
+			e := l[pos[i]]
+			pos[i]++
+			stats.SortedAccesses++
+			tryRoot(e.node)
+		}
+	}
+	return top, stats
+}

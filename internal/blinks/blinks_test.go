@@ -1,0 +1,267 @@
+package blinks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kwsearch/internal/datagraph"
+)
+
+func lineGraph(n int) *datagraph.Graph {
+	g := datagraph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(datagraph.NodeID(i), datagraph.NodeID(i+1), 1)
+	}
+	return g
+}
+
+func randomGraph(seed int64, n int) *datagraph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := datagraph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(datagraph.NodeID(i), datagraph.NodeID((i+1)%n), float64(1+rng.Intn(4)))
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(datagraph.NodeID(rng.Intn(n)), datagraph.NodeID(rng.Intn(n)), float64(1+rng.Intn(4)))
+	}
+	return g
+}
+
+func TestIndexDistances(t *testing.T) {
+	g := lineGraph(5)
+	ix := NewIndex(g, map[string][]datagraph.NodeID{
+		"a": {0},
+		"b": {4},
+	})
+	for n := 0; n < 5; n++ {
+		d, ok := ix.Distance("a", datagraph.NodeID(n))
+		if !ok || d != float64(n) {
+			t.Errorf("dist(a, %d) = %v ok=%v, want %d", n, d, ok, n)
+		}
+	}
+	if _, ok := ix.Distance("nosuch", 0); ok {
+		t.Errorf("unknown term should miss")
+	}
+	if ix.Entries() != 10 {
+		t.Errorf("Entries = %d, want 10", ix.Entries())
+	}
+}
+
+func TestIndexMultiSourceTakesNearest(t *testing.T) {
+	g := lineGraph(7)
+	ix := NewIndex(g, map[string][]datagraph.NodeID{"a": {0, 6}})
+	d, _ := ix.Distance("a", 2)
+	if d != 2 {
+		t.Errorf("dist = %v, want 2 (nearest of the two sources)", d)
+	}
+	d, _ = ix.Distance("a", 5)
+	if d != 1 {
+		t.Errorf("dist = %v, want 1", d)
+	}
+}
+
+func TestTopKLine(t *testing.T) {
+	g := lineGraph(5)
+	ix := NewIndex(g, map[string][]datagraph.NodeID{
+		"a": {0}, "b": {4},
+	})
+	top, stats := ix.TopK([]string{"a", "b"}, 3)
+	if len(top) != 3 {
+		t.Fatalf("top = %v", top)
+	}
+	// Every node is an optimal root on a line: cost 4 everywhere.
+	for _, a := range top {
+		if a.Cost != 4 {
+			t.Errorf("cost = %v, want 4", a.Cost)
+		}
+	}
+	if stats.SortedAccesses == 0 || stats.RandomAccesses == 0 {
+		t.Errorf("stats not recorded: %+v", stats)
+	}
+}
+
+func TestTopKMissingKeyword(t *testing.T) {
+	g := lineGraph(3)
+	ix := NewIndex(g, map[string][]datagraph.NodeID{"a": {0}})
+	top, _ := ix.TopK([]string{"a", "zzz"}, 2)
+	if top != nil {
+		t.Fatalf("expected no answers, got %v", top)
+	}
+}
+
+// brute computes the exact distinct-root top-k by full Dijkstra.
+func brute(g *datagraph.Graph, kwNodes map[string][]datagraph.NodeID, terms []string, k int) []float64 {
+	var dms []map[datagraph.NodeID]float64
+	for _, t := range terms {
+		dms = append(dms, multiSourceDijkstra(g, kwNodes[t]))
+	}
+	var costs []float64
+	for n := 0; n < g.Len(); n++ {
+		c := 0.0
+		ok := true
+		for _, dm := range dms {
+			d, has := dm[datagraph.NodeID(n)]
+			if !has {
+				ok = false
+				break
+			}
+			c += d
+		}
+		if ok {
+			costs = append(costs, c)
+		}
+	}
+	if costs == nil {
+		return nil
+	}
+	for i := 1; i < len(costs); i++ {
+		for j := i; j > 0 && costs[j] < costs[j-1]; j-- {
+			costs[j], costs[j-1] = costs[j-1], costs[j]
+		}
+	}
+	if len(costs) > k {
+		costs = costs[:k]
+	}
+	return costs
+}
+
+// Property (E16/E23 correctness side): the TA top-k and the partitioned
+// top-k both equal the brute-force distinct-root optimum.
+func TestTopKMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(20)
+		g := randomGraph(seed, n)
+		kw := map[string][]datagraph.NodeID{}
+		terms := []string{"x", "y"}
+		for _, term := range terms {
+			cnt := 1 + rng.Intn(3)
+			for i := 0; i < cnt; i++ {
+				kw[term] = append(kw[term], datagraph.NodeID(rng.Intn(n)))
+			}
+		}
+		k := 1 + rng.Intn(4)
+		want := brute(g, kw, terms, k)
+
+		ix := NewIndex(g, kw)
+		got, _ := ix.TopK(terms, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i].Cost-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		p := NewPartitionedIndex(g, kw, 4)
+		got2, _ := p.TopK(terms, k)
+		if len(got2) != len(want) {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got2[i].Cost-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionedBlocksPruned(t *testing.T) {
+	// Two far-apart clusters: with keywords in cluster 1 only, the top-k
+	// must not open cluster 2's blocks.
+	g := datagraph.New(60)
+	for i := 0; i+1 < 30; i++ {
+		g.AddEdge(datagraph.NodeID(i), datagraph.NodeID(i+1), 1)
+	}
+	for i := 30; i+1 < 60; i++ {
+		g.AddEdge(datagraph.NodeID(i), datagraph.NodeID(i+1), 1)
+	}
+	g.AddEdge(29, 30, 1000) // weak bridge
+	kw := map[string][]datagraph.NodeID{
+		"x": {0}, "y": {5},
+	}
+	p := NewPartitionedIndex(g, kw, 6)
+	top, stats := p.TopK([]string{"x", "y"}, 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	if stats.BlocksScanned >= p.NumBlocks() {
+		t.Errorf("no block pruning: scanned %d of %d", stats.BlocksScanned, p.NumBlocks())
+	}
+}
+
+func TestPartitionCoversAllNodes(t *testing.T) {
+	g := randomGraph(3, 37)
+	p := NewPartitionedIndex(g, map[string][]datagraph.NodeID{"x": {0}}, 5)
+	seen := map[datagraph.NodeID]bool{}
+	for _, blk := range p.blocks {
+		for _, n := range blk {
+			if seen[n] {
+				t.Fatalf("node %d in two blocks", n)
+			}
+			seen[n] = true
+		}
+	}
+	if len(seen) != g.Len() {
+		t.Fatalf("partition covers %d of %d nodes", len(seen), g.Len())
+	}
+}
+
+// Property (E23): hub-index distances are exact.
+func TestHubDistanceExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(20)
+		g := randomGraph(seed, n)
+		h := NewHubIndex(g, 1+rng.Intn(4))
+		for trial := 0; trial < 10; trial++ {
+			x := datagraph.NodeID(rng.Intn(n))
+			y := datagraph.NodeID(rng.Intn(n))
+			want, wantOK := g.Dijkstra(x, datagraph.Inf)[y]
+			got, ok := h.Distance(x, y)
+			if ok != wantOK {
+				return false
+			}
+			if ok && math.Abs(got-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHubDistanceDisconnected(t *testing.T) {
+	g := datagraph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	h := NewHubIndex(g, 2)
+	if _, ok := h.Distance(0, 3); ok {
+		t.Fatalf("disconnected pair must report false")
+	}
+	if d, ok := h.Distance(0, 1); !ok || d != 1 {
+		t.Fatalf("d(0,1) = %v ok=%v", d, ok)
+	}
+	if d, ok := h.Distance(0, 0); !ok || d != 0 {
+		t.Fatalf("d(0,0) = %v ok=%v", d, ok)
+	}
+}
+
+func TestHubIndexSpaceSmallerThanAPSP(t *testing.T) {
+	g := randomGraph(9, 60)
+	h := NewHubIndex(g, 4)
+	if h.Entries() >= 60*60 {
+		t.Errorf("hub index (%d entries) should be far below O(V^2)=3600", h.Entries())
+	}
+	if len(h.Hubs()) != 4 {
+		t.Errorf("hubs = %v", h.Hubs())
+	}
+}

@@ -1,0 +1,164 @@
+package blinks
+
+import (
+	"sort"
+
+	"kwsearch/internal/datagraph"
+)
+
+// HubIndex is the proximity index of Goldman et al. (VLDB'98, slide 122):
+// a set of hub nodes with precomputed hub-to-all distances. A query
+// d(x, y) combines a local Dijkstra that never expands *through* a hub
+// (d*(x, y)) with the best hub detour min_h d(x,h) + d(h,y). Any shortest
+// path either avoids all hubs — found by the local search — or passes
+// through one, bounded by the detour term, so the result is exact.
+type HubIndex struct {
+	g       *datagraph.Graph
+	hubs    []datagraph.NodeID
+	isHub   map[datagraph.NodeID]bool
+	hubDist []map[datagraph.NodeID]float64 // per hub: distance to all nodes
+}
+
+// NewHubIndex picks the numHubs highest-degree nodes as hubs (a stand-in
+// for the balanced separators of the paper) and precomputes their distance
+// maps.
+func NewHubIndex(g *datagraph.Graph, numHubs int) *HubIndex {
+	n := g.Len()
+	if numHubs > n {
+		numHubs = n
+	}
+	order := make([]datagraph.NodeID, n)
+	for i := range order {
+		order[i] = datagraph.NodeID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	h := &HubIndex{g: g, isHub: make(map[datagraph.NodeID]bool, numHubs)}
+	for _, nd := range order[:numHubs] {
+		h.hubs = append(h.hubs, nd)
+		h.isHub[nd] = true
+	}
+	for _, hub := range h.hubs {
+		h.hubDist = append(h.hubDist, g.Dijkstra(hub, datagraph.Inf))
+	}
+	return h
+}
+
+// Entries returns the stored distance count — the space cost compared
+// against the O(V²) all-pairs table the slide calls impractical.
+func (h *HubIndex) Entries() int {
+	n := 0
+	for _, m := range h.hubDist {
+		n += len(m)
+	}
+	return n
+}
+
+// Hubs returns the hub nodes.
+func (h *HubIndex) Hubs() []datagraph.NodeID {
+	out := make([]datagraph.NodeID, len(h.hubs))
+	copy(out, h.hubs)
+	return out
+}
+
+// Distance returns the exact shortest distance between x and y, and false
+// if they are disconnected.
+func (h *HubIndex) Distance(x, y datagraph.NodeID) (float64, bool) {
+	best := datagraph.Inf
+	for i := range h.hubs {
+		dx, okx := h.hubDist[i][x]
+		dy, oky := h.hubDist[i][y]
+		if okx && oky && dx+dy < best {
+			best = dx + dy
+		}
+	}
+	// Local search from x that may *end* at a hub or y but never expands
+	// beyond a hub, pruned at the current best.
+	local := h.avoidingHubsDist(x, y, best)
+	if local < best {
+		best = local
+	}
+	if best == datagraph.Inf {
+		return 0, false
+	}
+	return best, true
+}
+
+// avoidingHubsDist runs Dijkstra from x without expanding hub nodes,
+// returning the distance to y among paths whose interior avoids hubs
+// (x or y may themselves be hubs), bounded by cutoff.
+func (h *HubIndex) avoidingHubsDist(x, y datagraph.NodeID, cutoff float64) float64 {
+	dist := map[datagraph.NodeID]float64{x: 0}
+	type item struct {
+		n datagraph.NodeID
+		d float64
+	}
+	heap := []item{{n: x, d: 0}}
+	push := func(it item) {
+		heap = append(heap, it)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p].d <= heap[i].d {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() item {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			s := i
+			if l < len(heap) && heap[l].d < heap[s].d {
+				s = l
+			}
+			if r < len(heap) && heap[r].d < heap[s].d {
+				s = r
+			}
+			if s == i {
+				break
+			}
+			heap[i], heap[s] = heap[s], heap[i]
+			i = s
+		}
+		return top
+	}
+	for len(heap) > 0 {
+		it := pop()
+		if it.d > dist[it.n] || it.d >= cutoff {
+			continue
+		}
+		if it.n == y {
+			return it.d
+		}
+		// Hubs may be reached but not expanded (unless it is the source).
+		if h.isHub[it.n] && it.n != x {
+			continue
+		}
+		for _, e := range h.g.Neighbors(it.n) {
+			nd := it.d + e.Weight
+			if nd >= cutoff {
+				continue
+			}
+			if cur, ok := dist[e.To]; !ok || nd < cur {
+				dist[e.To] = nd
+				push(item{n: e.To, d: nd})
+			}
+		}
+	}
+	if d, ok := dist[y]; ok && d < cutoff {
+		return d
+	}
+	return datagraph.Inf
+}

@@ -1,0 +1,161 @@
+package blinks
+
+import (
+	"math"
+	"sort"
+
+	"kwsearch/internal/datagraph"
+)
+
+// PartitionedIndex is the bi-level BLINKS layout: the graph is cut into
+// blocks; queries process blocks in order of a block-level lower bound
+// LB(b) = Σᵢ min over nodes of b of dist(node, keywordᵢ), opening a block
+// (scanning its nodes) only while it can still beat the current top-k —
+// the block pruning of He et al. SIGMOD'07.
+type PartitionedIndex struct {
+	base    *Index
+	blockOf []int
+	blocks  [][]datagraph.NodeID
+	// blockMin[term][b] is the smallest node-to-term distance in block b.
+	blockMin map[string][]float64
+}
+
+// NewPartitionedIndex partitions g into roughly numBlocks BFS-grown blocks
+// and indexes block-level keyword minima over the base distance index.
+func NewPartitionedIndex(g *datagraph.Graph, keywordNodes map[string][]datagraph.NodeID, numBlocks int) *PartitionedIndex {
+	if numBlocks < 1 {
+		numBlocks = 1
+	}
+	base := NewIndex(g, keywordNodes)
+	n := g.Len()
+	target := (n + numBlocks - 1) / numBlocks
+	if target < 1 {
+		target = 1
+	}
+	blockOf := make([]int, n)
+	for i := range blockOf {
+		blockOf[i] = -1
+	}
+	var blocks [][]datagraph.NodeID
+	for start := 0; start < n; start++ {
+		if blockOf[start] >= 0 {
+			continue
+		}
+		// Grow a block by BFS until the size target is met.
+		b := len(blocks)
+		var members []datagraph.NodeID
+		queue := []datagraph.NodeID{datagraph.NodeID(start)}
+		blockOf[start] = b
+		for len(queue) > 0 && len(members) < target {
+			nd := queue[0]
+			queue = queue[1:]
+			members = append(members, nd)
+			for _, e := range g.Neighbors(nd) {
+				if blockOf[e.To] < 0 && len(members)+len(queue) < target {
+					blockOf[e.To] = b
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		// Flush any queued-but-unvisited members.
+		for _, nd := range queue {
+			members = append(members, nd)
+		}
+		blocks = append(blocks, members)
+	}
+
+	p := &PartitionedIndex{
+		base:     base,
+		blockOf:  blockOf,
+		blocks:   blocks,
+		blockMin: make(map[string][]float64),
+	}
+	for term, dm := range base.dists {
+		mins := make([]float64, len(blocks))
+		for i := range mins {
+			mins[i] = math.Inf(1)
+		}
+		for nd, d := range dm {
+			b := blockOf[nd]
+			if d < mins[b] {
+				mins[b] = d
+			}
+		}
+		p.blockMin[term] = mins
+	}
+	return p
+}
+
+// NumBlocks returns the number of blocks the graph was cut into.
+func (p *PartitionedIndex) NumBlocks() int { return len(p.blocks) }
+
+// TopK processes blocks best-first by lower bound, scanning nodes of opened
+// blocks with random access, and stops when the k-th answer beats every
+// unopened block's bound. Exact under the distinct-root cost.
+func (p *PartitionedIndex) TopK(terms []string, k int) ([]Answer, Stats) {
+	var stats Stats
+	if k <= 0 {
+		k = 10
+	}
+	mins := make([][]float64, 0, len(terms))
+	for _, t := range terms {
+		m, ok := p.blockMin[t]
+		if !ok {
+			return nil, stats
+		}
+		mins = append(mins, m)
+	}
+	type blockBound struct {
+		b  int
+		lb float64
+	}
+	bounds := make([]blockBound, 0, len(p.blocks))
+	for b := range p.blocks {
+		lb := 0.0
+		for _, m := range mins {
+			lb += m[b]
+		}
+		if !math.IsInf(lb, 1) {
+			bounds = append(bounds, blockBound{b: b, lb: lb})
+		}
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].lb < bounds[j].lb })
+
+	var top []Answer
+	insert := func(a Answer) {
+		top = append(top, a)
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].Cost != top[j].Cost {
+				return top[i].Cost < top[j].Cost
+			}
+			return top[i].Root < top[j].Root
+		})
+		if len(top) > k {
+			top = top[:k]
+		}
+	}
+	for _, bb := range bounds {
+		if len(top) >= k && top[k-1].Cost <= bb.lb {
+			break
+		}
+		stats.BlocksScanned++
+		for _, nd := range p.blocks[bb.b] {
+			a := Answer{Root: nd, Dists: make([]float64, len(terms))}
+			ok := true
+			for i, t := range terms {
+				stats.RandomAccesses++
+				d, has := p.base.Distance(t, nd)
+				if !has {
+					ok = false
+					break
+				}
+				a.Dists[i] = d
+				a.Cost += d
+			}
+			if ok {
+				insert(a)
+			}
+		}
+	}
+	return top, stats
+}

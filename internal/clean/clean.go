@@ -1,0 +1,300 @@
+// Package clean implements keyword query cleaning (slides 66-70): a noisy
+// channel model with edit-distance confusion sets and dictionary priors,
+// and the segmentation dynamic program of Pu & Yu (VLDB'08) in which every
+// segment must be backed by co-occurring database content — which also
+// yields XClean's guarantee (Lu et al. ICDE'11) that the cleaned query has
+// non-empty results.
+package clean
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/text"
+)
+
+// Candidate is one dictionary replacement for a query token.
+type Candidate struct {
+	Term string
+	// Edits is the edit distance from the observed token (0 = exact).
+	Edits int
+	// Score combines the error model and the term prior.
+	Score float64
+}
+
+// Cleaner cleans keyword queries against the vocabulary of an inverted
+// index.
+type Cleaner struct {
+	ix *invindex.Index
+	// MaxEdits bounds the confusion set (default 2).
+	MaxEdits int
+	// Lambda is the per-edit penalty of the error model: P(q|c) ∝ e^(-λ·d).
+	Lambda float64
+	// PrefixBonus treats dictionary terms extending the token as one edit
+	// per missing run ("conf" -> "conference"), modeling unfinished words.
+	PrefixBonus bool
+	// SegmentPenalty < 1 is the per-segment prior: fewer, longer segments
+	// are preferred when the database supports their co-occurrence.
+	SegmentPenalty float64
+
+	terms     []string
+	termTotal float64
+}
+
+// NewCleaner builds a cleaner over the index vocabulary.
+func NewCleaner(ix *invindex.Index) *Cleaner {
+	c := &Cleaner{ix: ix, MaxEdits: 2, Lambda: 1.5, PrefixBonus: true, SegmentPenalty: 0.1}
+	c.terms = ix.Terms()
+	for _, t := range c.terms {
+		c.termTotal += float64(ix.DF(t))
+	}
+	if c.termTotal == 0 {
+		c.termTotal = 1
+	}
+	return c
+}
+
+// prior is the unigram language model P(c) with add-one smoothing.
+func (c *Cleaner) prior(term string) float64 {
+	return (float64(c.ix.DF(term)) + 1) / (c.termTotal + float64(len(c.terms)))
+}
+
+// errModel is P(q|c) ∝ exp(-λ·edits).
+func (c *Cleaner) errModel(edits int) float64 {
+	return math.Exp(-c.Lambda * float64(edits))
+}
+
+// Candidates returns the confusion set of token: dictionary terms within
+// MaxEdits edits, plus (with PrefixBonus) completions of the token charged
+// a single edit. Sorted by descending score.
+func (c *Cleaner) Candidates(token string) []Candidate {
+	token = strings.ToLower(token)
+	var out []Candidate
+	for _, t := range c.terms {
+		d := boundedEditDistance(token, t, c.MaxEdits)
+		if d < 0 && c.PrefixBonus && strings.HasPrefix(t, token) && len(t) > len(token) {
+			d = 1
+		}
+		if d < 0 {
+			continue
+		}
+		out = append(out, Candidate{
+			Term:  t,
+			Edits: d,
+			Score: c.errModel(d) * c.prior(t),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Term < out[j].Term
+	})
+	return out
+}
+
+// boundedEditDistance returns the Levenshtein distance of a and b, or -1
+// if it exceeds bound (with the usual band shortcut).
+func boundedEditDistance(a, b string, bound int) int {
+	if abs(len(a)-len(b)) > bound {
+		return -1
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin > bound {
+			return -1
+		}
+		prev, cur = cur, prev
+	}
+	if prev[len(b)] > bound {
+		return -1
+	}
+	return prev[len(b)]
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Segment is one cleaned segment: consecutive cleaned tokens that co-occur
+// in at least one document.
+type Segment struct {
+	Tokens []string
+	// Support is the number of documents containing all segment tokens.
+	Support int
+	Score   float64
+}
+
+// Result is a cleaned query.
+type Result struct {
+	Segments []Segment
+	Score    float64
+}
+
+// Tokens flattens the cleaned token sequence.
+func (r Result) Tokens() []string {
+	var out []string
+	for _, s := range r.Segments {
+		out = append(out, s.Tokens...)
+	}
+	return out
+}
+
+// String renders "{apple ipad nano} {at&t}".
+func (r Result) String() string {
+	parts := make([]string, len(r.Segments))
+	for i, s := range r.Segments {
+		parts[i] = "{" + strings.Join(s.Tokens, " ") + "}"
+	}
+	return strings.Join(parts, " ")
+}
+
+// maxCandidatesPerToken bounds the per-token combination search inside a
+// segment.
+const maxCandidatesPerToken = 4
+
+// Clean segments and corrects the query, maximizing the product of segment
+// scores with bottom-up dynamic programming (slide 68). Each segment's
+// tokens must co-occur in some document (preventing fragmentation and
+// guaranteeing non-empty results); a query token with an empty confusion
+// set is kept verbatim in its own unsupported segment.
+func (c *Cleaner) Clean(query string) Result {
+	tokens := text.Tokenize(query)
+	n := len(tokens)
+	if n == 0 {
+		return Result{}
+	}
+	cands := make([][]Candidate, n)
+	for i, tok := range tokens {
+		cs := c.Candidates(tok)
+		if len(cs) > maxCandidatesPerToken {
+			cs = cs[:maxCandidatesPerToken]
+		}
+		cands[i] = cs
+	}
+
+	// bestSeg[i][j] = best cleaned segment covering tokens[i:j].
+	bestSeg := func(i, j int) (Segment, bool) {
+		if allEmpty(cands[i:j]) {
+			// Unknown tokens pass through singly.
+			if j-i == 1 {
+				return Segment{Tokens: []string{tokens[i]}, Score: c.SegmentPenalty * c.errModel(0) / c.termTotal}, true
+			}
+			return Segment{}, false
+		}
+		best := Segment{}
+		found := false
+		choice := make([]Candidate, j-i)
+		var rec func(p int, score float64)
+		rec = func(p int, score float64) {
+			if p == j-i {
+				terms := make([]string, j-i)
+				for k, cd := range choice {
+					terms[k] = cd.Term
+				}
+				support := len(c.ix.Intersect(terms))
+				if support == 0 {
+					return
+				}
+				s := score * c.SegmentPenalty * (1 + math.Log(float64(support)+1))
+				if !found || s > best.Score {
+					found = true
+					best = Segment{Tokens: terms, Support: support, Score: s}
+				}
+				return
+			}
+			if len(cands[i+p]) == 0 {
+				return
+			}
+			for _, cd := range cands[i+p] {
+				choice[p] = cd
+				rec(p+1, score*cd.Score)
+			}
+		}
+		rec(0, 1)
+		return best, found
+	}
+
+	type cell struct {
+		score    float64
+		segments []Segment
+		ok       bool
+	}
+	dp := make([]cell, n+1)
+	dp[0] = cell{score: 1, ok: true}
+	for j := 1; j <= n; j++ {
+		for i := 0; i < j; i++ {
+			if !dp[i].ok {
+				continue
+			}
+			seg, ok := bestSeg(i, j)
+			if !ok {
+				continue
+			}
+			s := dp[i].score * seg.Score
+			if !dp[j].ok || s > dp[j].score {
+				segs := make([]Segment, len(dp[i].segments), len(dp[i].segments)+1)
+				copy(segs, dp[i].segments)
+				dp[j] = cell{score: s, segments: append(segs, seg), ok: true}
+			}
+		}
+	}
+	if !dp[n].ok {
+		// Fallback: every token in its own segment, best candidate or
+		// verbatim.
+		var segs []Segment
+		score := 1.0
+		for i, tok := range tokens {
+			term := tok
+			s := c.errModel(0) / c.termTotal
+			if len(cands[i]) > 0 {
+				term = cands[i][0].Term
+				s = cands[i][0].Score
+			}
+			segs = append(segs, Segment{Tokens: []string{term}, Score: s, Support: c.ix.DF(term)})
+			score *= s
+		}
+		return Result{Segments: segs, Score: score}
+	}
+	return Result{Segments: dp[n].segments, Score: dp[n].score}
+}
+
+func allEmpty(cs [][]Candidate) bool {
+	for _, c := range cs {
+		if len(c) > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,197 @@
+package clean
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"kwsearch/internal/invindex"
+)
+
+// productIndex mirrors the slide-67 setting: apple products and a carrier,
+// with "ipad" documents more frequent than "ipod".
+func productIndex() *invindex.Index {
+	ix := invindex.New()
+	ix.Add(0, "apple ipad nano tablet")
+	ix.Add(1, "apple ipad nano silver")
+	ix.Add(2, "apple ipad pro")
+	ix.Add(3, "apple ipod nano music")
+	ix.Add(4, "at&t wireless plan")
+	ix.Add(5, "at&t family plan")
+	ix.Add(6, "samsung galaxy tablet")
+	return ix
+}
+
+// TestSlide67Cleaning reproduces E7: "Appl ipd nan att" cleans to the
+// segmentation {apple ipad nano} {at&t ...}, picking "ipad" over "ipod" by
+// the prior and keeping at&t in its own DB-backed segment.
+func TestSlide67Cleaning(t *testing.T) {
+	c := NewCleaner(productIndex())
+	got := c.Clean("Appl ipd nan att")
+	if len(got.Segments) != 2 {
+		t.Fatalf("segments = %v", got)
+	}
+	if !reflect.DeepEqual(got.Segments[0].Tokens, []string{"apple", "ipad", "nano"}) {
+		t.Errorf("segment 1 = %v, want [apple ipad nano]", got.Segments[0].Tokens)
+	}
+	if !reflect.DeepEqual(got.Segments[1].Tokens, []string{"at&t"}) {
+		t.Errorf("segment 2 = %v, want [at&t]", got.Segments[1].Tokens)
+	}
+	// Non-empty result guarantee: every segment has support.
+	for _, s := range got.Segments {
+		if s.Support == 0 {
+			t.Errorf("segment %v has no supporting documents", s.Tokens)
+		}
+	}
+	if s := got.String(); s != "{apple ipad nano} {at&t}" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestCandidatesRankedByScore(t *testing.T) {
+	c := NewCleaner(productIndex())
+	cands := c.Candidates("ipd")
+	if len(cands) < 2 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	if cands[0].Term != "ipad" {
+		t.Errorf("top candidate = %s, want ipad (more frequent prior)", cands[0].Term)
+	}
+	foundIpod := false
+	for _, cd := range cands {
+		if cd.Term == "ipod" {
+			foundIpod = true
+		}
+		if cd.Edits > c.MaxEdits && cd.Edits != 1 {
+			t.Errorf("candidate beyond MaxEdits: %+v", cd)
+		}
+	}
+	if !foundIpod {
+		t.Errorf("ipod missing from confusion set: %v", cands)
+	}
+	// Exact tokens come back with 0 edits and top score among same prior.
+	exact := c.Candidates("apple")
+	if len(exact) == 0 || exact[0].Term != "apple" || exact[0].Edits != 0 {
+		t.Errorf("exact candidates = %v", exact)
+	}
+}
+
+func TestPrefixCompletion(t *testing.T) {
+	c := NewCleaner(productIndex())
+	cands := c.Candidates("tabl")
+	found := false
+	for _, cd := range cands {
+		if cd.Term == "tablet" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unfinished word not completed: %v", cands)
+	}
+}
+
+func TestUnknownTokenPassesThrough(t *testing.T) {
+	c := NewCleaner(productIndex())
+	got := c.Clean("xyzzyqwert")
+	if len(got.Segments) != 1 || got.Segments[0].Tokens[0] != "xyzzyqwert" {
+		t.Fatalf("unknown token result = %v", got)
+	}
+	if got := c.Clean(""); len(got.Segments) != 0 {
+		t.Fatalf("empty query = %v", got)
+	}
+}
+
+func TestSegmentsNeverFragmentAcrossTables(t *testing.T) {
+	// "apple" and "at&t" never co-occur: they must not share a segment.
+	c := NewCleaner(productIndex())
+	got := c.Clean("apple att")
+	if len(got.Segments) != 2 {
+		t.Fatalf("fragmentation control failed: %v", got)
+	}
+}
+
+func TestBoundedEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b  string
+		bound int
+		want  int
+	}{
+		{"ipd", "ipad", 2, 1},
+		{"ipd", "ipod", 2, 1},
+		{"appl", "apple", 2, 1},
+		{"nan", "nano", 2, 1},
+		{"abc", "xyz", 2, -1},
+		{"same", "same", 2, 0},
+		{"a", "abcdef", 2, -1},
+	}
+	for _, cse := range cases {
+		if got := boundedEditDistance(cse.a, cse.b, cse.bound); got != cse.want {
+			t.Errorf("ed(%q,%q,%d) = %d, want %d", cse.a, cse.b, cse.bound, got, cse.want)
+		}
+	}
+}
+
+// Property: the bounded distance agrees with the classic DP whenever it
+// does not bail out, and it is symmetric.
+func TestEditDistanceProperties(t *testing.T) {
+	full := func(a, b string) int {
+		prev := make([]int, len(b)+1)
+		cur := make([]int, len(b)+1)
+		for j := range prev {
+			prev[j] = j
+		}
+		for i := 1; i <= len(a); i++ {
+			cur[0] = i
+			for j := 1; j <= len(b); j++ {
+				cost := 1
+				if a[i-1] == b[j-1] {
+					cost = 0
+				}
+				cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+			}
+			prev, cur = cur, prev
+		}
+		return prev[len(b)]
+	}
+	f := func(a, b string) bool {
+		if len(a) > 8 {
+			a = a[:8]
+		}
+		if len(b) > 8 {
+			b = b[:8]
+		}
+		want := full(a, b)
+		got := boundedEditDistance(a, b, 3)
+		if want <= 3 {
+			if got != want {
+				return false
+			}
+		} else if got != -1 {
+			return false
+		}
+		return boundedEditDistance(a, b, 3) == boundedEditDistance(b, a, 3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cleaning output tokens are always non-empty for non-empty
+// queries and each supported segment's tokens really co-occur.
+func TestCleanInvariant(t *testing.T) {
+	c := NewCleaner(productIndex())
+	for _, q := range []string{"appl", "ipod nano", "galxy tablet", "att plan", "apple ipad pro"} {
+		got := c.Clean(q)
+		if len(got.Tokens()) == 0 {
+			t.Fatalf("Clean(%q) produced no tokens", q)
+		}
+		for _, s := range got.Segments {
+			if s.Support > 0 {
+				docs := c.ix.Intersect(s.Tokens)
+				if len(docs) != s.Support {
+					t.Fatalf("segment %v support mismatch", s.Tokens)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package cluster groups XML keyword-search results: describable
+// clustering by keyword roles with context-based refinement (Liu & Chen
+// TODS'10, slides 161-162) and XBridge-style root-context clustering with
+// cluster ranking (Li et al. EDBT'10, slides 156-157).
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"kwsearch/internal/text"
+	"kwsearch/internal/xmltree"
+)
+
+// Result is one query result: the root of its subtree.
+type Result struct {
+	Root *xmltree.Node
+}
+
+// Cluster is a described group of results.
+type Cluster struct {
+	// Description renders the cluster's semantics, e.g.
+	// `tom→seller` or `tom→seller | context:open_auction`.
+	Description string
+	Results     []Result
+}
+
+// roleOf returns the label of the node (or nearest labeled ancestor within
+// the result) where the term matches, which is the term's role in that
+// result.
+func roleOf(root *xmltree.Node, term string) string {
+	for _, n := range xmltree.Subtree(root) {
+		if text.Contains(n.Value, term) {
+			return n.Label
+		}
+	}
+	return ""
+}
+
+// ByRole clusters results so that every cluster gives each predicate term
+// the same role — the describable semantics of slide 161: "find the seller
+// of auctions whose buyer is Tom" vs "... whose seller is Tom". Label
+// keywords (matching tags rather than values) do not discriminate and are
+// skipped. Clusters are sorted by size (desc), then description.
+func ByRole(results []Result, terms []string) []Cluster {
+	groups := map[string][]Result{}
+	for _, r := range results {
+		var parts []string
+		for _, raw := range terms {
+			term := text.Normalize(raw)
+			if term == "" {
+				continue
+			}
+			if role := roleOf(r.Root, term); role != "" {
+				parts = append(parts, term+"→"+role)
+			}
+		}
+		desc := strings.Join(parts, ", ")
+		groups[desc] = append(groups[desc], r)
+	}
+	out := make([]Cluster, 0, len(groups))
+	for desc, rs := range groups {
+		out = append(out, Cluster{Description: desc, Results: rs})
+	}
+	sortClusters(out)
+	return out
+}
+
+// SplitByContext refines a cluster by the label of each result's root (its
+// "context" — the ancestor type, e.g. closed_auction vs open_auction),
+// honoring a maximum cluster count: the smallest context groups are merged
+// into an "other" cluster when the limit is exceeded (the granularity
+// control of slide 162).
+func SplitByContext(c Cluster, maxClusters int) []Cluster {
+	groups := map[string][]Result{}
+	for _, r := range c.Results {
+		groups[r.Root.Label] = append(groups[r.Root.Label], r)
+	}
+	out := make([]Cluster, 0, len(groups))
+	for label, rs := range groups {
+		out = append(out, Cluster{
+			Description: c.Description + " | context:" + label,
+			Results:     rs,
+		})
+	}
+	sortClusters(out)
+	if maxClusters > 0 && len(out) > maxClusters {
+		merged := Cluster{Description: c.Description + " | context:other"}
+		for _, extra := range out[maxClusters-1:] {
+			merged.Results = append(merged.Results, extra.Results...)
+		}
+		out = append(out[:maxClusters-1], merged)
+	}
+	return out
+}
+
+func sortClusters(cs []Cluster) {
+	sort.Slice(cs, func(i, j int) bool {
+		if len(cs[i].Results) != len(cs[j].Results) {
+			return len(cs[i].Results) > len(cs[j].Results)
+		}
+		return cs[i].Description < cs[j].Description
+	})
+}
+
+// RankedCluster is an XBridge cluster: results grouped by the label path
+// of their roots, scored for ranking.
+type RankedCluster struct {
+	// Context is the root-to-result label path shared by the group.
+	Context string
+	Results []Result
+	Score   float64
+}
+
+// XBridgeOptions tunes scoring.
+type XBridgeOptions struct {
+	// AvgDepth discounts match paths longer than it (slide 159); 0 means
+	// use the tree's average result depth.
+	AvgDepth float64
+}
+
+// XBridgeClusters groups results by root context and ranks clusters by the
+// total score of their top-R results, R = min(average cluster size, |G|) —
+// the formula of slide 157 that avoids over-rewarding large clusters.
+func XBridgeClusters(ix *xmltree.Index, results []Result, terms []string, opts XBridgeOptions) []RankedCluster {
+	groups := map[string][]Result{}
+	for _, r := range results {
+		groups[r.Root.LabelPath()] = append(groups[r.Root.LabelPath()], r)
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+	avg := 0.0
+	for _, g := range groups {
+		avg += float64(len(g))
+	}
+	avg /= float64(len(groups))
+
+	out := make([]RankedCluster, 0, len(groups))
+	for ctx, g := range groups {
+		scores := make([]float64, len(g))
+		for i, r := range g {
+			scores[i] = ResultScore(ix, r, terms, opts)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+		r := int(math.Min(math.Max(avg, 1), float64(len(g))))
+		total := 0.0
+		for i := 0; i < r; i++ {
+			total += scores[i]
+		}
+		out = append(out, RankedCluster{Context: ctx, Results: g, Score: total})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Context < out[j].Context
+	})
+	return out
+}
+
+// ResultScore scores one result: content weight (log inverse element
+// frequency per matched term, slide 158) divided by structural distance
+// (sum of root-to-match path lengths with shared segments discounted —
+// the tight-coupling preference of slide 160). Paths longer than AvgDepth
+// are discounted rather than fully charged (slide 159).
+func ResultScore(ix *xmltree.Index, r Result, terms []string, opts XBridgeOptions) float64 {
+	tree := ix.Tree()
+	avgDepth := opts.AvgDepth
+	if avgDepth <= 0 {
+		avgDepth = float64(tree.MaxDepth()) / 2
+		if avgDepth < 1 {
+			avgDepth = 1
+		}
+	}
+	n := float64(tree.Len())
+	content := 0.0
+	dist := 0.0
+	// Track shared prefix depth among match paths for the tight-coupling
+	// discount.
+	var matchDeweys []xmltree.Dewey
+	for _, raw := range terms {
+		term := text.Normalize(raw)
+		if term == "" {
+			continue
+		}
+		df := float64(ix.DocFreq(term))
+		if df == 0 {
+			continue
+		}
+		for _, m := range ix.Lookup(term) {
+			if !r.Root.Dewey.IsAncestorOrSelf(m.Dewey) {
+				continue
+			}
+			content += math.Log(1 + n/df)
+			d := float64(len(m.Dewey) - len(r.Root.Dewey))
+			if d > avgDepth {
+				d = avgDepth + math.Sqrt(d-avgDepth) // discount long paths
+			}
+			dist += d
+			matchDeweys = append(matchDeweys, m.Dewey)
+			break // one witness per term suffices for scoring
+		}
+	}
+	if content == 0 {
+		return 0
+	}
+	// Tight coupling: discount the shared path segments between witnesses.
+	if len(matchDeweys) > 1 {
+		shared := matchDeweys[0]
+		for _, d := range matchDeweys[1:] {
+			shared = shared.LCA(d)
+		}
+		dist -= float64(len(matchDeweys)-1) * float64(len(shared)-len(r.Root.Dewey))
+	}
+	if dist < 1 {
+		dist = 1
+	}
+	return content / dist
+}
+
+// Describe renders a compact cluster summary for CLIs and reports.
+func Describe(c Cluster) string {
+	return fmt.Sprintf("%s (%d results)", c.Description, len(c.Results))
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/xmltree"
+)
+
+func auctionResults(t *testing.T) (*xmltree.Index, []Result) {
+	t.Helper()
+	tr := dataset.AuctionsXML()
+	ix := xmltree.NewIndex(tr)
+	var rs []Result
+	for _, n := range tr.Root.Children {
+		rs = append(rs, Result{Root: n})
+	}
+	return ix, rs
+}
+
+// TestSlide161Roles reproduces E13: Q = "auction seller buyer Tom" on the
+// auctions document clusters the four results into exactly three role
+// clusters — Tom as seller (2 auctions), as buyer (1), as auctioneer (1).
+func TestSlide161Roles(t *testing.T) {
+	_, rs := auctionResults(t)
+	clusters := ByRole(rs, []string{"auction", "seller", "buyer", "tom"})
+	if len(clusters) != 3 {
+		for _, c := range clusters {
+			t.Logf("cluster: %s", Describe(c))
+		}
+		t.Fatalf("clusters = %d, want 3", len(clusters))
+	}
+	// Largest first: the two seller results.
+	if len(clusters[0].Results) != 2 || !strings.Contains(clusters[0].Description, "tom→seller") {
+		t.Errorf("top cluster = %s", Describe(clusters[0]))
+	}
+	descs := clusters[1].Description + " " + clusters[2].Description
+	if !strings.Contains(descs, "tom→buyer") || !strings.Contains(descs, "tom→auctioneer") {
+		t.Errorf("role descriptions = %q", descs)
+	}
+}
+
+// TestSlide162ContextSplit: the seller cluster splits by auction context
+// (closed vs open).
+func TestSlide162ContextSplit(t *testing.T) {
+	_, rs := auctionResults(t)
+	clusters := ByRole(rs, []string{"seller", "buyer", "tom"})
+	var seller Cluster
+	for _, c := range clusters {
+		if strings.Contains(c.Description, "tom→seller") {
+			seller = c
+		}
+	}
+	if len(seller.Results) != 2 {
+		t.Fatalf("seller cluster = %+v", seller)
+	}
+	sub := SplitByContext(seller, 0)
+	if len(sub) != 2 {
+		t.Fatalf("context split = %d clusters, want 2 (closed/open)", len(sub))
+	}
+	labels := sub[0].Description + sub[1].Description
+	if !strings.Contains(labels, "closed_auction") || !strings.Contains(labels, "open_auction") {
+		t.Errorf("context labels = %q", labels)
+	}
+}
+
+func TestSplitByContextGranularityCap(t *testing.T) {
+	_, rs := auctionResults(t)
+	all := Cluster{Description: "all", Results: rs}
+	// Two contexts exist (closed/open); capping at 1 merges them all.
+	sub := SplitByContext(all, 1)
+	if len(sub) != 1 {
+		t.Fatalf("capped split = %d", len(sub))
+	}
+	if len(sub[0].Results) != len(rs) {
+		t.Errorf("cap lost results: %d of %d", len(sub[0].Results), len(rs))
+	}
+	if !strings.Contains(sub[0].Description, "other") {
+		t.Errorf("merged cluster = %q", sub[0].Description)
+	}
+	// A cap wider than the context count changes nothing.
+	if got := SplitByContext(all, 5); len(got) != 2 {
+		t.Errorf("uncapped-equivalent split = %d, want 2", len(got))
+	}
+}
+
+func TestXBridgeClusters(t *testing.T) {
+	cfg := dataset.DefaultBibConfig()
+	cfg.PapersPerVenue = 15
+	tr := dataset.BibXML(cfg)
+	ix := xmltree.NewIndex(tr)
+	// Results: all papers containing "keyword".
+	var rs []Result
+	for _, n := range ix.Lookup("keyword") {
+		// climb to the paper element
+		cur := n
+		for cur != nil && cur.Label != "paper" {
+			cur = cur.Parent
+		}
+		if cur != nil {
+			rs = append(rs, Result{Root: cur})
+		}
+	}
+	if len(rs) == 0 {
+		t.Skip("no keyword papers in this seed")
+	}
+	clusters := XBridgeClusters(ix, rs, []string{"keyword"}, XBridgeOptions{})
+	// Papers live under both /bib/conf and /bib/journal: two contexts.
+	if len(clusters) != 2 {
+		t.Fatalf("contexts = %d, want 2 (conf and journal)", len(clusters))
+	}
+	for _, c := range clusters {
+		if !strings.HasSuffix(c.Context, "/paper") {
+			t.Errorf("context = %q", c.Context)
+		}
+		if c.Score <= 0 {
+			t.Errorf("cluster score must be positive: %+v", c.Context)
+		}
+	}
+	// Sorted by score.
+	if clusters[0].Score < clusters[1].Score {
+		t.Errorf("clusters not ranked")
+	}
+}
+
+func TestResultScoreTightCoupling(t *testing.T) {
+	// Two results, both covering k1+k2: tightly coupled (matches under one
+	// child) must outscore loosely coupled (matches in distant branches).
+	b := xmltree.NewBuilder("root")
+	tight := b.Child(b.Root(), "r1", "")
+	tg := b.Child(tight, "g", "")
+	b.Child(tg, "x", "k1")
+	b.Child(tg, "y", "k2")
+
+	loose := b.Child(b.Root(), "r2", "")
+	l1 := b.Child(loose, "g", "")
+	l1a := b.Child(l1, "h", "")
+	b.Child(l1a, "x", "k1")
+	l2 := b.Child(loose, "g2", "")
+	l2a := b.Child(l2, "h", "")
+	b.Child(l2a, "y", "k2")
+
+	ix := xmltree.NewIndex(b.Freeze())
+	terms := []string{"k1", "k2"}
+	st := ResultScore(ix, Result{Root: tight}, terms, XBridgeOptions{AvgDepth: 10})
+	sl := ResultScore(ix, Result{Root: loose}, terms, XBridgeOptions{AvgDepth: 10})
+	if !(st > sl) {
+		t.Errorf("tight %v must outscore loose %v", st, sl)
+	}
+	if got := ResultScore(ix, Result{Root: tight}, []string{"absent"}, XBridgeOptions{}); got != 0 {
+		t.Errorf("unmatched result score = %v", got)
+	}
+}

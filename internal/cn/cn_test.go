@@ -1,0 +1,454 @@
+package cn
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/relstore"
+	"kwsearch/internal/schemagraph"
+)
+
+// awpGraph is the slide-28 schema: author <- write -> paper.
+func awpGraph(t *testing.T) *schemagraph.Graph {
+	t.Helper()
+	g, err := schemagraph.New(
+		[]string{"author", "write", "paper"},
+		[]schemagraph.Edge{
+			{From: "write", FromCol: "aid", To: "author", ToCol: "aid"},
+			{From: "write", FromCol: "pid", To: "paper", ToCol: "pid"},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestEnumerateSlide28 reproduces E2: Q = "Widom XML" on A-W-P yields
+// exactly the five CNs of the slide table when only the text-free link
+// table may act as a free tuple set.
+func TestEnumerateSlide28(t *testing.T) {
+	g := awpGraph(t)
+	cns := Enumerate(g, EnumerateOptions{
+		MaxSize:       5,
+		KeywordTables: []string{"author", "paper"},
+		FreeTables:    []string{"write"},
+	})
+	var got []string
+	for _, c := range cns {
+		got = append(got, c.Canonical())
+	}
+	if len(cns) != 5 {
+		t.Fatalf("got %d CNs, want 5:\n%s", len(cns), strings.Join(got, "\n"))
+	}
+	// Size distribution: two singletons, one 3-node path, two 5-node paths.
+	sizes := map[int]int{}
+	for _, c := range cns {
+		sizes[c.Size()]++
+	}
+	if sizes[1] != 2 || sizes[3] != 1 || sizes[5] != 2 {
+		t.Errorf("size histogram = %v, want map[1:2 3:1 5:2]", sizes)
+	}
+	// CNs arrive in nondecreasing size order (breadth-first).
+	for i := 1; i < len(cns); i++ {
+		if cns[i-1].Size() > cns[i].Size() {
+			t.Errorf("CNs not in size order: %v", sizes)
+		}
+	}
+}
+
+// TestEnumerateGeneralFreeTables checks the unrestricted DISCOVER
+// behaviour: allowing author and paper as free fillers adds the two CNs
+// A^Q - W - P^{} - W - A^Q (two authors of a shared non-matching paper)
+// and its dual P^Q - W - A^{} - W - P^Q, for 7 total.
+func TestEnumerateGeneralFreeTables(t *testing.T) {
+	g := awpGraph(t)
+	cns := Enumerate(g, EnumerateOptions{
+		MaxSize:       5,
+		KeywordTables: []string{"author", "paper"},
+		FreeTables:    []string{"write", "author", "paper"},
+	})
+	if len(cns) != 7 {
+		var all []string
+		for _, c := range cns {
+			all = append(all, c.Canonical())
+		}
+		t.Fatalf("got %d CNs, want 7:\n%s", len(cns), strings.Join(all, "\n"))
+	}
+}
+
+// TestSameFKPruning: conference is referenced by paper via a single-valued
+// FK, so C^Q <- P -> C^Q must be pruned (slide 115's duplicate-free
+// requirement), while A^Q <- W -> P <- W -> A^Q stays (different W copies).
+func TestSameFKPruning(t *testing.T) {
+	g, err := schemagraph.New(
+		[]string{"paper", "conference"},
+		[]schemagraph.Edge{
+			{From: "paper", FromCol: "cid", To: "conference", ToCol: "cid"},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cns := Enumerate(g, EnumerateOptions{
+		MaxSize:       3,
+		KeywordTables: []string{"conference"},
+		FreeTables:    []string{"paper"},
+	})
+	for _, c := range cns {
+		if c.Size() == 3 {
+			t.Errorf("C-P-C must be pruned, got %s", c)
+		}
+	}
+}
+
+func TestCanonicalInvariantUnderConstruction(t *testing.T) {
+	e1 := schemagraph.Edge{From: "write", FromCol: "aid", To: "author", ToCol: "aid", Weight: 1}
+	e2 := schemagraph.Edge{From: "write", FromCol: "pid", To: "paper", ToCol: "pid", Weight: 1}
+	// author - write - paper built in two different orders.
+	a := &CN{
+		Nodes: []NodeSpec{{Table: "author"}, {Table: "write", Free: true}, {Table: "paper"}},
+		Edges: []EdgeSpec{{A: 0, B: 1, Via: e1}, {B: 2, A: 1, Via: e2}},
+	}
+	b := &CN{
+		Nodes: []NodeSpec{{Table: "paper"}, {Table: "write", Free: true}, {Table: "author"}},
+		Edges: []EdgeSpec{{A: 0, B: 1, Via: e2}, {A: 1, B: 2, Via: e1}},
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("canonical forms differ:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+	if a.Canonical() == (&CN{Nodes: []NodeSpec{{Table: "author"}}}).Canonical() {
+		t.Errorf("different CNs must differ")
+	}
+	if got := a.String(); !strings.Contains(got, "write") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestKeywordNodesAndLeaves(t *testing.T) {
+	g := awpGraph(t)
+	cns := Enumerate(g, EnumerateOptions{
+		MaxSize:       5,
+		KeywordTables: []string{"author", "paper"},
+		FreeTables:    []string{"write"},
+	})
+	for _, c := range cns {
+		for _, li := range c.leaves() {
+			if c.Nodes[li].Free {
+				t.Errorf("free leaf in %s", c)
+			}
+		}
+		if len(c.KeywordNodes()) == 0 {
+			t.Errorf("no keyword nodes in %s", c)
+		}
+	}
+}
+
+func TestEnumerateMaxCNs(t *testing.T) {
+	g := awpGraph(t)
+	cns := Enumerate(g, EnumerateOptions{
+		MaxSize:       7,
+		MaxCNs:        3,
+		KeywordTables: []string{"author", "paper"},
+		FreeTables:    []string{"write"},
+	})
+	if len(cns) != 3 {
+		t.Fatalf("cap not honored: %d", len(cns))
+	}
+}
+
+func widomEvaluator(t *testing.T) (*Evaluator, []*CN) {
+	t.Helper()
+	db := dataset.WidomBib()
+	ix := invindex.FromDB(db)
+	ev := NewEvaluator(db, ix, []string{"widom", "xml"})
+	g := schemagraph.FromDB(db)
+	cns := Enumerate(g, EnumerateOptions{
+		MaxSize:       5,
+		KeywordTables: ev.KeywordTables(),
+		FreeTables:    []string{"write"},
+	})
+	return ev, cns
+}
+
+func TestEvaluatorTupleSets(t *testing.T) {
+	ev, _ := widomEvaluator(t)
+	if got := ev.KeywordTables(); !reflect.DeepEqual(got, []string{"author", "paper"}) {
+		t.Fatalf("KeywordTables = %v", got)
+	}
+	if len(ev.KeywordSet("author")) != 1 {
+		t.Errorf("author^Q = %d, want 1 (Widom)", len(ev.KeywordSet("author")))
+	}
+	if len(ev.KeywordSet("paper")) != 2 {
+		t.Errorf("paper^Q = %d, want 2 (XML papers)", len(ev.KeywordSet("paper")))
+	}
+	if len(ev.FreeSet("paper")) != 1 {
+		t.Errorf("paper^{} = %d, want 1 (Datalog paper)", len(ev.FreeSet("paper")))
+	}
+	if ev.MaxNodeScore("author") <= 0 {
+		t.Errorf("MaxNodeScore(author) must be positive")
+	}
+}
+
+func TestEvaluateCNProducesJoinTrees(t *testing.T) {
+	ev, cns := widomEvaluator(t)
+	total := 0
+	for _, c := range cns {
+		rs := ev.EvaluateCN(c)
+		total += len(rs)
+		for _, r := range rs {
+			if len(r.Tuples) != c.Size() {
+				t.Fatalf("row arity %d != CN size %d", len(r.Tuples), c.Size())
+			}
+			// AND semantics: the result must cover both keywords.
+			text := ""
+			for i, tp := range r.Tuples {
+				tbl := ev.DB.Table(c.Nodes[i].Table)
+				text += " " + tp.Text(tbl.Schema)
+			}
+			lower := strings.ToLower(text)
+			if !strings.Contains(lower, "widom") || !strings.Contains(lower, "xml") {
+				t.Errorf("result does not cover both terms: %q", text)
+			}
+			if r.Score <= 0 {
+				t.Errorf("score must be positive")
+			}
+		}
+	}
+	// Widom wrote the XML streams paper: the A-W-P CN yields exactly that
+	// result; no single tuple covers both keywords so singleton CNs are
+	// empty.
+	if total == 0 {
+		t.Fatalf("no results at all")
+	}
+	for _, c := range cns {
+		if c.Size() == 1 {
+			if n := len(ev.EvaluateCN(c)); n != 0 {
+				t.Errorf("singleton CN %s yielded %d results, want 0", c, n)
+			}
+		}
+		if c.Size() == 3 {
+			rs := ev.EvaluateCN(c)
+			if len(rs) != 1 {
+				t.Errorf("A-W-P yielded %d results, want 1 (Widom's XML streams)", len(rs))
+			}
+		}
+	}
+}
+
+func TestMinimalityRejectsRedundantLeaves(t *testing.T) {
+	ev, cns := widomEvaluator(t)
+	// In the 5-node CN P^Q - W - A^Q - W - P^Q, valid results need the
+	// author to contribute "widom" and each paper to contribute "xml"...
+	// but any result whose two papers both match and author matches too
+	// would stay total after dropping one paper; minimality must reject
+	// rows where a leaf is redundant.
+	for _, c := range cns {
+		if c.Size() != 5 {
+			continue
+		}
+		for _, r := range ev.EvaluateCN(c) {
+			for _, li := range c.leaves() {
+				cover := map[string]bool{}
+				for i, tp := range r.Tuples {
+					if i == li {
+						continue
+					}
+					tbl := ev.DB.Table(c.Nodes[i].Table)
+					low := strings.ToLower(tp.Text(tbl.Schema))
+					for _, term := range ev.Terms {
+						if strings.Contains(low, term) {
+							cover[term] = true
+						}
+					}
+				}
+				if len(cover) == len(ev.Terms) {
+					t.Errorf("non-minimal result survived in %s", c)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKStrategiesAgree(t *testing.T) {
+	db := dataset.DBLP(dataset.DBLPConfig{
+		Authors: 60, Papers: 150, Conferences: 5, AuthorsPerPaper: 2,
+		CitesPerPaper: 1, TitleTermCount: 3, ExtraVocab: 30, Seed: 11,
+	})
+	ix := invindex.FromDB(db)
+	ev := NewEvaluator(db, ix, []string{"keyword", "search"})
+	g := schemagraph.FromDB(db)
+	cns := Enumerate(g, EnumerateOptions{
+		MaxSize:       4,
+		KeywordTables: ev.KeywordTables(),
+		FreeTables:    []string{"write", "cite"},
+	})
+	if len(cns) == 0 {
+		t.Fatalf("no CNs")
+	}
+	const k = 5
+	naive := TopKNaive(ev, cns, k)
+	sparse := TopKSparse(ev, cns, k)
+	gp := TopKGlobalPipeline(ev, cns, k)
+	if len(naive) == 0 {
+		t.Fatalf("no results")
+	}
+	scoresOf := func(rs []Result) []float64 {
+		out := make([]float64, len(rs))
+		for i, r := range rs {
+			out[i] = r.Score
+		}
+		return out
+	}
+	ns, ss, gs := scoresOf(naive), scoresOf(sparse), scoresOf(gp)
+	if !reflect.DeepEqual(ns, ss) {
+		t.Errorf("sparse top-k scores differ from naive:\n%v\n%v", ns, ss)
+	}
+	if !reflect.DeepEqual(ns, gs) {
+		t.Errorf("global-pipeline top-k scores differ from naive:\n%v\n%v", ns, gs)
+	}
+	if !sort.SliceIsSorted(ns, func(i, j int) bool { return ns[i] > ns[j] }) {
+		t.Errorf("results not sorted by score: %v", ns)
+	}
+}
+
+func TestTopKWithFewerResultsThanK(t *testing.T) {
+	ev, cns := widomEvaluator(t)
+	naive := TopKNaive(ev, cns, 50)
+	sparse := TopKSparse(ev, cns, 50)
+	gp := TopKGlobalPipeline(ev, cns, 50)
+	if len(naive) != len(sparse) || len(naive) != len(gp) {
+		t.Errorf("result counts differ: naive=%d sparse=%d gp=%d",
+			len(naive), len(sparse), len(gp))
+	}
+}
+
+// TestSelfLoopEdgeOrientation: the cite table references paper twice
+// (citing, cited). The P-cite-P candidate network must bind the citing and
+// cited sides correctly and not fabricate reversed citations.
+func TestSelfLoopEdgeOrientation(t *testing.T) {
+	db := relstore.NewDB()
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "paper",
+		Columns: []relstore.Column{
+			{Name: "pid", Type: relstore.KindInt},
+			{Name: "title", Type: relstore.KindString, Text: true},
+		},
+		Key: "pid",
+	})
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "cite",
+		Columns: []relstore.Column{
+			{Name: "citing", Type: relstore.KindInt},
+			{Name: "cited", Type: relstore.KindInt},
+		},
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "citing", RefTable: "paper", RefColumn: "pid"},
+			{Column: "cited", RefTable: "paper", RefColumn: "pid"},
+		},
+	})
+	a := db.MustInsert("paper", map[string]relstore.Value{"pid": relstore.Int(1), "title": relstore.String("xml processing")})
+	bp := db.MustInsert("paper", map[string]relstore.Value{"pid": relstore.Int(2), "title": relstore.String("keyword search")})
+	db.MustInsert("cite", map[string]relstore.Value{"citing": relstore.Int(1), "cited": relstore.Int(2)})
+
+	ix := invindex.FromDB(db)
+	ev := NewEvaluator(db, ix, []string{"xml", "keyword"})
+	g := schemagraph.FromDB(db)
+	cns := Enumerate(g, EnumerateOptions{
+		MaxSize:       3,
+		KeywordTables: ev.KeywordTables(),
+		FreeTables:    []string{"cite"},
+	})
+	var results []Result
+	for _, c := range cns {
+		results = append(results, ev.EvaluateCN(c)...)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %d, want exactly 1 (A cites B)", len(results))
+	}
+	// The bound papers are exactly A and B (each once).
+	seen := map[relstore.TupleID]int{}
+	for _, tp := range results[0].Tuples {
+		if tp.Table == "paper" {
+			seen[tp.ID]++
+		}
+	}
+	if seen[a.ID] != 1 || seen[bp.ID] != 1 {
+		t.Fatalf("paper bindings = %v", seen)
+	}
+	// Verify directionality: the citing node binds A ("xml"), the cited
+	// node binds B — check by locating the Via columns.
+	r := results[0]
+	for _, e := range r.CN.Edges {
+		node := e.A
+		if r.CN.Nodes[node].Table != "paper" {
+			node = e.B
+		}
+		tp := r.Tuples[node]
+		if e.Via.FromCol == "citing" && tp.ID != a.ID {
+			t.Errorf("citing side bound to %d, want %d", tp.ID, a.ID)
+		}
+		if e.Via.FromCol == "cited" && tp.ID != bp.ID {
+			t.Errorf("cited side bound to %d, want %d", tp.ID, bp.ID)
+		}
+	}
+	// No reversed citation exists: a second query direction must not
+	// invent (B cites A).
+	ev2 := NewEvaluator(db, ix, []string{"keyword", "xml"})
+	total := 0
+	for _, c := range cns {
+		total += len(ev2.EvaluateCN(c))
+	}
+	if total != 1 {
+		t.Fatalf("reversed-term query results = %d, want 1", total)
+	}
+}
+
+// Property: Canonical is invariant under node/edge permutation — two CNs
+// that differ only in construction order encode identically.
+func TestCanonicalPermutationInvariant(t *testing.T) {
+	e1 := schemagraph.Edge{From: "write", FromCol: "aid", To: "author", ToCol: "aid", Weight: 1}
+	e2 := schemagraph.Edge{From: "write", FromCol: "pid", To: "paper", ToCol: "pid", Weight: 1}
+	base := &CN{
+		Nodes: []NodeSpec{
+			{Table: "author"}, {Table: "write", Free: true}, {Table: "paper"},
+			{Table: "write", Free: true}, {Table: "author"},
+		},
+		Edges: []EdgeSpec{
+			{A: 0, B: 1, Via: e1}, {A: 1, B: 2, Via: e2},
+			{A: 2, B: 3, Via: e2}, {A: 3, B: 4, Via: e1},
+		},
+	}
+	want := base.Canonical()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(len(base.Nodes))
+		inv := make([]int, len(perm))
+		for i, p := range perm {
+			inv[i] = p
+		}
+		c := &CN{Nodes: make([]NodeSpec, len(base.Nodes))}
+		for i, p := range inv {
+			c.Nodes[p] = base.Nodes[i]
+		}
+		edges := append([]EdgeSpec(nil), base.Edges...)
+		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		for _, e := range edges {
+			ne := EdgeSpec{A: inv[e.A], B: inv[e.B], Via: e.Via}
+			if rng.Intn(2) == 0 {
+				ne.A, ne.B = ne.B, ne.A
+			}
+			c.Edges = append(c.Edges, ne)
+		}
+		return c.Canonical() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+package cn
+
+import (
+	"sort"
+
+	"kwsearch/internal/schemagraph"
+)
+
+// EnumerateOptions controls candidate-network generation.
+type EnumerateOptions struct {
+	// MaxSize bounds the number of tuple sets per CN (Tmax).
+	MaxSize int
+	// MaxCNs caps how many CNs are produced (0 = unlimited); enumeration
+	// is breadth-first so the smallest CNs always survive the cap.
+	MaxCNs int
+	// KeywordTables lists the relations with a non-empty keyword tuple set
+	// R^Q for the current query; only these may appear as keyword nodes.
+	KeywordTables []string
+	// FreeTables lists the relations allowed to appear as free tuple sets
+	// R^{}. The tutorial's slide-28 count treats only text-free link
+	// relations (write) as fillers; pass all tables for the general
+	// DISCOVER behaviour.
+	FreeTables []string
+}
+
+// Enumerate generates all valid candidate networks up to MaxSize,
+// duplicate-free, in nondecreasing size order (breadth-first on the schema
+// graph, the strategy of Hristidis et al. VLDB'02).
+//
+// A CN is valid iff every leaf is a keyword node (free leaves would add
+// tuples that contribute neither keywords nor connectivity), and no node
+// uses the same single-valued foreign key twice (such a CN can only bind
+// both neighbours to the same tuple, duplicating a smaller CN's results).
+func Enumerate(g *schemagraph.Graph, opts EnumerateOptions) []*CN {
+	if opts.MaxSize <= 0 {
+		opts.MaxSize = 5
+	}
+	kw := map[string]bool{}
+	for _, t := range opts.KeywordTables {
+		kw[t] = true
+	}
+	free := map[string]bool{}
+	for _, t := range opts.FreeTables {
+		free[t] = true
+	}
+
+	var results []*CN
+	seen := map[string]bool{}
+	emit := func(c *CN) bool {
+		key := c.Canonical()
+		if seen[key] {
+			return true
+		}
+		if c.valid() {
+			seen[key] = true
+			results = append(results, c)
+			if opts.MaxCNs > 0 && len(results) >= opts.MaxCNs {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Frontier of partial CNs (not necessarily valid yet). Seed with the
+	// single keyword nodes, sorted for determinism.
+	kwTables := append([]string(nil), opts.KeywordTables...)
+	sort.Strings(kwTables)
+	var frontier []*CN
+	frontierSeen := map[string]bool{}
+	push := func(c *CN) {
+		key := c.Canonical()
+		if !frontierSeen[key] {
+			frontierSeen[key] = true
+			frontier = append(frontier, c)
+		}
+	}
+	for _, t := range kwTables {
+		if !g.HasTable(t) {
+			continue
+		}
+		c := &CN{Nodes: []NodeSpec{{Table: t}}}
+		if !emit(c) {
+			return results
+		}
+		push(c)
+	}
+
+	for size := 1; size < opts.MaxSize; size++ {
+		var next []*CN
+		for _, c := range frontier {
+			if c.Size() != size {
+				continue
+			}
+			for _, grown := range growCN(g, c, kw, free) {
+				key := grown.Canonical()
+				if frontierSeen[key] {
+					continue
+				}
+				frontierSeen[key] = true
+				if !emit(grown) {
+					return results
+				}
+				next = append(next, grown)
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return results
+}
+
+// growCN returns all one-node extensions of c obeying the same-FK pruning
+// rule.
+func growCN(g *schemagraph.Graph, c *CN, kw, free map[string]bool) []*CN {
+	var out []*CN
+	for ni, n := range c.Nodes {
+		for _, e := range g.Adjacent(n.Table) {
+			other := e.To
+			if e.From != n.Table {
+				other = e.From
+			} else if e.To == n.Table && e.From == n.Table {
+				other = n.Table
+			}
+			// Same-FK duplication check: if the existing node is the
+			// referencing side (e.From == n.Table), it may use each FK
+			// column once.
+			if e.From == n.Table && c.usesFK(ni, e) {
+				continue
+			}
+			// Attach as a keyword node and/or as a free node.
+			if kw[other] {
+				out = append(out, c.attach(ni, other, false, e))
+			}
+			if free[other] {
+				out = append(out, c.attach(ni, other, true, e))
+			}
+		}
+	}
+	return out
+}
+
+// usesFK reports whether node ni already has an incident edge using the
+// same referencing foreign key (same From table and column).
+func (c *CN) usesFK(ni int, e schemagraph.Edge) bool {
+	for _, ex := range c.Edges {
+		if ex.A != ni && ex.B != ni {
+			continue
+		}
+		v := ex.Via
+		if v.From == e.From && v.FromCol == e.FromCol && v.To == e.To && v.ToCol == e.ToCol {
+			// The node must be on the referencing side of the existing
+			// edge for the single-valued restriction to apply.
+			if (ex.A == ni && c.Nodes[ni].Table == v.From) || (ex.B == ni && c.Nodes[ni].Table == v.From) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// attach returns a copy of c with a new node linked to ni via e.
+func (c *CN) attach(ni int, table string, freeNode bool, e schemagraph.Edge) *CN {
+	nc := c.clone()
+	nc.Nodes = append(nc.Nodes, NodeSpec{Table: table, Free: freeNode})
+	nc.Edges = append(nc.Edges, EdgeSpec{A: ni, B: len(nc.Nodes) - 1, Via: e})
+	return nc
+}
+
+// valid reports whether every leaf is a keyword node.
+func (c *CN) valid() bool {
+	for _, li := range c.leaves() {
+		if c.Nodes[li].Free {
+			return false
+		}
+	}
+	return true
+}

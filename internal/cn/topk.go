@@ -1,0 +1,191 @@
+package cn
+
+import (
+	"container/heap"
+	"sort"
+	"strconv"
+
+	"kwsearch/internal/relstore"
+)
+
+// sortResults orders by descending score, breaking ties by CN size then
+// first tuple ID so strategy outputs are comparable.
+func sortResults(rs []Result) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		if len(rs[i].Tuples) != len(rs[j].Tuples) {
+			return len(rs[i].Tuples) < len(rs[j].Tuples)
+		}
+		return resultKey(rs[i]) < resultKey(rs[j])
+	})
+}
+
+func resultKey(r Result) string {
+	ids := make([]int, len(r.Tuples))
+	for i, tp := range r.Tuples {
+		ids[i] = int(tp.ID)
+	}
+	sort.Ints(ids)
+	key := ""
+	for _, id := range ids {
+		key += strconv.Itoa(id) + ","
+	}
+	return key
+}
+
+// TopKNaive evaluates every CN fully, then sorts — the baseline of
+// slide 116's Discover2 comparison.
+func TopKNaive(ev *Evaluator, cns []*CN, k int) []Result {
+	var all []Result
+	for _, c := range cns {
+		all = append(all, ev.EvaluateCN(c)...)
+	}
+	sortResults(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// cnBound returns an upper bound on the score any result of c can reach:
+// each keyword node is bounded by the best tuple score of its R^Q, free
+// nodes contribute 0, and the sum is normalized by CN size (the score is
+// monotone, so the bound is sound).
+func cnBound(ev *Evaluator, c *CN) float64 {
+	s := 0.0
+	for _, n := range c.Nodes {
+		if !n.Free {
+			s += ev.MaxNodeScore(n.Table)
+		}
+	}
+	return s / float64(c.Size())
+}
+
+// TopKSparse evaluates CNs in descending upper-bound order and stops as
+// soon as the current k-th score dominates every unevaluated CN's bound
+// (the Sparse strategy of Hristidis et al. VLDB'03).
+func TopKSparse(ev *Evaluator, cns []*CN, k int) []Result {
+	order := append([]*CN(nil), cns...)
+	sort.SliceStable(order, func(i, j int) bool {
+		return cnBound(ev, order[i]) > cnBound(ev, order[j])
+	})
+	var top []Result
+	for _, c := range order {
+		if len(top) >= k && top[k-1].Score >= cnBound(ev, c) {
+			break
+		}
+		top = append(top, ev.EvaluateCN(c)...)
+		sortResults(top)
+		if len(top) > k {
+			top = top[:k]
+		}
+	}
+	return top
+}
+
+// gpState is the per-CN cursor of the global pipeline: the driver node's
+// tuples sorted by descending score and a position into them.
+type gpState struct {
+	cn      *CN
+	driver  int
+	tuples  []*relstore.Tuple
+	pos     int
+	restMax float64 // sum of max scores of the other keyword nodes
+}
+
+func (s *gpState) bound(ev *Evaluator) float64 {
+	if s.pos >= len(s.tuples) {
+		return -1
+	}
+	return (ev.TupleScore(s.tuples[s.pos]) + s.restMax) / float64(s.cn.Size())
+}
+
+type gpHeap struct {
+	ev     *Evaluator
+	states []*gpState
+}
+
+func (h gpHeap) Len() int { return len(h.states) }
+func (h gpHeap) Less(i, j int) bool {
+	return h.states[i].bound(h.ev) > h.states[j].bound(h.ev)
+}
+func (h gpHeap) Swap(i, j int)       { h.states[i], h.states[j] = h.states[j], h.states[i] }
+func (h *gpHeap) Push(x interface{}) { h.states = append(h.states, x.(*gpState)) }
+func (h *gpHeap) Pop() interface{} {
+	old := h.states
+	n := len(old)
+	it := old[n-1]
+	h.states = old[:n-1]
+	return it
+}
+
+// TopKGlobalPipeline interleaves the evaluation of all CNs: it repeatedly
+// advances the CN whose next driver tuple has the highest score upper
+// bound, producing only the joins needed to certify the top k (the Global
+// Pipeline of Hristidis et al. VLDB'03). Requires the monotone score.
+func TopKGlobalPipeline(ev *Evaluator, cns []*CN, k int) []Result {
+	h := &gpHeap{ev: ev}
+	for _, c := range cns {
+		kwNodes := c.KeywordNodes()
+		if len(kwNodes) == 0 {
+			continue
+		}
+		// Drive from the keyword node with the fewest tuples.
+		driver := kwNodes[0]
+		for _, n := range kwNodes[1:] {
+			if len(ev.KeywordSet(c.Nodes[n].Table)) < len(ev.KeywordSet(c.Nodes[driver].Table)) {
+				driver = n
+			}
+		}
+		tuples := append([]*relstore.Tuple(nil), ev.KeywordSet(c.Nodes[driver].Table)...)
+		sort.SliceStable(tuples, func(i, j int) bool {
+			return ev.TupleScore(tuples[i]) > ev.TupleScore(tuples[j])
+		})
+		rest := 0.0
+		for _, n := range kwNodes {
+			if n != driver {
+				rest += ev.MaxNodeScore(c.Nodes[n].Table)
+			}
+		}
+		st := &gpState{cn: c, driver: driver, tuples: tuples, restMax: rest}
+		if st.bound(ev) > 0 {
+			h.states = append(h.states, st)
+		}
+	}
+	heap.Init(h)
+
+	var top []Result
+	seen := map[string]bool{}
+	for h.Len() > 0 {
+		st := h.states[0]
+		b := st.bound(ev)
+		if b < 0 {
+			heap.Pop(h)
+			continue
+		}
+		if len(top) >= k && top[k-1].Score >= b {
+			break
+		}
+		tp := st.tuples[st.pos]
+		st.pos++
+		heap.Fix(h, 0)
+		for _, r := range ev.EvaluateCNWith(st.cn, st.driver, tp) {
+			// The same result can be produced through different driver
+			// tuples of the same CN only if the driver appears twice,
+			// which the binding forbids; dedupe defensively anyway.
+			key := st.cn.Canonical() + "|" + resultKey(r)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			top = append(top, r)
+		}
+		sortResults(top)
+		if len(top) > k {
+			top = top[:k]
+		}
+	}
+	return top
+}

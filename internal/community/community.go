@@ -1,0 +1,267 @@
+// Package community implements the subgraph-based result semantics of
+// slide 31 and their RDBMS-friendly evaluation of slides 126-128: distinct
+// core semantics (Qin et al. ICDE'09 — results are subgraphs induced by a
+// distinct combination of keyword matches, found by joining bounded
+// distance pair sets), and r-radius Steiner subgraphs with an EASE-style
+// term-pair index (Li et al. SIGMOD'08).
+package community
+
+import (
+	"sort"
+
+	"kwsearch/internal/datagraph"
+)
+
+// Pair records that node N is within Dist of a keyword match M.
+type Pair struct {
+	Center datagraph.NodeID // the candidate center node x
+	Match  datagraph.NodeID // the keyword match it reaches
+	Dist   float64
+}
+
+// Pairs computes {(x, m, d) : d = dist(x, m) <= dmax} for every match m —
+// the Pairs(n1, n2, dist) table of slide 126, realized with bounded
+// Dijkstra instead of SQL semi-joins.
+func Pairs(g *datagraph.Graph, matches []datagraph.NodeID, dmax float64) []Pair {
+	var out []Pair
+	for _, m := range matches {
+		for n, d := range g.Dijkstra(m, dmax) {
+			out = append(out, Pair{Center: n, Match: m, Dist: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Center != out[j].Center {
+			return out[i].Center < out[j].Center
+		}
+		return out[i].Match < out[j].Match
+	})
+	return out
+}
+
+// Community is one distinct-core result: the combination of keyword
+// matches (the core), the centers that reach all of them within the
+// radius, and the best total distance.
+type Community struct {
+	// Core holds one match per keyword, aligned with the query terms.
+	Core []datagraph.NodeID
+	// Centers are the nodes within dmax of every core member.
+	Centers []datagraph.NodeID
+	// Cost is the minimum over centers of the summed distances.
+	Cost float64
+}
+
+// DistinctCore computes communities for keyword match groups: the join of
+// the per-keyword pair sets on the center, grouped by the distinct core
+// (slide 126's S = Pairs_{k1} ⋈ Pairs_{k2} GROUP BY (a, b)). Results are
+// sorted by ascending cost; k caps the output (0 = all).
+func DistinctCore(g *datagraph.Graph, groups [][]datagraph.NodeID, dmax float64, k int) []Community {
+	if len(groups) == 0 {
+		return nil
+	}
+	// center -> per-keyword reachable matches with distances.
+	type reach map[datagraph.NodeID]float64 // match -> dist
+	byCenter := make([]map[datagraph.NodeID]reach, len(groups))
+	for i, grp := range groups {
+		if len(grp) == 0 {
+			return nil
+		}
+		byCenter[i] = map[datagraph.NodeID]reach{}
+		for _, p := range Pairs(g, grp, dmax) {
+			r, ok := byCenter[i][p.Center]
+			if !ok {
+				r = reach{}
+				byCenter[i][p.Center] = r
+			}
+			if d, ok := r[p.Match]; !ok || p.Dist < d {
+				r[p.Match] = p.Dist
+			}
+		}
+	}
+	// Centers reaching all keywords.
+	type coreKey string
+	agg := map[coreKey]*Community{}
+	encode := func(core []datagraph.NodeID) coreKey {
+		b := make([]byte, 0, 4*len(core))
+		for _, n := range core {
+			b = append(b, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+		}
+		return coreKey(b)
+	}
+	for center, r0 := range byCenter[0] {
+		// Cross product of reachable matches per keyword from this center.
+		ok := true
+		for i := 1; i < len(groups); i++ {
+			if _, has := byCenter[i][center]; !has {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		core := make([]datagraph.NodeID, len(groups))
+		var rec func(i int, cost float64)
+		rec = func(i int, cost float64) {
+			if i == len(groups) {
+				key := encode(core)
+				c, has := agg[key]
+				if !has {
+					c = &Community{Core: append([]datagraph.NodeID(nil), core...), Cost: cost}
+					agg[key] = c
+				}
+				c.Centers = append(c.Centers, center)
+				if cost < c.Cost {
+					c.Cost = cost
+				}
+				return
+			}
+			var r reach
+			if i == 0 {
+				r = r0
+			} else {
+				r = byCenter[i][center]
+			}
+			for m, d := range r {
+				core[i] = m
+				rec(i+1, cost+d)
+			}
+		}
+		rec(0, 0)
+	}
+	out := make([]Community, 0, len(agg))
+	for _, c := range agg {
+		sort.Slice(c.Centers, func(i, j int) bool { return c.Centers[i] < c.Centers[j] })
+		// Dedupe centers (one center may produce the same core several
+		// ways through different distances).
+		uniq := c.Centers[:0]
+		for i, n := range c.Centers {
+			if i == 0 || n != c.Centers[i-1] {
+				uniq = append(uniq, n)
+			}
+		}
+		c.Centers = uniq
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost < out[j].Cost
+		}
+		return lessCore(out[i].Core, out[j].Core)
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func lessCore(a, b []datagraph.NodeID) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// RRadiusSubgraph returns the nodes within radius r of center — the
+// r-radius subgraph a result of Li et al.'s EASE is drawn from. ok is
+// false when the subgraph does not contain a match of every group
+// (the Steiner-subgraph condition "matches each kᵢ", slide 31).
+func RRadiusSubgraph(g *datagraph.Graph, center datagraph.NodeID, r float64, groups [][]datagraph.NodeID) ([]datagraph.NodeID, bool) {
+	dist := g.Dijkstra(center, r)
+	nodes := make([]datagraph.NodeID, 0, len(dist))
+	for n := range dist {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	inside := map[datagraph.NodeID]bool{}
+	for _, n := range nodes {
+		inside[n] = true
+	}
+	for _, grp := range groups {
+		hit := false
+		for _, m := range grp {
+			if inside[m] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return nodes, false
+		}
+	}
+	return nodes, true
+}
+
+// PairIndex is the EASE-style index: for a pair of terms, the centers of
+// maximal r-radius Steiner subgraphs containing both, with a similarity
+// score (inverse of the best combined distance) — the
+// (Term1, Term2) → (maximal r-radius graph, sim) mapping of slide 128.
+type PairIndex struct {
+	r       float64
+	entries map[[2]string][]ScoredCenter
+}
+
+// ScoredCenter is one indexed center with its similarity.
+type ScoredCenter struct {
+	Center datagraph.NodeID
+	Sim    float64
+}
+
+// BuildPairIndex precomputes the centers for every term pair.
+func BuildPairIndex(g *datagraph.Graph, termMatches map[string][]datagraph.NodeID, r float64) *PairIndex {
+	ix := &PairIndex{r: r, entries: map[[2]string][]ScoredCenter{}}
+	terms := make([]string, 0, len(termMatches))
+	for t := range termMatches {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for i := 0; i < len(terms); i++ {
+		for j := i + 1; j < len(terms); j++ {
+			t1, t2 := terms[i], terms[j]
+			groups := [][]datagraph.NodeID{termMatches[t1], termMatches[t2]}
+			comms := DistinctCore(g, groups, r, 0)
+			best := map[datagraph.NodeID]float64{}
+			for _, c := range comms {
+				for _, ctr := range c.Centers {
+					sim := 1 / (1 + c.Cost)
+					if sim > best[ctr] {
+						best[ctr] = sim
+					}
+				}
+			}
+			var list []ScoredCenter
+			for ctr, sim := range best {
+				list = append(list, ScoredCenter{Center: ctr, Sim: sim})
+			}
+			sort.Slice(list, func(a, b int) bool {
+				if list[a].Sim != list[b].Sim {
+					return list[a].Sim > list[b].Sim
+				}
+				return list[a].Center < list[b].Center
+			})
+			ix.entries[[2]string{t1, t2}] = list
+		}
+	}
+	return ix
+}
+
+// Lookup returns the indexed centers for a term pair (order-insensitive).
+func (ix *PairIndex) Lookup(t1, t2 string) []ScoredCenter {
+	if t1 > t2 {
+		t1, t2 = t2, t1
+	}
+	return ix.entries[[2]string{t1, t2}]
+}
+
+// Entries reports the index size.
+func (ix *PairIndex) Entries() int {
+	n := 0
+	for _, l := range ix.entries {
+		n += len(l)
+	}
+	return n
+}

@@ -1,0 +1,184 @@
+package community
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kwsearch/internal/datagraph"
+)
+
+// pathGraph: 0-1-2-3-4 with unit weights.
+func pathGraph() *datagraph.Graph {
+	g := datagraph.New(5)
+	for i := 0; i+1 < 5; i++ {
+		g.AddEdge(datagraph.NodeID(i), datagraph.NodeID(i+1), 1)
+	}
+	return g
+}
+
+func TestPairsBounded(t *testing.T) {
+	g := pathGraph()
+	ps := Pairs(g, []datagraph.NodeID{0}, 2)
+	if len(ps) != 3 { // nodes 0,1,2
+		t.Fatalf("pairs = %v", ps)
+	}
+	for _, p := range ps {
+		if p.Dist > 2 {
+			t.Errorf("pair beyond dmax: %+v", p)
+		}
+		if p.Match != 0 {
+			t.Errorf("wrong match: %+v", p)
+		}
+	}
+}
+
+func TestDistinctCoreGroupsByCore(t *testing.T) {
+	g := pathGraph()
+	// k1 matches 0 and 4; k2 matches 2. Cores: (0,2) and (4,2).
+	groups := [][]datagraph.NodeID{{0, 4}, {2}}
+	comms := DistinctCore(g, groups, 2, 0)
+	if len(comms) != 2 {
+		t.Fatalf("communities = %+v", comms)
+	}
+	for _, c := range comms {
+		if len(c.Core) != 2 || c.Core[1] != 2 {
+			t.Errorf("core = %v", c.Core)
+		}
+		if len(c.Centers) == 0 {
+			t.Errorf("no centers for %v", c.Core)
+		}
+		// Best cost: center 1 for (0,2): 1+1=2; center 3 for (4,2): 1+1=2.
+		if c.Cost != 2 {
+			t.Errorf("cost = %v, want 2", c.Cost)
+		}
+	}
+}
+
+func TestDistinctCoreRespectsRadius(t *testing.T) {
+	g := pathGraph()
+	// With dmax 1 no center reaches both 0 and 4 ... nor even 0 and 2.
+	comms := DistinctCore(g, [][]datagraph.NodeID{{0}, {4}}, 1, 0)
+	if len(comms) != 0 {
+		t.Fatalf("radius not enforced: %+v", comms)
+	}
+	// dmax 2: center 2 reaches both ends.
+	comms = DistinctCore(g, [][]datagraph.NodeID{{0}, {4}}, 2, 0)
+	if len(comms) != 1 || comms[0].Cost != 4 {
+		t.Fatalf("communities = %+v", comms)
+	}
+	if len(comms[0].Centers) != 1 || comms[0].Centers[0] != 2 {
+		t.Fatalf("centers = %v, want [2]", comms[0].Centers)
+	}
+}
+
+func TestDistinctCoreEmptyGroup(t *testing.T) {
+	g := pathGraph()
+	if got := DistinctCore(g, [][]datagraph.NodeID{{0}, {}}, 2, 0); got != nil {
+		t.Errorf("empty group produced %v", got)
+	}
+	if got := DistinctCore(g, nil, 2, 0); got != nil {
+		t.Errorf("no groups produced %v", got)
+	}
+}
+
+func TestDistinctCoreKCap(t *testing.T) {
+	g := pathGraph()
+	comms := DistinctCore(g, [][]datagraph.NodeID{{0, 1, 2, 3, 4}, {2}}, 4, 2)
+	if len(comms) != 2 {
+		t.Fatalf("k cap ignored: %d", len(comms))
+	}
+	// Sorted by cost ascending.
+	if comms[0].Cost > comms[1].Cost {
+		t.Errorf("not sorted by cost")
+	}
+}
+
+func TestRRadiusSubgraph(t *testing.T) {
+	g := pathGraph()
+	nodes, ok := RRadiusSubgraph(g, 2, 1, [][]datagraph.NodeID{{1}, {3}})
+	if !ok {
+		t.Fatalf("subgraph should cover both keywords: %v", nodes)
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("nodes = %v, want {1,2,3}", nodes)
+	}
+	_, ok = RRadiusSubgraph(g, 0, 1, [][]datagraph.NodeID{{4}})
+	if ok {
+		t.Fatalf("subgraph cannot reach node 4 at radius 1 from 0")
+	}
+}
+
+func TestPairIndex(t *testing.T) {
+	g := pathGraph()
+	matches := map[string][]datagraph.NodeID{
+		"a": {0},
+		"b": {2},
+		"c": {4},
+	}
+	ix := BuildPairIndex(g, matches, 2)
+	ab := ix.Lookup("a", "b")
+	if len(ab) == 0 {
+		t.Fatal("no centers for (a,b)")
+	}
+	// Order-insensitive lookup.
+	ba := ix.Lookup("b", "a")
+	if len(ba) != len(ab) {
+		t.Fatalf("lookup not symmetric")
+	}
+	// Best center for (a,c) is node 2 at cost 4 -> sim 1/5.
+	ac := ix.Lookup("a", "c")
+	if len(ac) != 1 || ac[0].Center != 2 || math.Abs(ac[0].Sim-0.2) > 1e-12 {
+		t.Fatalf("ac = %+v", ac)
+	}
+	if ix.Entries() == 0 {
+		t.Errorf("index empty")
+	}
+	if got := ix.Lookup("a", "zzz"); got != nil {
+		t.Errorf("unknown pair = %v", got)
+	}
+}
+
+// Property: every reported community cost equals the min over its centers
+// of summed shortest distances to the core, and every center is within
+// dmax of every core member.
+func TestDistinctCoreCostsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(15)
+		g := datagraph.New(n)
+		for i := 0; i < n; i++ {
+			g.AddEdge(datagraph.NodeID(i), datagraph.NodeID((i+1)%n), float64(1+rng.Intn(3)))
+		}
+		groups := [][]datagraph.NodeID{
+			{datagraph.NodeID(rng.Intn(n)), datagraph.NodeID(rng.Intn(n))},
+			{datagraph.NodeID(rng.Intn(n))},
+		}
+		dmax := float64(2 + rng.Intn(4))
+		for _, c := range DistinctCore(g, groups, dmax, 0) {
+			best := math.Inf(1)
+			for _, ctr := range c.Centers {
+				dist := g.Dijkstra(ctr, math.Inf(1))
+				total := 0.0
+				for _, m := range c.Core {
+					d, ok := dist[m]
+					if !ok || d > dmax+1e-9 {
+						return false
+					}
+					total += d
+				}
+				if total < best {
+					best = total
+				}
+			}
+			if math.Abs(best-c.Cost) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package complete implements TASTIER-style type-ahead keyword search
+// (Li et al. SIGMOD'09, slides 71-73): every query keyword is a prefix;
+// a trie maps prefixes to token-rank ranges, candidates come from the
+// smallest range, and a δ-step forward index (node → token ranks reachable
+// within δ graph steps) filters candidates without touching the graph.
+package complete
+
+import (
+	"sort"
+
+	"kwsearch/internal/datagraph"
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/relstore"
+	"kwsearch/internal/text"
+	"kwsearch/internal/trie"
+)
+
+// Completer answers prefix keyword queries over a tuple graph.
+type Completer struct {
+	Trie *trie.Trie
+	ix   *invindex.Index
+	// forward[d] is the sorted set of token ranks reachable from node d
+	// within delta steps (including d's own tokens).
+	forward map[invindex.DocID][]int
+	delta   int
+}
+
+// New builds the completer: tokens from the database's inverted index, the
+// trie over them, and the δ-step forward index over the data graph.
+func New(db *relstore.DB, g *datagraph.Graph, delta int) *Completer {
+	ix := invindex.FromDB(db)
+	tr := trie.New(ix.Terms())
+	c := &Completer{
+		Trie:    tr,
+		ix:      ix,
+		forward: make(map[invindex.DocID][]int),
+		delta:   delta,
+	}
+	// Own tokens per node.
+	own := map[invindex.DocID][]int{}
+	for _, term := range ix.Terms() {
+		rank := tr.Rank(term)
+		for _, d := range ix.Docs(term) {
+			own[d] = append(own[d], rank)
+		}
+	}
+	for d := range own {
+		set := map[int]bool{}
+		for _, r := range own[d] {
+			set[r] = true
+		}
+		if g != nil && delta > 0 {
+			for n := range g.BFSHops(datagraph.NodeID(d), delta) {
+				for _, r := range own[invindex.DocID(n)] {
+					set[r] = true
+				}
+			}
+		}
+		ranks := make([]int, 0, len(set))
+		for r := range set {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		c.forward[d] = ranks
+	}
+	return c
+}
+
+// Delta returns the forward-index radius.
+func (c *Completer) Delta() int { return c.delta }
+
+// hasRankInRange reports whether the sorted ranks intersect [lo, hi).
+func hasRankInRange(ranks []int, lo, hi int) bool {
+	i := sort.SearchInts(ranks, lo)
+	return i < len(ranks) && ranks[i] < hi
+}
+
+// Prediction is one type-ahead answer: a node whose δ-neighbourhood can
+// complete every query prefix.
+type Prediction struct {
+	Doc invindex.DocID
+	// Completions holds, per query prefix, a completed token witnessing
+	// the match from the node's neighbourhood.
+	Completions []string
+}
+
+// Search treats each keyword as a prefix (slide 72: "srivasta, sig") and
+// returns up to k candidate nodes: candidates are drawn from the prefix
+// with the smallest token range and filtered by checking the remaining
+// ranges against the δ-step forward index (slide 73's pruning step).
+func (c *Completer) Search(prefixes []string, k int) []Prediction {
+	if len(prefixes) == 0 {
+		return nil
+	}
+	type rng struct{ lo, hi int }
+	ranges := make([]rng, len(prefixes))
+	for i, raw := range prefixes {
+		p := text.Normalize(raw)
+		lo, hi, ok := c.Trie.PrefixRange(p)
+		if !ok {
+			return nil
+		}
+		ranges[i] = rng{lo, hi}
+	}
+	// Seed with the most selective prefix.
+	minIdx := 0
+	for i, r := range ranges {
+		if r.hi-r.lo < ranges[minIdx].hi-ranges[minIdx].lo {
+			minIdx = i
+		}
+	}
+	candSet := map[invindex.DocID]bool{}
+	var cands []invindex.DocID
+	for rank := ranges[minIdx].lo; rank < ranges[minIdx].hi; rank++ {
+		for _, d := range c.ix.Docs(c.Trie.Token(rank)) {
+			if !candSet[d] {
+				candSet[d] = true
+				cands = append(cands, d)
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+
+	var out []Prediction
+	for _, d := range cands {
+		ranks := c.forward[d]
+		ok := true
+		for i, r := range ranges {
+			if i == minIdx {
+				continue
+			}
+			if !hasRankInRange(ranks, r.lo, r.hi) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		p := Prediction{Doc: d, Completions: make([]string, len(prefixes))}
+		for i, r := range ranges {
+			// Witness: the first reachable rank within the range.
+			j := sort.SearchInts(ranks, r.lo)
+			if j < len(ranks) && ranks[j] < r.hi {
+				p.Completions[i] = c.Trie.Token(ranks[j])
+			}
+		}
+		out = append(out, p)
+		if k > 0 && len(out) >= k {
+			break
+		}
+	}
+	return out
+}
+
+// CandidateCount reports how many candidates the most selective prefix
+// yields before forward-index filtering — the slide-73 "Candidates =
+// {11, 12, 78}" stage, used by tests and the bench harness.
+func (c *Completer) CandidateCount(prefixes []string) int {
+	bestLo, bestHi := 0, 0
+	found := false
+	for _, raw := range prefixes {
+		p := text.Normalize(raw)
+		lo, hi, ok := c.Trie.PrefixRange(p)
+		if !ok {
+			return 0
+		}
+		if !found || hi-lo < bestHi-bestLo {
+			bestLo, bestHi = lo, hi
+			found = true
+		}
+	}
+	if !found {
+		return 0
+	}
+	seen := map[invindex.DocID]bool{}
+	for rank := bestLo; rank < bestHi; rank++ {
+		for _, d := range c.ix.Docs(c.Trie.Token(rank)) {
+			seen[d] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,120 @@
+package complete
+
+import (
+	"testing"
+
+	"kwsearch/internal/datagraph"
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/relstore"
+)
+
+// slide73DB reconstructs the slide-72/73 scenario: papers by srivastava,
+// some in SIGMOD venues, plus distractors. Node 12's neighbourhood reaches
+// both a "srivasta"-prefixed token and a "sig"-prefixed token; nodes 11
+// and 78 reach only the former.
+func slide73DB(t *testing.T) (*relstore.DB, *datagraph.Graph) {
+	t.Helper()
+	db := relstore.NewDB()
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "node",
+		Columns: []relstore.Column{
+			{Name: "id", Type: relstore.KindInt},
+			{Name: "txt", Type: relstore.KindString, Text: true},
+		},
+		Key: "id",
+	})
+	rows := []string{
+		"srivastava streams",       // 0: author paper A
+		"sigmod 2007",              // 1: venue of paper A's neighbour
+		"srivastava joins",         // 2: paper B, no sigmod nearby
+		"icde 2009",                // 3: venue of B
+		"srivastava mining sigact", // 4: self-contained match
+		"unrelated content",        // 5
+	}
+	for i, txt := range rows {
+		db.MustInsert("node", map[string]relstore.Value{
+			"id": relstore.Int(int64(i)), "txt": relstore.String(txt),
+		})
+	}
+	g := datagraph.New(len(rows))
+	g.AddEdge(0, 1, 1) // srivastava paper adjacent to sigmod venue
+	g.AddEdge(2, 3, 1) // srivastava paper adjacent to icde venue
+	g.AddEdge(4, 5, 1)
+	return db, g
+}
+
+func TestSlide73Filtering(t *testing.T) {
+	db, g := slide73DB(t)
+	c := New(db, g, 1)
+	// Three candidates match the srivasta prefix...
+	if got := c.CandidateCount([]string{"srivasta", "sig"}); got != 3 {
+		t.Fatalf("candidates = %d, want 3", got)
+	}
+	// ...but only nodes 0 (via venue) and 4 (own token) survive "sig".
+	preds := c.Search([]string{"srivasta", "sig"}, 0)
+	if len(preds) != 2 {
+		t.Fatalf("predictions = %+v, want nodes 0 and 4", preds)
+	}
+	if preds[0].Doc != 0 || preds[1].Doc != 4 {
+		t.Fatalf("prediction docs = %v,%v", preds[0].Doc, preds[1].Doc)
+	}
+	// Completions witness actual tokens.
+	if preds[0].Completions[0] != "srivastava" {
+		t.Errorf("completion = %q", preds[0].Completions[0])
+	}
+	if preds[0].Completions[1] != "sigmod" {
+		t.Errorf("completion = %q", preds[0].Completions[1])
+	}
+	if preds[1].Completions[1] != "sigact" {
+		t.Errorf("completion = %q", preds[1].Completions[1])
+	}
+}
+
+func TestDeltaZeroRequiresSelfContainment(t *testing.T) {
+	db, g := slide73DB(t)
+	c := New(db, g, 0)
+	preds := c.Search([]string{"srivasta", "sig"}, 0)
+	if len(preds) != 1 || preds[0].Doc != 4 {
+		t.Fatalf("δ=0 predictions = %+v, want only node 4", preds)
+	}
+	if c.Delta() != 0 {
+		t.Errorf("Delta() = %d", c.Delta())
+	}
+}
+
+func TestSearchLimitsAndMisses(t *testing.T) {
+	db, g := slide73DB(t)
+	c := New(db, g, 1)
+	if got := c.Search([]string{"zzz"}, 5); got != nil {
+		t.Errorf("unmatched prefix = %v", got)
+	}
+	if got := c.Search(nil, 5); got != nil {
+		t.Errorf("empty query = %v", got)
+	}
+	preds := c.Search([]string{"s"}, 1)
+	if len(preds) != 1 {
+		t.Errorf("k limit not applied: %v", preds)
+	}
+	if c.CandidateCount([]string{"zzz"}) != 0 {
+		t.Errorf("unmatched candidate count should be 0")
+	}
+}
+
+func TestSingleKeywordPrefix(t *testing.T) {
+	db, g := slide73DB(t)
+	c := New(db, g, 1)
+	preds := c.Search([]string{"icde"}, 0)
+	if len(preds) != 1 || preds[0].Doc != 3 {
+		t.Fatalf("predictions = %+v", preds)
+	}
+}
+
+func TestForwardIndexGrowsWithDelta(t *testing.T) {
+	db, g := slide73DB(t)
+	c0 := New(db, g, 0)
+	c1 := New(db, g, 1)
+	if len(c0.forward[invindex.DocID(0)]) >= len(c1.forward[invindex.DocID(0)]) {
+		t.Errorf("forward index must grow with delta: %d vs %d",
+			len(c0.forward[0]), len(c1.forward[0]))
+	}
+}

@@ -1,0 +1,347 @@
+// Package core is the public façade of the library: a keyword-search
+// engine over relational or XML data with pluggable result semantics — the
+// full pipeline the tutorial describes, from query cleaning through
+// structure inference to ranked results.
+//
+// Relational data is searched under candidate-network semantics (DISCOVER
+// joins with IR or SPARK scoring) or graph semantics (distinct-root BANKS
+// search, group Steiner trees). XML data is searched under SLCA or ELCA
+// semantics with XSeek return-node inference available on the results.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kwsearch/internal/banks"
+	"kwsearch/internal/clean"
+	"kwsearch/internal/cn"
+	"kwsearch/internal/datagraph"
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/lca"
+	"kwsearch/internal/relstore"
+	"kwsearch/internal/schemagraph"
+	"kwsearch/internal/spark"
+	"kwsearch/internal/steiner"
+	"kwsearch/internal/text"
+	"kwsearch/internal/xmltree"
+	"kwsearch/internal/xseek"
+)
+
+// Semantics selects what a "result" is (the tutorial's Options 1-3 and the
+// XML ?LCA family).
+type Semantics int
+
+const (
+	// Auto selects CandidateNetworks for relational engines and SLCA for
+	// XML engines.
+	Auto Semantics = iota
+	// CandidateNetworks evaluates DISCOVER-style join trees with the
+	// monotone IR score.
+	CandidateNetworks
+	// SparkNetworks evaluates join trees under SPARK's non-monotonic
+	// virtual-document score.
+	SparkNetworks
+	// DistinctRoot runs BANKS-style backward search on the data graph.
+	DistinctRoot
+	// SteinerTree returns the top-1 group Steiner tree.
+	SteinerTree
+	// SLCA returns smallest LCAs of an XML tree.
+	SLCA
+	// ELCA returns exclusive LCAs of an XML tree.
+	ELCA
+)
+
+// String names the semantics.
+func (s Semantics) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case CandidateNetworks:
+		return "cn"
+	case SparkNetworks:
+		return "spark"
+	case DistinctRoot:
+		return "banks"
+	case SteinerTree:
+		return "steiner"
+	case SLCA:
+		return "slca"
+	case ELCA:
+		return "elca"
+	}
+	return fmt.Sprintf("semantics(%d)", int(s))
+}
+
+// Options tunes a search.
+type Options struct {
+	// K bounds the result count (default 10).
+	K int
+	// Semantics selects the result definition (default CandidateNetworks
+	// for relational engines, SLCA for XML engines).
+	Semantics Semantics
+	// MaxCNSize bounds candidate-network size (default 5).
+	MaxCNSize int
+	// Clean runs noisy-channel query cleaning before searching.
+	Clean bool
+}
+
+func (o Options) withDefaults(xml bool) Options {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.MaxCNSize <= 0 {
+		o.MaxCNSize = 5
+	}
+	if o.Semantics == Auto {
+		if xml {
+			o.Semantics = SLCA
+		} else {
+			o.Semantics = CandidateNetworks
+		}
+	}
+	return o
+}
+
+// Result is one search answer under any semantics.
+type Result struct {
+	Score float64
+	// Tuples and CN are set under CandidateNetworks/SparkNetworks.
+	Tuples []*relstore.Tuple
+	CN     *cn.CN
+	// Root and Cost are set under DistinctRoot/SteinerTree (Root is the
+	// answer root's tuple).
+	Root *relstore.Tuple
+	Cost float64
+	// Node is set under SLCA/ELCA.
+	Node *xmltree.Node
+}
+
+// String renders a one-line summary for CLIs.
+func (r Result) String() string {
+	switch {
+	case r.CN != nil:
+		parts := make([]string, len(r.Tuples))
+		for i, tp := range r.Tuples {
+			parts[i] = fmt.Sprintf("%s#%d", tp.Table, tp.ID)
+		}
+		return fmt.Sprintf("%.3f  %s  via %s", r.Score, strings.Join(parts, " ⋈ "), r.CN)
+	case r.Root != nil:
+		return fmt.Sprintf("cost %.2f  root %s#%d", r.Cost, r.Root.Table, r.Root.ID)
+	case r.Node != nil:
+		return fmt.Sprintf("%s (%s)", r.Node.LabelPath(), r.Node.Dewey)
+	}
+	return fmt.Sprintf("score %.3f", r.Score)
+}
+
+// Engine searches one dataset. Construct with NewRelational or NewXML.
+type Engine struct {
+	// Relational side.
+	DB     *relstore.DB
+	Schema *schemagraph.Graph
+	Graph  *datagraph.Graph
+	Index  *invindex.Index
+	// XML side.
+	Tree   *xmltree.Tree
+	XIndex *xmltree.Index
+
+	Cleaner *clean.Cleaner
+	// FreeTables are the relations allowed as free tuple sets in candidate
+	// networks; defaults to the tables without text columns (link tables).
+	FreeTables []string
+}
+
+// NewRelational builds an engine over a relational database.
+func NewRelational(db *relstore.DB) *Engine {
+	ix := invindex.FromDB(db)
+	e := &Engine{
+		DB:      db,
+		Schema:  schemagraph.FromDB(db),
+		Graph:   datagraph.FromDB(db, nil),
+		Index:   ix,
+		Cleaner: clean.NewCleaner(ix),
+	}
+	for _, name := range db.TableNames() {
+		hasText := false
+		for _, c := range db.Table(name).Schema.Columns {
+			if c.Text {
+				hasText = true
+				break
+			}
+		}
+		if !hasText {
+			e.FreeTables = append(e.FreeTables, name)
+		}
+	}
+	return e
+}
+
+// NewXML builds an engine over an XML tree.
+func NewXML(tree *xmltree.Tree) *Engine {
+	xix := xmltree.NewIndex(tree)
+	rix := invindex.New()
+	for _, n := range tree.Nodes() {
+		if n.Value != "" {
+			rix.Add(invindex.DocID(n.ID), n.Value)
+		}
+	}
+	return &Engine{Tree: tree, XIndex: xix, Cleaner: clean.NewCleaner(rix)}
+}
+
+// Terms tokenizes (and optionally cleans) the query.
+func (e *Engine) Terms(query string, doClean bool) []string {
+	if doClean && e.Cleaner != nil {
+		return e.Cleaner.Clean(query).Tokens()
+	}
+	return text.Tokenize(query)
+}
+
+// Search runs the query under the selected semantics.
+func (e *Engine) Search(query string, opts Options) ([]Result, error) {
+	opts = opts.withDefaults(e.Tree != nil)
+	terms := e.Terms(query, opts.Clean)
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("core: empty query")
+	}
+	switch opts.Semantics {
+	case CandidateNetworks, SparkNetworks:
+		return e.searchCN(terms, opts)
+	case DistinctRoot:
+		return e.searchBanks(terms, opts)
+	case SteinerTree:
+		return e.searchSteiner(terms, opts)
+	case SLCA, ELCA:
+		return e.searchXML(terms, opts)
+	}
+	return nil, fmt.Errorf("core: unknown semantics %v", opts.Semantics)
+}
+
+func (e *Engine) requireRelational() error {
+	if e.DB == nil {
+		return fmt.Errorf("core: semantics requires a relational engine")
+	}
+	return nil
+}
+
+func (e *Engine) searchCN(terms []string, opts Options) ([]Result, error) {
+	if err := e.requireRelational(); err != nil {
+		return nil, err
+	}
+	ev := cn.NewEvaluator(e.DB, e.Index, terms)
+	cns := cn.Enumerate(e.Schema, cn.EnumerateOptions{
+		MaxSize:       opts.MaxCNSize,
+		KeywordTables: ev.KeywordTables(),
+		FreeTables:    e.FreeTables,
+	})
+	var out []Result
+	if opts.Semantics == SparkNetworks {
+		scorer := spark.NewScorer(ev, e.Index)
+		rs, _ := spark.TopKSkyline(scorer, cns, opts.K)
+		for _, r := range rs {
+			out = append(out, Result{Score: r.SparkScore, Tuples: r.Tuples, CN: r.CN})
+		}
+		return out, nil
+	}
+	for _, r := range cn.TopKGlobalPipeline(ev, cns, opts.K) {
+		out = append(out, Result{Score: r.Score, Tuples: r.Tuples, CN: r.CN})
+	}
+	return out, nil
+}
+
+// keywordGroups maps terms to data-graph node groups; ok is false when a
+// term has no matches (AND semantics: no results).
+func (e *Engine) keywordGroups(terms []string) ([][]datagraph.NodeID, bool) {
+	groups := make([][]datagraph.NodeID, len(terms))
+	for i, t := range terms {
+		for _, d := range e.Index.Docs(t) {
+			groups[i] = append(groups[i], datagraph.NodeID(d))
+		}
+		if len(groups[i]) == 0 {
+			return nil, false
+		}
+	}
+	return groups, true
+}
+
+func (e *Engine) searchBanks(terms []string, opts Options) ([]Result, error) {
+	if err := e.requireRelational(); err != nil {
+		return nil, err
+	}
+	groups, ok := e.keywordGroups(terms)
+	if !ok {
+		return nil, nil
+	}
+	answers, _ := banks.BackwardSearch(e.Graph, groups, banks.Options{K: opts.K})
+	var out []Result
+	for _, a := range answers {
+		out = append(out, Result{
+			Score: 1 / (1 + a.Cost),
+			Cost:  a.Cost,
+			Root:  e.DB.TupleByID(relstore.TupleID(a.Root)),
+		})
+	}
+	return out, nil
+}
+
+func (e *Engine) searchSteiner(terms []string, opts Options) ([]Result, error) {
+	if err := e.requireRelational(); err != nil {
+		return nil, err
+	}
+	groups, ok := e.keywordGroups(terms)
+	if !ok {
+		return nil, nil
+	}
+	tree, found := steiner.GroupSteiner(e.Graph, groups)
+	if !found {
+		return nil, nil
+	}
+	r := Result{
+		Score: 1 / (1 + tree.Cost),
+		Cost:  tree.Cost,
+		Root:  e.DB.TupleByID(relstore.TupleID(tree.Root)),
+	}
+	for _, n := range tree.Nodes() {
+		r.Tuples = append(r.Tuples, e.DB.TupleByID(relstore.TupleID(n)))
+	}
+	return []Result{r}, nil
+}
+
+func (e *Engine) searchXML(terms []string, opts Options) ([]Result, error) {
+	if e.XIndex == nil {
+		return nil, fmt.Errorf("core: semantics %v requires an XML engine", opts.Semantics)
+	}
+	var nodes []*xmltree.Node
+	if opts.Semantics == ELCA {
+		nodes = lca.ELCAStack(e.XIndex, terms)
+	} else {
+		nodes = lca.SLCA(e.XIndex, terms)
+	}
+	// Rank results by subtree compactness (smaller, deeper subtrees
+	// first), the default XML ranking heuristic.
+	sort.SliceStable(nodes, func(i, j int) bool {
+		si, sj := len(xmltree.Subtree(nodes[i])), len(xmltree.Subtree(nodes[j]))
+		if si != sj {
+			return si < sj
+		}
+		return nodes[i].ID < nodes[j].ID
+	})
+	var out []Result
+	for i, n := range nodes {
+		if i >= opts.K {
+			break
+		}
+		out = append(out, Result{Score: 1 / float64(1+len(xmltree.Subtree(n))), Node: n})
+	}
+	return out, nil
+}
+
+// ReturnNodes applies XSeek inference to an XML result (slide 51).
+func (e *Engine) ReturnNodes(terms []string, result *xmltree.Node) []xseek.ReturnNode {
+	if e.Tree == nil {
+		return nil
+	}
+	cats := xseek.Classify(e.Tree)
+	qa := xseek.AnalyzeQuery(e.Tree, terms)
+	return xseek.InferReturnNodes(e.Tree, cats, qa, result)
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"kwsearch/internal/dataset"
+)
+
+func TestRelationalCNSearch(t *testing.T) {
+	e := NewRelational(dataset.WidomBib())
+	rs, err := e.Search("Widom XML", Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no results")
+	}
+	// The top result joins Widom to an XML paper through write.
+	top := rs[0]
+	if top.CN == nil || len(top.Tuples) != 3 {
+		t.Fatalf("top = %+v", top)
+	}
+	if s := top.String(); !strings.Contains(s, "author") {
+		t.Errorf("render = %q", s)
+	}
+}
+
+func TestRelationalSparkSearch(t *testing.T) {
+	e := NewRelational(dataset.WidomBib())
+	rs, err := e.Search("Widom XML", Options{K: 5, Semantics: SparkNetworks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no results")
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Score > rs[i-1].Score {
+			t.Fatalf("not sorted")
+		}
+	}
+}
+
+func TestBanksAndSteinerSearch(t *testing.T) {
+	e := NewRelational(dataset.SeltzerBerkeley())
+	rs, err := e.Search("Seltzer Berkeley", Options{K: 3, Semantics: DistinctRoot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 || rs[0].Cost != 1 {
+		t.Fatalf("banks results = %+v", rs)
+	}
+	if rs[0].Root == nil {
+		t.Fatalf("root tuple not resolved")
+	}
+	st, err := e.Search("Seltzer Berkeley", Options{Semantics: SteinerTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 1 || st[0].Cost != 1 || len(st[0].Tuples) != 2 {
+		t.Fatalf("steiner = %+v", st)
+	}
+}
+
+func TestSearchWithCleaning(t *testing.T) {
+	e := NewRelational(dataset.WidomBib())
+	// Misspelled query is cleaned before searching.
+	rs, err := e.Search("Widon XLM", Options{K: 5, Clean: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("cleaned query found nothing")
+	}
+}
+
+func TestXMLSearch(t *testing.T) {
+	e := NewXML(dataset.ConfXML())
+	rs, err := e.Search("keyword Mark", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Node.Label != "paper" {
+		t.Fatalf("slca results = %+v", rs)
+	}
+	rs, err = e.Search("keyword Mark", Options{Semantics: ELCA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("elca results empty")
+	}
+	if s := rs[0].String(); !strings.Contains(s, "/conf/paper") {
+		t.Errorf("render = %q", s)
+	}
+}
+
+func TestReturnNodes(t *testing.T) {
+	e := NewXML(dataset.ConfXML())
+	rs, err := e.Search("keyword Mark", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rns := e.ReturnNodes([]string{"keyword", "mark"}, rs[0].Node)
+	if len(rns) == 0 {
+		t.Fatal("no return nodes inferred")
+	}
+}
+
+func TestSemanticsErrors(t *testing.T) {
+	rel := NewRelational(dataset.WidomBib())
+	if _, err := rel.Search("widom", Options{Semantics: SLCA}); err == nil {
+		t.Errorf("SLCA on relational engine must error")
+	}
+	xml := NewXML(dataset.ConfXML())
+	if _, err := xml.Search("mark", Options{Semantics: CandidateNetworks}); err == nil {
+		t.Errorf("CN on XML engine must error")
+	}
+	if _, err := rel.Search("", Options{}); err == nil {
+		t.Errorf("empty query must error")
+	}
+	if got, _ := rel.Search("nosuchterm widom", Options{Semantics: DistinctRoot}); got != nil {
+		t.Errorf("unmatched keyword should yield no graph results: %v", got)
+	}
+}
+
+func TestSemanticsString(t *testing.T) {
+	names := map[Semantics]string{
+		Auto: "auto", CandidateNetworks: "cn", SparkNetworks: "spark",
+		DistinctRoot: "banks", SteinerTree: "steiner", SLCA: "slca", ELCA: "elca",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %s", int(s), s)
+		}
+	}
+}
+
+func TestFreeTablesDefaultToLinkTables(t *testing.T) {
+	e := NewRelational(dataset.WidomBib())
+	if len(e.FreeTables) != 1 || e.FreeTables[0] != "write" {
+		t.Errorf("FreeTables = %v, want [write]", e.FreeTables)
+	}
+}

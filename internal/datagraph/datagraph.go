@@ -1,0 +1,214 @@
+// Package datagraph models a database instance as a weighted undirected
+// graph: one node per tuple, one edge per foreign-key reference between
+// tuples. BANKS, BLINKS and the Steiner-tree search all operate on this
+// graph; it is the "data graph" of the tutorial's Option 3 (search candidate
+// structures on the data graph).
+package datagraph
+
+import (
+	"container/heap"
+	"math"
+
+	"kwsearch/internal/relstore"
+)
+
+// NodeID identifies a graph node. When the graph is built from a relstore
+// database, NodeID equals the tuple's global relstore.TupleID.
+type NodeID int32
+
+// Edge is one weighted, undirected adjacency entry.
+type Edge struct {
+	To     NodeID
+	Weight float64
+}
+
+// Graph is a weighted undirected multigraph with dense node IDs [0, N).
+type Graph struct {
+	adj [][]Edge
+}
+
+// New returns a graph with n isolated nodes.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]Edge, n)}
+}
+
+// FromDB builds the data graph of a database: nodes are tuples (IDs shared
+// with the store) and each foreign-key reference contributes one undirected
+// edge. Edge weights default to 1; weightFn, if non-nil, may override the
+// weight per (referencing, referenced) tuple pair — e.g. BANKS' log(1+deg)
+// weighting.
+func FromDB(db *relstore.DB, weightFn func(from, to *relstore.Tuple) float64) *Graph {
+	g := New(db.NumTuples())
+	for _, name := range db.TableNames() {
+		t := db.Table(name)
+		for _, fk := range t.Schema.ForeignKeys {
+			for _, tp := range t.Tuples() {
+				for _, ref := range db.ForeignMatches(tp, fk) {
+					w := 1.0
+					if weightFn != nil {
+						w = weightFn(tp, ref)
+					}
+					g.AddEdge(NodeID(tp.ID), NodeID(ref.ID), w)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.adj) }
+
+// AddEdge inserts an undirected edge of the given weight. Self-loops are
+// stored once.
+func (g *Graph) AddEdge(a, b NodeID, w float64) {
+	g.adj[a] = append(g.adj[a], Edge{To: b, Weight: w})
+	if a != b {
+		g.adj[b] = append(g.adj[b], Edge{To: a, Weight: w})
+	}
+}
+
+// Neighbors returns the adjacency list of n. The slice is shared; callers
+// must not mutate it.
+func (g *Graph) Neighbors(n NodeID) []Edge { return g.adj[n] }
+
+// Degree returns the number of incident edges of n.
+func (g *Graph) Degree(n NodeID) int { return len(g.adj[n]) }
+
+// Inf is the distance reported for unreachable nodes.
+var Inf = math.Inf(1)
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source shortest-path distances from src, stopping
+// at maxDist (use Inf for no bound). The result maps only reached nodes.
+func (g *Graph) Dijkstra(src NodeID, maxDist float64) map[NodeID]float64 {
+	dist := map[NodeID]float64{src: 0}
+	h := &pq{{node: src, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, e := range g.adj[it.node] {
+			nd := it.dist + e.Weight
+			if nd > maxDist {
+				continue
+			}
+			if cur, ok := dist[e.To]; !ok || nd < cur {
+				dist[e.To] = nd
+				heap.Push(h, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// DijkstraWithParents is Dijkstra that also records a shortest-path tree,
+// mapping each reached node (except src) to its predecessor.
+func (g *Graph) DijkstraWithParents(src NodeID, maxDist float64) (map[NodeID]float64, map[NodeID]NodeID) {
+	dist := map[NodeID]float64{src: 0}
+	parent := map[NodeID]NodeID{}
+	h := &pq{{node: src, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, e := range g.adj[it.node] {
+			nd := it.dist + e.Weight
+			if nd > maxDist {
+				continue
+			}
+			if cur, ok := dist[e.To]; !ok || nd < cur {
+				dist[e.To] = nd
+				parent[e.To] = it.node
+				heap.Push(h, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return dist, parent
+}
+
+// BFSHops computes hop distances (unit weights) from src up to maxHops.
+func (g *Graph) BFSHops(src NodeID, maxHops int) map[NodeID]int {
+	dist := map[NodeID]int{src: 0}
+	frontier := []NodeID{src}
+	for hops := 0; hops < maxHops && len(frontier) > 0; hops++ {
+		var next []NodeID
+		for _, n := range frontier {
+			for _, e := range g.adj[n] {
+				if _, seen := dist[e.To]; !seen {
+					dist[e.To] = hops + 1
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// PathTo reconstructs the node path src..dst from a parent map produced by
+// DijkstraWithParents with source src. It returns nil if dst is unreachable.
+func PathTo(parent map[NodeID]NodeID, src, dst NodeID) []NodeID {
+	if src == dst {
+		return []NodeID{src}
+	}
+	if _, ok := parent[dst]; !ok {
+		return nil
+	}
+	var rev []NodeID
+	for cur := dst; ; {
+		rev = append(rev, cur)
+		if cur == src {
+			break
+		}
+		p, ok := parent[cur]
+		if !ok {
+			return nil
+		}
+		cur = p
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// ConnectedComponent returns all nodes reachable from src.
+func (g *Graph) ConnectedComponent(src NodeID) []NodeID {
+	seen := map[NodeID]bool{src: true}
+	stack := []NodeID{src}
+	var out []NodeID
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, n)
+		for _, e := range g.adj[n] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return out
+}

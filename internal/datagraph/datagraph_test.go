@@ -1,0 +1,217 @@
+package datagraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kwsearch/internal/relstore"
+)
+
+// diamond builds:
+//
+//	0 --1-- 1 --1-- 3
+//	 \             /
+//	  --5-- 2 --1--
+func diamond() *Graph {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(2, 3, 1)
+	return g
+}
+
+func TestDijkstraShortestPaths(t *testing.T) {
+	g := diamond()
+	dist := g.Dijkstra(0, Inf)
+	want := map[NodeID]float64{0: 0, 1: 1, 2: 3, 3: 2}
+	for n, w := range want {
+		if dist[n] != w {
+			t.Errorf("dist[%d] = %v, want %v", n, dist[n], w)
+		}
+	}
+}
+
+func TestDijkstraMaxDist(t *testing.T) {
+	g := diamond()
+	dist := g.Dijkstra(0, 1.5)
+	if _, ok := dist[3]; ok {
+		t.Errorf("node 3 at distance 2 should be cut off at maxDist 1.5")
+	}
+	if dist[1] != 1 {
+		t.Errorf("dist[1] = %v, want 1", dist[1])
+	}
+}
+
+func TestDijkstraWithParentsPath(t *testing.T) {
+	g := diamond()
+	_, parent := g.DijkstraWithParents(0, Inf)
+	path := PathTo(parent, 0, 3)
+	want := []NodeID{0, 1, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if p := PathTo(parent, 0, 0); len(p) != 1 || p[0] != 0 {
+		t.Errorf("trivial path = %v", p)
+	}
+}
+
+func TestPathToUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	_, parent := g.DijkstraWithParents(0, Inf)
+	if p := PathTo(parent, 0, 2); p != nil {
+		t.Errorf("unreachable path = %v, want nil", p)
+	}
+}
+
+func TestBFSHops(t *testing.T) {
+	g := diamond()
+	hops := g.BFSHops(0, 10)
+	if hops[3] != 2 {
+		t.Errorf("hops[3] = %d, want 2 (BFS ignores weights)", hops[3])
+	}
+	limited := g.BFSHops(0, 1)
+	if _, ok := limited[3]; ok {
+		t.Errorf("node 3 should be beyond 1 hop")
+	}
+}
+
+func TestConnectedComponent(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	comp := g.ConnectedComponent(0)
+	if len(comp) != 3 {
+		t.Errorf("component of 0 has %d nodes, want 3", len(comp))
+	}
+	comp = g.ConnectedComponent(3)
+	if len(comp) != 2 {
+		t.Errorf("component of 3 has %d nodes, want 2", len(comp))
+	}
+}
+
+func TestSelfLoopStoredOnce(t *testing.T) {
+	g := New(1)
+	g.AddEdge(0, 0, 1)
+	if g.Degree(0) != 1 {
+		t.Errorf("self-loop degree = %d, want 1", g.Degree(0))
+	}
+}
+
+func TestFromDB(t *testing.T) {
+	db := relstore.NewDB()
+	db.MustCreateTable(&relstore.TableSchema{
+		Name:    "a",
+		Columns: []relstore.Column{{Name: "id", Type: relstore.KindInt}},
+		Key:     "id",
+	})
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "b",
+		Columns: []relstore.Column{
+			{Name: "id", Type: relstore.KindInt},
+			{Name: "aid", Type: relstore.KindInt},
+		},
+		Key: "id",
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "aid", RefTable: "a", RefColumn: "id"},
+		},
+	})
+	a1 := db.MustInsert("a", map[string]relstore.Value{"id": relstore.Int(1)})
+	b1 := db.MustInsert("b", map[string]relstore.Value{"id": relstore.Int(10), "aid": relstore.Int(1)})
+	b2 := db.MustInsert("b", map[string]relstore.Value{"id": relstore.Int(11), "aid": relstore.Int(1)})
+
+	g := FromDB(db, nil)
+	if g.Len() != 3 {
+		t.Fatalf("graph has %d nodes, want 3", g.Len())
+	}
+	if g.Degree(NodeID(a1.ID)) != 2 {
+		t.Errorf("a1 degree = %d, want 2", g.Degree(NodeID(a1.ID)))
+	}
+	dist := g.Dijkstra(NodeID(b1.ID), Inf)
+	if dist[NodeID(b2.ID)] != 2 {
+		t.Errorf("b1->b2 dist = %v, want 2 (via a1)", dist[NodeID(b2.ID)])
+	}
+
+	// Custom weights are honored.
+	g2 := FromDB(db, func(from, to *relstore.Tuple) float64 { return 0.5 })
+	dist2 := g2.Dijkstra(NodeID(b1.ID), Inf)
+	if dist2[NodeID(a1.ID)] != 0.5 {
+		t.Errorf("weighted dist = %v, want 0.5", dist2[NodeID(a1.ID)])
+	}
+}
+
+// TestDijkstraMatchesBFSOnUnitWeights is a property test: on unit-weight
+// random graphs, Dijkstra distance equals BFS hop count.
+func TestDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		for i := 0; i < 2*n; i++ {
+			a, b := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+			g.AddEdge(a, b, 1)
+		}
+		src := NodeID(rng.Intn(n))
+		d := g.Dijkstra(src, Inf)
+		h := g.BFSHops(src, n+1)
+		if len(d) != len(h) {
+			return false
+		}
+		for node, hops := range h {
+			if d[node] != float64(hops) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDijkstraTriangleInequality: for random weighted graphs,
+// d(s,v) <= d(s,u) + w(u,v) for every edge (u,v).
+func TestDijkstraTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := New(n)
+		type edge struct {
+			a, b NodeID
+			w    float64
+		}
+		var edges []edge
+		for i := 0; i < 3*n; i++ {
+			a, b := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+			w := 0.1 + rng.Float64()*5
+			g.AddEdge(a, b, w)
+			edges = append(edges, edge{a, b, w})
+		}
+		d := g.Dijkstra(0, Inf)
+		const eps = 1e-9
+		for _, e := range edges {
+			da, oka := d[e.a]
+			db, okb := d[e.b]
+			if oka && okb {
+				if db > da+e.w+eps || da > db+e.w+eps {
+					return false
+				}
+			}
+			if oka != okb {
+				return false // one endpoint reached implies the other is too
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

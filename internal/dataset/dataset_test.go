@@ -1,0 +1,187 @@
+package dataset
+
+import (
+	"testing"
+
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/text"
+)
+
+func TestDBLPDeterministicAndSized(t *testing.T) {
+	cfg := DefaultDBLPConfig()
+	cfg.Authors, cfg.Papers, cfg.Conferences = 50, 120, 5
+	a := DBLP(cfg)
+	b := DBLP(cfg)
+	if a.NumTuples() != b.NumTuples() {
+		t.Fatalf("same seed produced different sizes: %d vs %d", a.NumTuples(), b.NumTuples())
+	}
+	if a.Table("author").Len() != 50 || a.Table("paper").Len() != 120 {
+		t.Fatalf("stats = %v", a.Stats())
+	}
+	// Every write references existing author and paper.
+	w := a.Table("write")
+	for _, tp := range w.Tuples() {
+		for _, fk := range w.Schema.ForeignKeys {
+			if len(a.ForeignMatches(tp, fk)) != 1 {
+				t.Fatalf("dangling FK in write: %+v", tp)
+			}
+		}
+	}
+	// Citations are acyclic by construction (cited < citing).
+	c := a.Table("cite")
+	for _, tp := range c.Tuples() {
+		if tp.Values[1].Int >= tp.Values[0].Int {
+			t.Fatalf("citation not backward: %+v", tp)
+		}
+	}
+}
+
+func TestDBLPTermSkew(t *testing.T) {
+	db := DBLP(DefaultDBLPConfig())
+	ix := invindex.FromDB(db)
+	// The Zipf head term must be much more frequent than the tail.
+	dfs := []int{}
+	for _, term := range ix.Terms() {
+		dfs = append(dfs, ix.DF(term))
+	}
+	max, sum := 0, 0
+	for _, d := range dfs {
+		if d > max {
+			max = d
+		}
+		sum += d
+	}
+	if max*len(dfs) < sum*3 {
+		t.Errorf("vocabulary not skewed: max=%d avg=%f", max, float64(sum)/float64(len(dfs)))
+	}
+}
+
+func TestSeltzerBerkeley(t *testing.T) {
+	db := SeltzerBerkeley()
+	ix := invindex.FromDB(db)
+	if len(ix.Docs("seltzer")) != 1 || len(ix.Docs("berkeley")) != 2 {
+		t.Fatalf("seltzer=%v berkeley=%v", ix.Docs("seltzer"), ix.Docs("berkeley"))
+	}
+	// No single tuple contains both keywords: the result must be assembled.
+	if got := ix.Intersect([]string{"seltzer", "berkeley"}); got != nil {
+		t.Fatalf("no single tuple should match both: %v", got)
+	}
+}
+
+func TestWidomBib(t *testing.T) {
+	db := WidomBib()
+	ix := invindex.FromDB(db)
+	if len(ix.Docs("widom")) != 1 {
+		t.Errorf("widom docs = %v", ix.Docs("widom"))
+	}
+	if len(ix.Docs("xml")) != 2 {
+		t.Errorf("xml docs = %v", ix.Docs("xml"))
+	}
+}
+
+func TestEventsAndLaptops(t *testing.T) {
+	if len(Events()) != 7 {
+		t.Errorf("events = %d rows", len(Events()))
+	}
+	db := EventsDB()
+	if db.Table("event").Len() != 7 {
+		t.Errorf("eventsDB = %d rows", db.Table("event").Len())
+	}
+	if len(Laptops()) != 4 {
+		t.Errorf("laptops = %d rows", len(Laptops()))
+	}
+	p := Products()
+	if p.Table("product").Len() < 10 {
+		t.Errorf("products too small")
+	}
+}
+
+func TestConfXMLShape(t *testing.T) {
+	tr := ConfXML()
+	papers := tr.NodesByLabel("paper")
+	if len(papers) != 2 {
+		t.Fatalf("papers = %d", len(papers))
+	}
+	if tr.Root.Label != "conf" {
+		t.Errorf("root = %s", tr.Root.Label)
+	}
+	demo := ConfDemoXML()
+	if len(demo.NodesByLabel("demo")) != 1 {
+		t.Errorf("demo tree wrong")
+	}
+}
+
+func TestAuctionsXMLRoles(t *testing.T) {
+	tr := AuctionsXML()
+	// Tom appears in three distinct roles.
+	roles := map[string]int{}
+	for _, n := range tr.Nodes() {
+		if text.Contains(n.Value, "tom") {
+			roles[n.Label]++
+		}
+	}
+	if len(roles) != 3 {
+		t.Fatalf("tom roles = %v, want seller/buyer/auctioneer", roles)
+	}
+}
+
+func TestBibXML(t *testing.T) {
+	cfg := DefaultBibConfig()
+	cfg.PapersPerVenue = 10
+	tr := BibXML(cfg)
+	confs := tr.NodesByLabel("conf")
+	if len(confs) != cfg.Confs {
+		t.Fatalf("confs = %d", len(confs))
+	}
+	papers := tr.NodesByLabel("paper")
+	if len(papers) != (cfg.Confs+cfg.Journals)*cfg.PapersPerVenue {
+		t.Fatalf("papers = %d", len(papers))
+	}
+	// Deterministic for a fixed seed.
+	tr2 := BibXML(cfg)
+	if tr.Len() != tr2.Len() {
+		t.Errorf("not deterministic: %d vs %d", tr.Len(), tr2.Len())
+	}
+}
+
+func TestKeywordTree(t *testing.T) {
+	tr := KeywordTree(3, 3, map[string]int{"k0": 5, "k1": 40}, 7)
+	count := func(term string) int {
+		n := 0
+		for _, node := range tr.Nodes() {
+			if node.Value == term {
+				n++
+			}
+		}
+		return n
+	}
+	if count("k0") != 5 || count("k1") != 40 {
+		t.Fatalf("match counts k0=%d k1=%d", count("k0"), count("k1"))
+	}
+}
+
+func TestQueryLog(t *testing.T) {
+	db := DBLP(DBLPConfig{Authors: 30, Papers: 80, Conferences: 4,
+		AuthorsPerPaper: 2, CitesPerPaper: 1, TitleTermCount: 3, ExtraVocab: 20, Seed: 3})
+	log := QueryLog(db, 50, 9)
+	if len(log) != 50 {
+		t.Fatalf("log size = %d", len(log))
+	}
+	seen := map[string]bool{}
+	for _, e := range log {
+		if len(e.Terms) == 0 || len(e.Terms) > 3 {
+			t.Fatalf("bad query %v", e)
+		}
+		if e.Count < 1 {
+			t.Fatalf("bad count %v", e)
+		}
+		key := ""
+		for _, term := range e.Terms {
+			key += term + "|"
+		}
+		if seen[key] {
+			t.Fatalf("duplicate query %v", e.Terms)
+		}
+		seen[key] = true
+	}
+}

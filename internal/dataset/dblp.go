@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kwsearch/internal/relstore"
+)
+
+// DBLPConfig sizes the synthetic bibliography database.
+type DBLPConfig struct {
+	Authors         int
+	Papers          int
+	Conferences     int
+	AuthorsPerPaper int // mean; actual count is 1..2*mean-1
+	CitesPerPaper   int // mean outgoing citations
+	TitleTermCount  int // terms per title
+	ExtraVocab      int // synthetic terms appended to TitleTerms
+	Seed            int64
+}
+
+// DefaultDBLPConfig returns a laptop-scale default (a few thousand tuples).
+func DefaultDBLPConfig() DBLPConfig {
+	return DBLPConfig{
+		Authors:         400,
+		Papers:          1000,
+		Conferences:     10,
+		AuthorsPerPaper: 2,
+		CitesPerPaper:   2,
+		TitleTermCount:  4,
+		ExtraVocab:      200,
+		Seed:            1,
+	}
+}
+
+// DBLPSchema creates the five bibliography tables in db:
+//
+//	author(aid, name)
+//	conference(cid, name, year)
+//	paper(pid, title, cid)
+//	write(aid, pid)
+//	cite(citing, cited)
+//
+// This is the schema graph the tutorial's relational examples use
+// (A ↔ W ↔ P, P → C, P ↔ Cite ↔ P).
+func DBLPSchema(db *relstore.DB) {
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "author",
+		Columns: []relstore.Column{
+			{Name: "aid", Type: relstore.KindInt},
+			{Name: "name", Type: relstore.KindString, Text: true},
+		},
+		Key: "aid",
+	})
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "conference",
+		Columns: []relstore.Column{
+			{Name: "cid", Type: relstore.KindInt},
+			{Name: "name", Type: relstore.KindString, Text: true},
+			{Name: "year", Type: relstore.KindInt},
+		},
+		Key: "cid",
+	})
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "paper",
+		Columns: []relstore.Column{
+			{Name: "pid", Type: relstore.KindInt},
+			{Name: "title", Type: relstore.KindString, Text: true},
+			{Name: "cid", Type: relstore.KindInt},
+		},
+		Key: "pid",
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "cid", RefTable: "conference", RefColumn: "cid"},
+		},
+	})
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "write",
+		Columns: []relstore.Column{
+			{Name: "aid", Type: relstore.KindInt},
+			{Name: "pid", Type: relstore.KindInt},
+		},
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "aid", RefTable: "author", RefColumn: "aid"},
+			{Column: "pid", RefTable: "paper", RefColumn: "pid"},
+		},
+	})
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "cite",
+		Columns: []relstore.Column{
+			{Name: "citing", Type: relstore.KindInt},
+			{Name: "cited", Type: relstore.KindInt},
+		},
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "citing", RefTable: "paper", RefColumn: "pid"},
+			{Column: "cited", RefTable: "paper", RefColumn: "pid"},
+		},
+	})
+}
+
+// DBLP generates a synthetic bibliography database per cfg.
+func DBLP(cfg DBLPConfig) *relstore.DB {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zt := newZipfTerm(rng, TitleTerms, cfg.ExtraVocab)
+	db := relstore.NewDB()
+	DBLPSchema(db)
+
+	for i := 0; i < cfg.Authors; i++ {
+		name := fmt.Sprintf("%s %s", pick(rng, FirstNames), pick(rng, LastNames))
+		if i >= len(FirstNames)*len(LastNames) {
+			name = fmt.Sprintf("%s%04d", name, i)
+		}
+		db.MustInsert("author", map[string]relstore.Value{
+			"aid": relstore.Int(int64(i)), "name": relstore.String(name),
+		})
+	}
+	for i := 0; i < cfg.Conferences; i++ {
+		db.MustInsert("conference", map[string]relstore.Value{
+			"cid":  relstore.Int(int64(i)),
+			"name": relstore.String(ConferenceNames[i%len(ConferenceNames)]),
+			"year": relstore.Int(int64(2000 + i%12)),
+		})
+	}
+	for i := 0; i < cfg.Papers; i++ {
+		title := ""
+		for j := 0; j < cfg.TitleTermCount; j++ {
+			if j > 0 {
+				title += " "
+			}
+			title += zt.draw()
+		}
+		db.MustInsert("paper", map[string]relstore.Value{
+			"pid":   relstore.Int(int64(i)),
+			"title": relstore.String(title),
+			"cid":   relstore.Int(int64(rng.Intn(cfg.Conferences))),
+		})
+	}
+	// Writes: each paper gets 1..2*mean-1 distinct authors.
+	for p := 0; p < cfg.Papers; p++ {
+		n := 1
+		if cfg.AuthorsPerPaper > 1 {
+			n = 1 + rng.Intn(2*cfg.AuthorsPerPaper-1)
+		}
+		seen := map[int]bool{}
+		for j := 0; j < n; j++ {
+			a := rng.Intn(cfg.Authors)
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			db.MustInsert("write", map[string]relstore.Value{
+				"aid": relstore.Int(int64(a)), "pid": relstore.Int(int64(p)),
+			})
+		}
+	}
+	// Citations, acyclic by construction (cite only earlier papers).
+	for p := 1; p < cfg.Papers; p++ {
+		n := rng.Intn(cfg.CitesPerPaper*2 + 1)
+		seen := map[int]bool{}
+		for j := 0; j < n; j++ {
+			q := rng.Intn(p)
+			if seen[q] {
+				continue
+			}
+			seen[q] = true
+			db.MustInsert("cite", map[string]relstore.Value{
+				"citing": relstore.Int(int64(p)), "cited": relstore.Int(int64(q)),
+			})
+		}
+	}
+	return db
+}

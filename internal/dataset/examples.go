@@ -1,0 +1,236 @@
+package dataset
+
+import "kwsearch/internal/relstore"
+
+// SeltzerBerkeley builds the slide-7 database: University, Student,
+// Project and Participation tuples that are scattered but collectively
+// answer Q = "Seltzer, Berkeley" through joins (the "expected surprise").
+func SeltzerBerkeley() *relstore.DB {
+	db := relstore.NewDB()
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "university",
+		Columns: []relstore.Column{
+			{Name: "uid", Type: relstore.KindInt},
+			{Name: "uname", Type: relstore.KindString, Text: true},
+		},
+		Key: "uid",
+	})
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "student",
+		Columns: []relstore.Column{
+			{Name: "sid", Type: relstore.KindInt},
+			{Name: "sname", Type: relstore.KindString, Text: true},
+			{Name: "uid", Type: relstore.KindInt},
+		},
+		Key: "sid",
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "uid", RefTable: "university", RefColumn: "uid"},
+		},
+	})
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "project",
+		Columns: []relstore.Column{
+			{Name: "pid", Type: relstore.KindInt},
+			{Name: "pname", Type: relstore.KindString, Text: true},
+		},
+		Key: "pid",
+	})
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "participation",
+		Columns: []relstore.Column{
+			{Name: "pid", Type: relstore.KindInt},
+			{Name: "sid", Type: relstore.KindInt},
+		},
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "pid", RefTable: "project", RefColumn: "pid"},
+			{Column: "sid", RefTable: "student", RefColumn: "sid"},
+		},
+	})
+
+	db.MustInsert("university", map[string]relstore.Value{
+		"uid": relstore.Int(12), "uname": relstore.String("UC Berkeley"),
+	})
+	db.MustInsert("student", map[string]relstore.Value{
+		"sid": relstore.Int(6055), "sname": relstore.String("Margo Seltzer"),
+		"uid": relstore.Int(12),
+	})
+	db.MustInsert("project", map[string]relstore.Value{
+		"pid": relstore.Int(5), "pname": relstore.String("Berkeley DB"),
+	})
+	db.MustInsert("participation", map[string]relstore.Value{
+		"pid": relstore.Int(5), "sid": relstore.Int(6055),
+	})
+	// Distractors so the query is not trivially the whole database.
+	db.MustInsert("university", map[string]relstore.Value{
+		"uid": relstore.Int(13), "uname": relstore.String("MIT"),
+	})
+	db.MustInsert("student", map[string]relstore.Value{
+		"sid": relstore.Int(7001), "sname": relstore.String("Alan Kay"),
+		"uid": relstore.Int(13),
+	})
+	db.MustInsert("project", map[string]relstore.Value{
+		"pid": relstore.Int(6), "pname": relstore.String("System R"),
+	})
+	db.MustInsert("participation", map[string]relstore.Value{
+		"pid": relstore.Int(6), "sid": relstore.Int(7001),
+	})
+	return db
+}
+
+// WidomBib builds a tiny author–write–paper instance matching the CN
+// example of slide 28 (Q = "Widom, XML"): Widom the author, papers with XML
+// in the title, plus co-author rows so the larger CNs are non-empty.
+func WidomBib() *relstore.DB {
+	db := relstore.NewDB()
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "author",
+		Columns: []relstore.Column{
+			{Name: "aid", Type: relstore.KindInt},
+			{Name: "name", Type: relstore.KindString, Text: true},
+		},
+		Key: "aid",
+	})
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "paper",
+		Columns: []relstore.Column{
+			{Name: "pid", Type: relstore.KindInt},
+			{Name: "title", Type: relstore.KindString, Text: true},
+		},
+		Key: "pid",
+	})
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "write",
+		Columns: []relstore.Column{
+			{Name: "aid", Type: relstore.KindInt},
+			{Name: "pid", Type: relstore.KindInt},
+		},
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "aid", RefTable: "author", RefColumn: "aid"},
+			{Column: "pid", RefTable: "paper", RefColumn: "pid"},
+		},
+	})
+	db.MustInsert("author", map[string]relstore.Value{"aid": relstore.Int(1), "name": relstore.String("Jennifer Widom")})
+	db.MustInsert("author", map[string]relstore.Value{"aid": relstore.Int(2), "name": relstore.String("Jeffrey Ullman")})
+	db.MustInsert("author", map[string]relstore.Value{"aid": relstore.Int(3), "name": relstore.String("Serge Abiteboul")})
+	db.MustInsert("paper", map[string]relstore.Value{"pid": relstore.Int(10), "title": relstore.String("Querying XML streams")})
+	db.MustInsert("paper", map[string]relstore.Value{"pid": relstore.Int(11), "title": relstore.String("Datalog evaluation")})
+	db.MustInsert("paper", map[string]relstore.Value{"pid": relstore.Int(12), "title": relstore.String("XML schema validation")})
+	db.MustInsert("write", map[string]relstore.Value{"aid": relstore.Int(1), "pid": relstore.Int(10)})
+	db.MustInsert("write", map[string]relstore.Value{"aid": relstore.Int(1), "pid": relstore.Int(11)})
+	db.MustInsert("write", map[string]relstore.Value{"aid": relstore.Int(2), "pid": relstore.Int(11)})
+	db.MustInsert("write", map[string]relstore.Value{"aid": relstore.Int(2), "pid": relstore.Int(12)})
+	db.MustInsert("write", map[string]relstore.Value{"aid": relstore.Int(3), "pid": relstore.Int(10)})
+	db.MustInsert("write", map[string]relstore.Value{"aid": relstore.Int(3), "pid": relstore.Int(12)})
+	return db
+}
+
+// EventRow mirrors the slide-165 events table used by the table-analysis
+// experiment (E10).
+type EventRow struct {
+	Month, State, City, Event, Description string
+}
+
+// Events returns the seven rows of the slide-16/165 example exactly.
+func Events() []EventRow {
+	return []EventRow{
+		{"Dec", "TX", "Houston", "US Open Pool", "Best of 19, ranking"},
+		{"Dec", "TX", "Dallas", "Cowboy's dream run", "Motorcycle, beer"},
+		{"Dec", "TX", "Austin", "SPAM Museum party", "Classical American food"},
+		{"Oct", "MI", "Detroit", "Motorcycle Rallies", "Tournament, round robin"},
+		{"Dec", "MI", "Flint", "Michigan Pool Exhibition", "Non-ranking, 2 days"},
+		{"Sep", "MI", "Lansing", "American Food history", "The best food from USA"},
+		{"Dec", "MI", "Detroit", "Motorcycle winter show", "Dealers and demos"},
+	}
+}
+
+// EventsDB loads Events into a single-table database.
+func EventsDB() *relstore.DB {
+	db := relstore.NewDB()
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "event",
+		Columns: []relstore.Column{
+			{Name: "id", Type: relstore.KindInt},
+			{Name: "month", Type: relstore.KindString},
+			{Name: "state", Type: relstore.KindString},
+			{Name: "city", Type: relstore.KindString},
+			{Name: "event", Type: relstore.KindString, Text: true},
+			{Name: "description", Type: relstore.KindString, Text: true},
+		},
+		Key: "id",
+	})
+	for i, r := range Events() {
+		db.MustInsert("event", map[string]relstore.Value{
+			"id":          relstore.Int(int64(i)),
+			"month":       relstore.String(r.Month),
+			"state":       relstore.String(r.State),
+			"city":        relstore.String(r.City),
+			"event":       relstore.String(r.Event),
+			"description": relstore.String(r.Description),
+		})
+	}
+	return db
+}
+
+// LaptopRow mirrors the slide-166 text-cube table (E14).
+type LaptopRow struct {
+	Brand, Model, CPU, OS, Description string
+}
+
+// Laptops returns the slide-166/167 rows exactly.
+func Laptops() []LaptopRow {
+	return []LaptopRow{
+		{"Acer", "AOA110", "1.6GHz", "Win 7", "lightweight laptop with powerful design"},
+		{"Acer", "AOA110", "1.7GHz", "Win 7", "powerful processor for a laptop"},
+		{"ASUS", "EEE PC", "1.7GHz", "Win Vista", "large disk powerful laptop value"},
+		{"ASUS", "EEE PC", "1.6GHz", "Win Vista", "large disk budget laptop"},
+	}
+}
+
+// Products returns the slide-95 entity table for the Keyword++ rewriting
+// experiment (E9), padded with enough rows that distribution statistics are
+// meaningful.
+func Products() *relstore.DB {
+	db := relstore.NewDB()
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "product",
+		Columns: []relstore.Column{
+			{Name: "id", Type: relstore.KindInt},
+			{Name: "name", Type: relstore.KindString, Text: true},
+			{Name: "brand", Type: relstore.KindString},
+			{Name: "screen", Type: relstore.KindFloat},
+			{Name: "description", Type: relstore.KindString, Text: true},
+		},
+		Key: "id",
+	})
+	rows := []struct {
+		name, brand string
+		screen      float64
+		desc        string
+	}{
+		{"ThinkPad T60", "Lenovo", 14, "The IBM laptop for small business"},
+		{"ThinkPad X40", "Lenovo", 12, "This notebook is ultraportable"},
+		{"ThinkPad X60", "Lenovo", 12, "IBM heritage business laptop"},
+		{"ThinkPad T43", "Lenovo", 14, "durable IBM classic laptop"},
+		{"Latitude D620", "Dell", 14, "business laptop"},
+		{"Latitude X1", "Dell", 12, "light business laptop"},
+		{"Inspiron 6400", "Dell", 15, "home laptop large screen"},
+		{"Pavilion dv6", "HP", 15, "entertainment laptop"},
+		{"Pavilion tx1000", "HP", 12, "convertible laptop"},
+		{"MacBook", "Apple", 13, "aluminium laptop"},
+		{"MacBook Pro", "Apple", 15, "professional laptop"},
+		{"Satellite A105", "Toshiba", 15, "value laptop"},
+		{"Portege R500", "Toshiba", 12, "ultralight laptop"},
+		{"Aspire One", "Acer", 10, "netbook small laptop"},
+		{"TravelMate", "Acer", 14, "travel laptop"},
+	}
+	for i, r := range rows {
+		db.MustInsert("product", map[string]relstore.Value{
+			"id":          relstore.Int(int64(i)),
+			"name":        relstore.String(r.name),
+			"brand":       relstore.String(r.brand),
+			"screen":      relstore.Float(r.screen),
+			"description": relstore.String(r.desc),
+		})
+	}
+	return db
+}

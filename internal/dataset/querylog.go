@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"math/rand"
+	"sort"
+
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/relstore"
+)
+
+// LogEntry is one historical query with a hit count — the shape the
+// facet-navigation, IQP and Keyword++ estimators consume.
+type LogEntry struct {
+	Terms []string
+	Count int
+}
+
+// QueryLog synthesizes a query log of n distinct queries over the terms of
+// db's inverted index, with Zipfian popularity. Queries have 1-3 terms
+// drawn (biased) from frequent terms, so estimators see realistic skew.
+func QueryLog(db *relstore.DB, n int, seed int64) []LogEntry {
+	ix := invindex.FromDB(db)
+	terms := ix.Terms()
+	// Order terms by descending document frequency so the Zipf draw maps
+	// rank 0 to the most frequent term.
+	sort.SliceStable(terms, func(i, j int) bool { return ix.DF(terms[i]) > ix.DF(terms[j]) })
+	if len(terms) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.2, 2, uint64(len(terms)-1))
+	cz := rand.NewZipf(rng, 1.5, 2, 50)
+
+	seen := map[string]bool{}
+	var out []LogEntry
+	for len(out) < n {
+		k := 1 + rng.Intn(3)
+		q := make([]string, 0, k)
+		used := map[string]bool{}
+		for len(q) < k {
+			t := terms[z.Uint64()]
+			if !used[t] {
+				used[t] = true
+				q = append(q, t)
+			}
+		}
+		sort.Strings(q)
+		key := ""
+		for _, t := range q {
+			key += t + "\x00"
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, LogEntry{Terms: q, Count: 1 + int(cz.Uint64())})
+	}
+	return out
+}

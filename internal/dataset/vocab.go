@@ -1,0 +1,75 @@
+// Package dataset builds the synthetic corpora the experiments run on:
+// a DBLP-style relational database, IMDB/bibliography-style XML documents,
+// product-entity tables and query logs. Everything is seeded and
+// deterministic so experiment tables are reproducible. These generators are
+// the substitution for the proprietary datasets (DBLP, IMDB, product
+// catalogs, query logs) used by the systems the tutorial surveys.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TitleTerms is the topical vocabulary paper titles draw from. It
+// deliberately contains the terms the tutorial's examples use so worked
+// examples and generated data share one vocabulary.
+var TitleTerms = []string{
+	"keyword", "search", "database", "query", "processing", "xml", "graph",
+	"steiner", "tree", "ranking", "top-k", "index", "join", "optimization",
+	"semantics", "schema", "relational", "semistructured", "proximity",
+	"snippet", "cluster", "facet", "form", "cloud", "scalability",
+	"olap", "mining", "stream", "parallel", "distributed", "probabilistic",
+	"rdf", "spatial", "workflow", "entity", "extraction", "integration",
+	"completion", "refinement", "rewriting", "cleaning", "ambiguity",
+	"inference", "structure", "candidate", "network", "expansion",
+	"bidirectional", "lca", "slca", "elca", "dewey", "authority", "pagerank",
+	"tfidf", "vector", "correlation", "entropy", "evaluation", "benchmark",
+	"axiom", "consistency", "monotonicity", "precision", "recall",
+	"datalog", "view", "materialized", "cache", "adaptive", "selectivity",
+	"cardinality", "histogram", "sketch", "sampling", "compression",
+	"transaction", "concurrency", "recovery", "partition", "replication",
+	"skyline", "aggregate", "cube", "warehouse", "provenance", "privacy",
+}
+
+// FirstNames and LastNames generate author names; the names appearing in
+// the tutorial's examples are included.
+var FirstNames = []string{
+	"john", "mary", "wei", "yi", "ziyang", "margo", "jennifer", "jeffrey",
+	"david", "surajit", "gautam", "divesh", "jim", "michael", "hector",
+	"rakesh", "christos", "jiawei", "philip", "laura", "anhai", "alon",
+}
+
+var LastNames = []string{
+	"widom", "ullman", "seltzer", "dewitt", "chen", "wang", "liu", "lin",
+	"chaudhuri", "das", "srivastava", "gray", "stonebraker", "garcia",
+	"agrawal", "faloutsos", "han", "yu", "haas", "doan", "halevy", "mark",
+}
+
+// ConferenceNames seed conference rows.
+var ConferenceNames = []string{
+	"sigmod", "vldb", "icde", "edbt", "cikm", "www", "kdd", "sigir",
+	"pods", "cidr",
+}
+
+// zipfTerm draws a term index with a Zipfian distribution so the generated
+// corpora exhibit the skewed term frequencies real text has.
+type zipfTerm struct {
+	z     *rand.Zipf
+	terms []string
+}
+
+func newZipfTerm(rng *rand.Rand, terms []string, extra int) zipfTerm {
+	all := append([]string(nil), terms...)
+	for i := 0; i < extra; i++ {
+		all = append(all, fmt.Sprintf("term%04d", i))
+	}
+	return zipfTerm{
+		z:     rand.NewZipf(rng, 1.3, 2, uint64(len(all)-1)),
+		terms: all,
+	}
+}
+
+func (zt zipfTerm) draw() string { return zt.terms[zt.z.Uint64()] }
+
+func pick(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }

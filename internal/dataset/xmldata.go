@@ -1,0 +1,223 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kwsearch/internal/xmltree"
+)
+
+// ConfXML builds the slide-32/33 tree used by the SLCA example:
+//
+//	conf
+//	├── name: SIGMOD
+//	├── year: 2007
+//	├── paper
+//	│   ├── title: keyword
+//	│   └── author: Mark, author: Chen
+//	└── paper
+//	    ├── title: RDF
+//	    └── author: Mark, author: Zhang
+func ConfXML() *xmltree.Tree {
+	b := xmltree.NewBuilder("conf")
+	r := b.Root()
+	b.Child(r, "name", "SIGMOD")
+	b.Child(r, "year", "2007")
+	p1 := b.Child(r, "paper", "")
+	b.Child(p1, "title", "keyword")
+	b.Child(p1, "author", "Mark")
+	b.Child(p1, "author", "Chen")
+	p2 := b.Child(r, "paper", "")
+	b.Child(p2, "title", "RDF")
+	b.Child(p2, "author", "Mark")
+	b.Child(p2, "author", "Zhang")
+	return b.Freeze()
+}
+
+// ConfDemoXML builds the slide-109 tree for the query-consistency axiom
+// experiment: a SIGMOD conf with two papers and a demo, where the demo
+// contains "Mark" but not "paper".
+func ConfDemoXML() *xmltree.Tree {
+	b := xmltree.NewBuilder("conf")
+	r := b.Root()
+	b.Child(r, "name", "SIGMOD")
+	b.Child(r, "year", "2007")
+	p1 := b.Child(r, "paper", "")
+	b.Child(p1, "title", "keyword")
+	b.Child(p1, "author", "Mark")
+	b.Child(p1, "author", "Yang")
+	p2 := b.Child(r, "paper", "")
+	b.Child(p2, "title", "XML")
+	b.Child(p2, "author", "Liu")
+	b.Child(p2, "author", "Chen")
+	d := b.Child(r, "demo", "")
+	b.Child(d, "title", "Top-k")
+	b.Child(d, "author", "Soliman")
+	return b.Freeze()
+}
+
+// AuctionsXML builds the slide-161 auctions document for describable
+// clustering: Tom appears as auctioneer, buyer and seller in different
+// auctions.
+func AuctionsXML() *xmltree.Tree {
+	b := xmltree.NewBuilder("auctions")
+	r := b.Root()
+
+	a1 := b.Child(r, "closed_auction", "")
+	b.Child(a1, "seller", "Bob")
+	b.Child(a1, "buyer", "Mary")
+	b.Child(a1, "auctioneer", "Tom")
+	b.Child(a1, "price", "149.24")
+
+	a2 := b.Child(r, "closed_auction", "")
+	b.Child(a2, "seller", "Frank")
+	b.Child(a2, "buyer", "Tom")
+	b.Child(a2, "auctioneer", "Louis")
+	b.Child(a2, "price", "750.30")
+
+	a3 := b.Child(r, "open_auction", "")
+	b.Child(a3, "seller", "Tom")
+	b.Child(a3, "buyer", "Peter")
+	b.Child(a3, "auctioneer", "Mark")
+	b.Child(a3, "price", "350.00")
+
+	a4 := b.Child(r, "closed_auction", "")
+	b.Child(a4, "seller", "Tom")
+	b.Child(a4, "buyer", "Mary")
+	b.Child(a4, "auctioneer", "Louis")
+	b.Child(a4, "price", "220.10")
+	return b.Freeze()
+}
+
+// MovieXML builds the slide-27/36 IMDB fragment: movies with name/year/plot
+// and a director, used by the label-path and XReal examples.
+func MovieXML() *xmltree.Tree {
+	b := xmltree.NewBuilder("imdb")
+	r := b.Root()
+	m1 := b.Child(r, "movie", "")
+	b.Child(m1, "name", "shining")
+	b.Child(m1, "year", "1980")
+	b.Child(m1, "plot", "a writer in an empty hotel")
+	m2 := b.Child(r, "movie", "")
+	b.Child(m2, "name", "scoop")
+	b.Child(m2, "year", "2006")
+	b.Child(m2, "plot", "a journalism student")
+	tv1 := b.Child(r, "tv", "")
+	b.Child(tv1, "name", "Simpsons")
+	b.Child(tv1, "plot", "a family in Springfield since 1980")
+	tv2 := b.Child(r, "tv", "")
+	b.Child(tv2, "name", "Friends")
+	b.Child(tv2, "plot", "six friends in New York")
+	d := b.Child(r, "director", "")
+	b.Child(d, "name", "W Allen")
+	b.Child(d, "DOB", "1935")
+	return b.Freeze()
+}
+
+// BibConfig sizes the generated bibliography XML corpus.
+type BibConfig struct {
+	Confs           int
+	Journals        int
+	PapersPerVenue  int
+	AuthorsPerPaper int
+	TitleTermCount  int
+	ExtraVocab      int
+	Seed            int64
+}
+
+// DefaultBibConfig returns a laptop-scale default.
+func DefaultBibConfig() BibConfig {
+	return BibConfig{
+		Confs:           8,
+		Journals:        4,
+		PapersPerVenue:  60,
+		AuthorsPerPaper: 2,
+		TitleTermCount:  4,
+		ExtraVocab:      150,
+		Seed:            1,
+	}
+}
+
+// BibXML generates a bibliography document:
+//
+//	bib
+//	├── conf*     (name, year, paper*)
+//	├── journal*  (name, year, paper*)
+//	└── paper has title, author*, and occasionally editor
+//
+// The conf/journal/editor split gives the XReal return-type and XBridge
+// clustering experiments distinguishable contexts.
+func BibXML(cfg BibConfig) *xmltree.Tree {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zt := newZipfTerm(rng, TitleTerms, cfg.ExtraVocab)
+	b := xmltree.NewBuilder("bib")
+	root := b.Root()
+
+	addVenue := func(kind string, idx int) {
+		v := b.Child(root, kind, "")
+		name := ConferenceNames[idx%len(ConferenceNames)]
+		if kind == "journal" {
+			name = "tods"
+			if idx%2 == 1 {
+				name = "vldbj"
+			}
+		}
+		b.Child(v, "name", name)
+		b.Child(v, "year", fmt.Sprintf("%d", 2000+idx%12))
+		for p := 0; p < cfg.PapersPerVenue; p++ {
+			paper := b.Child(v, "paper", "")
+			title := ""
+			for j := 0; j < cfg.TitleTermCount; j++ {
+				if j > 0 {
+					title += " "
+				}
+				title += zt.draw()
+			}
+			b.Child(paper, "title", title)
+			n := 1 + rng.Intn(cfg.AuthorsPerPaper*2-1)
+			for a := 0; a < n; a++ {
+				b.Child(paper, "author",
+					fmt.Sprintf("%s %s", pick(rng, FirstNames), pick(rng, LastNames)))
+			}
+			if rng.Intn(4) == 0 {
+				b.Child(paper, "editor",
+					fmt.Sprintf("%s %s", pick(rng, FirstNames), pick(rng, LastNames)))
+			}
+		}
+	}
+	for i := 0; i < cfg.Confs; i++ {
+		addVenue("conf", i)
+	}
+	for i := 0; i < cfg.Journals; i++ {
+		addVenue("journal", i)
+	}
+	return b.Freeze()
+}
+
+// KeywordTree generates a random tree whose leaves carry terms k0..k(v-1)
+// with the requested per-term match counts — the workload generator for the
+// SLCA/ELCA algorithm benchmarks (E15, E20), where the shapes depend on
+// |Smin| and |Smax|.
+func KeywordTree(fanout, depth int, matchCounts map[string]int, seed int64) *xmltree.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	b := xmltree.NewBuilder("root")
+	var leaves []*xmltree.Node
+	var grow func(parent *xmltree.Node, d int)
+	grow = func(parent *xmltree.Node, d int) {
+		if d == 0 {
+			leaves = append(leaves, parent)
+			return
+		}
+		for i := 0; i < fanout; i++ {
+			grow(b.Child(parent, fmt.Sprintf("n%d", d), ""), d-1)
+		}
+	}
+	grow(b.Root(), depth)
+	for term, count := range matchCounts {
+		for i := 0; i < count; i++ {
+			leaf := leaves[rng.Intn(len(leaves))]
+			b.Child(leaf, "kw", term)
+		}
+	}
+	return b.Freeze()
+}

@@ -1,0 +1,239 @@
+// Package diff builds comparison tables across keyword-search results —
+// Structured Search Result Differentiation (Liu et al. VLDB'09, slides
+// 149-153): select at most B features per result so that the table's
+// Degree of Difference is maximized. The exact problem is NP-hard; the
+// package provides the paper's local-search algorithms (weak and strong
+// local optimality) plus an exhaustive oracle for small inputs.
+package diff
+
+import (
+	"sort"
+)
+
+// Feature is one (type, value) pair extracted from a result, e.g.
+// {"paper:title", "OLAP"}.
+type Feature struct {
+	Type  string
+	Value string
+}
+
+// ResultFeatures is the feature pool of one result.
+type ResultFeatures struct {
+	Name     string
+	Features []Feature
+}
+
+// Table is a chosen comparison table: per result, the selected features.
+type Table struct {
+	Selected [][]Feature
+}
+
+// DoD computes the Degree of Difference of a table: for every pair of
+// results and every feature type appearing in either selection, one point
+// when the two results' selected value sets for that type differ (one
+// covers a value the other does not).
+func DoD(t Table) int {
+	score := 0
+	for i := 0; i < len(t.Selected); i++ {
+		for j := i + 1; j < len(t.Selected); j++ {
+			score += pairDiff(t.Selected[i], t.Selected[j])
+		}
+	}
+	return score
+}
+
+func pairDiff(a, b []Feature) int {
+	types := map[string]bool{}
+	av := map[string]map[string]bool{}
+	bv := map[string]map[string]bool{}
+	for _, f := range a {
+		types[f.Type] = true
+		if av[f.Type] == nil {
+			av[f.Type] = map[string]bool{}
+		}
+		av[f.Type][f.Value] = true
+	}
+	for _, f := range b {
+		types[f.Type] = true
+		if bv[f.Type] == nil {
+			bv[f.Type] = map[string]bool{}
+		}
+		bv[f.Type][f.Value] = true
+	}
+	d := 0
+	for ty := range types {
+		if !sameSet(av[ty], bv[ty]) {
+			d++
+		}
+	}
+	return d
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Greedy builds an initial table: for each result, pick up to budget
+// features preferring feature values that are rare across results (they
+// differentiate the most).
+func Greedy(results []ResultFeatures, budget int) Table {
+	valueCount := map[Feature]int{}
+	for _, r := range results {
+		seen := map[Feature]bool{}
+		for _, f := range r.Features {
+			if !seen[f] {
+				seen[f] = true
+				valueCount[f]++
+			}
+		}
+	}
+	t := Table{Selected: make([][]Feature, len(results))}
+	for i, r := range results {
+		feats := append([]Feature(nil), r.Features...)
+		sort.SliceStable(feats, func(a, b int) bool {
+			ca, cb := valueCount[feats[a]], valueCount[feats[b]]
+			if ca != cb {
+				return ca < cb // rarer first
+			}
+			if feats[a].Type != feats[b].Type {
+				return feats[a].Type < feats[b].Type
+			}
+			return feats[a].Value < feats[b].Value
+		})
+		if len(feats) > budget {
+			feats = feats[:budget]
+		}
+		t.Selected[i] = feats
+	}
+	return t
+}
+
+// WeakLocalOptimal hill-climbs from the greedy table with single-feature
+// swaps (replace one selected feature of one result by one unselected
+// feature) until no swap improves DoD — the paper's weak local optimality.
+func WeakLocalOptimal(results []ResultFeatures, budget int) Table {
+	t := Greedy(results, budget)
+	improved := true
+	for improved {
+		improved = false
+		cur := DoD(t)
+		for ri, r := range results {
+			selected := t.Selected[ri]
+			inSel := map[Feature]bool{}
+			for _, f := range selected {
+				inSel[f] = true
+			}
+			for si := range selected {
+				old := selected[si]
+				for _, cand := range r.Features {
+					if inSel[cand] {
+						continue
+					}
+					selected[si] = cand
+					if nd := DoD(t); nd > cur {
+						cur = nd
+						improved = true
+						inSel[cand] = true
+						delete(inSel, old)
+						old = cand
+					} else {
+						selected[si] = old
+					}
+				}
+			}
+		}
+	}
+	return t
+}
+
+// StrongLocalOptimal additionally tries, per result, every bounded subset
+// of its features (feasible because budgets are small) — no replacement of
+// any number of features within one result improves DoD.
+func StrongLocalOptimal(results []ResultFeatures, budget int) Table {
+	t := WeakLocalOptimal(results, budget)
+	improved := true
+	for improved {
+		improved = false
+		cur := DoD(t)
+		for ri, r := range results {
+			subsets := boundedSubsets(r.Features, budget)
+			best := t.Selected[ri]
+			for _, sub := range subsets {
+				t.Selected[ri] = sub
+				if nd := DoD(t); nd > cur {
+					cur = nd
+					best = sub
+					improved = true
+				}
+			}
+			t.Selected[ri] = best
+		}
+	}
+	return t
+}
+
+// Exhaustive finds the true optimum by trying every combination of
+// bounded subsets — usable only for tiny inputs; the test oracle.
+func Exhaustive(results []ResultFeatures, budget int) Table {
+	choices := make([][][]Feature, len(results))
+	for i, r := range results {
+		choices[i] = boundedSubsets(r.Features, budget)
+	}
+	best := Table{Selected: make([][]Feature, len(results))}
+	cur := Table{Selected: make([][]Feature, len(results))}
+	bestScore := -1
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(results) {
+			if s := DoD(cur); s > bestScore {
+				bestScore = s
+				for j := range cur.Selected {
+					best.Selected[j] = append([]Feature(nil), cur.Selected[j]...)
+				}
+			}
+			return
+		}
+		for _, sub := range choices[i] {
+			cur.Selected[i] = sub
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// boundedSubsets enumerates all subsets of feats with size 1..budget
+// (deduplicated features first).
+func boundedSubsets(feats []Feature, budget int) [][]Feature {
+	uniq := make([]Feature, 0, len(feats))
+	seen := map[Feature]bool{}
+	for _, f := range feats {
+		if !seen[f] {
+			seen[f] = true
+			uniq = append(uniq, f)
+		}
+	}
+	var out [][]Feature
+	var rec func(start int, cur []Feature)
+	rec = func(start int, cur []Feature) {
+		if len(cur) > 0 {
+			out = append(out, append([]Feature(nil), cur...))
+		}
+		if len(cur) == budget {
+			return
+		}
+		for i := start; i < len(uniq); i++ {
+			rec(i+1, append(cur, uniq[i]))
+		}
+	}
+	rec(0, nil)
+	return out
+}

@@ -1,0 +1,137 @@
+package diff
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// slide151Results are the ICDE-2000 vs ICDE-2010 feature pools of E11.
+func slide151Results() []ResultFeatures {
+	return []ResultFeatures{
+		{Name: "ICDE 2000", Features: []Feature{
+			{Type: "conf:year", Value: "2000"},
+			{Type: "paper:title", Value: "OLAP"},
+			{Type: "paper:title", Value: "data mining"},
+			{Type: "paper:title", Value: "network"},
+			{Type: "paper:title", Value: "query"},
+			{Type: "author:country", Value: "USA"},
+		}},
+		{Name: "ICDE 2010", Features: []Feature{
+			{Type: "conf:year", Value: "2010"},
+			{Type: "paper:title", Value: "cloud"},
+			{Type: "paper:title", Value: "scalability"},
+			{Type: "paper:title", Value: "search"},
+			{Type: "paper:title", Value: "query"},
+			{Type: "author:country", Value: "USA"},
+		}},
+	}
+}
+
+// TestSlide152DoD reproduces E11: the year+distinct-titles table reaches
+// DoD 2 while the shared-value table (query titles + USA) reaches 0.
+func TestSlide152DoD(t *testing.T) {
+	good := Table{Selected: [][]Feature{
+		{{Type: "conf:year", Value: "2000"}, {Type: "paper:title", Value: "OLAP"}, {Type: "paper:title", Value: "data mining"}},
+		{{Type: "conf:year", Value: "2010"}, {Type: "paper:title", Value: "cloud"}, {Type: "paper:title", Value: "scalability"}},
+	}}
+	if got := DoD(good); got != 2 {
+		t.Errorf("DoD(good) = %d, want 2 (year and titles both differ)", got)
+	}
+	bad := Table{Selected: [][]Feature{
+		{{Type: "paper:title", Value: "query"}, {Type: "author:country", Value: "USA"}},
+		{{Type: "paper:title", Value: "query"}, {Type: "author:country", Value: "USA"}},
+	}}
+	if got := DoD(bad); got != 0 {
+		t.Errorf("DoD(bad) = %d, want 0 (all values shared)", got)
+	}
+}
+
+func TestOptimizersReachSlideOptimum(t *testing.T) {
+	rs := slide151Results()
+	const budget = 3
+	// The slide's illustrative table reaches DoD 2; the true optimum under
+	// our set-difference DoD is 3 (select author:country on one side only,
+	// making that type a third differing column).
+	best := Exhaustive(rs, budget)
+	if DoD(best) != 3 {
+		t.Fatalf("exhaustive DoD = %d, want 3", DoD(best))
+	}
+	weak := WeakLocalOptimal(rs, budget)
+	strong := StrongLocalOptimal(rs, budget)
+	if DoD(weak) != DoD(best) {
+		t.Errorf("weak local optimum DoD = %d, want %d", DoD(weak), DoD(best))
+	}
+	if DoD(strong) != DoD(best) {
+		t.Errorf("strong local optimum DoD = %d, want %d", DoD(strong), DoD(best))
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	rs := slide151Results()
+	for _, tb := range []Table{Greedy(rs, 2), WeakLocalOptimal(rs, 2), StrongLocalOptimal(rs, 2)} {
+		for i, sel := range tb.Selected {
+			if len(sel) > 2 {
+				t.Fatalf("result %d selected %d features, budget 2", i, len(sel))
+			}
+		}
+	}
+}
+
+func TestPairDiffSemantics(t *testing.T) {
+	a := []Feature{{Type: "t", Value: "x"}}
+	b := []Feature{{Type: "t", Value: "x"}}
+	if pairDiff(a, b) != 0 {
+		t.Errorf("identical selections must not differ")
+	}
+	// A type selected on one side only counts as a difference.
+	c := []Feature{{Type: "t", Value: "x"}, {Type: "u", Value: "1"}}
+	if pairDiff(a, c) != 1 {
+		t.Errorf("one-sided type must count once, got %d", pairDiff(a, c))
+	}
+	// Multi-valued types compare as sets.
+	d := []Feature{{Type: "t", Value: "x"}, {Type: "t", Value: "y"}}
+	if pairDiff(a, d) != 1 {
+		t.Errorf("value-set difference must count, got %d", pairDiff(a, d))
+	}
+}
+
+// Property: local optimizers never do worse than greedy and never beat the
+// exhaustive optimum; all tables respect the budget.
+func TestOptimizerSandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nRes := 2 + rng.Intn(2)
+		types := []string{"a", "b", "c"}
+		rs := make([]ResultFeatures, nRes)
+		for i := range rs {
+			nf := 1 + rng.Intn(4)
+			for j := 0; j < nf; j++ {
+				rs[i].Features = append(rs[i].Features, Feature{
+					Type:  types[rng.Intn(len(types))],
+					Value: strconv.Itoa(rng.Intn(3)),
+				})
+			}
+			rs[i].Name = strconv.Itoa(i)
+		}
+		budget := 1 + rng.Intn(2)
+		g := DoD(Greedy(rs, budget))
+		w := DoD(WeakLocalOptimal(rs, budget))
+		s := DoD(StrongLocalOptimal(rs, budget))
+		opt := DoD(Exhaustive(rs, budget))
+		return g <= w && w <= s && s <= opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedSubsets(t *testing.T) {
+	feats := []Feature{{Type: "a", Value: "1"}, {Type: "b", Value: "2"}, {Type: "a", Value: "1"}}
+	subs := boundedSubsets(feats, 2)
+	// Two unique features: subsets of size 1 and 2 -> 3 total.
+	if len(subs) != 3 {
+		t.Fatalf("subsets = %d, want 3", len(subs))
+	}
+}

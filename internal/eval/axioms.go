@@ -1,0 +1,140 @@
+// Package eval provides the evaluation substrate of slides 104-109: the
+// four search-quality axioms for XML keyword search (data/query
+// monotonicity and consistency, Liu et al. VLDB'08) as executable checks
+// against any engine, and INEX-style retrieval metrics (character-level
+// precision/recall/F, generalized precision gP and AgP with the
+// tolerance-window reading model).
+package eval
+
+import (
+	"fmt"
+
+	"kwsearch/internal/xmltree"
+)
+
+// Engine is any XML keyword-search engine under evaluation: it returns
+// result subtree roots for an AND-semantics keyword query.
+type Engine func(ix *xmltree.Index, terms []string) []*xmltree.Node
+
+// Violation reports one axiom failure.
+type Violation struct {
+	Axiom  string
+	Detail string
+}
+
+func idsOf(nodes []*xmltree.Node) map[xmltree.NodeID]bool {
+	m := make(map[xmltree.NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		m[n.ID] = true
+	}
+	return m
+}
+
+// subtreeContainsTerm checks whether the subtree rooted at n matches term
+// per the index.
+func subtreeContainsTerm(ix *xmltree.Index, n *xmltree.Node, term string) bool {
+	for _, m := range ix.Lookup(term) {
+		if n.Dewey.IsAncestorOrSelf(m.Dewey) {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckQueryMonotonicity verifies that adding keyword extra to the query
+// does not increase the number of results (AND semantics only narrows).
+func CheckQueryMonotonicity(e Engine, ix *xmltree.Index, terms []string, extra string) []Violation {
+	before := e(ix, terms)
+	after := e(ix, append(append([]string(nil), terms...), extra))
+	if len(after) > len(before) {
+		return []Violation{{
+			Axiom: "query-monotonicity",
+			Detail: fmt.Sprintf("adding %q grew results from %d to %d",
+				extra, len(before), len(after)),
+		}}
+	}
+	return nil
+}
+
+// CheckQueryConsistency verifies slide 109: every result of Q ∪ {extra}
+// that is new (not a result of Q) must contain the new keyword.
+func CheckQueryConsistency(e Engine, ix *xmltree.Index, terms []string, extra string) []Violation {
+	before := idsOf(e(ix, terms))
+	after := e(ix, append(append([]string(nil), terms...), extra))
+	var out []Violation
+	for _, r := range after {
+		if before[r.ID] {
+			continue
+		}
+		if !subtreeContainsTerm(ix, r, extra) {
+			out = append(out, Violation{
+				Axiom: "query-consistency",
+				Detail: fmt.Sprintf("new result %s (node %d) does not contain %q",
+					r.LabelPath(), r.ID, extra),
+			})
+		}
+	}
+	return out
+}
+
+// CheckDataMonotonicity verifies that extending the document with content
+// matching all keywords does not reduce the result count. The after tree
+// must extend the before tree append-only (existing node IDs preserved).
+func CheckDataMonotonicity(e Engine, before, after *xmltree.Index, terms []string) []Violation {
+	rb := e(before, terms)
+	ra := e(after, terms)
+	if len(ra) < len(rb) {
+		return []Violation{{
+			Axiom: "data-monotonicity",
+			Detail: fmt.Sprintf("adding data shrank results from %d to %d",
+				len(rb), len(ra)),
+		}}
+	}
+	return nil
+}
+
+// CheckDataConsistency verifies that every new result produced after an
+// append-only data extension involves the new data: its subtree must reach
+// a node that did not exist before.
+func CheckDataConsistency(e Engine, before, after *xmltree.Index, terms []string) []Violation {
+	oldLen := xmltree.NodeID(before.Tree().Len())
+	rb := idsOf(e(before, terms))
+	ra := e(after, terms)
+	var out []Violation
+	for _, r := range ra {
+		if r.ID < oldLen && rb[r.ID] {
+			continue
+		}
+		touchesNew := false
+		for _, n := range xmltree.Subtree(r) {
+			if n.ID >= oldLen {
+				touchesNew = true
+				break
+			}
+		}
+		if !touchesNew {
+			out = append(out, Violation{
+				Axiom: "data-consistency",
+				Detail: fmt.Sprintf("new result %s (node %d) does not involve the inserted data",
+					r.LabelPath(), r.ID),
+			})
+		}
+	}
+	return out
+}
+
+// CheckAll runs the two query axioms for each extra keyword and both data
+// axioms for the extended document, aggregating the violations — the E12
+// harness.
+func CheckAll(e Engine, before, after *xmltree.Index, terms []string, extras []string) []Violation {
+	var out []Violation
+	for _, extra := range extras {
+		out = append(out, CheckQueryMonotonicity(e, before, terms, extra)...)
+		out = append(out, CheckQueryConsistency(e, before, terms, extra)...)
+	}
+	if after != nil {
+		out = append(out, CheckDataMonotonicity(e, before, after, terms)...)
+		out = append(out, CheckDataConsistency(e, before, after, terms)...)
+	}
+	return out
+}

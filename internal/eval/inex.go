@@ -1,0 +1,101 @@
+package eval
+
+import "kwsearch/internal/xmltree"
+
+// Scored is one result with its character-level quality (slide 105).
+type Scored struct {
+	Result    *xmltree.Node
+	Precision float64
+	Recall    float64
+	F         float64
+}
+
+// FMeasure is the harmonic mean of precision and recall.
+func FMeasure(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// JudgeResults scores a ranked result list against a ground truth of
+// relevant nodes: precision = relevant characters in the result / result
+// characters; recall = relevant characters retrieved / total relevant
+// characters (slide 105's INEX measure, with node Values as the character
+// spans).
+func JudgeResults(results []*xmltree.Node, relevant map[xmltree.NodeID]bool, tree *xmltree.Tree) []Scored {
+	totalRel := 0
+	for id := range relevant {
+		if n := tree.Node(id); n != nil {
+			totalRel += len(n.Value)
+		}
+	}
+	out := make([]Scored, len(results))
+	for i, r := range results {
+		relChars, total := 0, 0
+		for _, n := range xmltree.Subtree(r) {
+			total += len(n.Value)
+			if relevant[n.ID] {
+				relChars += len(n.Value)
+			}
+		}
+		var p, rec float64
+		if total > 0 {
+			p = float64(relChars) / float64(total)
+		}
+		if totalRel > 0 {
+			rec = float64(relChars) / float64(totalRel)
+		}
+		out[i] = Scored{Result: r, Precision: p, Recall: rec, F: FMeasure(p, rec)}
+	}
+	return out
+}
+
+// GP is generalized precision at rank k: the average score of the first k
+// results (slide 106).
+func GP(scored []Scored, k int) float64 {
+	if k <= 0 || len(scored) == 0 {
+		return 0
+	}
+	if k > len(scored) {
+		k = len(scored)
+	}
+	s := 0.0
+	for i := 0; i < k; i++ {
+		s += scored[i].F
+	}
+	return s / float64(k)
+}
+
+// AgP averages GP over every rank — the list-level measure of slide 106.
+func AgP(scored []Scored) float64 {
+	if len(scored) == 0 {
+		return 0
+	}
+	s := 0.0
+	for k := 1; k <= len(scored); k++ {
+		s += GP(scored, k)
+	}
+	return s / float64(len(scored))
+}
+
+// TruncateAtTolerance models the slide-105 reading behaviour: the user
+// stops after tol consecutive fully irrelevant results; the tail is not
+// read and does not count.
+func TruncateAtTolerance(scored []Scored, tol int) []Scored {
+	if tol <= 0 {
+		return scored
+	}
+	run := 0
+	for i, s := range scored {
+		if s.F == 0 {
+			run++
+			if run >= tol {
+				return scored[:i+1]
+			}
+		} else {
+			run = 0
+		}
+	}
+	return scored
+}

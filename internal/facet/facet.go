@@ -1,0 +1,188 @@
+// Package facet implements faceted result exploration (slides 83-93):
+// facet-condition derivation from data and historical queries, and
+// navigation-tree construction that minimizes the user's expected
+// navigation cost under the probabilistic action model of Chakrabarti et
+// al. (SIGMOD'04), with the FACeTOR-style size-sensitive estimates as an
+// option (Kashyap et al. CIKM'10).
+package facet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kwsearch/internal/relstore"
+)
+
+// Condition is one facet condition: either a categorical equality or a
+// numeric interval [Lo, Hi).
+type Condition struct {
+	Attr    string
+	Value   relstore.Value
+	Numeric bool
+	Lo, Hi  float64
+}
+
+// Matches reports whether v satisfies the condition.
+func (c Condition) Matches(v relstore.Value) bool {
+	if c.Numeric {
+		f, ok := v.AsFloat()
+		return ok && f >= c.Lo && f < c.Hi
+	}
+	return v.Equal(c.Value)
+}
+
+// String renders "state=TX" or "price∈[170,250)".
+func (c Condition) String() string {
+	if c.Numeric {
+		return fmt.Sprintf("%s∈[%g,%g)", c.Attr, c.Lo, c.Hi)
+	}
+	return fmt.Sprintf("%s=%s", c.Attr, c.Value)
+}
+
+// LogQuery is one historical query: the attributes it constrained, with
+// the constrained values/ranges, and a popularity count.
+type LogQuery struct {
+	Conds []Condition
+	Count int
+}
+
+// mentions reports whether the log query constrains attr.
+func (q LogQuery) mentions(attr string) bool {
+	for _, c := range q.Conds {
+		if c.Attr == attr {
+			return true
+		}
+	}
+	return false
+}
+
+// overlaps reports whether the log query has a condition overlapping cond.
+func (q LogQuery) overlaps(cond Condition) bool {
+	for _, c := range q.Conds {
+		if c.Attr != cond.Attr {
+			continue
+		}
+		if cond.Numeric && c.Numeric {
+			if c.Lo < cond.Hi && cond.Lo < c.Hi {
+				return true
+			}
+		} else if !cond.Numeric && !c.Numeric && c.Value.Equal(cond.Value) {
+			return true
+		}
+	}
+	return false
+}
+
+// CategoricalConditions derives one condition per distinct value of attr
+// among rows, ordered by how many log queries hit each value (slide 85),
+// ties by value.
+func CategoricalConditions(t *relstore.Table, rows []*relstore.Tuple, attr string, log []LogQuery) []Condition {
+	ci := t.ColumnIndex(attr)
+	if ci < 0 {
+		return nil
+	}
+	seen := map[relstore.Value]bool{}
+	var conds []Condition
+	for _, r := range rows {
+		v := r.Values[ci]
+		if v.IsNull() || seen[v] {
+			continue
+		}
+		seen[v] = true
+		conds = append(conds, Condition{Attr: attr, Value: v})
+	}
+	hits := func(c Condition) int {
+		n := 0
+		for _, q := range log {
+			if q.overlaps(c) {
+				n += q.Count
+			}
+		}
+		return n
+	}
+	sort.SliceStable(conds, func(i, j int) bool {
+		hi, hj := hits(conds[i]), hits(conds[j])
+		if hi != hj {
+			return hi > hj
+		}
+		return conds[i].Value.Less(conds[j].Value)
+	})
+	return conds
+}
+
+// NumericPartitions cuts attr's value range at the boundaries historical
+// queries used most (slide 85: "if many queries start or end at x,
+// partition at x"), capped at maxParts intervals.
+func NumericPartitions(t *relstore.Table, rows []*relstore.Tuple, attr string, log []LogQuery, maxParts int) []Condition {
+	ci := t.ColumnIndex(attr)
+	if ci < 0 {
+		return nil
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, r := range rows {
+		if f, ok := r.Values[ci].AsFloat(); ok {
+			any = true
+			if f < min {
+				min = f
+			}
+			if f > max {
+				max = f
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	// Boundary popularity from the log.
+	pop := map[float64]int{}
+	for _, q := range log {
+		for _, c := range q.Conds {
+			if c.Attr == attr && c.Numeric {
+				if c.Lo > min && c.Lo < max {
+					pop[c.Lo] += q.Count
+				}
+				if c.Hi > min && c.Hi < max {
+					pop[c.Hi] += q.Count
+				}
+			}
+		}
+	}
+	type bp struct {
+		x float64
+		n int
+	}
+	var bps []bp
+	for x, n := range pop {
+		bps = append(bps, bp{x, n})
+	}
+	sort.Slice(bps, func(i, j int) bool {
+		if bps[i].n != bps[j].n {
+			return bps[i].n > bps[j].n
+		}
+		return bps[i].x < bps[j].x
+	})
+	if maxParts < 2 {
+		maxParts = 2
+	}
+	nb := maxParts - 1
+	if nb > len(bps) {
+		nb = len(bps)
+	}
+	cuts := make([]float64, 0, nb+2)
+	for _, b := range bps[:nb] {
+		cuts = append(cuts, b.x)
+	}
+	if len(cuts) == 0 {
+		cuts = append(cuts, (min+max)/2)
+	}
+	sort.Float64s(cuts)
+	bounds := append([]float64{min}, cuts...)
+	bounds = append(bounds, math.Nextafter(max, math.Inf(1)))
+	var out []Condition
+	for i := 0; i+1 < len(bounds); i++ {
+		out = append(out, Condition{Attr: attr, Numeric: true, Lo: bounds[i], Hi: bounds[i+1]})
+	}
+	return out
+}

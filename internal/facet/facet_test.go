@@ -1,0 +1,158 @@
+package facet
+
+import (
+	"strings"
+	"testing"
+
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/relstore"
+)
+
+func eventsSetup() (*relstore.Table, []*relstore.Tuple, []LogQuery) {
+	db := dataset.EventsDB()
+	t := db.Table("event")
+	// Historical queries: state is constrained far more often than month.
+	log := []LogQuery{
+		{Conds: []Condition{{Attr: "state", Value: relstore.String("TX")}}, Count: 6},
+		{Conds: []Condition{{Attr: "state", Value: relstore.String("MI")}}, Count: 5},
+		{Conds: []Condition{{Attr: "month", Value: relstore.String("Dec")}}, Count: 2},
+	}
+	return t, t.Tuples(), log
+}
+
+func TestConditionMatching(t *testing.T) {
+	c := Condition{Attr: "state", Value: relstore.String("TX")}
+	if !c.Matches(relstore.String("TX")) || c.Matches(relstore.String("MI")) {
+		t.Errorf("categorical matching broken")
+	}
+	n := Condition{Attr: "price", Numeric: true, Lo: 100, Hi: 200}
+	if !n.Matches(relstore.Float(150)) || n.Matches(relstore.Float(200)) {
+		t.Errorf("numeric matching broken (Hi must be exclusive)")
+	}
+	if n.Matches(relstore.String("x")) {
+		t.Errorf("numeric condition must reject strings")
+	}
+	if got := n.String(); !strings.Contains(got, "price") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestCategoricalConditionsOrderedByLogHits(t *testing.T) {
+	tbl, rows, log := eventsSetup()
+	conds := CategoricalConditions(tbl, rows, "state", log)
+	if len(conds) != 2 {
+		t.Fatalf("conds = %v", conds)
+	}
+	if conds[0].Value.Str != "TX" {
+		t.Errorf("most-queried value first: got %v", conds[0].Value)
+	}
+	if got := CategoricalConditions(tbl, rows, "nosuch", log); got != nil {
+		t.Errorf("unknown attr conds = %v", got)
+	}
+}
+
+func TestNumericPartitionsUseLogBoundaries(t *testing.T) {
+	db := relstore.NewDB()
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "apt",
+		Columns: []relstore.Column{
+			{Name: "id", Type: relstore.KindInt},
+			{Name: "price", Type: relstore.KindFloat},
+		},
+		Key: "id",
+	})
+	for i, p := range []float64{120, 150, 180, 210, 260, 300} {
+		db.MustInsert("apt", map[string]relstore.Value{
+			"id": relstore.Int(int64(i)), "price": relstore.Float(p),
+		})
+	}
+	tbl := db.Table("apt")
+	log := []LogQuery{
+		{Conds: []Condition{{Attr: "price", Numeric: true, Lo: 120, Hi: 170}}, Count: 5},
+		{Conds: []Condition{{Attr: "price", Numeric: true, Lo: 170, Hi: 250}}, Count: 5},
+	}
+	parts := NumericPartitions(tbl, tbl.Tuples(), "price", log, 3)
+	if len(parts) != 3 {
+		t.Fatalf("partitions = %v", parts)
+	}
+	// The popular boundaries 170 and 250 become the cut points.
+	if parts[0].Hi != 170 || parts[1].Hi != 250 {
+		t.Errorf("cuts = %v / %v, want 170 and 250", parts[0].Hi, parts[1].Hi)
+	}
+	// Partitions cover every row exactly once.
+	ci := tbl.ColumnIndex("price")
+	for _, r := range tbl.Tuples() {
+		n := 0
+		for _, p := range parts {
+			if p.Matches(r.Values[ci]) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("row %v covered %d times", r.Values[ci], n)
+		}
+	}
+}
+
+func TestBuildTreePicksInformativeAttribute(t *testing.T) {
+	tbl, rows, log := eventsSetup()
+	tree := Build(tbl, rows, []string{"month", "state"}, nil, log, Options{})
+	if tree.Root.Attr == "" {
+		t.Fatalf("root not expanded")
+	}
+	// The log overwhelmingly constrains state: the greedy root facet is
+	// state.
+	if tree.Root.Attr != "state" {
+		t.Errorf("root attr = %s, want state", tree.Root.Attr)
+	}
+	if tree.Cost <= 0 {
+		t.Errorf("cost = %v", tree.Cost)
+	}
+	// Children partition the rows.
+	total := 0
+	for _, c := range tree.Root.Children {
+		total += len(c.Rows)
+		if c.Cond == nil {
+			t.Errorf("child without condition")
+		}
+	}
+	if total != len(rows) {
+		t.Errorf("children cover %d of %d rows", total, len(rows))
+	}
+}
+
+// TestGreedyBeatsFixedOrder is the E21 shape: the greedy tree's expected
+// cost is never worse than expanding attributes in a fixed (bad) order.
+func TestGreedyBeatsFixedOrder(t *testing.T) {
+	tbl, rows, log := eventsSetup()
+	greedy := Build(tbl, rows, []string{"month", "state"}, nil, log, Options{})
+	fixed := BuildFixedOrder(tbl, rows, []string{"month", "state"}, nil, log, Options{})
+	if greedy.Cost > fixed.Cost+1e-9 {
+		t.Errorf("greedy cost %v exceeds fixed-order cost %v", greedy.Cost, fixed.Cost)
+	}
+}
+
+func TestSizeSensitiveOption(t *testing.T) {
+	tbl, rows, log := eventsSetup()
+	a := Build(tbl, rows, []string{"month", "state"}, nil, log, Options{})
+	b := Build(tbl, rows, []string{"month", "state"}, nil, log, Options{SizeSensitive: true})
+	if a.Cost <= 0 || b.Cost <= 0 {
+		t.Fatalf("costs = %v, %v", a.Cost, b.Cost)
+	}
+	// The FACeTOR estimate discounts expansion on small sets, so the two
+	// models must at least both produce valid trees (cost differs).
+	if a.Root.Attr == "" || b.Root.Attr == "" {
+		t.Errorf("trees not expanded")
+	}
+}
+
+func TestLeafWhenFewRows(t *testing.T) {
+	tbl, rows, log := eventsSetup()
+	tree := Build(tbl, rows[:2], []string{"month", "state"}, nil, log, Options{LeafThreshold: 2})
+	if tree.Root.Attr != "" || len(tree.Root.Children) != 0 {
+		t.Errorf("small result sets should be leaves: %+v", tree.Root)
+	}
+	if tree.Cost != 2 {
+		t.Errorf("leaf cost = %v, want |rows|", tree.Cost)
+	}
+}

@@ -1,0 +1,206 @@
+package facet
+
+import (
+	"math"
+
+	"kwsearch/internal/relstore"
+)
+
+// Node is one navigation-tree node: the rows satisfying the path
+// conditions, the facet expanded beneath it, and the estimated action
+// probabilities of slide 89-90.
+type Node struct {
+	Cond     *Condition
+	Attr     string // facet attribute the children condition on ("" = leaf)
+	Children []*Node
+	Rows     []*relstore.Tuple
+	PExpand  float64
+	PShow    float64
+	PProc    float64
+	Cost     float64
+}
+
+// Tree is a built navigation tree with its expected cost.
+type Tree struct {
+	Root *Node
+	Cost float64
+}
+
+// Options tunes tree construction.
+type Options struct {
+	// MaxNumericParts bounds numeric facet partitions (default 3).
+	MaxNumericParts int
+	// LeafThreshold stops expansion when a node's result set is already
+	// small enough to show (default 2).
+	LeafThreshold int
+	// SizeSensitive switches to FACeTOR-style estimation: p(showResults)
+	// grows as the result set shrinks, instead of depending on the log
+	// alone (slide 93).
+	SizeSensitive bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNumericParts <= 0 {
+		o.MaxNumericParts = 3
+	}
+	if o.LeafThreshold <= 0 {
+		o.LeafThreshold = 2
+	}
+	return o
+}
+
+// builder carries shared state through recursive construction.
+type builder struct {
+	t    *relstore.Table
+	log  []LogQuery
+	opts Options
+	// numeric marks attributes treated as numeric facets.
+	numeric map[string]bool
+}
+
+// pExpand estimates the probability the user expands the facet attr at a
+// node (slide 89: high when many historical queries involve it). The
+// size-sensitive variant also discounts expansion when few rows remain.
+func (b *builder) pExpand(attr string, rows int) float64 {
+	total, hit := 0, 0
+	for _, q := range b.log {
+		total += q.Count
+		if q.mentions(attr) {
+			hit += q.Count
+		}
+	}
+	p := 0.5
+	if total > 0 {
+		p = float64(hit) / float64(total)
+	}
+	if b.opts.SizeSensitive {
+		// Few remaining rows: the user just reads them.
+		p *= 1 - 1/float64(rows+1)
+	}
+	return clamp(p, 0.05, 0.95)
+}
+
+// pProc estimates the probability the user processes a child condition
+// (slide 90: the share of log queries whose selection overlaps it).
+func (b *builder) pProc(c Condition) float64 {
+	total, hit := 0, 0
+	for _, q := range b.log {
+		total += q.Count
+		if q.overlaps(c) {
+			hit += q.Count
+		}
+	}
+	if total == 0 {
+		return 0.5
+	}
+	return clamp(float64(hit)/float64(total), 0.02, 1)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func (b *builder) conditionsFor(attr string, rows []*relstore.Tuple) []Condition {
+	if b.numeric[attr] {
+		return NumericPartitions(b.t, rows, attr, b.log, b.opts.MaxNumericParts)
+	}
+	return CategoricalConditions(b.t, rows, attr, b.log)
+}
+
+// build recursively constructs the subtree under node, choosing for each
+// level the attribute in remaining that minimizes the expected cost —
+// the greedy of slide 91. With pickFirst=true the first remaining
+// attribute is always used (the fixed-order baseline of E21).
+func (b *builder) build(rows []*relstore.Tuple, remaining []string, pickFirst bool) *Node {
+	n := &Node{Rows: rows}
+	if len(remaining) == 0 || len(rows) <= b.opts.LeafThreshold {
+		n.PShow = 1
+		n.Cost = float64(len(rows))
+		return n
+	}
+	bestCost := math.Inf(1)
+	var bestNode *Node
+	for idx, attr := range remaining {
+		conds := b.conditionsFor(attr, rows)
+		if len(conds) < 2 {
+			continue // a facet with one value does not navigate
+		}
+		cand := &Node{Rows: rows, Attr: attr}
+		cand.PExpand = b.pExpand(attr, len(rows))
+		cand.PShow = 1 - cand.PExpand
+		rest := removeIndex(remaining, idx)
+		childCost := float64(len(conds)) // readNext: scanning the facet values
+		for _, c := range conds {
+			cc := c
+			sub := b.build(filterRows(b.t, rows, c), rest, pickFirst)
+			sub.Cond = &cc
+			sub.PProc = b.pProc(c)
+			cand.Children = append(cand.Children, sub)
+			childCost += sub.PProc * sub.Cost
+		}
+		cand.Cost = cand.PShow*float64(len(rows)) + cand.PExpand*childCost
+		if cand.Cost < bestCost {
+			bestCost = cand.Cost
+			bestNode = cand
+		}
+		if pickFirst {
+			break
+		}
+	}
+	if bestNode == nil {
+		n.PShow = 1
+		n.Cost = float64(len(rows))
+		return n
+	}
+	return bestNode
+}
+
+func removeIndex(xs []string, i int) []string {
+	out := make([]string, 0, len(xs)-1)
+	out = append(out, xs[:i]...)
+	return append(out, xs[i+1:]...)
+}
+
+func filterRows(t *relstore.Table, rows []*relstore.Tuple, c Condition) []*relstore.Tuple {
+	ci := t.ColumnIndex(c.Attr)
+	if ci < 0 {
+		return nil
+	}
+	var out []*relstore.Tuple
+	for _, r := range rows {
+		if c.Matches(r.Values[ci]) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Build constructs the cost-minimizing navigation tree over the query
+// result rows using the greedy attribute choice.
+func Build(t *relstore.Table, rows []*relstore.Tuple, attrs []string, numericAttrs []string, log []LogQuery, opts Options) *Tree {
+	b := &builder{t: t, log: log, opts: opts.withDefaults(), numeric: toSet(numericAttrs)}
+	root := b.build(rows, attrs, false)
+	return &Tree{Root: root, Cost: root.Cost}
+}
+
+// BuildFixedOrder constructs the baseline tree that always expands
+// attributes in the given order, for the E21 comparison.
+func BuildFixedOrder(t *relstore.Table, rows []*relstore.Tuple, attrs []string, numericAttrs []string, log []LogQuery, opts Options) *Tree {
+	b := &builder{t: t, log: log, opts: opts.withDefaults(), numeric: toSet(numericAttrs)}
+	root := b.build(rows, attrs, true)
+	return &Tree{Root: root, Cost: root.Cost}
+}
+
+func toSet(xs []string) map[string]bool {
+	m := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}

@@ -1,0 +1,386 @@
+// Package forms implements query-form generation and selection (slides
+// 54-64): offline generation of skeleton templates with
+// operator-specific predicate/output attributes ranked by queriability
+// (Jayapandian & Jagadish PVLDB'08), and online keyword-to-form selection
+// with schema-term substitution, IR ranking and two-level grouping (Chu et
+// al. SIGMOD'09). QUnits (Nandi & Jagadish CIDR'09) correspond to forms
+// with no user-fillable operators.
+package forms
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kwsearch/internal/datagraph"
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/rank"
+	"kwsearch/internal/relstore"
+	"kwsearch/internal/schemagraph"
+	"kwsearch/internal/text"
+)
+
+// Attribute is one column attached to a form with a role.
+type Attribute struct {
+	Table, Column string
+	Queriability  float64
+}
+
+// Form is one generated query form.
+type Form struct {
+	// Tables is the sorted skeleton (a connected set of relations).
+	Tables []string
+	// Selections, Outputs, OrderBy and Aggregates carry the
+	// operator-specific attributes of slide 63.
+	Selections []Attribute
+	Outputs    []Attribute
+	OrderBy    []Attribute
+	Aggregates []Attribute
+	// Queriability is the form's overall score.
+	Queriability float64
+}
+
+// Skeleton renders the grouping key of slide 58's first level.
+func (f *Form) Skeleton() string { return strings.Join(f.Tables, "-") }
+
+// Class renders the query-class grouping key of slide 58's second level.
+func (f *Form) Class() string {
+	if len(f.Aggregates) > 0 {
+		return "AGGR"
+	}
+	return "SELECT"
+}
+
+// String renders "author-paper-write [SELECT]".
+func (f *Form) String() string { return fmt.Sprintf("%s [%s]", f.Skeleton(), f.Class()) }
+
+// EntityQueriability scores each table by PageRank-style accessibility on
+// the schema graph, with edge weights proportional to instance-level
+// participation (slide 60: a node often reached while browsing is often
+// queried).
+func EntityQueriability(db *relstore.DB, g *schemagraph.Graph) map[string]float64 {
+	tables := g.Tables()
+	idx := map[string]int{}
+	for i, t := range tables {
+		idx[t] = i
+	}
+	dg := datagraph.New(len(tables))
+	for _, e := range g.Edges() {
+		w := participationWeight(db, e)
+		dg.AddEdge(datagraph.NodeID(idx[e.From]), datagraph.NodeID(idx[e.To]), w)
+	}
+	scores := rank.Authority(dg, 0.85, 40)
+	out := make(map[string]float64, len(tables))
+	for i, t := range tables {
+		out[t] = scores[i]
+	}
+	return out
+}
+
+// participationWeight estimates the fraction of referencing tuples with a
+// resolvable reference — the generalized participation of slide 40/61.
+func participationWeight(db *relstore.DB, e schemagraph.Edge) float64 {
+	t := db.Table(e.From)
+	ref := db.Table(e.To)
+	if t == nil || ref == nil || t.Len() == 0 {
+		return 0.5
+	}
+	ci := t.ColumnIndex(e.FromCol)
+	if ci < 0 {
+		return 0.5
+	}
+	n := 0
+	for _, tp := range t.Tuples() {
+		if !tp.Values[ci].IsNull() {
+			n++
+		}
+	}
+	w := float64(n) / float64(t.Len())
+	if w == 0 {
+		return 0.05
+	}
+	return w
+}
+
+// AttributeQueriability scores each (table, column) by its non-null
+// occurrence ratio (slide 62: frequent attributes are important).
+func AttributeQueriability(db *relstore.DB) map[[2]string]float64 {
+	out := map[[2]string]float64{}
+	for _, name := range db.TableNames() {
+		t := db.Table(name)
+		if t.Len() == 0 {
+			continue
+		}
+		for ci, col := range t.Schema.Columns {
+			n := 0
+			for _, tp := range t.Tuples() {
+				if !tp.Values[ci].IsNull() {
+					n++
+				}
+			}
+			out[[2]string{name, col.Name}] = float64(n) / float64(t.Len())
+		}
+	}
+	return out
+}
+
+// GenerateOptions tunes offline form generation.
+type GenerateOptions struct {
+	// MaxTables bounds skeleton size (default 3).
+	MaxTables int
+	// MaxForms keeps the top forms by queriability (0 = all).
+	MaxForms int
+}
+
+// Generate enumerates connected skeletons up to MaxTables tables and
+// attaches attributes by the operator-specific rules of slide 63:
+// selective attributes → selections, text attributes → outputs,
+// single-valued mandatory numerics → order-by, repeatable numerics →
+// aggregates. Forms are ranked by the product of their tables' entity
+// queriabilities (related entities are asked together, slide 61).
+func Generate(db *relstore.DB, g *schemagraph.Graph, opts GenerateOptions) []*Form {
+	if opts.MaxTables <= 0 {
+		opts.MaxTables = 3
+	}
+	eq := EntityQueriability(db, g)
+	aq := AttributeQueriability(db)
+
+	// Enumerate connected table sets (BFS over the schema graph).
+	seen := map[string]bool{}
+	var sets [][]string
+	var frontier [][]string
+	for _, t := range g.Tables() {
+		s := []string{t}
+		frontier = append(frontier, s)
+		sets = append(sets, s)
+		seen[t] = true
+	}
+	for size := 1; size < opts.MaxTables; size++ {
+		var next [][]string
+		for _, s := range frontier {
+			if len(s) != size {
+				continue
+			}
+			for _, member := range s {
+				for _, nb := range g.Neighbors(member) {
+					if containsStr(s, nb) {
+						continue
+					}
+					grown := append(append([]string(nil), s...), nb)
+					sort.Strings(grown)
+					key := strings.Join(grown, "-")
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					sets = append(sets, grown)
+					next = append(next, grown)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	var out []*Form
+	for _, s := range sets {
+		f := &Form{Tables: s, Queriability: 1}
+		for _, tb := range s {
+			f.Queriability *= eq[tb]
+			t := db.Table(tb)
+			if t == nil {
+				continue
+			}
+			for _, col := range t.Schema.Columns {
+				a := Attribute{Table: tb, Column: col.Name, Queriability: aq[[2]string{tb, col.Name}]}
+				switch {
+				case col.Text:
+					// Text fields: informative outputs; selective text
+					// (many distinct values) also makes good selections.
+					f.Outputs = append(f.Outputs, a)
+					if selectivity(t, col.Name) > 0.5 {
+						f.Selections = append(f.Selections, a)
+					}
+				case col.Type == relstore.KindInt || col.Type == relstore.KindFloat:
+					if a.Queriability == 1 { // mandatory: good for ORDER BY
+						f.OrderBy = append(f.OrderBy, a)
+					}
+					f.Aggregates = append(f.Aggregates, a)
+				}
+			}
+		}
+		out = append(out, f)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Queriability != out[j].Queriability {
+			return out[i].Queriability > out[j].Queriability
+		}
+		return out[i].Skeleton() < out[j].Skeleton()
+	})
+	if opts.MaxForms > 0 && len(out) > opts.MaxForms {
+		out = out[:opts.MaxForms]
+	}
+	return out
+}
+
+func selectivity(t *relstore.Table, column string) float64 {
+	ci := t.ColumnIndex(column)
+	if ci < 0 || t.Len() == 0 {
+		return 0
+	}
+	distinct := map[relstore.Value]bool{}
+	for _, tp := range t.Tuples() {
+		distinct[tp.Values[ci]] = true
+	}
+	return float64(len(distinct)) / float64(t.Len())
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, s := range xs {
+		if s == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Selector answers keyword queries with ranked, grouped forms (Chu et al.
+// SIGMOD'09, slides 57-58).
+type Selector struct {
+	forms []*Form
+	// formIx indexes each form's schema terms as one document.
+	formIx *invindex.Index
+	// dataIx indexes the database content for schema-term substitution.
+	dataIx *invindex.Index
+	db     *relstore.DB
+}
+
+// NewSelector indexes the forms for online selection.
+func NewSelector(db *relstore.DB, forms []*Form) *Selector {
+	s := &Selector{forms: forms, formIx: invindex.New(), dataIx: invindex.FromDB(db), db: db}
+	for i, f := range forms {
+		var b strings.Builder
+		for _, tb := range f.Tables {
+			b.WriteString(tb)
+			b.WriteByte(' ')
+		}
+		for _, a := range append(append([]Attribute(nil), f.Selections...), f.Outputs...) {
+			b.WriteString(a.Column)
+			b.WriteByte(' ')
+		}
+		s.formIx.Add(invindex.DocID(i), b.String())
+	}
+	return s
+}
+
+// substitutions maps a data keyword to the tables whose content matches it
+// (slide 57: "John, XML" also generates "Author, XML" etc.).
+func (s *Selector) substitutions(term string) []string {
+	var out []string
+	for _, d := range s.dataIx.Docs(term) {
+		tp := s.db.TupleByID(relstore.TupleID(d))
+		if tp != nil && !containsStr(out, tp.Table) {
+			out = append(out, tp.Table)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RankedForm is one selected form.
+type RankedForm struct {
+	Form  *Form
+	Score float64
+	// Group is the two-level grouping key "skeleton/class" of slide 58.
+	Group string
+}
+
+// Select returns the top-k forms for the keyword query: each data keyword
+// is replaced by its candidate table names, forms are scored with TF·IDF
+// over their schema documents plus the form's queriability prior, and
+// results carry their grouping keys.
+func (s *Selector) Select(terms []string, k int) []RankedForm {
+	var schemaTerms []string
+	for _, raw := range terms {
+		term := text.Normalize(raw)
+		if term == "" {
+			continue
+		}
+		if s.formIx.HasTerm(term) {
+			schemaTerms = append(schemaTerms, term)
+			continue
+		}
+		schemaTerms = append(schemaTerms, s.substitutions(term)...)
+	}
+	if len(schemaTerms) == 0 {
+		return nil
+	}
+	var out []RankedForm
+	for i, f := range s.forms {
+		score := s.formIx.Score(schemaTerms, invindex.DocID(i))
+		if score <= 0 {
+			continue
+		}
+		out = append(out, RankedForm{
+			Form:  f,
+			Score: score * (1 + f.Queriability),
+			Group: f.Skeleton() + "/" + f.Class(),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Form.Skeleton() < out[j].Form.Skeleton()
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// LogCoverage measures what fraction of a keyword query log the given
+// forms can answer: a query is covered when some form's tables contain
+// every query keyword's home table (the E24 measure).
+func LogCoverage(s *Selector, forms []*Form, log [][]string) float64 {
+	if len(log) == 0 {
+		return 0
+	}
+	covered := 0
+	for _, q := range log {
+		// Home tables per term.
+		ok := true
+		var need [][]string
+		for _, term := range q {
+			subs := s.substitutions(text.Normalize(term))
+			if len(subs) == 0 {
+				ok = false
+				break
+			}
+			need = append(need, subs)
+		}
+		if !ok {
+			continue
+		}
+		for _, f := range forms {
+			all := true
+			for _, options := range need {
+				hit := false
+				for _, tb := range options {
+					if containsStr(f.Tables, tb) {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					all = false
+					break
+				}
+			}
+			if all {
+				covered++
+				break
+			}
+		}
+	}
+	return float64(covered) / float64(len(log))
+}

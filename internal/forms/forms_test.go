@@ -1,0 +1,154 @@
+package forms
+
+import (
+	"strings"
+	"testing"
+
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/schemagraph"
+)
+
+func setup(t *testing.T) (*Selector, []*Form) {
+	t.Helper()
+	db := dataset.WidomBib()
+	g := schemagraph.FromDB(db)
+	fs := Generate(db, g, GenerateOptions{MaxTables: 3})
+	return NewSelector(db, fs), fs
+}
+
+func TestGenerateSkeletons(t *testing.T) {
+	_, fs := setup(t)
+	skels := map[string]bool{}
+	for _, f := range fs {
+		skels[f.Skeleton()] = true
+		if f.Queriability <= 0 {
+			t.Errorf("form %s queriability = %v", f, f.Queriability)
+		}
+	}
+	for _, want := range []string{"author", "paper", "write", "author-write", "paper-write", "author-paper-write"} {
+		if !skels[want] {
+			t.Errorf("missing skeleton %s (have %v)", want, skels)
+		}
+	}
+	// Disconnected author-paper (without write) must NOT appear.
+	if skels["author-paper"] {
+		t.Errorf("disconnected skeleton generated")
+	}
+}
+
+func TestOperatorSpecificAttributes(t *testing.T) {
+	_, fs := setup(t)
+	for _, f := range fs {
+		if f.Skeleton() != "author" {
+			continue
+		}
+		// name: selective text → both selection and output.
+		hasSel, hasOut := false, false
+		for _, a := range f.Selections {
+			if a.Column == "name" {
+				hasSel = true
+			}
+		}
+		for _, a := range f.Outputs {
+			if a.Column == "name" {
+				hasOut = true
+			}
+		}
+		if !hasSel || !hasOut {
+			t.Errorf("author.name should be selection and output: %+v", f)
+		}
+		// aid: mandatory numeric → order-by and aggregate.
+		hasOrd, hasAgg := false, false
+		for _, a := range f.OrderBy {
+			if a.Column == "aid" {
+				hasOrd = true
+			}
+		}
+		for _, a := range f.Aggregates {
+			if a.Column == "aid" {
+				hasAgg = true
+			}
+		}
+		if !hasOrd || !hasAgg {
+			t.Errorf("author.aid should be order-by and aggregate: %+v", f)
+		}
+		if f.Class() != "AGGR" {
+			t.Errorf("form with aggregates classes as %s", f.Class())
+		}
+	}
+}
+
+func TestEntityQueriabilityFavorsReferencedTables(t *testing.T) {
+	db := dataset.WidomBib()
+	g := schemagraph.FromDB(db)
+	eq := EntityQueriability(db, g)
+	if len(eq) != 3 {
+		t.Fatalf("eq = %v", eq)
+	}
+	for tb, s := range eq {
+		if s <= 0 {
+			t.Errorf("queriability[%s] = %v", tb, s)
+		}
+	}
+}
+
+func TestAttributeQueriability(t *testing.T) {
+	db := dataset.WidomBib()
+	aq := AttributeQueriability(db)
+	if aq[[2]string{"author", "name"}] != 1 {
+		t.Errorf("fully populated attribute should score 1: %v", aq)
+	}
+}
+
+// TestSlide57Selection: the data keyword "Widom" substitutes to the author
+// table, so "widom xml" selects forms joining author and paper.
+func TestSlide57Selection(t *testing.T) {
+	sel, _ := setup(t)
+	got := sel.Select([]string{"widom", "xml"}, 3)
+	if len(got) == 0 {
+		t.Fatal("no forms selected")
+	}
+	top := got[0]
+	if !strings.Contains(top.Form.Skeleton(), "author") {
+		t.Errorf("top form %s should involve author", top.Form)
+	}
+	if top.Group == "" || !strings.Contains(top.Group, "/") {
+		t.Errorf("group key = %q", top.Group)
+	}
+	// Schema keywords work directly.
+	got = sel.Select([]string{"author", "paper"}, 3)
+	if len(got) == 0 {
+		t.Fatal("schema-term query selected nothing")
+	}
+	if got := sel.Select([]string{"zzzz"}, 3); got != nil {
+		t.Errorf("unmatched query selected %v", got)
+	}
+}
+
+// TestE24LogCoverage: queriability-ranked forms cover the bulk of a
+// synthetic keyword log.
+func TestE24LogCoverage(t *testing.T) {
+	db := dataset.WidomBib()
+	g := schemagraph.FromDB(db)
+	fs := Generate(db, g, GenerateOptions{MaxTables: 3})
+	sel := NewSelector(db, fs)
+	log := [][]string{
+		{"widom"}, {"xml"}, {"widom", "xml"}, {"ullman", "datalog"},
+		{"abiteboul", "schema"},
+	}
+	cov := LogCoverage(sel, fs, log)
+	if cov < 0.8 {
+		t.Errorf("coverage = %v, want >= 0.8", cov)
+	}
+	// With only the single-table author form, multi-table queries drop out.
+	var authorOnly []*Form
+	for _, f := range fs {
+		if f.Skeleton() == "author" {
+			authorOnly = append(authorOnly, f)
+		}
+	}
+	cov2 := LogCoverage(sel, authorOnly, log)
+	if cov2 >= cov {
+		t.Errorf("restricted forms should cover less: %v vs %v", cov2, cov)
+	}
+}

@@ -1,0 +1,149 @@
+package forms
+
+import (
+	"sort"
+	"strings"
+
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/relstore"
+	"kwsearch/internal/schemagraph"
+	"kwsearch/internal/text"
+)
+
+// QUnit is one materialized "basic, independent semantic unit of
+// information" (Nandi & Jagadish CIDR'09, slides 26 and 64): an instance
+// of a form's skeleton — one tuple per table, joined — flattened into a
+// retrievable document.
+type QUnit struct {
+	Form   *Form
+	Tuples []*relstore.Tuple
+	// Text concatenates the text columns of the member tuples; keyword
+	// retrieval runs over it.
+	Text string
+}
+
+// MaterializeQUnits joins the form's skeleton over the schema graph and
+// returns up to limit instances (0 = all). Tables must form a connected
+// set in g; disconnected skeletons yield nil.
+func MaterializeQUnits(db *relstore.DB, g *schemagraph.Graph, f *Form, limit int) []QUnit {
+	if len(f.Tables) == 0 {
+		return nil
+	}
+	// Spanning join order: BFS within the skeleton.
+	type step struct {
+		table  string
+		parent int // index into order; -1 for the root
+		via    schemagraph.Edge
+	}
+	order := []step{{table: f.Tables[0], parent: -1}}
+	placed := map[string]bool{f.Tables[0]: true}
+	want := map[string]bool{}
+	for _, t := range f.Tables {
+		want[t] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for oi := 0; oi < len(order); oi++ {
+			for _, e := range g.Adjacent(order[oi].table) {
+				other := e.To
+				if other == order[oi].table {
+					other = e.From
+				}
+				if !want[other] || placed[other] {
+					continue
+				}
+				placed[other] = true
+				order = append(order, step{table: other, parent: oi, via: e})
+				changed = true
+			}
+		}
+	}
+	if len(order) != len(f.Tables) {
+		return nil // disconnected skeleton
+	}
+
+	var out []QUnit
+	binding := make([]*relstore.Tuple, len(order))
+	var rec func(oi int) bool // returns false to stop (limit reached)
+	rec = func(oi int) bool {
+		if oi == len(order) {
+			q := QUnit{Form: f, Tuples: append([]*relstore.Tuple(nil), binding...)}
+			var b strings.Builder
+			for i, tp := range q.Tuples {
+				t := db.Table(order[i].table)
+				if s := tp.Text(t.Schema); s != "" {
+					if b.Len() > 0 {
+						b.WriteByte(' ')
+					}
+					b.WriteString(s)
+				}
+			}
+			q.Text = b.String()
+			out = append(out, q)
+			return limit <= 0 || len(out) < limit
+		}
+		st := order[oi]
+		var cands []*relstore.Tuple
+		if st.parent < 0 {
+			cands = db.Table(st.table).Tuples()
+		} else {
+			parent := binding[st.parent]
+			pt := db.Table(order[st.parent].table)
+			var fromCol, toCol string
+			if st.via.From == order[st.parent].table {
+				fromCol, toCol = st.via.FromCol, st.via.ToCol
+			} else {
+				fromCol, toCol = st.via.ToCol, st.via.FromCol
+			}
+			v := pt.Value(parent, fromCol)
+			if v.IsNull() {
+				return true
+			}
+			cands = db.Table(st.table).SelectEq(toCol, v)
+		}
+		for _, tp := range cands {
+			binding[oi] = tp
+			if !rec(oi + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return out
+}
+
+// RankedQUnit is one retrieval answer over materialized QUnits.
+type RankedQUnit struct {
+	QUnit QUnit
+	Score float64
+}
+
+// SearchQUnits retrieves QUnits matching every query term, ranked by
+// TF·IDF over the QUnit documents — the "simpler interface" of slide 64:
+// no bindings to fill, just keywords against materialized units.
+func SearchQUnits(units []QUnit, terms []string, k int) []RankedQUnit {
+	ix := invindex.New()
+	for i, u := range units {
+		ix.Add(invindex.DocID(i), u.Text)
+	}
+	norm := make([]string, 0, len(terms))
+	for _, t := range terms {
+		if n := text.Normalize(t); n != "" {
+			norm = append(norm, n)
+		}
+	}
+	docs := ix.Intersect(norm)
+	out := make([]RankedQUnit, 0, len(docs))
+	for _, d := range docs {
+		out = append(out, RankedQUnit{
+			QUnit: units[d],
+			Score: ix.Score(norm, d),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

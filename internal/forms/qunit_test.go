@@ -1,0 +1,64 @@
+package forms
+
+import (
+	"strings"
+	"testing"
+
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/schemagraph"
+)
+
+func TestMaterializeQUnits(t *testing.T) {
+	db := dataset.WidomBib()
+	g := schemagraph.FromDB(db)
+	f := &Form{Tables: []string{"author", "paper", "write"}}
+	units := MaterializeQUnits(db, g, f, 0)
+	// Six write rows, each yielding one author-paper-write unit.
+	if len(units) != 6 {
+		t.Fatalf("units = %d, want 6", len(units))
+	}
+	for _, u := range units {
+		if len(u.Tuples) != 3 {
+			t.Fatalf("unit arity %d", len(u.Tuples))
+		}
+		if u.Text == "" {
+			t.Fatalf("unit has no text")
+		}
+	}
+	// Limit caps output.
+	if got := MaterializeQUnits(db, g, f, 2); len(got) != 2 {
+		t.Errorf("limit ignored: %d", len(got))
+	}
+	// Singleton skeleton: one unit per tuple.
+	if got := MaterializeQUnits(db, g, &Form{Tables: []string{"author"}}, 0); len(got) != 3 {
+		t.Errorf("author units = %d, want 3", len(got))
+	}
+	if got := MaterializeQUnits(db, g, &Form{}, 0); got != nil {
+		t.Errorf("empty skeleton = %v", got)
+	}
+}
+
+func TestSearchQUnits(t *testing.T) {
+	db := dataset.WidomBib()
+	g := schemagraph.FromDB(db)
+	f := &Form{Tables: []string{"author", "paper", "write"}}
+	units := MaterializeQUnits(db, g, f, 0)
+	hits := SearchQUnits(units, []string{"widom", "xml"}, 5)
+	if len(hits) != 1 {
+		t.Fatalf("hits = %d, want 1 (Widom's XML streams unit)", len(hits))
+	}
+	if !strings.Contains(strings.ToLower(hits[0].QUnit.Text), "widom") {
+		t.Errorf("hit text = %q", hits[0].QUnit.Text)
+	}
+	if hits[0].Score <= 0 {
+		t.Errorf("score = %v", hits[0].Score)
+	}
+	if got := SearchQUnits(units, []string{"nosuch"}, 5); len(got) != 0 {
+		t.Errorf("no-match search = %v", got)
+	}
+	// k caps results.
+	all := SearchQUnits(units, []string{"xml"}, 1)
+	if len(all) != 1 {
+		t.Errorf("k cap ignored: %d", len(all))
+	}
+}

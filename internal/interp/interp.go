@@ -1,0 +1,255 @@
+// Package interp ranks structured interpretations of keyword queries over
+// relational data (slides 44-48): candidate structured queries are a query
+// template (a candidate network shape) plus keyword-to-attribute bindings.
+// SUITS ranks them by heuristics (Zhou et al. '07), IQP scores bindings
+// and templates probabilistically from a query log with a data-statistics
+// fallback (Demidova et al. TKDE'11), in the spirit of Petkova et al.'s
+// probabilistic combination of content and structure (ECIR'09).
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/relstore"
+	"kwsearch/internal/text"
+)
+
+// Binding assigns one query keyword to one (table, column) predicate.
+type Binding struct {
+	Keyword string
+	Table   string
+	Column  string
+}
+
+// String renders "widom→author.name".
+func (b Binding) String() string {
+	return fmt.Sprintf("%s→%s.%s", b.Keyword, b.Table, b.Column)
+}
+
+// Interpretation is one candidate structured query: a template (the set of
+// tables to join, identified by name) plus one binding per keyword.
+type Interpretation struct {
+	// Tables is the sorted join template.
+	Tables   []string
+	Bindings []Binding
+	Score    float64
+}
+
+// Template renders the grouping key, e.g. "author-write-paper".
+func (it Interpretation) Template() string { return strings.Join(it.Tables, "-") }
+
+// String renders "author-paper-write {widom→author.name, xml→paper.title}".
+func (it Interpretation) String() string {
+	parts := make([]string, len(it.Bindings))
+	for i, b := range it.Bindings {
+		parts[i] = b.String()
+	}
+	return fmt.Sprintf("%s {%s} %.4f", it.Template(), strings.Join(parts, ", "), it.Score)
+}
+
+// LogEntry is one historical structured query for the IQP estimators.
+type LogEntry struct {
+	// Template is the joined-table key (sorted, dash-separated).
+	Template string
+	// Bound lists the (table, column) pairs the query put predicates on.
+	Bound [][2]string
+	Count int
+}
+
+// Interpreter enumerates and scores interpretations.
+type Interpreter struct {
+	db *relstore.DB
+	ix *invindex.Index
+	// Log drives Pr[T] and Pr[A|T] when present (slide 46); without it the
+	// estimators fall back to data statistics (the slide's open question).
+	Log []LogEntry
+	// MaxBindingsPerKeyword caps candidate columns per keyword.
+	MaxBindingsPerKeyword int
+}
+
+// New builds an interpreter over db.
+func New(db *relstore.DB, log []LogEntry) *Interpreter {
+	return &Interpreter{db: db, ix: invindex.FromDB(db), Log: log, MaxBindingsPerKeyword: 4}
+}
+
+// bindingCandidate scores how well keyword fits column values: the
+// fraction of the column's distinct values containing the keyword, times
+// coverage of the matched values by the keyword (slide 45: "keywords
+// should cover a majority part of the value of a binding attribute").
+type bindingCandidate struct {
+	Binding
+	prob float64
+}
+
+// candidates returns the scored candidate bindings of one keyword.
+func (in *Interpreter) candidates(keyword string) []bindingCandidate {
+	var out []bindingCandidate
+	for _, name := range in.db.TableNames() {
+		t := in.db.Table(name)
+		for ci, col := range t.Schema.Columns {
+			if !col.Text {
+				continue
+			}
+			matched, total := 0, 0
+			coverage := 0.0
+			for _, tp := range t.Tuples() {
+				v := tp.Values[ci].Text()
+				if v == "" {
+					continue
+				}
+				total++
+				if text.Contains(v, keyword) {
+					matched++
+					coverage += 1 / float64(len(text.Tokenize(v)))
+				}
+			}
+			if matched == 0 || total == 0 {
+				continue
+			}
+			selectivity := float64(matched) / float64(total)
+			// Rare, well-covered matches bind confidently: P(binding) ∝
+			// coverage of the value, damped by how unselective it is.
+			p := (coverage / float64(matched)) * (1 - selectivity/2)
+			out = append(out, bindingCandidate{
+				Binding: Binding{Keyword: keyword, Table: name, Column: col.Name},
+				prob:    p,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].prob != out[j].prob {
+			return out[i].prob > out[j].prob
+		}
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Column < out[j].Column
+	})
+	if len(out) > in.MaxBindingsPerKeyword {
+		out = out[:in.MaxBindingsPerKeyword]
+	}
+	return out
+}
+
+// templatePrior is Pr[T]: from the log when available, else uniform.
+func (in *Interpreter) templatePrior(template string) float64 {
+	if len(in.Log) == 0 {
+		return 1
+	}
+	total, hit := 0, 0
+	for _, e := range in.Log {
+		total += e.Count
+		if e.Template == template {
+			hit += e.Count
+		}
+	}
+	return (float64(hit) + 1) / (float64(total) + 10) // smoothed
+}
+
+// attributePrior is Pr[A|T]: how often the log binds this attribute under
+// the template; 1 without a log.
+func (in *Interpreter) attributePrior(template string, b Binding) float64 {
+	if len(in.Log) == 0 {
+		return 1
+	}
+	total, hit := 0, 0
+	for _, e := range in.Log {
+		if e.Template != template {
+			continue
+		}
+		total += e.Count
+		for _, bound := range e.Bound {
+			if bound[0] == b.Table && bound[1] == b.Column {
+				hit += e.Count
+				break
+			}
+		}
+	}
+	return (float64(hit) + 1) / (float64(total) + 5)
+}
+
+// Interpret enumerates interpretations of the keyword query and ranks them
+// by Pr[A, T | Q] ∝ Πᵢ Pr[Aᵢ | T] · Pr[Aᵢ bind] · Pr[T] (slide 46's
+// factorization). Templates are the sorted table sets the bindings touch.
+func (in *Interpreter) Interpret(query string, k int) []Interpretation {
+	keywords := text.Tokenize(query)
+	if len(keywords) == 0 {
+		return nil
+	}
+	cands := make([][]bindingCandidate, len(keywords))
+	for i, kw := range keywords {
+		cands[i] = in.candidates(kw)
+		if len(cands[i]) == 0 {
+			return nil // a keyword with no binding has no interpretation
+		}
+	}
+	var out []Interpretation
+	choice := make([]bindingCandidate, len(keywords))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(keywords) {
+			tables := map[string]bool{}
+			prob := 1.0
+			bindings := make([]Binding, len(choice))
+			for j, c := range choice {
+				tables[c.Table] = true
+				prob *= c.prob
+				bindings[j] = c.Binding
+			}
+			sorted := make([]string, 0, len(tables))
+			for t := range tables {
+				sorted = append(sorted, t)
+			}
+			sort.Strings(sorted)
+			template := strings.Join(sorted, "-")
+			score := prob * in.templatePrior(template)
+			for _, b := range bindings {
+				score *= in.attributePrior(template, b)
+			}
+			out = append(out, Interpretation{Tables: sorted, Bindings: bindings, Score: score})
+			return
+		}
+		for _, c := range cands[i] {
+			choice[i] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].String() < out[j].String()
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// SUITSRank re-ranks interpretations with the slide-45 heuristics: small
+// expected result size, high keyword coverage of binding values, and most
+// keywords matched. It is query-log-free by design.
+func (in *Interpreter) SUITSRank(its []Interpretation) []Interpretation {
+	out := append([]Interpretation(nil), its...)
+	for i := range out {
+		size := 0
+		for _, b := range out[i].Bindings {
+			t := in.db.Table(b.Table)
+			ci := t.ColumnIndex(b.Column)
+			for _, tp := range t.Tuples() {
+				if text.Contains(tp.Values[ci].Text(), b.Keyword) {
+					size++
+				}
+			}
+		}
+		// Normalized small-result preference: fewer matching rows across
+		// bindings suggest a more precise interpretation.
+		out[i].Score = 1 / (1 + float64(size)) * float64(len(out[i].Bindings))
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}

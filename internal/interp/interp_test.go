@@ -1,0 +1,118 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"kwsearch/internal/dataset"
+)
+
+func TestInterpretWidomXML(t *testing.T) {
+	in := New(dataset.WidomBib(), nil)
+	its := in.Interpret("widom xml", 5)
+	if len(its) == 0 {
+		t.Fatal("no interpretations")
+	}
+	top := its[0]
+	// The natural reading binds widom to author.name and xml to paper.title.
+	if top.Template() != "author-paper" {
+		t.Errorf("top template = %s, want author-paper", top.Template())
+	}
+	found := map[string]string{}
+	for _, b := range top.Bindings {
+		found[b.Keyword] = b.Table + "." + b.Column
+	}
+	if found["widom"] != "author.name" || found["xml"] != "paper.title" {
+		t.Errorf("bindings = %v", found)
+	}
+	// Scores descend.
+	for i := 1; i < len(its); i++ {
+		if its[i].Score > its[i-1].Score {
+			t.Fatalf("not sorted")
+		}
+	}
+	if s := top.String(); !strings.Contains(s, "widom→author.name") {
+		t.Errorf("render = %q", s)
+	}
+}
+
+func TestInterpretUnboundKeyword(t *testing.T) {
+	in := New(dataset.WidomBib(), nil)
+	if got := in.Interpret("zzzznone widom", 5); got != nil {
+		t.Errorf("unbindable keyword produced %v", got)
+	}
+	if got := in.Interpret("", 5); got != nil {
+		t.Errorf("empty query produced %v", got)
+	}
+}
+
+// TestLogSteersTemplateChoice: slide 46 — with a query log favouring a
+// template, its interpretations outrank data-only ties.
+func TestLogSteersTemplateChoice(t *testing.T) {
+	db := dataset.WidomBib()
+	// "xml" binds only to paper.title, "widom" only to author.name; invent
+	// an ambiguous keyword by querying one term bindable in both tables:
+	// use "datalog" (paper) and "jennifer" (author) — unambiguous — so
+	// instead test the template prior directly via two queries.
+	noLog := New(db, nil)
+	its := noLog.Interpret("xml", 3)
+	if len(its) == 0 || its[0].Template() != "paper" {
+		t.Fatalf("baseline = %v", its)
+	}
+	withLog := New(db, []LogEntry{
+		{Template: "paper", Bound: [][2]string{{"paper", "title"}}, Count: 9},
+	})
+	its2 := withLog.Interpret("xml", 3)
+	if len(its2) == 0 {
+		t.Fatal("no interpretations with log")
+	}
+	if !(its2[0].Score > its[0].Score*noLog.templatePrior("paper")) && its2[0].Template() != "paper" {
+		t.Errorf("log did not boost the paper template")
+	}
+	// Prior arithmetic: template seen 9 of 9 -> (9+1)/(9+10) ≈ 0.53 vs
+	// unseen (0+1)/(9+10).
+	if !(withLog.templatePrior("paper") > withLog.templatePrior("author")) {
+		t.Errorf("template priors not ordered by log evidence")
+	}
+	if noLog.templatePrior("anything") != 1 {
+		t.Errorf("no-log template prior must be 1")
+	}
+}
+
+func TestAttributePrior(t *testing.T) {
+	db := dataset.WidomBib()
+	in := New(db, []LogEntry{
+		{Template: "author-paper", Bound: [][2]string{{"author", "name"}}, Count: 8},
+		{Template: "author-paper", Bound: [][2]string{{"paper", "title"}}, Count: 2},
+	})
+	bName := Binding{Keyword: "x", Table: "author", Column: "name"}
+	bTitle := Binding{Keyword: "x", Table: "paper", Column: "title"}
+	if !(in.attributePrior("author-paper", bName) > in.attributePrior("author-paper", bTitle)) {
+		t.Errorf("attribute prior not ordered by log evidence")
+	}
+}
+
+func TestSUITSRankPrefersSelectiveBindings(t *testing.T) {
+	db := dataset.WidomBib()
+	in := New(db, nil)
+	its := in.Interpret("xml", 0)
+	ranked := in.SUITSRank(its)
+	if len(ranked) == 0 {
+		t.Fatal("no ranked interpretations")
+	}
+	// All interpretations keep descending scores after re-ranking.
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score > ranked[i-1].Score {
+			t.Fatalf("SUITS rank not sorted")
+		}
+	}
+}
+
+func TestMaxBindingsCap(t *testing.T) {
+	in := New(dataset.WidomBib(), nil)
+	in.MaxBindingsPerKeyword = 1
+	its := in.Interpret("widom xml", 0)
+	if len(its) != 1 {
+		t.Fatalf("with 1 binding per keyword there must be exactly 1 interpretation, got %d", len(its))
+	}
+}

@@ -1,0 +1,221 @@
+// Package invindex implements an inverted index with TF/IDF statistics over
+// arbitrary documents (relational tuples, XML subtrees, form descriptions).
+// It is the IR substrate for keyword matching, SPARK-style scoring, data
+// clouds and form ranking.
+package invindex
+
+import (
+	"math"
+	"sort"
+
+	"kwsearch/internal/relstore"
+	"kwsearch/internal/text"
+)
+
+// DocID identifies an indexed document. When indexing a relstore database,
+// DocID equals the tuple's global relstore.TupleID.
+type DocID int32
+
+// Posting records one (document, term frequency) pair.
+type Posting struct {
+	Doc DocID
+	TF  int32
+}
+
+// Index is an append-only inverted index.
+type Index struct {
+	postings map[string][]Posting
+	docLen   map[DocID]int
+	totalLen int64
+	numDocs  int
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		postings: make(map[string][]Posting),
+		docLen:   make(map[DocID]int),
+	}
+}
+
+// Add tokenizes content and indexes it under doc. Calling Add twice with
+// the same doc extends that document.
+func (ix *Index) Add(doc DocID, content string) {
+	toks := text.Tokenize(content)
+	if _, seen := ix.docLen[doc]; !seen {
+		ix.numDocs++
+	}
+	ix.docLen[doc] += len(toks)
+	ix.totalLen += int64(len(toks))
+	counts := make(map[string]int32, len(toks))
+	for _, t := range toks {
+		counts[t]++
+	}
+	for t, c := range counts {
+		list := ix.postings[t]
+		// Merge with an existing posting if this doc was added before.
+		// Docs are normally added once each in increasing order, so the
+		// backward scan usually stops at the first comparison; out-of-order
+		// re-adds pay a full scan, which correctness requires.
+		merged := false
+		for i := len(list) - 1; i >= 0; i-- {
+			if list[i].Doc == doc {
+				list[i].TF += c
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			list = append(list, Posting{Doc: doc, TF: c})
+		}
+		ix.postings[t] = list
+	}
+}
+
+// FromDB indexes every tuple of db by its text columns.
+func FromDB(db *relstore.DB) *Index {
+	ix := New()
+	for _, name := range db.TableNames() {
+		t := db.Table(name)
+		for _, tp := range t.Tuples() {
+			if s := tp.Text(t.Schema); s != "" {
+				ix.Add(DocID(tp.ID), s)
+			}
+		}
+	}
+	return ix
+}
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int { return ix.numDocs }
+
+// DocLen returns the token count of doc.
+func (ix *Index) DocLen(doc DocID) int { return ix.docLen[doc] }
+
+// AvgDocLen returns the mean document length.
+func (ix *Index) AvgDocLen() float64 {
+	if ix.numDocs == 0 {
+		return 0
+	}
+	return float64(ix.totalLen) / float64(ix.numDocs)
+}
+
+// Postings returns the posting list of term, sorted by DocID. The slice is
+// shared; callers must not mutate it.
+func (ix *Index) Postings(term string) []Posting {
+	list := ix.postings[text.Normalize(term)]
+	if !sort.SliceIsSorted(list, func(i, j int) bool { return list[i].Doc < list[j].Doc }) {
+		sort.Slice(list, func(i, j int) bool { return list[i].Doc < list[j].Doc })
+	}
+	return list
+}
+
+// Docs returns just the document IDs matching term, sorted.
+func (ix *Index) Docs(term string) []DocID {
+	ps := ix.Postings(term)
+	out := make([]DocID, len(ps))
+	for i, p := range ps {
+		out[i] = p.Doc
+	}
+	return out
+}
+
+// DF returns the document frequency of term.
+func (ix *Index) DF(term string) int { return len(ix.Postings(term)) }
+
+// TF returns the term frequency of term in doc (0 if absent).
+func (ix *Index) TF(term string, doc DocID) int {
+	ps := ix.Postings(term)
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].Doc >= doc })
+	if i < len(ps) && ps[i].Doc == doc {
+		return int(ps[i].TF)
+	}
+	return 0
+}
+
+// IDF returns ln((N+1)/(df+1)) + 1, a smoothed inverse document frequency
+// that stays positive for ubiquitous terms.
+func (ix *Index) IDF(term string) float64 {
+	return math.Log(float64(ix.numDocs+1)/float64(ix.DF(term)+1)) + 1
+}
+
+// Terms returns all indexed terms, sorted.
+func (ix *Index) Terms() []string {
+	out := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasTerm reports whether the term occurs in the corpus.
+func (ix *Index) HasTerm(term string) bool { return ix.DF(term) > 0 }
+
+// TFIDF returns the TF·IDF weight of term in doc with log-scaled TF:
+// (1+ln(tf))·idf, or 0 when absent.
+func (ix *Index) TFIDF(term string, doc DocID) float64 {
+	tf := ix.TF(term, doc)
+	if tf == 0 {
+		return 0
+	}
+	return (1 + math.Log(float64(tf))) * ix.IDF(term)
+}
+
+// Score sums TFIDF over the query terms for doc — the basic vector-space
+// relevance used as a building block by the ranking packages.
+func (ix *Index) Score(queryTerms []string, doc DocID) float64 {
+	s := 0.0
+	for _, t := range queryTerms {
+		s += ix.TFIDF(t, doc)
+	}
+	return s
+}
+
+// Intersect returns the documents containing every term, sorted. An empty
+// term list yields nil.
+func (ix *Index) Intersect(terms []string) []DocID {
+	if len(terms) == 0 {
+		return nil
+	}
+	lists := make([][]Posting, len(terms))
+	for i, t := range terms {
+		lists[i] = ix.Postings(t)
+		if len(lists[i]) == 0 {
+			return nil
+		}
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	var out []DocID
+	for _, p := range lists[0] {
+		ok := true
+		for _, other := range lists[1:] {
+			j := sort.Search(len(other), func(i int) bool { return other[i].Doc >= p.Doc })
+			if j == len(other) || other[j].Doc != p.Doc {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, p.Doc)
+		}
+	}
+	return out
+}
+
+// Union returns the documents containing any of the terms, sorted and
+// deduplicated.
+func (ix *Index) Union(terms []string) []DocID {
+	seen := map[DocID]bool{}
+	var out []DocID
+	for _, t := range terms {
+		for _, p := range ix.Postings(t) {
+			if !seen[p.Doc] {
+				seen[p.Doc] = true
+				out = append(out, p.Doc)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

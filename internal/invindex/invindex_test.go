@@ -1,0 +1,175 @@
+package invindex
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kwsearch/internal/relstore"
+)
+
+func smallIndex() *Index {
+	ix := New()
+	ix.Add(0, "keyword search in databases")
+	ix.Add(1, "keyword keyword proximity search")
+	ix.Add(2, "XML query processing")
+	return ix
+}
+
+func TestCounts(t *testing.T) {
+	ix := smallIndex()
+	if ix.NumDocs() != 3 {
+		t.Fatalf("NumDocs = %d", ix.NumDocs())
+	}
+	if ix.DF("keyword") != 2 {
+		t.Errorf("DF(keyword) = %d, want 2", ix.DF("keyword"))
+	}
+	if ix.TF("keyword", 1) != 2 {
+		t.Errorf("TF(keyword,1) = %d, want 2", ix.TF("keyword", 1))
+	}
+	if ix.TF("keyword", 2) != 0 {
+		t.Errorf("TF(keyword,2) = %d, want 0", ix.TF("keyword", 2))
+	}
+	if ix.DocLen(0) != 4 {
+		t.Errorf("DocLen(0) = %d, want 4", ix.DocLen(0))
+	}
+	if got := ix.AvgDocLen(); math.Abs(got-11.0/3) > 1e-12 {
+		t.Errorf("AvgDocLen = %v", got)
+	}
+	if !ix.HasTerm("xml") || ix.HasTerm("nosuch") {
+		t.Errorf("HasTerm broken")
+	}
+}
+
+func TestAddSameDocTwiceMerges(t *testing.T) {
+	ix := New()
+	ix.Add(7, "alpha beta")
+	ix.Add(7, "beta gamma")
+	if ix.NumDocs() != 1 {
+		t.Fatalf("NumDocs = %d, want 1", ix.NumDocs())
+	}
+	if ix.TF("beta", 7) != 2 {
+		t.Errorf("TF(beta) = %d, want 2 after merge", ix.TF("beta", 7))
+	}
+	if ix.DocLen(7) != 4 {
+		t.Errorf("DocLen = %d, want 4", ix.DocLen(7))
+	}
+	if len(ix.Postings("beta")) != 1 {
+		t.Errorf("postings must merge duplicate doc entries")
+	}
+}
+
+func TestIDFMonotoneInRarity(t *testing.T) {
+	ix := smallIndex()
+	if !(ix.IDF("xml") > ix.IDF("keyword")) {
+		t.Errorf("rarer term must have higher IDF: xml=%v keyword=%v",
+			ix.IDF("xml"), ix.IDF("keyword"))
+	}
+	if ix.IDF("absent") <= 0 {
+		t.Errorf("IDF must stay positive")
+	}
+}
+
+func TestTFIDFAndScore(t *testing.T) {
+	ix := smallIndex()
+	if ix.TFIDF("keyword", 2) != 0 {
+		t.Errorf("absent term TFIDF must be 0")
+	}
+	// Doc 1 has tf=2: must beat doc 0's tf=1 for the same term.
+	if !(ix.TFIDF("keyword", 1) > ix.TFIDF("keyword", 0)) {
+		t.Errorf("higher TF must yield higher TFIDF")
+	}
+	q := []string{"keyword", "search"}
+	if !(ix.Score(q, 0) > ix.Score(q, 2)) {
+		t.Errorf("doc 0 must outscore doc 2 for %v", q)
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	ix := smallIndex()
+	got := ix.Intersect([]string{"keyword", "search"})
+	want := []DocID{0, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if got := ix.Intersect([]string{"keyword", "nosuch"}); got != nil {
+		t.Errorf("Intersect with absent term = %v, want nil", got)
+	}
+	if got := ix.Intersect(nil); got != nil {
+		t.Errorf("Intersect(nil) = %v", got)
+	}
+	u := ix.Union([]string{"xml", "search"})
+	if !reflect.DeepEqual(u, []DocID{0, 1, 2}) {
+		t.Errorf("Union = %v", u)
+	}
+}
+
+func TestDocsSortedAndTerms(t *testing.T) {
+	ix := smallIndex()
+	docs := ix.Docs("keyword")
+	if !sort.SliceIsSorted(docs, func(i, j int) bool { return docs[i] < docs[j] }) {
+		t.Errorf("Docs not sorted: %v", docs)
+	}
+	terms := ix.Terms()
+	if !sort.StringsAreSorted(terms) {
+		t.Errorf("Terms not sorted")
+	}
+}
+
+func TestFromDB(t *testing.T) {
+	db := relstore.NewDB()
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "paper",
+		Columns: []relstore.Column{
+			{Name: "pid", Type: relstore.KindInt},
+			{Name: "title", Type: relstore.KindString, Text: true},
+		},
+		Key: "pid",
+	})
+	p := db.MustInsert("paper", map[string]relstore.Value{
+		"pid": relstore.Int(1), "title": relstore.String("Keyword search on graphs"),
+	})
+	ix := FromDB(db)
+	docs := ix.Docs("graphs")
+	if len(docs) != 1 || docs[0] != DocID(p.ID) {
+		t.Fatalf("Docs(graphs) = %v", docs)
+	}
+}
+
+// Property: Intersect(t1, t2) ⊆ Docs(t1) ∩ Docs(t2) and both directions.
+func TestIntersectMatchesSetSemantics(t *testing.T) {
+	f := func(docsA, docsB []uint8) bool {
+		ix := New()
+		for _, d := range docsA {
+			ix.Add(DocID(d%16), "alpha")
+		}
+		for _, d := range docsB {
+			ix.Add(DocID(d%16), "beta")
+		}
+		got := ix.Intersect([]string{"alpha", "beta"})
+		inA := map[DocID]bool{}
+		for _, d := range ix.Docs("alpha") {
+			inA[d] = true
+		}
+		want := map[DocID]bool{}
+		for _, d := range ix.Docs("beta") {
+			if inA[d] {
+				want[d] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, d := range got {
+			if !want[d] {
+				return false
+			}
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

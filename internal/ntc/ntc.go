@@ -1,0 +1,148 @@
+// Package ntc ranks candidate structures by how statistically related
+// their entity types are (slides 40-43): the generalized participation
+// ratios of Jayapandian & Jagadish (VLDB'08) and the Normalized Total
+// Correlation of Termehchy & Winslett (CIKM'09), computed from data
+// statistics rather than manual schema weights.
+package ntc
+
+import (
+	"math"
+
+	"kwsearch/internal/relstore"
+)
+
+// Joint is an empirical joint distribution over n variables: each cell is
+// one observed combination with a count.
+type Joint struct {
+	n     int
+	cells map[string]int
+	total int
+	// marginals[i] maps a variable's value to its count.
+	marginals []map[string]int
+}
+
+// NewJoint creates a joint distribution over n variables.
+func NewJoint(n int) *Joint {
+	j := &Joint{n: n, cells: map[string]int{}, marginals: make([]map[string]int, n)}
+	for i := range j.marginals {
+		j.marginals[i] = map[string]int{}
+	}
+	return j
+}
+
+// Add records one observation of the given value combination.
+func (j *Joint) Add(values ...string) {
+	if len(values) != j.n {
+		panic("ntc: arity mismatch")
+	}
+	key := ""
+	for _, v := range values {
+		key += v + "\x00"
+	}
+	j.cells[key]++
+	j.total++
+	for i, v := range values {
+		j.marginals[i][v]++
+	}
+}
+
+// entropy computes H (bits) from counts summing to total.
+func entropy(counts map[string]int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// MarginalEntropy returns H(Pᵢ) in bits.
+func (j *Joint) MarginalEntropy(i int) float64 {
+	return entropy(j.marginals[i], j.total)
+}
+
+// JointEntropy returns H(P₁,…,Pₙ) in bits.
+func (j *Joint) JointEntropy() float64 {
+	return entropy(j.cells, j.total)
+}
+
+// TotalCorrelation returns I(P) = Σᵢ H(Pᵢ) − H(P₁,…,Pₙ) (slide 42):
+// zero means the variables are statistically unrelated.
+func (j *Joint) TotalCorrelation() float64 {
+	s := 0.0
+	for i := 0; i < j.n; i++ {
+		s += j.MarginalEntropy(i)
+	}
+	return s - j.JointEntropy()
+}
+
+// NormalizedTotalCorrelation returns I*(P) = f(n)·I(P)/H(P₁,…,Pₙ) with
+// f(n) = n²/(n−1)² (slide 43) — the quantity NTC ranks answer structures
+// by, independent of the query.
+func (j *Joint) NormalizedTotalCorrelation() float64 {
+	h := j.JointEntropy()
+	if h == 0 {
+		return 0
+	}
+	n := float64(j.n)
+	f := (n * n) / ((n - 1) * (n - 1))
+	return f * j.TotalCorrelation() / h
+}
+
+// JointFromJoin builds the (left, right) joint distribution of a binary
+// relationship table: each link tuple contributes one observation of
+// (value of leftCol, value of rightCol).
+func JointFromJoin(t *relstore.Table, leftCol, rightCol string) *Joint {
+	li := t.ColumnIndex(leftCol)
+	ri := t.ColumnIndex(rightCol)
+	j := NewJoint(2)
+	if li < 0 || ri < 0 {
+		return j
+	}
+	for _, tp := range t.Tuples() {
+		j.Add(tp.Values[li].Text(), tp.Values[ri].Text())
+	}
+	return j
+}
+
+// Participation returns the generalized participation ratio P(T1 → T2)
+// of slide 40: the fraction of T1's instances connected to at least one T2
+// instance through the link table (whose fromCol references T1's key and
+// toCol references T2's key).
+func Participation(db *relstore.DB, t1 string, link string, fromCol string) float64 {
+	base := db.Table(t1)
+	lt := db.Table(link)
+	if base == nil || lt == nil || base.Len() == 0 {
+		return 0
+	}
+	fi := lt.ColumnIndex(fromCol)
+	if fi < 0 {
+		return 0
+	}
+	connected := map[relstore.Value]bool{}
+	for _, tp := range lt.Tuples() {
+		v := tp.Values[fi]
+		if !v.IsNull() {
+			connected[v] = true
+		}
+	}
+	n := 0
+	key := base.Schema.Key
+	ki := base.ColumnIndex(key)
+	for _, tp := range base.Tuples() {
+		if connected[tp.Values[ki]] {
+			n++
+		}
+	}
+	return float64(n) / float64(base.Len())
+}
+
+// Relatedness of two entity types is the average of their mutual
+// participation ratios (slide 40).
+func Relatedness(p12, p21 float64) float64 { return (p12 + p21) / 2 }

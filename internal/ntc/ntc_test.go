@@ -1,0 +1,136 @@
+package ntc
+
+import (
+	"math"
+	"testing"
+
+	"kwsearch/internal/relstore"
+)
+
+// slide42Joint is the author-paper joint of slide 42: six uniform cells
+// with one repeated author, yielding H(A)=2.25, H(P)=1.92, H(A,P)=2.58,
+// I(A,P)=1.59 (bits, to 2 decimals).
+func slide42Joint() *Joint {
+	j := NewJoint(2)
+	j.Add("A1", "P1")
+	j.Add("A2", "P1")
+	j.Add("A3", "P2")
+	j.Add("A4", "P2")
+	j.Add("A5", "P3")
+	j.Add("A5", "P4")
+	return j
+}
+
+// slide43Joint is the editor-paper joint: two editors each editing one
+// paper, H(E)=H(P)=H(E,P)=1.0, I=1.0.
+func slide43Joint() *Joint {
+	j := NewJoint(2)
+	j.Add("E1", "P1")
+	j.Add("E2", "P2")
+	return j
+}
+
+func approx(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+// TestSlide42Numbers reproduces E5's author-paper entropy table.
+func TestSlide42Numbers(t *testing.T) {
+	j := slide42Joint()
+	if got := j.MarginalEntropy(0); !approx(got, 2.25, 0.005) {
+		t.Errorf("H(A) = %v, want 2.25", got)
+	}
+	if got := j.MarginalEntropy(1); !approx(got, 1.92, 0.005) {
+		t.Errorf("H(P) = %v, want 1.92", got)
+	}
+	if got := j.JointEntropy(); !approx(got, 2.58, 0.005) {
+		t.Errorf("H(A,P) = %v, want 2.58", got)
+	}
+	if got := j.TotalCorrelation(); !approx(got, 1.59, 0.01) {
+		t.Errorf("I(A,P) = %v, want 1.59", got)
+	}
+}
+
+// TestSlide43Numbers reproduces E5's editor-paper column.
+func TestSlide43Numbers(t *testing.T) {
+	j := slide43Joint()
+	if got := j.MarginalEntropy(0); !approx(got, 1.0, 1e-9) {
+		t.Errorf("H(E) = %v", got)
+	}
+	if got := j.JointEntropy(); !approx(got, 1.0, 1e-9) {
+		t.Errorf("H(E,P) = %v", got)
+	}
+	if got := j.TotalCorrelation(); !approx(got, 1.0, 1e-9) {
+		t.Errorf("I(E,P) = %v, want 1.0", got)
+	}
+	// Normalized: f(2)=4, I*=4·1.0/1.0=4 — the editor-paper association is
+	// deterministic, hence maximally correlated relative to its entropy.
+	if got := j.NormalizedTotalCorrelation(); !approx(got, 4.0, 1e-9) {
+		t.Errorf("I*(E,P) = %v, want 4.0", got)
+	}
+	ap := slide42Joint()
+	if !(j.NormalizedTotalCorrelation() > ap.NormalizedTotalCorrelation()) {
+		t.Errorf("deterministic editor-paper must have higher I* than author-paper")
+	}
+}
+
+func TestIndependentVariablesHaveZeroCorrelation(t *testing.T) {
+	j := NewJoint(2)
+	for _, a := range []string{"x", "y"} {
+		for _, b := range []string{"1", "2"} {
+			j.Add(a, b)
+		}
+	}
+	if got := j.TotalCorrelation(); !approx(got, 0, 1e-9) {
+		t.Errorf("I(independent) = %v, want 0", got)
+	}
+	if got := j.NormalizedTotalCorrelation(); !approx(got, 0, 1e-9) {
+		t.Errorf("I*(independent) = %v, want 0", got)
+	}
+}
+
+func TestJointFromJoinAndParticipation(t *testing.T) {
+	db := relstore.NewDB()
+	db.MustCreateTable(&relstore.TableSchema{
+		Name:    "author",
+		Columns: []relstore.Column{{Name: "aid", Type: relstore.KindInt}},
+		Key:     "aid",
+	})
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "write",
+		Columns: []relstore.Column{
+			{Name: "aid", Type: relstore.KindInt},
+			{Name: "pid", Type: relstore.KindInt},
+		},
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "aid", RefTable: "author", RefColumn: "aid"},
+		},
+	})
+	for i := 1; i <= 6; i++ {
+		db.MustInsert("author", map[string]relstore.Value{"aid": relstore.Int(int64(i))})
+	}
+	// Five of six authors write (slide 40: P(A→P) = 5/6).
+	links := [][2]int64{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {5, 4}}
+	for _, l := range links {
+		db.MustInsert("write", map[string]relstore.Value{
+			"aid": relstore.Int(l[0]), "pid": relstore.Int(l[1]),
+		})
+	}
+	if got := Participation(db, "author", "write", "aid"); !approx(got, 5.0/6, 1e-9) {
+		t.Errorf("P(A→P) = %v, want 5/6", got)
+	}
+	j := JointFromJoin(db.Table("write"), "aid", "pid")
+	if got := j.TotalCorrelation(); !approx(got, 1.59, 0.01) {
+		t.Errorf("I from join table = %v, want 1.59", got)
+	}
+	if got := Relatedness(5.0/6, 1.0); !approx(got, 11.0/12, 1e-9) {
+		t.Errorf("relatedness = %v", got)
+	}
+}
+
+func TestAddArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("arity mismatch must panic")
+		}
+	}()
+	NewJoint(2).Add("only-one")
+}

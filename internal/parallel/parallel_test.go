@@ -1,0 +1,175 @@
+package parallel
+
+import (
+	"sort"
+	"testing"
+
+	"kwsearch/internal/cn"
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/schemagraph"
+)
+
+func setup(t *testing.T) (*cn.Evaluator, []Job, []*cn.CN) {
+	t.Helper()
+	db := dataset.DBLP(dataset.DBLPConfig{
+		Authors: 60, Papers: 150, Conferences: 5, AuthorsPerPaper: 2,
+		CitesPerPaper: 1, TitleTermCount: 3, ExtraVocab: 30, Seed: 17,
+	})
+	ix := invindex.FromDB(db)
+	ev := cn.NewEvaluator(db, ix, []string{"keyword", "search"})
+	g := schemagraph.FromDB(db)
+	cns := cn.Enumerate(g, cn.EnumerateOptions{
+		MaxSize:       5,
+		KeywordTables: ev.KeywordTables(),
+		FreeTables:    []string{"write", "cite"},
+	})
+	if len(cns) < 4 {
+		t.Fatalf("too few CNs: %d", len(cns))
+	}
+	jobs := make([]Job, len(cns))
+	for i, c := range cns {
+		jobs[i] = Decompose(c, ev)
+	}
+	return ev, jobs, cns
+}
+
+func TestDecompose(t *testing.T) {
+	ev, jobs, _ := setup(t)
+	_ = ev
+	for _, j := range jobs {
+		if len(j.Prefixes) != j.CN.Size() {
+			t.Fatalf("prefixes = %d for CN size %d", len(j.Prefixes), j.CN.Size())
+		}
+		// Costs are strictly increasing (each step adds >= 1).
+		for i := 1; i < len(j.PrefixCosts); i++ {
+			if j.PrefixCosts[i] <= j.PrefixCosts[i-1] {
+				t.Fatalf("prefix costs not increasing: %v", j.PrefixCosts)
+			}
+		}
+		// The full-CN prefix is the CN's own canonical form.
+		if j.Prefixes[len(j.Prefixes)-1] != j.CN.Canonical() {
+			t.Fatalf("last prefix != canonical CN")
+		}
+	}
+	// CNs genuinely share prefixes (the premise of sharing-aware
+	// partitioning).
+	count := map[string]int{}
+	for _, j := range jobs {
+		for _, p := range j.Prefixes {
+			count[p]++
+		}
+	}
+	shared := 0
+	for _, c := range count {
+		if c > 1 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Errorf("no shared prefixes across CNs")
+	}
+}
+
+func TestPartitionsCoverAllJobs(t *testing.T) {
+	_, jobs, _ := setup(t)
+	for name, a := range map[string]Assignment{
+		"naive":   NaivePartition(jobs, 3),
+		"sharing": SharingAwarePartition(jobs, 3),
+	} {
+		n := 0
+		for _, js := range a.Jobs {
+			n += len(js)
+		}
+		if n != len(jobs) {
+			t.Errorf("%s: assigned %d of %d jobs", name, n, len(jobs))
+		}
+		if a.Makespan() <= 0 {
+			t.Errorf("%s: makespan = %v", name, a.Makespan())
+		}
+	}
+}
+
+// TestSharingAwareNoWorse is the E19 shape: accounting for shared prefixes
+// never increases the makespan estimate.
+func TestSharingAwareNoWorse(t *testing.T) {
+	_, jobs, _ := setup(t)
+	for _, workers := range []int{1, 2, 4} {
+		naive := NaivePartition(jobs, workers)
+		sharing := SharingAwarePartition(jobs, workers)
+		if sharing.Makespan() > naive.Makespan()+1e-9 {
+			t.Errorf("workers=%d: sharing-aware makespan %v exceeds naive %v",
+				workers, sharing.Makespan(), naive.Makespan())
+		}
+	}
+}
+
+func TestExecuteMatchesSequential(t *testing.T) {
+	ev, jobs, cns := setup(t)
+	var want []float64
+	for _, c := range cns {
+		for _, r := range ev.EvaluateCN(c) {
+			want = append(want, r.Score)
+		}
+	}
+	sort.Float64s(want)
+	for _, workers := range []int{1, 4} {
+		a := SharingAwarePartition(jobs, workers)
+		got := Execute(ev, a)
+		scores := make([]float64, len(got))
+		for i, r := range got {
+			scores[i] = r.Score
+		}
+		sort.Float64s(scores)
+		if len(scores) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(scores), len(want))
+		}
+		for i := range want {
+			if scores[i] != want[i] {
+				t.Fatalf("workers=%d: result scores differ", workers)
+			}
+		}
+	}
+}
+
+func TestSingleWorkerDegenerate(t *testing.T) {
+	_, jobs, _ := setup(t)
+	a := NaivePartition(jobs, 0) // clamps to 1
+	if len(a.Jobs) != 1 {
+		t.Fatalf("workers clamped incorrectly: %d", len(a.Jobs))
+	}
+	total := 0.0
+	for _, j := range jobs {
+		total += j.Cost()
+	}
+	if a.Makespan() != total {
+		t.Errorf("single-worker makespan %v != total %v", a.Makespan(), total)
+	}
+}
+
+func TestExecuteDataParallelMatchesSequential(t *testing.T) {
+	ev, jobs, cns := setup(t)
+	var want []float64
+	for _, c := range cns {
+		for _, r := range ev.EvaluateCN(c) {
+			want = append(want, r.Score)
+		}
+	}
+	sort.Float64s(want)
+	for _, workers := range []int{1, 3, 8} {
+		got := ExecuteDataParallel(ev, jobs, workers)
+		scores := make([]float64, len(got))
+		for i, r := range got {
+			scores[i] = r.Score
+		}
+		sort.Float64s(scores)
+		if len(scores) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(scores), len(want))
+		}
+		for i := range want {
+			if scores[i] != want[i] {
+				t.Fatalf("workers=%d: result scores differ", workers)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package rank provides the result-ranking toolbox of slides 144-145:
+// TF·IDF vector-space similarity, proximity-based tree scores, and
+// authority flow — a PageRank adaptation for data graphs where different
+// edge types carry different weights and authority may flow both ways
+// across an edge.
+package rank
+
+import (
+	"math"
+
+	"kwsearch/internal/datagraph"
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/text"
+)
+
+// CosineScore is the vector-space model: the cosine between the query
+// vector and the document vector under TF·IDF weights (slide 144).
+func CosineScore(ix *invindex.Index, query []string, doc invindex.DocID) float64 {
+	qw := map[string]float64{}
+	for _, raw := range query {
+		t := text.Normalize(raw)
+		if t == "" {
+			continue
+		}
+		qw[t] += ix.IDF(t)
+	}
+	dot, qn := 0.0, 0.0
+	for t, w := range qw {
+		dot += w * ix.TFIDF(t, doc)
+		qn += w * w
+	}
+	if dot == 0 {
+		return 0
+	}
+	dn := docNorm(ix, doc)
+	if dn == 0 || qn == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(qn) * dn)
+}
+
+// docNorm computes the Euclidean norm of the document's TF·IDF vector.
+// O(vocabulary) per call; the Ranker caches it.
+func docNorm(ix *invindex.Index, doc invindex.DocID) float64 {
+	s := 0.0
+	for _, t := range ix.Terms() {
+		w := ix.TFIDF(t, doc)
+		s += w * w
+	}
+	return math.Sqrt(s)
+}
+
+// Ranker caches document norms for repeated cosine scoring.
+type Ranker struct {
+	ix    *invindex.Index
+	norms map[invindex.DocID]float64
+}
+
+// NewRanker wraps an index.
+func NewRanker(ix *invindex.Index) *Ranker {
+	return &Ranker{ix: ix, norms: map[invindex.DocID]float64{}}
+}
+
+// Cosine scores doc against the query with cached norms.
+func (r *Ranker) Cosine(query []string, doc invindex.DocID) float64 {
+	qw := map[string]float64{}
+	for _, raw := range query {
+		t := text.Normalize(raw)
+		if t == "" {
+			continue
+		}
+		qw[t] += r.ix.IDF(t)
+	}
+	dot, qn := 0.0, 0.0
+	for t, w := range qw {
+		dot += w * r.ix.TFIDF(t, doc)
+		qn += w * w
+	}
+	if dot == 0 || qn == 0 {
+		return 0
+	}
+	dn, ok := r.norms[doc]
+	if !ok {
+		dn = docNorm(r.ix, doc)
+		r.norms[doc] = dn
+	}
+	if dn == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(qn) * dn)
+}
+
+// ProximityScore converts a result tree's weighted size into a relevance
+// boost: 1/(1+totalWeight) — smaller, tighter trees rank higher
+// (slide 145's proximity adaptation).
+func ProximityScore(totalWeight float64) float64 {
+	if totalWeight < 0 {
+		totalWeight = 0
+	}
+	return 1 / (1 + totalWeight)
+}
+
+// Authority computes PageRank-style authority over a data graph. Damping
+// is the usual random-jump factor (0.85 typical); iters bounds the power
+// iteration. Edge weights act as transition preferences: a node spreads
+// its score to neighbours proportionally to edge weight (slide 60's
+// adaptation, also slide 145's "different edge types treated
+// differently" — encode the type preference in the edge weight).
+func Authority(g *datagraph.Graph, damping float64, iters int) []float64 {
+	n := g.Len()
+	if n == 0 {
+		return nil
+	}
+	if damping <= 0 || damping >= 1 {
+		damping = 0.85
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	score := make([]float64, n)
+	next := make([]float64, n)
+	for i := range score {
+		score[i] = 1 / float64(n)
+	}
+	outWeight := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for _, e := range g.Neighbors(datagraph.NodeID(i)) {
+			outWeight[i] += e.Weight
+		}
+	}
+	for it := 0; it < iters; it++ {
+		base := (1 - damping) / float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		// Dangling mass is spread uniformly.
+		dangling := 0.0
+		for i := 0; i < n; i++ {
+			if outWeight[i] == 0 {
+				dangling += score[i]
+				continue
+			}
+			share := damping * score[i] / outWeight[i]
+			for _, e := range g.Neighbors(datagraph.NodeID(i)) {
+				next[e.To] += share * e.Weight
+			}
+		}
+		if dangling > 0 {
+			spread := damping * dangling / float64(n)
+			for i := range next {
+				next[i] += spread
+			}
+		}
+		score, next = next, score
+	}
+	return score
+}

@@ -1,0 +1,127 @@
+package rank
+
+import (
+	"math"
+	"testing"
+
+	"kwsearch/internal/datagraph"
+	"kwsearch/internal/invindex"
+)
+
+func corpus() *invindex.Index {
+	ix := invindex.New()
+	ix.Add(0, "keyword search keyword engines")
+	ix.Add(1, "keyword search on databases")
+	ix.Add(2, "image processing pipelines")
+	return ix
+}
+
+func TestCosineScoreOrdersByRelevance(t *testing.T) {
+	ix := corpus()
+	q := []string{"keyword", "search"}
+	s0 := CosineScore(ix, q, 0)
+	s1 := CosineScore(ix, q, 1)
+	s2 := CosineScore(ix, q, 2)
+	if !(s0 > 0 && s1 > 0) {
+		t.Fatalf("matching docs must score > 0: %v %v", s0, s1)
+	}
+	if s2 != 0 {
+		t.Errorf("non-matching doc scored %v", s2)
+	}
+	if s0 > 1+1e-9 || s1 > 1+1e-9 {
+		t.Errorf("cosine must stay within [0,1]: %v %v", s0, s1)
+	}
+}
+
+func TestRankerMatchesDirectCosine(t *testing.T) {
+	ix := corpus()
+	r := NewRanker(ix)
+	q := []string{"keyword", "databases"}
+	for d := invindex.DocID(0); d < 3; d++ {
+		if math.Abs(r.Cosine(q, d)-CosineScore(ix, q, d)) > 1e-12 {
+			t.Fatalf("cached cosine differs for doc %d", d)
+		}
+	}
+	// Cache hit path.
+	if math.Abs(r.Cosine(q, 0)-CosineScore(ix, q, 0)) > 1e-12 {
+		t.Fatalf("cache corrupted the score")
+	}
+	if got := r.Cosine(nil, 0); got != 0 {
+		t.Errorf("empty query cosine = %v", got)
+	}
+}
+
+func TestProximityScore(t *testing.T) {
+	if ProximityScore(0) != 1 {
+		t.Errorf("zero-weight tree must score 1")
+	}
+	if !(ProximityScore(1) > ProximityScore(5)) {
+		t.Errorf("smaller trees must score higher")
+	}
+	if ProximityScore(-3) != 1 {
+		t.Errorf("negative weight clamps to 0")
+	}
+}
+
+func TestAuthorityFavorsHubs(t *testing.T) {
+	// Star graph: the center receives authority from every spoke.
+	g := datagraph.New(5)
+	for i := 1; i < 5; i++ {
+		g.AddEdge(0, datagraph.NodeID(i), 1)
+	}
+	scores := Authority(g, 0.85, 50)
+	for i := 1; i < 5; i++ {
+		if scores[0] <= scores[i] {
+			t.Fatalf("center %v must outrank spoke %v", scores[0], scores[i])
+		}
+	}
+	// Scores form a distribution.
+	sum := 0.0
+	for _, s := range scores {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("authority sums to %v", sum)
+	}
+}
+
+func TestAuthorityEdgeWeightsSteerFlow(t *testing.T) {
+	// Node 0 links to 1 (weight 3) and 2 (weight 1): node 1 receives more.
+	g := datagraph.New(3)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(0, 2, 1)
+	scores := Authority(g, 0.85, 50)
+	if scores[1] <= scores[2] {
+		t.Fatalf("weighted edge must attract more authority: %v vs %v", scores[1], scores[2])
+	}
+}
+
+func TestAuthorityUniformOnRing(t *testing.T) {
+	g := datagraph.New(6)
+	for i := 0; i < 6; i++ {
+		g.AddEdge(datagraph.NodeID(i), datagraph.NodeID((i+1)%6), 1)
+	}
+	scores := Authority(g, 0.85, 60)
+	for i := 1; i < 6; i++ {
+		if math.Abs(scores[i]-scores[0]) > 1e-9 {
+			t.Fatalf("ring should be uniform: %v", scores)
+		}
+	}
+}
+
+func TestAuthorityEmptyAndDangling(t *testing.T) {
+	if got := Authority(datagraph.New(0), 0.85, 10); got != nil {
+		t.Errorf("empty graph = %v", got)
+	}
+	// Isolated node: dangling mass redistribution keeps the sum at 1.
+	g := datagraph.New(3)
+	g.AddEdge(0, 1, 1)
+	scores := Authority(g, 0.85, 50)
+	sum := 0.0
+	for _, s := range scores {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("authority with dangling node sums to %v", sum)
+	}
+}

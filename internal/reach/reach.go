@@ -1,0 +1,136 @@
+// Package reach implements D-reachability indexes for relational keyword
+// search (Markowetz et al. ICDE'09, slide 124): precomputed, radius-capped
+// reachability information — node→terms (N2T), (node, relation)→terms
+// (N2R) and (node, relation)→nodes (N2N) — used to prune partial solutions
+// and whole candidate networks before any join or expansion work.
+package reach
+
+import (
+	"sort"
+
+	"kwsearch/internal/datagraph"
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/relstore"
+	"kwsearch/internal/text"
+)
+
+// Index holds the radius-D reachability tables of one database.
+type Index struct {
+	D  int
+	db *relstore.DB
+	// n2t[n] = sorted terms reachable from node n within D steps.
+	n2t map[datagraph.NodeID][]string
+	// n2r[n][rel] = true when a tuple of relation rel is within D steps.
+	n2r map[datagraph.NodeID]map[string]bool
+	// n2n[n] = nodes within D steps (sorted), for partial-solution joins.
+	n2n map[datagraph.NodeID][]datagraph.NodeID
+}
+
+// Build precomputes the tables with one bounded BFS per node. Space is
+// capped by the radius D — the size/range threshold the slide describes.
+func Build(db *relstore.DB, g *datagraph.Graph, d int) *Index {
+	ix := &Index{
+		D:   d,
+		db:  db,
+		n2t: map[datagraph.NodeID][]string{},
+		n2r: map[datagraph.NodeID]map[string]bool{},
+		n2n: map[datagraph.NodeID][]datagraph.NodeID{},
+	}
+	inv := invindex.FromDB(db)
+	// Own terms per node.
+	own := map[datagraph.NodeID][]string{}
+	for _, term := range inv.Terms() {
+		for _, doc := range inv.Docs(term) {
+			own[datagraph.NodeID(doc)] = append(own[datagraph.NodeID(doc)], term)
+		}
+	}
+	for n := 0; n < g.Len(); n++ {
+		node := datagraph.NodeID(n)
+		terms := map[string]bool{}
+		rels := map[string]bool{}
+		var nodes []datagraph.NodeID
+		for m := range g.BFSHops(node, d) {
+			nodes = append(nodes, m)
+			for _, t := range own[m] {
+				terms[t] = true
+			}
+			if tp := db.TupleByID(relstore.TupleID(m)); tp != nil {
+				rels[tp.Table] = true
+			}
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		ix.n2n[node] = nodes
+		ix.n2r[node] = rels
+		sorted := make([]string, 0, len(terms))
+		for t := range terms {
+			sorted = append(sorted, t)
+		}
+		sort.Strings(sorted)
+		ix.n2t[node] = sorted
+	}
+	return ix
+}
+
+// Entries reports the index size (terms + relations + nodes stored).
+func (ix *Index) Entries() int {
+	n := 0
+	for _, ts := range ix.n2t {
+		n += len(ts)
+	}
+	for _, rs := range ix.n2r {
+		n += len(rs)
+	}
+	for _, ns := range ix.n2n {
+		n += len(ns)
+	}
+	return n
+}
+
+// TermWithin reports whether term occurs within D steps of node (N2T).
+func (ix *Index) TermWithin(node datagraph.NodeID, term string) bool {
+	ts := ix.n2t[node]
+	term = text.Normalize(term)
+	i := sort.SearchStrings(ts, term)
+	return i < len(ts) && ts[i] == term
+}
+
+// RelationWithin reports whether a tuple of rel lies within D steps (N2R).
+func (ix *Index) RelationWithin(node datagraph.NodeID, rel string) bool {
+	return ix.n2r[node][rel]
+}
+
+// NodeWithin reports whether other lies within D steps of node (N2N).
+func (ix *Index) NodeWithin(node, other datagraph.NodeID) bool {
+	ns := ix.n2n[node]
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= other })
+	return i < len(ns) && ns[i] == other
+}
+
+// PruneSeeds drops keyword matches that cannot be part of any radius-D
+// answer: a match of one keyword survives only if every other query term
+// is reachable within D steps of it — the "prune partial solutions" use of
+// slide 124. The returned groups align with terms.
+func (ix *Index) PruneSeeds(groups [][]datagraph.NodeID, terms []string) ([][]datagraph.NodeID, int) {
+	pruned := 0
+	out := make([][]datagraph.NodeID, len(groups))
+	for i, grp := range groups {
+		for _, n := range grp {
+			ok := true
+			for j, term := range terms {
+				if j == i {
+					continue
+				}
+				if !ix.TermWithin(n, term) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out[i] = append(out[i], n)
+			} else {
+				pruned++
+			}
+		}
+	}
+	return out, pruned
+}

@@ -1,0 +1,115 @@
+package reach
+
+import (
+	"testing"
+
+	"kwsearch/internal/banks"
+	"kwsearch/internal/datagraph"
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/invindex"
+)
+
+func fixture(t *testing.T) (*Index, *datagraph.Graph, *invindex.Index) {
+	t.Helper()
+	db := dataset.SeltzerBerkeley()
+	g := datagraph.FromDB(db, nil)
+	ix := Build(db, g, 2)
+	return ix, g, invindex.FromDB(db)
+}
+
+func TestTermWithin(t *testing.T) {
+	ix, _, inv := fixture(t)
+	// The Seltzer student node reaches "berkeley" (its university) within 2.
+	seltzer := datagraph.NodeID(inv.Docs("seltzer")[0])
+	if !ix.TermWithin(seltzer, "berkeley") {
+		t.Errorf("seltzer should reach berkeley within 2")
+	}
+	if !ix.TermWithin(seltzer, "seltzer") {
+		t.Errorf("node reaches its own terms")
+	}
+	// The MIT student (Alan Kay) does not reach "berkeley" within 2.
+	kay := datagraph.NodeID(inv.Docs("kay")[0])
+	if ix.TermWithin(kay, "berkeley") {
+		t.Errorf("kay should not reach berkeley")
+	}
+	if ix.TermWithin(seltzer, "nosuchterm") {
+		t.Errorf("unknown term reported reachable")
+	}
+}
+
+func TestRelationAndNodeWithin(t *testing.T) {
+	ix, _, inv := fixture(t)
+	seltzer := datagraph.NodeID(inv.Docs("seltzer")[0])
+	if !ix.RelationWithin(seltzer, "university") {
+		t.Errorf("student should reach university within 2")
+	}
+	if !ix.RelationWithin(seltzer, "project") {
+		t.Errorf("student reaches project via participation at 2 hops")
+	}
+	uni := datagraph.NodeID(inv.Docs("uc")[0])
+	if !ix.NodeWithin(seltzer, uni) {
+		t.Errorf("N2N misses the university node")
+	}
+	if ix.NodeWithin(seltzer, 9999) {
+		t.Errorf("N2N reports absent node")
+	}
+	if ix.Entries() == 0 {
+		t.Errorf("index empty")
+	}
+	if ix.D != 2 {
+		t.Errorf("D = %d", ix.D)
+	}
+}
+
+// TestPruneSeedsDropsHopelessMatches: the MIT side of the database matches
+// neither keyword pair, so pruning removes the unreachable combinations
+// before any search expansion.
+func TestPruneSeedsDropsHopelessMatches(t *testing.T) {
+	db := dataset.SeltzerBerkeley()
+	g := datagraph.FromDB(db, nil)
+	inv := invindex.FromDB(db)
+	ix := Build(db, g, 1) // radius 1: project "Berkeley DB" cannot reach "seltzer"
+	terms := []string{"seltzer", "berkeley"}
+	groups := make([][]datagraph.NodeID, len(terms))
+	for i, term := range terms {
+		for _, d := range inv.Docs(term) {
+			groups[i] = append(groups[i], datagraph.NodeID(d))
+		}
+	}
+	pruned, n := ix.PruneSeeds(groups, terms)
+	if n == 0 {
+		t.Fatalf("nothing pruned at radius 1")
+	}
+	// The university match survives (student Seltzer is adjacent); the
+	// project match (2 hops from any "seltzer") is pruned.
+	if len(pruned[1]) != 1 {
+		t.Fatalf("berkeley group after pruning = %v, want only the university", pruned[1])
+	}
+	// The search over pruned seeds still finds the radius-1 answer.
+	answers, _ := banks.BackwardSearch(g, pruned, banks.Options{K: 3})
+	if len(answers) == 0 || answers[0].Cost != 1 {
+		t.Fatalf("answers over pruned seeds = %v", answers)
+	}
+}
+
+// TestPruneSoundAtSufficientRadius: with D large enough, pruning never
+// removes a seed that participates in an optimal answer.
+func TestPruneSoundAtSufficientRadius(t *testing.T) {
+	db := dataset.SeltzerBerkeley()
+	g := datagraph.FromDB(db, nil)
+	inv := invindex.FromDB(db)
+	ix := Build(db, g, 3)
+	terms := []string{"seltzer", "berkeley"}
+	groups := make([][]datagraph.NodeID, len(terms))
+	for i, term := range terms {
+		for _, d := range inv.Docs(term) {
+			groups[i] = append(groups[i], datagraph.NodeID(d))
+		}
+	}
+	pruned, _ := ix.PruneSeeds(groups, terms)
+	full, _ := banks.BackwardSearch(g, groups, banks.Options{K: 5})
+	filtered, _ := banks.BackwardSearch(g, pruned, banks.Options{K: 5})
+	if len(full) == 0 || len(filtered) == 0 || full[0].Cost != filtered[0].Cost {
+		t.Fatalf("pruning changed the optimum: %v vs %v", full, filtered)
+	}
+}

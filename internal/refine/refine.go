@@ -1,0 +1,270 @@
+// Package refine suggests refined queries by summarizing results (slides
+// 75-82): Data-Clouds term ranking over the result set (Koutrika et al.
+// EDBT'09), frequent co-occurring terms computed from posting lists alone
+// (Tao & Yu EDBT'09), and cluster-based query expansion maximizing
+// F-measure per cluster (APX-hard; the greedy of slide 82).
+package refine
+
+import (
+	"math"
+	"sort"
+
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/text"
+)
+
+// TermScore is one suggested expansion term.
+type TermScore struct {
+	Term  string
+	Score float64
+}
+
+func sortTerms(ts []TermScore) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Score != ts[j].Score {
+			return ts[i].Score > ts[j].Score
+		}
+		return ts[i].Term < ts[j].Term
+	})
+}
+
+// DataCloud ranks the non-query terms occurring in the result documents.
+// With weights == nil the ranking is popularity-based (slide 77's "it may
+// select very general terms" caveat applies); with per-document weights it
+// is relevance-based: score(t) = Σ_docs weight(doc)·tf(t,doc)·idf(t).
+func DataCloud(ix *invindex.Index, results []invindex.DocID, queryTerms []string, weights map[invindex.DocID]float64, k int) []TermScore {
+	inQuery := map[string]bool{}
+	for _, t := range queryTerms {
+		inQuery[text.Normalize(t)] = true
+	}
+	inResult := map[invindex.DocID]float64{}
+	for _, d := range results {
+		w := 1.0
+		if weights != nil {
+			w = weights[d]
+		}
+		inResult[d] = w
+	}
+	scores := map[string]float64{}
+	for _, term := range ix.Terms() {
+		if inQuery[term] {
+			continue
+		}
+		s := 0.0
+		for _, p := range ix.Postings(term) {
+			if w, ok := inResult[p.Doc]; ok {
+				s += w * float64(p.TF) * ix.IDF(term)
+			}
+		}
+		if s > 0 {
+			scores[term] = s
+		}
+	}
+	out := make([]TermScore, 0, len(scores))
+	for t, s := range scores {
+		out = append(out, TermScore{Term: t, Score: s})
+	}
+	sortTerms(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// FrequentCoTerms returns the top-k terms co-occurring with the query,
+// computed purely from posting-list intersections — no query results are
+// materialized (the efficiency point of slide 78). Terms are ranked by
+// co-occurrence document frequency.
+func FrequentCoTerms(ix *invindex.Index, queryTerms []string, k int) []TermScore {
+	qDocs := ix.Intersect(normalizeAll(queryTerms))
+	if len(qDocs) == 0 {
+		return nil
+	}
+	inQ := map[invindex.DocID]bool{}
+	for _, d := range qDocs {
+		inQ[d] = true
+	}
+	exclude := map[string]bool{}
+	for _, t := range queryTerms {
+		exclude[text.Normalize(t)] = true
+	}
+	var out []TermScore
+	for _, term := range ix.Terms() {
+		if exclude[term] {
+			continue
+		}
+		n := 0
+		for _, p := range ix.Postings(term) {
+			if inQ[p.Doc] {
+				n++
+			}
+		}
+		if n > 0 {
+			out = append(out, TermScore{Term: term, Score: float64(n)})
+		}
+	}
+	sortTerms(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func normalizeAll(terms []string) []string {
+	out := make([]string, 0, len(terms))
+	for _, t := range terms {
+		if n := text.Normalize(t); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Expansion is one per-cluster expanded query with its quality.
+type Expansion struct {
+	Terms     []string // original query terms plus added terms
+	Precision float64
+	Recall    float64
+	F         float64
+}
+
+// ExpandForCluster greedily grows the query with terms that maximize the
+// F-measure of retrieving exactly the cluster (slides 81-82): recall =
+// |retrieved ∩ cluster| / |cluster|, precision = |retrieved ∩ cluster| /
+// |retrieved| under AND semantics. Terms are added while F improves.
+func ExpandForCluster(ix *invindex.Index, queryTerms []string, cluster []invindex.DocID, maxAdded int) Expansion {
+	base := normalizeAll(queryTerms)
+	inCluster := map[invindex.DocID]bool{}
+	for _, d := range cluster {
+		inCluster[d] = true
+	}
+	evalF := func(terms []string) (p, r, f float64) {
+		docs := ix.Intersect(terms)
+		if len(docs) == 0 {
+			return 0, 0, 0
+		}
+		hit := 0
+		for _, d := range docs {
+			if inCluster[d] {
+				hit++
+			}
+		}
+		if hit == 0 {
+			return 0, 0, 0
+		}
+		p = float64(hit) / float64(len(docs))
+		r = float64(hit) / float64(len(cluster))
+		f = 2 * p * r / (p + r)
+		return
+	}
+
+	cur := append([]string(nil), base...)
+	cp, cr, cf := evalF(cur)
+	if maxAdded <= 0 {
+		maxAdded = 3
+	}
+	// Candidate vocabulary: terms appearing in the cluster's documents.
+	candSet := map[string]bool{}
+	for _, term := range ix.Terms() {
+		for _, p := range ix.Postings(term) {
+			if inCluster[p.Doc] {
+				candSet[term] = true
+				break
+			}
+		}
+	}
+	for _, t := range cur {
+		delete(candSet, t)
+	}
+
+	for added := 0; added < maxAdded; added++ {
+		bestTerm := ""
+		bp, br, bf := cp, cr, cf
+		for term := range candSet {
+			trial := append(append([]string(nil), cur...), term)
+			p, r, f := evalF(trial)
+			if f > bf || (f == bf && f > 0 && term < bestTerm && bestTerm != "") {
+				bestTerm, bp, br, bf = term, p, r, f
+			}
+		}
+		if bestTerm == "" || bf <= cf {
+			break
+		}
+		cur = append(cur, bestTerm)
+		delete(candSet, bestTerm)
+		cp, cr, cf = bp, br, bf
+	}
+	return Expansion{Terms: cur, Precision: cp, Recall: cr, F: cf}
+}
+
+// ExpandAllClusters runs ExpandForCluster for every cluster, the slide-81
+// workflow ("one expanded query per cluster").
+func ExpandAllClusters(ix *invindex.Index, queryTerms []string, clusters [][]invindex.DocID, maxAdded int) []Expansion {
+	out := make([]Expansion, len(clusters))
+	for i, c := range clusters {
+		out[i] = ExpandForCluster(ix, queryTerms, c, maxAdded)
+	}
+	return out
+}
+
+// AvgF is the macro-averaged F-measure of a set of expansions — the
+// quality measure E22 reports.
+func AvgF(es []Expansion) float64 {
+	if len(es) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, e := range es {
+		s += e.F
+	}
+	return s / float64(len(es))
+}
+
+// BaselineF computes the F-measure the *original* query achieves against
+// each cluster (it retrieves everything, so precision suffers), for the
+// E22 comparison.
+func BaselineF(ix *invindex.Index, queryTerms []string, clusters [][]invindex.DocID) []float64 {
+	base := normalizeAll(queryTerms)
+	docs := ix.Intersect(base)
+	out := make([]float64, len(clusters))
+	for i, cluster := range clusters {
+		inCluster := map[invindex.DocID]bool{}
+		for _, d := range cluster {
+			inCluster[d] = true
+		}
+		hit := 0
+		for _, d := range docs {
+			if inCluster[d] {
+				hit++
+			}
+		}
+		if hit == 0 || len(docs) == 0 {
+			continue
+		}
+		p := float64(hit) / float64(len(docs))
+		r := float64(hit) / float64(len(cluster))
+		out[i] = 2 * p * r / (p + r)
+	}
+	return out
+}
+
+// Entropy computes the Shannon entropy (bits) of a distribution given as
+// counts — shared by the refinement heuristics and reused in reports.
+func Entropy(counts []int) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}

@@ -1,0 +1,155 @@
+package refine
+
+import (
+	"math"
+	"testing"
+
+	"kwsearch/internal/invindex"
+)
+
+// javaIndex builds the slide-81 three-sense "Java" corpus: language,
+// island, band.
+func javaIndex() (*invindex.Index, [][]invindex.DocID) {
+	ix := invindex.New()
+	// Cluster 1: programming language.
+	ix.Add(0, "java language object oriented software platform sun")
+	ix.Add(1, "java applet language developed sun")
+	ix.Add(2, "java software platform virtual machine")
+	// Cluster 2: island.
+	ix.Add(3, "java island indonesia provinces")
+	ix.Add(4, "java island volcano indonesia")
+	// Cluster 3: band.
+	ix.Add(5, "java band formed paris active 1972")
+	ix.Add(6, "java band albums paris")
+	clusters := [][]invindex.DocID{{0, 1, 2}, {3, 4}, {5, 6}}
+	return ix, clusters
+}
+
+func TestDataCloudExcludesQueryTermsAndRanks(t *testing.T) {
+	ix, _ := javaIndex()
+	results := []invindex.DocID{0, 1, 2}
+	terms := DataCloud(ix, results, []string{"java"}, nil, 5)
+	if len(terms) == 0 {
+		t.Fatal("no cloud terms")
+	}
+	for _, ts := range terms {
+		if ts.Term == "java" {
+			t.Errorf("query term leaked into the cloud")
+		}
+	}
+	// Terms of the language cluster dominate.
+	top := map[string]bool{}
+	for _, ts := range terms {
+		top[ts.Term] = true
+	}
+	if !top["language"] && !top["sun"] && !top["platform"] && !top["software"] {
+		t.Errorf("expected language-cluster terms in the cloud, got %v", terms)
+	}
+	// Scores descend.
+	for i := 1; i < len(terms); i++ {
+		if terms[i].Score > terms[i-1].Score {
+			t.Fatalf("cloud not sorted")
+		}
+	}
+}
+
+func TestDataCloudWeighted(t *testing.T) {
+	ix, _ := javaIndex()
+	results := []invindex.DocID{0, 3}
+	// Weighting doc 3 heavily pulls island terms up.
+	w := map[invindex.DocID]float64{0: 0.1, 3: 10}
+	terms := DataCloud(ix, results, []string{"java"}, w, 3)
+	if len(terms) == 0 {
+		t.Fatal("no terms")
+	}
+	foundIsland := false
+	for _, ts := range terms {
+		if ts.Term == "island" || ts.Term == "indonesia" || ts.Term == "provinces" {
+			foundIsland = true
+		}
+	}
+	if !foundIsland {
+		t.Errorf("weighted cloud = %v, want island terms on top", terms)
+	}
+}
+
+func TestFrequentCoTerms(t *testing.T) {
+	ix, _ := javaIndex()
+	got := FrequentCoTerms(ix, []string{"java"}, 4)
+	if len(got) != 4 {
+		t.Fatalf("co-terms = %v", got)
+	}
+	// "island", "band", "language", "paris", "sun", "indonesia" all have
+	// df 2 among java docs; the top scores must be 2.
+	if got[0].Score != 2 {
+		t.Errorf("top co-term score = %v, want 2", got[0].Score)
+	}
+	if got := FrequentCoTerms(ix, []string{"nosuch"}, 3); got != nil {
+		t.Errorf("no-match query co-terms = %v", got)
+	}
+}
+
+// TestSlide81Expansion reproduces E22: per-cluster expanded queries reach
+// much higher F than the ambiguous original.
+func TestSlide81Expansion(t *testing.T) {
+	ix, clusters := javaIndex()
+	exps := ExpandAllClusters(ix, []string{"java"}, clusters, 2)
+	if len(exps) != 3 {
+		t.Fatalf("expansions = %d", len(exps))
+	}
+	base := BaselineF(ix, []string{"java"}, clusters)
+	for i, e := range exps {
+		if e.F < base[i] {
+			t.Errorf("cluster %d: expansion F %.3f below baseline %.3f", i, e.F, base[i])
+		}
+		if len(e.Terms) < 2 {
+			t.Errorf("cluster %d: no term added: %v", i, e.Terms)
+		}
+	}
+	// The island cluster separates perfectly: "java island" retrieves
+	// exactly docs 3,4.
+	island := exps[1]
+	if math.Abs(island.F-1.0) > 1e-9 {
+		t.Errorf("island expansion F = %v, want 1.0 (terms %v)", island.F, island.Terms)
+	}
+	if AvgF(exps) <= avg(base) {
+		t.Errorf("expanded avg F %.3f must beat baseline %.3f", AvgF(exps), avg(base))
+	}
+}
+
+func avg(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestExpansionRespectsMaxAdded(t *testing.T) {
+	ix, clusters := javaIndex()
+	e := ExpandForCluster(ix, []string{"java"}, clusters[0], 1)
+	if len(e.Terms) > 2 {
+		t.Fatalf("maxAdded violated: %v", e.Terms)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy([]int{1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("H(1/2,1/2) = %v, want 1", got)
+	}
+	if got := Entropy([]int{4}); got != 0 {
+		t.Errorf("H(1) = %v, want 0", got)
+	}
+	if got := Entropy(nil); got != 0 {
+		t.Errorf("H(empty) = %v", got)
+	}
+	if got := Entropy([]int{1, 1, 1, 1}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("H(uniform 4) = %v, want 2", got)
+	}
+}
+
+func TestAvgFEmpty(t *testing.T) {
+	if AvgF(nil) != 0 {
+		t.Errorf("AvgF(nil) != 0")
+	}
+}

@@ -1,0 +1,155 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DB is a collection of tables with globally unique tuple IDs.
+type DB struct {
+	tables map[string]*Table
+	order  []string
+	byID   []*Tuple // index: TupleID -> tuple
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable validates schema and adds an empty table.
+func (db *DB) CreateTable(schema *TableSchema) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if _, dup := db.tables[schema.Name]; dup {
+		return nil, fmt.Errorf("relstore: table %s already exists", schema.Name)
+	}
+	for _, fk := range schema.ForeignKeys {
+		ref, ok := db.tables[fk.RefTable]
+		if !ok {
+			return nil, fmt.Errorf("relstore: table %s: foreign key references unknown table %s",
+				schema.Name, fk.RefTable)
+		}
+		if ref.ColumnIndex(fk.RefColumn) < 0 {
+			return nil, fmt.Errorf("relstore: table %s: foreign key references unknown column %s.%s",
+				schema.Name, fk.RefTable, fk.RefColumn)
+		}
+	}
+	t := newTable(schema)
+	db.tables[schema.Name] = t
+	db.order = append(db.order, schema.Name)
+	return t, nil
+}
+
+// MustCreateTable is CreateTable that panics on error, for dataset builders.
+func (db *DB) MustCreateTable(schema *TableSchema) *Table {
+	t, err := db.CreateTable(schema)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// TableNames returns table names in creation order.
+func (db *DB) TableNames() []string {
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// NumTuples returns the total number of tuples across all tables.
+func (db *DB) NumTuples() int { return len(db.byID) }
+
+// TupleByID resolves a global tuple ID.
+func (db *DB) TupleByID(id TupleID) *Tuple {
+	if int(id) < 0 || int(id) >= len(db.byID) {
+		return nil
+	}
+	return db.byID[id]
+}
+
+// Insert appends a row given as column->value map; unspecified columns are
+// NULL. It returns the stored tuple with its global ID assigned.
+func (db *DB) Insert(table string, row map[string]Value) (*Tuple, error) {
+	t, ok := db.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("relstore: unknown table %s", table)
+	}
+	vals := make([]Value, len(t.Schema.Columns))
+	for name, v := range row {
+		i := t.ColumnIndex(name)
+		if i < 0 {
+			return nil, fmt.Errorf("relstore: table %s: unknown column %s", table, name)
+		}
+		vals[i] = v
+	}
+	return db.insertValues(t, vals)
+}
+
+// InsertValues appends a row given positionally.
+func (db *DB) InsertValues(table string, vals ...Value) (*Tuple, error) {
+	t, ok := db.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("relstore: unknown table %s", table)
+	}
+	own := make([]Value, len(vals))
+	copy(own, vals)
+	return db.insertValues(t, own)
+}
+
+// MustInsert is Insert that panics on error, for dataset builders.
+func (db *DB) MustInsert(table string, row map[string]Value) *Tuple {
+	tp, err := db.Insert(table, row)
+	if err != nil {
+		panic(err)
+	}
+	return tp
+}
+
+func (db *DB) insertValues(t *Table, vals []Value) (*Tuple, error) {
+	tp := &Tuple{ID: TupleID(len(db.byID)), Table: t.Schema.Name, Values: vals}
+	if err := t.insert(tp); err != nil {
+		return nil, err
+	}
+	db.byID = append(db.byID, tp)
+	return tp, nil
+}
+
+// ForeignMatches resolves the tuples in fk.RefTable referenced by tp via fk.
+// For a key-indexed referenced column this is a point lookup.
+func (db *DB) ForeignMatches(tp *Tuple, fk ForeignKey) []*Tuple {
+	src := db.tables[tp.Table]
+	ref := db.tables[fk.RefTable]
+	if src == nil || ref == nil {
+		return nil
+	}
+	v := src.Value(tp, fk.Column)
+	if v.IsNull() {
+		return nil
+	}
+	return ref.SelectEq(fk.RefColumn, v)
+}
+
+// Stats summarizes table cardinalities, for planners and reports.
+func (db *DB) Stats() map[string]int {
+	out := make(map[string]int, len(db.tables))
+	for name, t := range db.tables {
+		out[name] = t.Len()
+	}
+	return out
+}
+
+// SortedTables returns tables sorted by name, for deterministic iteration.
+func (db *DB) SortedTables() []*Table {
+	names := db.TableNames()
+	sort.Strings(names)
+	out := make([]*Table, 0, len(names))
+	for _, n := range names {
+		out = append(out, db.tables[n])
+	}
+	return out
+}

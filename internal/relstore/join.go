@@ -1,0 +1,95 @@
+package relstore
+
+// JoinPair is one matched pair produced by HashJoin.
+type JoinPair struct {
+	Left, Right *Tuple
+}
+
+// HashJoin equi-joins two tuple sets on leftCol = rightCol, building the
+// hash table on the smaller input. All tuples in left must belong to
+// leftTable and all tuples in right to rightTable.
+func HashJoin(db *DB, left []*Tuple, leftTable, leftCol string, right []*Tuple, rightTable, rightCol string) []JoinPair {
+	lt := db.Table(leftTable)
+	rt := db.Table(rightTable)
+	if lt == nil || rt == nil {
+		return nil
+	}
+	li := lt.ColumnIndex(leftCol)
+	ri := rt.ColumnIndex(rightCol)
+	if li < 0 || ri < 0 {
+		return nil
+	}
+
+	// Build on the smaller side, probe with the larger.
+	if len(left) <= len(right) {
+		ht := make(map[Value][]*Tuple, len(left))
+		for _, tp := range left {
+			v := tp.Values[li]
+			if v.IsNull() {
+				continue
+			}
+			ht[v] = append(ht[v], tp)
+		}
+		var out []JoinPair
+		for _, rp := range right {
+			v := rp.Values[ri]
+			if v.IsNull() {
+				continue
+			}
+			for _, lp := range ht[v] {
+				out = append(out, JoinPair{Left: lp, Right: rp})
+			}
+		}
+		return out
+	}
+
+	ht := make(map[Value][]*Tuple, len(right))
+	for _, tp := range right {
+		v := tp.Values[ri]
+		if v.IsNull() {
+			continue
+		}
+		ht[v] = append(ht[v], tp)
+	}
+	var out []JoinPair
+	for _, lp := range left {
+		v := lp.Values[li]
+		if v.IsNull() {
+			continue
+		}
+		for _, rp := range ht[v] {
+			out = append(out, JoinPair{Left: lp, Right: rp})
+		}
+	}
+	return out
+}
+
+// SemiJoin returns the left tuples that have at least one match in right on
+// leftCol = rightCol. Used by the RDBMS-powered evaluation strategies
+// (Qin et al. SIGMOD'09) to prune intermediate relations.
+func SemiJoin(db *DB, left []*Tuple, leftTable, leftCol string, right []*Tuple, rightTable, rightCol string) []*Tuple {
+	lt := db.Table(leftTable)
+	rt := db.Table(rightTable)
+	if lt == nil || rt == nil {
+		return nil
+	}
+	li := lt.ColumnIndex(leftCol)
+	ri := rt.ColumnIndex(rightCol)
+	if li < 0 || ri < 0 {
+		return nil
+	}
+	keys := make(map[Value]bool, len(right))
+	for _, rp := range right {
+		v := rp.Values[ri]
+		if !v.IsNull() {
+			keys[v] = true
+		}
+	}
+	var out []*Tuple
+	for _, lp := range left {
+		if keys[lp.Values[li]] {
+			out = append(out, lp)
+		}
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+package relstore
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func bibDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	db.MustCreateTable(&TableSchema{
+		Name: "author",
+		Columns: []Column{
+			{Name: "aid", Type: KindInt},
+			{Name: "name", Type: KindString, Text: true},
+		},
+		Key: "aid",
+	})
+	db.MustCreateTable(&TableSchema{
+		Name: "paper",
+		Columns: []Column{
+			{Name: "pid", Type: KindInt},
+			{Name: "title", Type: KindString, Text: true},
+		},
+		Key: "pid",
+	})
+	db.MustCreateTable(&TableSchema{
+		Name: "write",
+		Columns: []Column{
+			{Name: "aid", Type: KindInt},
+			{Name: "pid", Type: KindInt},
+		},
+		ForeignKeys: []ForeignKey{
+			{Column: "aid", RefTable: "author", RefColumn: "aid"},
+			{Column: "pid", RefTable: "paper", RefColumn: "pid"},
+		},
+	})
+	db.MustInsert("author", map[string]Value{"aid": Int(1), "name": String("Widom")})
+	db.MustInsert("author", map[string]Value{"aid": Int(2), "name": String("Ullman")})
+	db.MustInsert("paper", map[string]Value{"pid": Int(10), "title": String("XML query processing")})
+	db.MustInsert("paper", map[string]Value{"pid": Int(11), "title": String("Datalog evaluation")})
+	db.MustInsert("write", map[string]Value{"aid": Int(1), "pid": Int(10)})
+	db.MustInsert("write", map[string]Value{"aid": Int(1), "pid": Int(11)})
+	db.MustInsert("write", map[string]Value{"aid": Int(2), "pid": Int(11)})
+	return db
+}
+
+func TestValueOrderingAndText(t *testing.T) {
+	if !Null().Less(Int(0)) {
+		t.Errorf("NULL should sort before ints")
+	}
+	if !Int(3).Less(Float(3.5)) {
+		t.Errorf("mixed numeric comparison failed")
+	}
+	if !Float(9.5).Less(String("a")) {
+		t.Errorf("numbers should sort before strings")
+	}
+	if Int(5).Less(Int(5)) {
+		t.Errorf("equal ints must not be Less")
+	}
+	if got := Int(42).Text(); got != "42" {
+		t.Errorf("Int text = %q, want 42", got)
+	}
+	if got := Float(2.5).Text(); got != "2.5" {
+		t.Errorf("Float text = %q, want 2.5", got)
+	}
+	if got := Null().Text(); got != "" {
+		t.Errorf("Null text = %q, want empty", got)
+	}
+}
+
+func TestValueLessIsStrictWeakOrder(t *testing.T) {
+	gen := func(k uint8, s string, i int64, f float64) Value {
+		switch k % 4 {
+		case 0:
+			return Null()
+		case 1:
+			return String(s)
+		case 2:
+			return Int(i)
+		default:
+			return Float(f)
+		}
+	}
+	irreflexive := func(k uint8, s string, i int64, f float64) bool {
+		v := gen(k, s, i, f)
+		return !v.Less(v)
+	}
+	if err := quick.Check(irreflexive, nil); err != nil {
+		t.Errorf("Less not irreflexive: %v", err)
+	}
+	asymmetric := func(k1, k2 uint8, s1, s2 string, i1, i2 int64, f1, f2 float64) bool {
+		a, b := gen(k1, s1, i1, f1), gen(k2, s2, i2, f2)
+		return !(a.Less(b) && b.Less(a))
+	}
+	if err := quick.Check(asymmetric, nil); err != nil {
+		t.Errorf("Less not asymmetric: %v", err)
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	bad := []*TableSchema{
+		{Name: "", Columns: []Column{{Name: "a", Type: KindInt}}},
+		{Name: "t", Columns: []Column{{Name: "a", Type: KindInt}, {Name: "a", Type: KindInt}}},
+		{Name: "t", Columns: []Column{{Name: "a", Type: KindInt}}, Key: "b"},
+		{Name: "t", Columns: []Column{{Name: "a", Type: KindInt}},
+			ForeignKeys: []ForeignKey{{Column: "x", RefTable: "t", RefColumn: "a"}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("schema %d: expected validation error", i)
+		}
+	}
+}
+
+func TestCreateTableRejectsBadFK(t *testing.T) {
+	db := NewDB()
+	_, err := db.CreateTable(&TableSchema{
+		Name:    "w",
+		Columns: []Column{{Name: "aid", Type: KindInt}},
+		ForeignKeys: []ForeignKey{
+			{Column: "aid", RefTable: "nosuch", RefColumn: "aid"},
+		},
+	})
+	if err == nil {
+		t.Fatalf("expected error for FK to unknown table")
+	}
+}
+
+func TestInsertAndLookup(t *testing.T) {
+	db := bibDB(t)
+	a := db.Table("author")
+	if a.Len() != 2 {
+		t.Fatalf("author len = %d, want 2", a.Len())
+	}
+	tp, ok := a.ByKey(Int(1))
+	if !ok {
+		t.Fatalf("key 1 not found")
+	}
+	if got := a.Value(tp, "name").Str; got != "Widom" {
+		t.Errorf("name = %q, want Widom", got)
+	}
+	// Global IDs resolve back.
+	if db.TupleByID(tp.ID) != tp {
+		t.Errorf("TupleByID roundtrip failed")
+	}
+	if db.TupleByID(-1) != nil || db.TupleByID(9999) != nil {
+		t.Errorf("out-of-range TupleByID should be nil")
+	}
+}
+
+func TestInsertRejectsTypeMismatchAndDupKey(t *testing.T) {
+	db := bibDB(t)
+	if _, err := db.Insert("author", map[string]Value{"aid": String("x"), "name": String("B")}); err == nil {
+		t.Errorf("expected type mismatch error")
+	}
+	if _, err := db.Insert("author", map[string]Value{"aid": Int(1), "name": String("Dup")}); err == nil {
+		t.Errorf("expected duplicate key error")
+	}
+	if _, err := db.Insert("author", map[string]Value{"nosuch": Int(3)}); err == nil {
+		t.Errorf("expected unknown column error")
+	}
+	if _, err := db.Insert("nosuch", nil); err == nil {
+		t.Errorf("expected unknown table error")
+	}
+}
+
+func TestSelectEqUsesKeyIndex(t *testing.T) {
+	db := bibDB(t)
+	got := db.Table("paper").SelectEq("pid", Int(11))
+	if len(got) != 1 || got[0].Values[1].Str != "Datalog evaluation" {
+		t.Fatalf("SelectEq by key = %v", got)
+	}
+	// Non-key column scan.
+	got = db.Table("write").SelectEq("aid", Int(1))
+	if len(got) != 2 {
+		t.Fatalf("SelectEq scan returned %d rows, want 2", len(got))
+	}
+	if got2 := db.Table("write").SelectEq("nosuch", Int(1)); got2 != nil {
+		t.Errorf("SelectEq unknown column should be nil")
+	}
+}
+
+func TestTupleText(t *testing.T) {
+	db := bibDB(t)
+	a := db.Table("author")
+	tp, _ := a.ByKey(Int(1))
+	if got := tp.Text(a.Schema); got != "Widom" {
+		t.Errorf("Text = %q, want Widom (only text columns)", got)
+	}
+}
+
+func TestForeignMatches(t *testing.T) {
+	db := bibDB(t)
+	w := db.Table("write")
+	fkPaper := w.Schema.ForeignKeys[1]
+	row := w.Tuples()[0] // (1, 10)
+	got := db.ForeignMatches(row, fkPaper)
+	if len(got) != 1 || got[0].Values[0].Int != 10 {
+		t.Fatalf("ForeignMatches = %v", got)
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	db := bibDB(t)
+	authors := db.Table("author").Tuples()
+	writes := db.Table("write").Tuples()
+	pairs := HashJoin(db, authors, "author", "aid", writes, "write", "aid")
+	if len(pairs) != 3 {
+		t.Fatalf("join produced %d pairs, want 3", len(pairs))
+	}
+	// Join is symmetric in result content regardless of build side.
+	pairs2 := HashJoin(db, writes, "write", "aid", authors, "author", "aid")
+	if len(pairs2) != 3 {
+		t.Fatalf("reversed join produced %d pairs, want 3", len(pairs2))
+	}
+	// Count Widom's papers through the join.
+	n := 0
+	for _, p := range pairs {
+		if p.Left.Values[1].Str == "Widom" {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("Widom writes %d rows, want 2", n)
+	}
+}
+
+func TestHashJoinSkipsNulls(t *testing.T) {
+	db := NewDB()
+	db.MustCreateTable(&TableSchema{
+		Name:    "l",
+		Columns: []Column{{Name: "k", Type: KindInt}},
+	})
+	db.MustCreateTable(&TableSchema{
+		Name:    "r",
+		Columns: []Column{{Name: "k", Type: KindInt}},
+	})
+	db.MustInsert("l", map[string]Value{"k": Int(1)})
+	db.MustInsert("l", map[string]Value{}) // NULL key
+	db.MustInsert("r", map[string]Value{"k": Int(1)})
+	db.MustInsert("r", map[string]Value{}) // NULL key
+	pairs := HashJoin(db, db.Table("l").Tuples(), "l", "k", db.Table("r").Tuples(), "r", "k")
+	if len(pairs) != 1 {
+		t.Fatalf("NULLs must not join: got %d pairs, want 1", len(pairs))
+	}
+}
+
+func TestSemiJoin(t *testing.T) {
+	db := bibDB(t)
+	papers := db.Table("paper").Tuples()
+	writes := db.Table("write").SelectEq("aid", Int(2))
+	got := SemiJoin(db, papers, "paper", "pid", writes, "write", "pid")
+	if len(got) != 1 || got[0].Values[1].Str != "Datalog evaluation" {
+		t.Fatalf("SemiJoin = %v", got)
+	}
+}
+
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	// Property: hash join result equals the nested-loop result for
+	// arbitrary small key multisets.
+	f := func(lk, rk []uint8) bool {
+		if len(lk) > 40 {
+			lk = lk[:40]
+		}
+		if len(rk) > 40 {
+			rk = rk[:40]
+		}
+		db := NewDB()
+		db.MustCreateTable(&TableSchema{Name: "l", Columns: []Column{{Name: "k", Type: KindInt}}})
+		db.MustCreateTable(&TableSchema{Name: "r", Columns: []Column{{Name: "k", Type: KindInt}}})
+		for _, k := range lk {
+			db.MustInsert("l", map[string]Value{"k": Int(int64(k % 8))})
+		}
+		for _, k := range rk {
+			db.MustInsert("r", map[string]Value{"k": Int(int64(k % 8))})
+		}
+		pairs := HashJoin(db, db.Table("l").Tuples(), "l", "k", db.Table("r").Tuples(), "r", "k")
+		var want, got []int64
+		for _, lp := range db.Table("l").Tuples() {
+			for _, rp := range db.Table("r").Tuples() {
+				if lp.Values[0].Equal(rp.Values[0]) {
+					want = append(want, int64(lp.ID)<<32|int64(rp.ID))
+				}
+			}
+		}
+		for _, p := range pairs {
+			got = append(got, int64(p.Left.ID)<<32|int64(p.Right.ID))
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(want) != len(got) {
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAndSortedTables(t *testing.T) {
+	db := bibDB(t)
+	stats := db.Stats()
+	if stats["author"] != 2 || stats["paper"] != 2 || stats["write"] != 3 {
+		t.Errorf("Stats = %v", stats)
+	}
+	names := []string{}
+	for _, tbl := range db.SortedTables() {
+		names = append(names, tbl.Schema.Name)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("SortedTables not sorted: %v", names)
+	}
+	if len(db.TableNames()) != 3 {
+		t.Errorf("TableNames = %v", db.TableNames())
+	}
+}

@@ -1,0 +1,67 @@
+package relstore
+
+import "fmt"
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type Kind
+	// Text marks columns whose contents should be tokenized into the
+	// inverted index (titles, names, descriptions).
+	Text bool
+}
+
+// ForeignKey declares that Column of the owning table references
+// RefColumn of RefTable.
+type ForeignKey struct {
+	Column    string
+	RefTable  string
+	RefColumn string
+}
+
+// TableSchema declares a relation: its columns, primary key and foreign
+// keys. Key may be empty for keyless relations (e.g. join tables), in which
+// case key lookups are unavailable.
+type TableSchema struct {
+	Name        string
+	Columns     []Column
+	Key         string
+	ForeignKeys []ForeignKey
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s *TableSchema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks internal consistency: unique column names, the key column
+// exists, FK columns exist.
+func (s *TableSchema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("relstore: schema with empty table name")
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("relstore: table %s: empty column name", s.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("relstore: table %s: duplicate column %s", s.Name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if s.Key != "" && !seen[s.Key] {
+		return fmt.Errorf("relstore: table %s: key column %s not declared", s.Name, s.Key)
+	}
+	for _, fk := range s.ForeignKeys {
+		if !seen[fk.Column] {
+			return fmt.Errorf("relstore: table %s: foreign key column %s not declared", s.Name, fk.Column)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TupleID identifies a tuple globally across all tables of a DB. IDs are
+// dense and assigned in insertion order, which lets the data-graph layer use
+// them directly as node identifiers.
+type TupleID int32
+
+// Tuple is one row of a table. Values are positional, aligned with the
+// table schema's columns.
+type Tuple struct {
+	ID     TupleID
+	Table  string
+	Values []Value
+}
+
+// Text concatenates the tuple's text-column contents for tokenization.
+func (t *Tuple) Text(schema *TableSchema) string {
+	var b strings.Builder
+	for i, c := range schema.Columns {
+		if !c.Text {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.Values[i].Text())
+	}
+	return b.String()
+}
+
+// Table is a relation instance: a schema plus its rows and a primary-key
+// index.
+type Table struct {
+	Schema *TableSchema
+
+	tuples []*Tuple
+	byKey  map[Value]*Tuple
+	colIdx map[string]int
+	keyPos int
+}
+
+func newTable(schema *TableSchema) *Table {
+	t := &Table{
+		Schema: schema,
+		colIdx: make(map[string]int, len(schema.Columns)),
+		keyPos: -1,
+	}
+	for i, c := range schema.Columns {
+		t.colIdx[c.Name] = i
+	}
+	if schema.Key != "" {
+		t.keyPos = t.colIdx[schema.Key]
+		t.byKey = make(map[Value]*Tuple)
+	}
+	return t
+}
+
+// Len returns the number of tuples in the table.
+func (t *Table) Len() int { return len(t.tuples) }
+
+// Tuples returns the table's rows in insertion order. The slice is shared;
+// callers must not mutate it.
+func (t *Table) Tuples() []*Tuple { return t.tuples }
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// ByKey looks up a tuple by primary key value.
+func (t *Table) ByKey(key Value) (*Tuple, bool) {
+	if t.byKey == nil {
+		return nil, false
+	}
+	tp, ok := t.byKey[key]
+	return tp, ok
+}
+
+// Value returns the named column's value of tuple tp, which must belong to
+// this table.
+func (t *Table) Value(tp *Tuple, column string) Value {
+	i, ok := t.colIdx[column]
+	if !ok {
+		return Null()
+	}
+	return tp.Values[i]
+}
+
+func (t *Table) insert(tp *Tuple) error {
+	if len(tp.Values) != len(t.Schema.Columns) {
+		return fmt.Errorf("relstore: table %s: got %d values, want %d",
+			t.Schema.Name, len(tp.Values), len(t.Schema.Columns))
+	}
+	for i, c := range t.Schema.Columns {
+		v := tp.Values[i]
+		if v.IsNull() {
+			continue
+		}
+		if v.Kind != c.Type {
+			return fmt.Errorf("relstore: table %s column %s: got %s, want %s",
+				t.Schema.Name, c.Name, v.Kind, c.Type)
+		}
+	}
+	if t.keyPos >= 0 {
+		k := tp.Values[t.keyPos]
+		if _, dup := t.byKey[k]; dup {
+			return fmt.Errorf("relstore: table %s: duplicate key %v", t.Schema.Name, k)
+		}
+		t.byKey[k] = tp
+	}
+	t.tuples = append(t.tuples, tp)
+	return nil
+}
+
+// Select returns the tuples satisfying pred, in insertion order.
+func (t *Table) Select(pred func(*Tuple) bool) []*Tuple {
+	var out []*Tuple
+	for _, tp := range t.tuples {
+		if pred(tp) {
+			out = append(out, tp)
+		}
+	}
+	return out
+}
+
+// SelectEq returns tuples whose column equals v.
+func (t *Table) SelectEq(column string, v Value) []*Tuple {
+	i, ok := t.colIdx[column]
+	if !ok {
+		return nil
+	}
+	if i == t.keyPos && t.byKey != nil {
+		if tp, ok := t.byKey[v]; ok {
+			return []*Tuple{tp}
+		}
+		return nil
+	}
+	return t.Select(func(tp *Tuple) bool { return tp.Values[i].Equal(v) })
+}

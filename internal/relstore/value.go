@@ -1,0 +1,139 @@
+// Package relstore implements an in-memory relational store: typed tuples,
+// tables with primary and foreign keys, selections and hash joins. It is the
+// substrate the relational keyword-search engines (DISCOVER-style candidate
+// networks, SPARK, BANKS) are built on, standing in for the RDBMS back ends
+// used by the systems the tutorial surveys.
+package relstore
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the value types the store supports.
+type Kind uint8
+
+const (
+	// KindNull is the zero Kind; it compares equal only to itself.
+	KindNull Kind = iota
+	// KindString holds free text or categorical values.
+	KindString
+	// KindInt holds 64-bit integers (also used for keys).
+	KindInt
+	// KindFloat holds 64-bit floating point numbers.
+	KindFloat
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Value is a dynamically typed cell value. The zero Value is NULL. Value is
+// comparable and therefore usable as a map key, which the hash join relies
+// on.
+type Value struct {
+	Kind  Kind
+	Str   string
+	Int   int64
+	Float float64
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// String wraps s as a Value.
+func String(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// Int wraps i as a Value.
+func Int(i int64) Value { return Value{Kind: KindInt, Int: i} }
+
+// Float wraps f as a Value.
+func Float(f float64) Value { return Value{Kind: KindFloat, Float: f} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// Equal reports whether v and o hold the same kind and payload. NULL equals
+// only NULL (the store uses this for key lookups, not SQL ternary logic).
+func (v Value) Equal(o Value) bool { return v == o }
+
+// Less orders values: NULL < ints/floats (numerically interleaved) < strings.
+// Mixed int/float comparisons are performed in float64.
+func (v Value) Less(o Value) bool {
+	ra, rb := v.rank(), o.rank()
+	if ra != rb {
+		return ra < rb
+	}
+	switch v.Kind {
+	case KindNull:
+		return false
+	case KindString:
+		return v.Str < o.Str
+	default:
+		return v.numeric() < o.numeric()
+	}
+}
+
+func (v Value) rank() int {
+	switch v.Kind {
+	case KindNull:
+		return 0
+	case KindInt, KindFloat:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func (v Value) numeric() float64 {
+	if v.Kind == KindInt {
+		return float64(v.Int)
+	}
+	return v.Float
+}
+
+// AsFloat returns the numeric payload of an int or float value, and false
+// for anything else.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.Int), true
+	case KindFloat:
+		return v.Float, true
+	}
+	return 0, false
+}
+
+// Text renders the value for tokenization and display. NULL renders as "".
+func (v Value) Text() string {
+	switch v.Kind {
+	case KindNull:
+		return ""
+	case KindString:
+		return v.Str
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	}
+	return ""
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	if v.Kind == KindString {
+		return v.Str
+	}
+	return v.Text()
+}

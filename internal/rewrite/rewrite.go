@@ -1,0 +1,314 @@
+// Package rewrite translates non-quantitative keyword queries into
+// structured predicates (slides 95-102): Keyword++'s differential query
+// pairs with KL-divergence for categorical attributes and earth-mover
+// distance for numeric ones (Xin et al. VLDB'10), data-only value
+// similarity (Nambiar & Kambhampati ICDE'06), and click-log overlap
+// synonyms (Cheng et al. ICDE'10).
+package rewrite
+
+import (
+	"math"
+	"sort"
+
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/relstore"
+	"kwsearch/internal/text"
+)
+
+// Interpreter learns keyword→predicate mappings over one entity table.
+type Interpreter struct {
+	db    *relstore.DB
+	table string
+	ix    *invindex.Index
+	// CategoricalAttrs and NumericAttrs are the attributes analyzed.
+	CategoricalAttrs []string
+	NumericAttrs     []string
+	// MinDivergence gates mappings: below it, a keyword stays a plain
+	// LIKE term.
+	MinDivergence float64
+}
+
+// NewInterpreter prepares analysis over table.
+func NewInterpreter(db *relstore.DB, table string, categorical, numeric []string) *Interpreter {
+	return &Interpreter{
+		db:               db,
+		table:            table,
+		ix:               invindex.FromDB(db),
+		CategoricalAttrs: categorical,
+		NumericAttrs:     numeric,
+		MinDivergence:    0.1,
+	}
+}
+
+// matching returns the table tuples whose text matches all terms.
+func (ip *Interpreter) matching(terms []string) []*relstore.Tuple {
+	t := ip.db.Table(ip.table)
+	var out []*relstore.Tuple
+	for _, tp := range t.Tuples() {
+		txt := tp.Text(t.Schema)
+		all := true
+		for _, term := range terms {
+			if !text.Contains(txt, term) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, tp)
+		}
+	}
+	return out
+}
+
+// CategoricalMapping is a learned keyword → attr=value predicate.
+type CategoricalMapping struct {
+	Attr       string
+	Value      relstore.Value
+	Divergence float64
+}
+
+// NumericMapping is a learned keyword → ORDER BY attr ASC/DESC.
+type NumericMapping struct {
+	Attr string
+	// Ascending is true when the keyword pulls the distribution toward
+	// small values ("small" → ORDER BY size ASC).
+	Ascending bool
+	EMD       float64
+}
+
+// DQP analyzes one differential query pair for keyword k: the foreground
+// query (background ∪ {k}) against the background (slides 98-99),
+// returning the categorical attribute value whose probability shifts the
+// most (KL contribution) and the numeric attribute with the largest
+// earth-mover shift.
+func (ip *Interpreter) DQP(k string, background []string) (best *CategoricalMapping, num *NumericMapping) {
+	k = text.Normalize(k)
+	fg := ip.matching(append(append([]string(nil), background...), k))
+	bg := ip.matching(background)
+	if len(fg) == 0 || len(bg) == 0 {
+		return nil, nil
+	}
+	t := ip.db.Table(ip.table)
+
+	for _, attr := range ip.CategoricalAttrs {
+		ci := t.ColumnIndex(attr)
+		if ci < 0 {
+			continue
+		}
+		fdist := valueDist(fg, ci)
+		bdist := valueDist(bg, ci)
+		for v, pf := range fdist {
+			pb := bdist[v]
+			if pb == 0 {
+				pb = 0.5 / float64(len(bg)+1) // smoothing
+			}
+			contrib := pf * math.Log(pf/pb)
+			if contrib > ip.MinDivergence && (best == nil || contrib > best.Divergence) {
+				best = &CategoricalMapping{Attr: attr, Value: v, Divergence: contrib}
+			}
+		}
+	}
+	for _, attr := range ip.NumericAttrs {
+		ci := t.ColumnIndex(attr)
+		if ci < 0 {
+			continue
+		}
+		fvals := numericValues(fg, ci)
+		bvals := numericValues(bg, ci)
+		if len(fvals) == 0 || len(bvals) == 0 {
+			continue
+		}
+		emd := earthMover(fvals, bvals)
+		if emd > ip.MinDivergence && (num == nil || emd > num.EMD) {
+			num = &NumericMapping{
+				Attr:      attr,
+				Ascending: mean(fvals) < mean(bvals),
+				EMD:       emd,
+			}
+		}
+	}
+	return best, num
+}
+
+func valueDist(rows []*relstore.Tuple, ci int) map[relstore.Value]float64 {
+	out := map[relstore.Value]float64{}
+	for _, r := range rows {
+		v := r.Values[ci]
+		if !v.IsNull() {
+			out[v]++
+		}
+	}
+	for v := range out {
+		out[v] /= float64(len(rows))
+	}
+	return out
+}
+
+func numericValues(rows []*relstore.Tuple, ci int) []float64 {
+	var out []float64
+	for _, r := range rows {
+		if f, ok := r.Values[ci].AsFloat(); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// earthMover computes the 1-D earth mover's distance between two empirical
+// distributions (the absolute area between their CDFs), normalized by the
+// value range.
+func earthMover(a, b []float64) float64 {
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	lo := math.Min(as[0], bs[0])
+	hi := math.Max(as[len(as)-1], bs[len(bs)-1])
+	if hi == lo {
+		return 0
+	}
+	// Merge event points.
+	points := append(append([]float64(nil), as...), bs...)
+	sort.Float64s(points)
+	emd := 0.0
+	prev := points[0]
+	for _, x := range points[1:] {
+		fa := cdf(as, prev)
+		fb := cdf(bs, prev)
+		emd += math.Abs(fa-fb) * (x - prev)
+		prev = x
+	}
+	return emd / (hi - lo)
+}
+
+func cdf(sorted []float64, x float64) float64 {
+	i := sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(sorted))
+}
+
+// Translation is the structured form of a keyword query (slide 96's CNF
+// output).
+type Translation struct {
+	// Predicates are learned equality predicates.
+	Predicates []CategoricalMapping
+	// OrderBy are learned ORDER BY clauses.
+	OrderBy []NumericMapping
+	// LikeTerms remain plain containment terms.
+	LikeTerms []string
+}
+
+// Translate maps each query keyword through its DQPs: keywords with a
+// confident mapping become predicates or ORDER BY clauses; the rest stay
+// LIKE terms. The background for keyword kᵢ is the remaining keywords,
+// mirroring the all-pairs DQP averaging at our corpus scale.
+func (ip *Interpreter) Translate(query string) Translation {
+	terms := text.Tokenize(query)
+	var tr Translation
+	for i, k := range terms {
+		bg := append(append([]string(nil), terms[:i]...), terms[i+1:]...)
+		cat, num := ip.DQP(k, bg)
+		switch {
+		case cat != nil && (num == nil || cat.Divergence >= num.EMD):
+			tr.Predicates = append(tr.Predicates, *cat)
+		case num != nil:
+			tr.OrderBy = append(tr.OrderBy, *num)
+		default:
+			tr.LikeTerms = append(tr.LikeTerms, k)
+		}
+	}
+	return tr
+}
+
+// ValueSimilarity measures how similar two values of attr are using data
+// only (Nambiar & Kambhampati, slide 102): the cosine similarity of the
+// distributions of the *other* attributes among rows holding each value.
+func ValueSimilarity(db *relstore.DB, table, attr string, v1, v2 relstore.Value, otherAttrs []string) float64 {
+	t := db.Table(table)
+	ci := t.ColumnIndex(attr)
+	if ci < 0 {
+		return 0
+	}
+	rows1 := t.Select(func(tp *relstore.Tuple) bool { return tp.Values[ci].Equal(v1) })
+	rows2 := t.Select(func(tp *relstore.Tuple) bool { return tp.Values[ci].Equal(v2) })
+	if len(rows1) == 0 || len(rows2) == 0 {
+		return 0
+	}
+	type key struct {
+		attr string
+		val  relstore.Value
+	}
+	vec := func(rows []*relstore.Tuple) map[key]float64 {
+		m := map[key]float64{}
+		for _, oa := range otherAttrs {
+			oi := t.ColumnIndex(oa)
+			if oi < 0 {
+				continue
+			}
+			for _, r := range rows {
+				v := r.Values[oi]
+				if !v.IsNull() {
+					m[key{oa, v}]++
+				}
+			}
+		}
+		return m
+	}
+	a, b := vec(rows1), vec(rows2)
+	dot, na, nb := 0.0, 0.0, 0.0
+	for k, x := range a {
+		na += x * x
+		dot += x * b[k]
+	}
+	for _, x := range b {
+		nb += x * x
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// SynonymsFromClicks finds historical queries whose clicked/top results
+// overlap q's by at least minJaccard (Cheng et al. ICDE'10, slide 101).
+func SynonymsFromClicks(clicks map[string][]invindex.DocID, q string, minJaccard float64) []string {
+	mine, ok := clicks[q]
+	if !ok {
+		return nil
+	}
+	mineSet := map[invindex.DocID]bool{}
+	for _, d := range mine {
+		mineSet[d] = true
+	}
+	var out []string
+	for other, docs := range clicks {
+		if other == q {
+			continue
+		}
+		inter, union := 0, len(mineSet)
+		seen := map[invindex.DocID]bool{}
+		for _, d := range docs {
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			if mineSet[d] {
+				inter++
+			} else {
+				union++
+			}
+		}
+		if union > 0 && float64(inter)/float64(union) >= minJaccard {
+			out = append(out, other)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,175 @@
+// Package schemagraph models the schema graph of a relational database:
+// one node per relation, one edge per foreign-key relationship. Candidate
+// network enumeration (DISCOVER) and query-form generation walk this graph.
+package schemagraph
+
+import (
+	"fmt"
+	"sort"
+
+	"kwsearch/internal/relstore"
+)
+
+// Edge is one foreign-key relationship. Direction matters for join
+// semantics (From references To) but candidate networks treat edges as
+// traversable both ways.
+type Edge struct {
+	From    string // referencing table
+	FromCol string
+	To      string // referenced table
+	ToCol   string
+	// Weight expresses schema-level closeness; 1 by default. Précis-style
+	// return-schema pruning multiplies weights along paths.
+	Weight float64
+}
+
+// Graph is an immutable schema graph.
+type Graph struct {
+	tables []string
+	index  map[string]int
+	edges  []Edge
+	adj    map[string][]int // table -> indices into edges (either endpoint)
+}
+
+// New builds a schema graph over the given table names and edges. Unknown
+// endpoint names are an error.
+func New(tables []string, edges []Edge) (*Graph, error) {
+	g := &Graph{
+		tables: append([]string(nil), tables...),
+		index:  make(map[string]int, len(tables)),
+		adj:    make(map[string][]int),
+	}
+	sort.Strings(g.tables)
+	for i, t := range g.tables {
+		if _, dup := g.index[t]; dup {
+			return nil, fmt.Errorf("schemagraph: duplicate table %s", t)
+		}
+		g.index[t] = i
+	}
+	for _, e := range edges {
+		if _, ok := g.index[e.From]; !ok {
+			return nil, fmt.Errorf("schemagraph: edge from unknown table %s", e.From)
+		}
+		if _, ok := g.index[e.To]; !ok {
+			return nil, fmt.Errorf("schemagraph: edge to unknown table %s", e.To)
+		}
+		if e.Weight == 0 {
+			e.Weight = 1
+		}
+		idx := len(g.edges)
+		g.edges = append(g.edges, e)
+		g.adj[e.From] = append(g.adj[e.From], idx)
+		if e.To != e.From {
+			g.adj[e.To] = append(g.adj[e.To], idx)
+		}
+	}
+	return g, nil
+}
+
+// FromDB derives the schema graph of a relstore database from its declared
+// foreign keys.
+func FromDB(db *relstore.DB) *Graph {
+	names := db.TableNames()
+	var edges []Edge
+	for _, name := range names {
+		t := db.Table(name)
+		for _, fk := range t.Schema.ForeignKeys {
+			edges = append(edges, Edge{
+				From:    name,
+				FromCol: fk.Column,
+				To:      fk.RefTable,
+				ToCol:   fk.RefColumn,
+				Weight:  1,
+			})
+		}
+	}
+	g, err := New(names, edges)
+	if err != nil {
+		// FromDB sees only validated schemas; an error indicates a
+		// relstore invariant was broken.
+		panic(err)
+	}
+	return g
+}
+
+// Tables returns the sorted table names.
+func (g *Graph) Tables() []string {
+	out := make([]string, len(g.tables))
+	copy(out, g.tables)
+	return out
+}
+
+// HasTable reports whether the table exists in the graph.
+func (g *Graph) HasTable(name string) bool {
+	_, ok := g.index[name]
+	return ok
+}
+
+// Edges returns all foreign-key edges.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Adjacent returns the edges incident to table (in either direction).
+func (g *Graph) Adjacent(table string) []Edge {
+	idxs := g.adj[table]
+	out := make([]Edge, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, g.edges[i])
+	}
+	return out
+}
+
+// Neighbors returns the distinct tables reachable from table via one edge,
+// sorted for determinism.
+func (g *Graph) Neighbors(table string) []string {
+	seen := map[string]bool{}
+	for _, e := range g.Adjacent(table) {
+		other := e.To
+		if other == table {
+			other = e.From
+		}
+		if other != table || e.From == e.To {
+			seen[other] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PathWeight multiplies edge weights along the given table path, returning
+// 0 if any hop has no edge. Précis-style return-node pruning (slide 52)
+// uses this to bound how far attributes may be pulled into a result schema.
+func (g *Graph) PathWeight(path []string) float64 {
+	if len(path) < 2 {
+		return 1
+	}
+	w := 1.0
+	for i := 0; i+1 < len(path); i++ {
+		ew, ok := g.edgeWeight(path[i], path[i+1])
+		if !ok {
+			return 0
+		}
+		w *= ew
+	}
+	return w
+}
+
+func (g *Graph) edgeWeight(a, b string) (float64, bool) {
+	best, found := 0.0, false
+	for _, idx := range g.adj[a] {
+		e := g.edges[idx]
+		if (e.From == a && e.To == b) || (e.From == b && e.To == a) {
+			if !found || e.Weight > best {
+				best, found = e.Weight, true
+			}
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,147 @@
+package schemagraph
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"kwsearch/internal/relstore"
+)
+
+func bibGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := New(
+		[]string{"author", "write", "paper", "conference"},
+		[]Edge{
+			{From: "write", FromCol: "aid", To: "author", ToCol: "aid"},
+			{From: "write", FromCol: "pid", To: "paper", ToCol: "pid"},
+			{From: "paper", FromCol: "cid", To: "conference", ToCol: "cid"},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]string{"a", "a"}, nil); err == nil {
+		t.Errorf("duplicate table must error")
+	}
+	if _, err := New([]string{"a"}, []Edge{{From: "a", To: "b"}}); err == nil {
+		t.Errorf("edge to unknown table must error")
+	}
+	if _, err := New([]string{"a"}, []Edge{{From: "b", To: "a"}}); err == nil {
+		t.Errorf("edge from unknown table must error")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := bibGraph(t)
+	got := g.Neighbors("write")
+	want := []string{"author", "paper"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Neighbors(write) = %v, want %v", got, want)
+	}
+	got = g.Neighbors("paper")
+	want = []string{"conference", "write"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Neighbors(paper) = %v, want %v", got, want)
+	}
+	if n := g.Neighbors("author"); len(n) != 1 || n[0] != "write" {
+		t.Errorf("Neighbors(author) = %v", n)
+	}
+}
+
+func TestAdjacentAndEdges(t *testing.T) {
+	g := bibGraph(t)
+	if len(g.Edges()) != 3 {
+		t.Errorf("Edges() len = %d, want 3", len(g.Edges()))
+	}
+	adj := g.Adjacent("write")
+	if len(adj) != 2 {
+		t.Errorf("Adjacent(write) len = %d, want 2", len(adj))
+	}
+	for _, e := range adj {
+		if e.Weight != 1 {
+			t.Errorf("default weight = %v, want 1", e.Weight)
+		}
+	}
+	if !g.HasTable("paper") || g.HasTable("nosuch") {
+		t.Errorf("HasTable broken")
+	}
+}
+
+// TestPathWeightPrecisExample reproduces slide 52: path
+// person -> review -> conference -> sponsor has weight 0.8*0.9*0.5 = 0.36,
+// below the 0.4 minimum, so sponsor would be excluded.
+func TestPathWeightPrecisExample(t *testing.T) {
+	g, err := New(
+		[]string{"person", "review", "conference", "sponsor"},
+		[]Edge{
+			{From: "person", To: "review", Weight: 0.8},
+			{From: "review", To: "conference", Weight: 0.9},
+			{From: "conference", To: "sponsor", Weight: 0.5},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := g.PathWeight([]string{"person", "review", "conference", "sponsor"})
+	if math.Abs(w-0.36) > 1e-12 {
+		t.Errorf("path weight = %v, want 0.36", w)
+	}
+	if w >= 0.4 {
+		t.Errorf("slide 52: weight %v must fall below the 0.4 threshold", w)
+	}
+	if g.PathWeight([]string{"person", "sponsor"}) != 0 {
+		t.Errorf("non-adjacent hop must yield weight 0")
+	}
+	if g.PathWeight([]string{"person"}) != 1 {
+		t.Errorf("trivial path must have weight 1")
+	}
+}
+
+func TestFromDB(t *testing.T) {
+	db := relstore.NewDB()
+	db.MustCreateTable(&relstore.TableSchema{
+		Name:    "author",
+		Columns: []relstore.Column{{Name: "aid", Type: relstore.KindInt}},
+		Key:     "aid",
+	})
+	db.MustCreateTable(&relstore.TableSchema{
+		Name: "write",
+		Columns: []relstore.Column{
+			{Name: "aid", Type: relstore.KindInt},
+		},
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "aid", RefTable: "author", RefColumn: "aid"},
+		},
+	})
+	g := FromDB(db)
+	if !g.HasTable("author") || !g.HasTable("write") {
+		t.Fatalf("FromDB missing tables: %v", g.Tables())
+	}
+	if len(g.Edges()) != 1 {
+		t.Fatalf("FromDB edges = %v", g.Edges())
+	}
+	e := g.Edges()[0]
+	if e.From != "write" || e.To != "author" || e.FromCol != "aid" {
+		t.Errorf("edge = %+v", e)
+	}
+}
+
+func TestSelfReferencingEdge(t *testing.T) {
+	// Citation-style self edge (paper cites paper).
+	g, err := New([]string{"paper"}, []Edge{{From: "paper", To: "paper", FromCol: "citing", ToCol: "cited"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Neighbors("paper")
+	if len(n) != 1 || n[0] != "paper" {
+		t.Errorf("self-edge neighbors = %v", n)
+	}
+	if len(g.Adjacent("paper")) != 1 {
+		t.Errorf("self-edge should be stored once in adjacency")
+	}
+}

@@ -1,0 +1,133 @@
+// Package snippet generates query-biased snippets for XML results (Huang
+// et al. SIGMOD'08, slide 148): a self-contained, concise selection of
+// (path, value) items that shows the keyword matches, identifies the
+// result entity, and surfaces its dominant features under a size budget.
+// The exact selection problem is NP-hard; this is the paper's greedy
+// prioritization.
+package snippet
+
+import (
+	"sort"
+
+	"kwsearch/internal/text"
+	"kwsearch/internal/xmltree"
+)
+
+// Item is one snippet line.
+type Item struct {
+	// Path is the label path of the node relative to the document root.
+	Path  string
+	Label string
+	Value string
+	// Keyword is set when the item was chosen because it matches a query
+	// term.
+	Keyword bool
+}
+
+// Generate builds a snippet for the result subtree rooted at result with
+// at most maxItems items. Priorities: (1) one witness leaf per query
+// keyword, (2) the result's identifying attribute (its first valued leaf,
+// standing in for the entity key), (3) dominant features — the most
+// frequent leaf labels in the subtree.
+func Generate(result *xmltree.Node, terms []string, maxItems int) []Item {
+	if maxItems <= 0 {
+		maxItems = 4
+	}
+	norm := map[string]bool{}
+	for _, t := range terms {
+		if s := text.Normalize(t); s != "" {
+			norm[s] = true
+		}
+	}
+
+	var leaves []*xmltree.Node
+	for _, n := range xmltree.Subtree(result) {
+		if n.IsLeaf() && n.Value != "" {
+			leaves = append(leaves, n)
+		}
+	}
+
+	used := map[xmltree.NodeID]bool{}
+	var out []Item
+	add := func(n *xmltree.Node, kw bool) {
+		if used[n.ID] || len(out) >= maxItems {
+			return
+		}
+		used[n.ID] = true
+		out = append(out, Item{Path: n.LabelPath(), Label: n.Label, Value: n.Value, Keyword: kw})
+	}
+
+	// 1. One witness per keyword, in query order.
+	for _, t := range terms {
+		term := text.Normalize(t)
+		if term == "" {
+			continue
+		}
+		for _, n := range leaves {
+			if used[n.ID] {
+				continue
+			}
+			if text.Contains(n.Value, term) || text.Normalize(n.Label) == term {
+				add(n, true)
+				break
+			}
+		}
+	}
+	// 2. The identifying attribute: first valued leaf of the subtree.
+	if len(leaves) > 0 {
+		add(leaves[0], false)
+	}
+	// 3. Dominant features: leaf labels by descending frequency.
+	freq := map[string]int{}
+	for _, n := range leaves {
+		freq[n.Label]++
+	}
+	type lf struct {
+		label string
+		n     int
+	}
+	var order []lf
+	for l, n := range freq {
+		order = append(order, lf{l, n})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].n != order[j].n {
+			return order[i].n > order[j].n
+		}
+		return order[i].label < order[j].label
+	})
+	for _, e := range order {
+		for _, n := range leaves {
+			if n.Label == e.label && !used[n.ID] {
+				add(n, false)
+				break
+			}
+		}
+		if len(out) >= maxItems {
+			break
+		}
+	}
+	return out
+}
+
+// Covers reports whether the snippet witnesses every query term — the
+// self-containedness check of the paper.
+func Covers(items []Item, terms []string) bool {
+	for _, t := range terms {
+		term := text.Normalize(t)
+		if term == "" {
+			continue
+		}
+		found := false
+		for _, it := range items {
+			if text.Contains(it.Value, term) || text.Normalize(it.Label) == term {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,113 @@
+package snippet
+
+import (
+	"testing"
+
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/xmltree"
+)
+
+func icdeTree() *xmltree.Tree {
+	// The slide-148 result: an ICDE conf with papers.
+	b := xmltree.NewBuilder("conf")
+	r := b.Root()
+	b.Child(r, "name", "ICDE")
+	b.Child(r, "year", "2010")
+	p1 := b.Child(r, "paper", "")
+	b.Child(p1, "title", "data query processing")
+	a := b.Child(p1, "author", "")
+	b.Child(a, "country", "USA")
+	p2 := b.Child(r, "paper", "")
+	b.Child(p2, "title", "cloud search")
+	return b.Freeze()
+}
+
+func TestGenerateContainsKeywordWitnesses(t *testing.T) {
+	tr := icdeTree()
+	items := Generate(tr.Root, []string{"icde", "query"}, 4)
+	if len(items) == 0 || len(items) > 4 {
+		t.Fatalf("items = %v", items)
+	}
+	if !Covers(items, []string{"icde", "query"}) {
+		t.Fatalf("snippet does not cover the query: %+v", items)
+	}
+	// Keyword items are flagged.
+	kwCount := 0
+	for _, it := range items {
+		if it.Keyword {
+			kwCount++
+		}
+	}
+	if kwCount < 2 {
+		t.Errorf("want 2 keyword witnesses, got %d: %+v", kwCount, items)
+	}
+}
+
+func TestGenerateBudget(t *testing.T) {
+	tr := icdeTree()
+	items := Generate(tr.Root, []string{"icde"}, 2)
+	if len(items) > 2 {
+		t.Fatalf("budget exceeded: %v", items)
+	}
+	// Default budget when maxItems <= 0.
+	items = Generate(tr.Root, []string{"icde"}, 0)
+	if len(items) == 0 || len(items) > 4 {
+		t.Fatalf("default budget items = %v", items)
+	}
+}
+
+func TestGenerateIncludesIdentifierAndDominantFeatures(t *testing.T) {
+	tr := icdeTree()
+	items := Generate(tr.Root, []string{"cloud"}, 4)
+	// The first valued leaf (conf name) identifies the entity.
+	foundName := false
+	foundTitle := false
+	for _, it := range items {
+		if it.Label == "name" {
+			foundName = true
+		}
+		if it.Label == "title" {
+			foundTitle = true
+		}
+	}
+	if !foundName {
+		t.Errorf("snippet misses the identifying attribute: %+v", items)
+	}
+	// title appears twice in the subtree — a dominant feature.
+	if !foundTitle {
+		t.Errorf("snippet misses the dominant feature: %+v", items)
+	}
+}
+
+func TestGenerateLabelKeyword(t *testing.T) {
+	// A keyword matching a label (not a value) is still witnessed.
+	tr := icdeTree()
+	items := Generate(tr.Root, []string{"country"}, 3)
+	if !Covers(items, []string{"country"}) {
+		t.Fatalf("label keyword not covered: %+v", items)
+	}
+}
+
+func TestGenerateOnAuctions(t *testing.T) {
+	tr := dataset.AuctionsXML()
+	auction := tr.NodesByLabel("closed_auction")[0]
+	items := Generate(auction, []string{"tom"}, 3)
+	if !Covers(items, []string{"tom"}) {
+		t.Fatalf("auction snippet misses tom: %+v", items)
+	}
+	for _, it := range items {
+		if it.Path == "" || it.Label == "" {
+			t.Errorf("incomplete item %+v", it)
+		}
+	}
+}
+
+func TestCoversNegative(t *testing.T) {
+	items := []Item{{Label: "title", Value: "cloud search"}}
+	if Covers(items, []string{"xml"}) {
+		t.Errorf("Covers must fail for missing terms")
+	}
+	if !Covers(items, nil) {
+		t.Errorf("empty query is trivially covered")
+	}
+}

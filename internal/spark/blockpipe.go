@@ -1,0 +1,121 @@
+package spark
+
+import (
+	"container/heap"
+
+	"kwsearch/internal/cn"
+	"kwsearch/internal/relstore"
+)
+
+// TopKBlockPipeline is SPARK's Block-Pipeline: each keyword-node list is
+// cut into blocks of size blockSize; block combinations are explored
+// best-first by the block-level WATF bound (the block head's WATF, since
+// lists are sorted), and only block combinations that can still beat the
+// current k-th are unpacked into tuple-level probes. Compared with
+// Skyline-Sweeping this keeps the frontier small and batches bound checks.
+func TopKBlockPipeline(s *Scorer, cns []*cn.CN, k, blockSize int) ([]Result, Stats) {
+	var stats Stats
+	if blockSize < 1 {
+		blockSize = 8
+	}
+	type cnState struct {
+		c      *cn.CN
+		nodes  []int
+		lists  [][]*relstore.Tuple
+		watf   [][]float64
+		blocks []int // number of blocks per dimension
+	}
+	states := make([]cnState, len(cns))
+
+	frontier := &ubHeap{}
+	seen := map[string]bool{}
+
+	blockUB := func(st cnState, blk []int) float64 {
+		ub := 0.0
+		for i, b := range blk {
+			head := b * blockSize
+			if head >= len(st.watf[i]) {
+				return -1
+			}
+			ub += st.watf[i][head]
+		}
+		return ub * s.SizeNorm(st.c.Size())
+	}
+	push := func(ci int, blk []int) {
+		key := comboKey(ci, blk)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		ub := blockUB(states[ci], blk)
+		if ub < 0 {
+			return
+		}
+		heap.Push(frontier, ubEntry{cnIdx: ci, pos: blk, ub: ub})
+	}
+
+	for ci, c := range cns {
+		nodes, lists, watf := s.lists(c)
+		st := cnState{c: c, nodes: nodes, lists: lists, watf: watf}
+		empty := len(nodes) == 0
+		for _, l := range lists {
+			if len(l) == 0 {
+				empty = true
+			}
+		}
+		states[ci] = st
+		if empty {
+			continue
+		}
+		push(ci, make([]int, len(nodes)))
+	}
+
+	var top []Result
+	for frontier.Len() > 0 {
+		if s.MaxCombinations > 0 && stats.Combinations >= s.MaxCombinations {
+			break
+		}
+		e := heap.Pop(frontier).(ubEntry)
+		if len(top) >= k && top[k-1].SparkScore >= e.ub {
+			break
+		}
+		st := states[e.cnIdx]
+
+		// Unpack the block combination into tuple combinations.
+		var walk func(dim int, pos []int)
+		pos := make([]int, len(e.pos))
+		walk = func(dim int, pos []int) {
+			if dim == len(e.pos) {
+				stats.Combinations++
+				// Tuple-level bound check before the expensive probe.
+				if len(top) >= k && top[k-1].SparkScore >= s.comboUB(st.c, st.watf, pos) {
+					return
+				}
+				top = append(top, s.probe(st.c, st.nodes, st.lists, pos, &stats)...)
+				sortSpark(top)
+				if len(top) > k {
+					top = top[:k]
+				}
+				return
+			}
+			start := e.pos[dim] * blockSize
+			end := start + blockSize
+			if end > len(st.lists[dim]) {
+				end = len(st.lists[dim])
+			}
+			for p := start; p < end; p++ {
+				pos[dim] = p
+				walk(dim+1, pos)
+			}
+		}
+		walk(0, pos)
+
+		// Successors: next block in each dimension.
+		for i := range e.pos {
+			next := append([]int(nil), e.pos...)
+			next[i]++
+			push(e.cnIdx, next)
+		}
+	}
+	return top, stats
+}

@@ -1,0 +1,172 @@
+package spark
+
+import (
+	"math"
+	"testing"
+
+	"kwsearch/internal/cn"
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/relstore"
+	"kwsearch/internal/schemagraph"
+)
+
+func setup(t *testing.T, terms []string, seed int64) (*Scorer, []*cn.CN) {
+	t.Helper()
+	db := dataset.DBLP(dataset.DBLPConfig{
+		Authors: 80, Papers: 200, Conferences: 6, AuthorsPerPaper: 2,
+		CitesPerPaper: 1, TitleTermCount: 3, ExtraVocab: 40, Seed: seed,
+	})
+	ix := invindex.FromDB(db)
+	ev := cn.NewEvaluator(db, ix, terms)
+	g := schemagraph.FromDB(db)
+	cns := cn.Enumerate(g, cn.EnumerateOptions{
+		MaxSize:       4,
+		KeywordTables: ev.KeywordTables(),
+		FreeTables:    []string{"write", "cite"},
+	})
+	return NewScorer(ev, ix), cns
+}
+
+func TestDampProperties(t *testing.T) {
+	if damp(0) != 0 {
+		t.Errorf("damp(0) = %v", damp(0))
+	}
+	if damp(1) != 1 {
+		t.Errorf("damp(1) = %v, want 1", damp(1))
+	}
+	prev := 0.0
+	for tf := 1; tf < 100; tf++ {
+		d := damp(tf)
+		if d < prev {
+			t.Fatalf("damp not monotone at %d", tf)
+		}
+		prev = d
+	}
+	// Subadditive on tf >= 1: damp(a+b) <= damp(a)+damp(b) — the property
+	// that makes WATF a sound upper bound.
+	for a := 1; a < 40; a++ {
+		for b := 1; b < 40; b++ {
+			if damp(a+b) > damp(a)+damp(b)+1e-12 {
+				t.Fatalf("damp not subadditive at %d,%d", a, b)
+			}
+		}
+	}
+}
+
+func TestScoreIsNonMonotonic(t *testing.T) {
+	// Two tuples matching the same term: the virtual-document score is
+	// less than the sum of their individual WATFs (slide 117's reason
+	// monotone top-k machinery breaks for SPARK).
+	s, _ := setup(t, []string{"keyword"}, 5)
+	set := s.ev.KeywordSet("paper")
+	if len(set) < 2 {
+		t.Fatalf("need two matching papers, got %d", len(set))
+	}
+	a, b := set[0], set[1]
+	joint := s.ScoreA([]*relstore.Tuple{a, b})
+	sum := s.WATF(a) + s.WATF(b)
+	if !(joint < sum) {
+		t.Errorf("ScoreA(joint)=%v should be < WATF sum=%v", joint, sum)
+	}
+	if joint <= 0 {
+		t.Errorf("joint score must be positive")
+	}
+}
+
+func TestWATFBoundSound(t *testing.T) {
+	// For every actual result, the SPARK score must not exceed the WATF
+	// bound of its keyword tuples.
+	s, cns := setup(t, []string{"keyword", "search"}, 7)
+	for _, c := range cns {
+		for _, r := range s.ev.EvaluateCN(c) {
+			score := s.Score(r)
+			bound := 0.0
+			for i, n := range c.Nodes {
+				if !n.Free {
+					bound += s.WATF(r.Tuples[i])
+				}
+			}
+			bound *= s.SizeNorm(c.Size())
+			if score > bound+1e-9 {
+				t.Fatalf("score %v exceeds bound %v for %s", score, bound, c)
+			}
+		}
+	}
+}
+
+func scores(rs []Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.SparkScore
+	}
+	return out
+}
+
+func sameScores(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStrategiesAgree(t *testing.T) {
+	for _, seed := range []int64{3, 7, 11, 19} {
+		s, cns := setup(t, []string{"keyword", "search"}, seed)
+		const k = 5
+		naive, _ := TopKNaive(s, cns, k)
+		sky, _ := TopKSkyline(s, cns, k)
+		blk, _ := TopKBlockPipeline(s, cns, k, 4)
+		ns, ss, bs := scores(naive), scores(sky), scores(blk)
+		if !sameScores(ns, ss) {
+			t.Errorf("seed %d: skyline differs from naive:\n%v\n%v", seed, ns, ss)
+		}
+		if !sameScores(ns, bs) {
+			t.Errorf("seed %d: block-pipeline differs from naive:\n%v\n%v", seed, ns, bs)
+		}
+		// Scores descend.
+		for i := 1; i < len(ns); i++ {
+			if ns[i] > ns[i-1] {
+				t.Errorf("seed %d: scores not sorted: %v", seed, ns)
+			}
+		}
+	}
+}
+
+func TestPipelinesTerminateEarly(t *testing.T) {
+	// The E18 shape: when results are plentiful, the bound lets the
+	// pipelines certify top-1 after probing a small fraction of the
+	// keyword-tuple cross product.
+	s, cns := setup(t, []string{"keyword", "search"}, 13)
+	full := 0
+	for _, c := range cns {
+		p := 1
+		for _, n := range c.KeywordNodes() {
+			p *= len(s.ev.KeywordSet(c.Nodes[n].Table))
+		}
+		full += p
+	}
+	_, sStats := TopKSkyline(s, cns, 1)
+	_, bStats := TopKBlockPipeline(s, cns, 1, 4)
+	if sStats.Probes*4 >= full {
+		t.Errorf("skyline probed %d of %d combinations — no early termination", sStats.Probes, full)
+	}
+	if bStats.Probes*4 >= full {
+		t.Errorf("block-pipeline probed %d of %d combinations — no early termination", bStats.Probes, full)
+	}
+}
+
+func TestEmptyQueryAndNoMatches(t *testing.T) {
+	s, cns := setup(t, []string{"zzzznomatch"}, 5)
+	if got, _ := TopKSkyline(s, cns, 3); len(got) != 0 {
+		t.Errorf("no-match query returned %v", got)
+	}
+	if got, _ := TopKBlockPipeline(s, cns, 3, 4); len(got) != 0 {
+		t.Errorf("no-match query returned %v", got)
+	}
+}

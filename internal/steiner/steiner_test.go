@@ -1,0 +1,223 @@
+package steiner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kwsearch/internal/datagraph"
+)
+
+// slide30Graph builds the slide-30 example: nodes a=0,b=1,c=2,d=3 with
+// a-b:5, b-c:2, b-d:3, a-c:6, a-d:7. Keywords: k1@a, k2@c, k3@d.
+func slide30Graph() *datagraph.Graph {
+	g := datagraph.New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(1, 3, 3)
+	g.AddEdge(0, 2, 6)
+	g.AddEdge(0, 3, 7)
+	return g
+}
+
+// TestSlide30GST reproduces E3: the top-1 group Steiner tree is
+// a(b(c,d)) with cost 5+2+3 = 10, beating the direct star a(c,d) = 13.
+func TestSlide30GST(t *testing.T) {
+	g := slide30Graph()
+	groups := [][]datagraph.NodeID{{0}, {2}, {3}}
+	tree, ok := GroupSteiner(g, groups)
+	if !ok {
+		t.Fatal("no GST found")
+	}
+	if tree.Cost != 10 {
+		t.Fatalf("GST cost = %v, want 10 (a-b, b-c, b-d)", tree.Cost)
+	}
+	nodes := tree.Nodes()
+	if len(nodes) != 4 {
+		t.Fatalf("tree nodes = %v, want a,b,c,d", nodes)
+	}
+	if len(tree.Edges) != 3 {
+		t.Fatalf("tree edges = %v, want 3", tree.Edges)
+	}
+}
+
+// TestGroupChoosesCheapestMember: with k2 matching both c and a cheaper
+// node, the GST picks the cheaper member (that is what makes it a *group*
+// Steiner tree).
+func TestGroupChoosesCheapestMember(t *testing.T) {
+	g := datagraph.New(4)
+	g.AddEdge(0, 1, 10) // expensive member
+	g.AddEdge(0, 2, 1)  // cheap member
+	g.AddEdge(0, 3, 1)
+	tree, ok := GroupSteiner(g, [][]datagraph.NodeID{{0}, {1, 2}, {3}})
+	if !ok {
+		t.Fatal("no GST")
+	}
+	if tree.Cost != 2 {
+		t.Fatalf("cost = %v, want 2 (via node 2, not node 1)", tree.Cost)
+	}
+}
+
+func TestSingleGroupIsZeroCost(t *testing.T) {
+	g := datagraph.New(3)
+	g.AddEdge(0, 1, 1)
+	tree, ok := GroupSteiner(g, [][]datagraph.NodeID{{1}})
+	if !ok || tree.Cost != 0 {
+		t.Fatalf("single group should cost 0, got %+v ok=%v", tree, ok)
+	}
+	if len(tree.Nodes()) != 1 {
+		t.Errorf("tree should be the single node")
+	}
+}
+
+func TestDisconnectedReturnsFalse(t *testing.T) {
+	g := datagraph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	if _, ok := GroupSteiner(g, [][]datagraph.NodeID{{0}, {3}}); ok {
+		t.Fatal("disconnected groups must fail")
+	}
+	if _, ok := GroupSteiner(g, nil); ok {
+		t.Fatal("empty group list must fail")
+	}
+	if _, ok := GroupSteiner(g, [][]datagraph.NodeID{{0}, {}}); ok {
+		t.Fatal("empty group must fail")
+	}
+}
+
+func TestTwoGroupsEqualsShortestPath(t *testing.T) {
+	// For two singleton groups the GST is the shortest path.
+	g := datagraph.New(5)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 2, 1)
+	tree, ok := GroupSteiner(g, [][]datagraph.NodeID{{0}, {2}})
+	if !ok {
+		t.Fatal("no GST")
+	}
+	dist := g.Dijkstra(0, datagraph.Inf)
+	if tree.Cost != dist[2] {
+		t.Fatalf("2-group GST cost %v != shortest path %v", tree.Cost, dist[2])
+	}
+}
+
+func TestSteinerCostMatchesGST(t *testing.T) {
+	g := slide30Graph()
+	c, ok := SteinerCost(g, []datagraph.NodeID{0, 2, 3})
+	if !ok || c != 10 {
+		t.Fatalf("SteinerCost = %v ok=%v, want 10", c, ok)
+	}
+}
+
+// Property: on random connected graphs with 2 groups, GST cost equals the
+// min over members of pairwise shortest-path distance.
+func TestTwoGroupGSTMatchesDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		g := datagraph.New(n)
+		// Ring for connectivity plus chords.
+		for i := 0; i < n; i++ {
+			g.AddEdge(datagraph.NodeID(i), datagraph.NodeID((i+1)%n), 0.5+rng.Float64()*4)
+		}
+		for i := 0; i < n/2; i++ {
+			g.AddEdge(datagraph.NodeID(rng.Intn(n)), datagraph.NodeID(rng.Intn(n)), 0.5+rng.Float64()*4)
+		}
+		g1 := []datagraph.NodeID{datagraph.NodeID(rng.Intn(n))}
+		g2 := []datagraph.NodeID{datagraph.NodeID(rng.Intn(n)), datagraph.NodeID(rng.Intn(n))}
+		tree, ok := GroupSteiner(g, [][]datagraph.NodeID{g1, g2})
+		if !ok {
+			return false
+		}
+		dist := g.Dijkstra(g1[0], datagraph.Inf)
+		want := math.Inf(1)
+		for _, m := range g2 {
+			if dist[m] < want {
+				want = dist[m]
+			}
+		}
+		return math.Abs(tree.Cost-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the reconstructed tree's edge costs sum to the reported cost
+// and the tree connects all groups.
+func TestTreeReconstructionConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(10)
+		g := datagraph.New(n)
+		type edgeKey struct{ a, b datagraph.NodeID }
+		weights := map[edgeKey]float64{}
+		addEdge := func(a, b datagraph.NodeID, w float64) {
+			if a > b {
+				a, b = b, a
+			}
+			if cur, ok := weights[edgeKey{a, b}]; ok && cur <= w {
+				return
+			}
+			weights[edgeKey{a, b}] = w
+		}
+		for i := 0; i < n; i++ {
+			addEdge(datagraph.NodeID(i), datagraph.NodeID((i+1)%n), float64(1+rng.Intn(5)))
+		}
+		for i := 0; i < n; i++ {
+			addEdge(datagraph.NodeID(rng.Intn(n)), datagraph.NodeID(rng.Intn(n)), float64(1+rng.Intn(5)))
+		}
+		for k, w := range weights {
+			if k.a != k.b {
+				g.AddEdge(k.a, k.b, w)
+			}
+		}
+		groups := [][]datagraph.NodeID{
+			{datagraph.NodeID(rng.Intn(n))},
+			{datagraph.NodeID(rng.Intn(n))},
+			{datagraph.NodeID(rng.Intn(n))},
+		}
+		tree, ok := GroupSteiner(g, groups)
+		if !ok {
+			return false
+		}
+		sum := 0.0
+		for _, e := range tree.Edges {
+			a, b := e[0], e[1]
+			if a > b {
+				a, b = b, a
+			}
+			w, ok := weights[edgeKey{a, b}]
+			if !ok {
+				return false
+			}
+			sum += w
+		}
+		if math.Abs(sum-tree.Cost) > 1e-9 {
+			return false
+		}
+		// Every group must touch the tree.
+		inTree := map[datagraph.NodeID]bool{}
+		for _, nd := range tree.Nodes() {
+			inTree[nd] = true
+		}
+		for _, grp := range groups {
+			hit := false
+			for _, m := range grp {
+				if inTree[m] {
+					hit = true
+				}
+			}
+			if !hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

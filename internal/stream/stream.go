@@ -1,0 +1,278 @@
+// Package stream implements keyword search over relational data streams in
+// the spirit of the Operator Mesh (Markowetz et al. SIGMOD'07, slide 134):
+// candidate networks stay armed as continuous queries; each arriving tuple
+// joins against the buffered prefix state of every CN it can occupy, and a
+// joining tree of tuples is emitted exactly once — when its last tuple
+// arrives. No CN can be pruned a priori (the stream may deliver matches for
+// any of them), which is the slide's point.
+package stream
+
+import (
+	"kwsearch/internal/cn"
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/relstore"
+	"kwsearch/internal/text"
+)
+
+// Mesh is the armed continuous query: per-CN buffers plus incremental
+// join indexes over the tuples seen so far.
+type Mesh struct {
+	db    *relstore.DB
+	terms []string
+	cns   []*cn.CN
+	ix    *invindex.Index
+
+	// seenByTable buffers arrived tuples per relation.
+	seenByTable map[string][]*relstore.Tuple
+	// valueIndex indexes arrived tuples by (table, column, value).
+	valueIndex map[string]map[string]map[relstore.Value][]*relstore.Tuple
+	// masks caches each arrived tuple's query-term bitmask.
+	masks map[relstore.TupleID]uint32
+	// Window bounds the number of buffered tuples per relation (0 =
+	// unbounded); older tuples are evicted FIFO, the usual stream window.
+	Window int
+
+	evicted map[relstore.TupleID]bool
+}
+
+// NewMesh arms the CNs for the query terms over db's schema. Tuples are
+// reported with Arrive as they "stream in".
+func NewMesh(db *relstore.DB, terms []string, cns []*cn.CN) *Mesh {
+	norm := make([]string, 0, len(terms))
+	for _, t := range terms {
+		if n := text.Normalize(t); n != "" {
+			norm = append(norm, n)
+		}
+	}
+	return &Mesh{
+		db:          db,
+		terms:       norm,
+		cns:         cns,
+		seenByTable: map[string][]*relstore.Tuple{},
+		valueIndex:  map[string]map[string]map[relstore.Value][]*relstore.Tuple{},
+		masks:       map[relstore.TupleID]uint32{},
+		evicted:     map[relstore.TupleID]bool{},
+	}
+}
+
+// Seen reports the number of buffered tuples.
+func (m *Mesh) Seen() int {
+	n := 0
+	for _, ts := range m.seenByTable {
+		n += len(ts)
+	}
+	return n
+}
+
+func (m *Mesh) maskOf(tp *relstore.Tuple) uint32 {
+	t := m.db.Table(tp.Table)
+	if t == nil {
+		return 0
+	}
+	txt := tp.Text(t.Schema)
+	var mask uint32
+	for i, term := range m.terms {
+		if text.Contains(txt, term) {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+func (m *Mesh) index(tp *relstore.Tuple) {
+	t := m.db.Table(tp.Table)
+	byCol, ok := m.valueIndex[tp.Table]
+	if !ok {
+		byCol = map[string]map[relstore.Value][]*relstore.Tuple{}
+		m.valueIndex[tp.Table] = byCol
+	}
+	for ci, col := range t.Schema.Columns {
+		v := tp.Values[ci]
+		if v.IsNull() {
+			continue
+		}
+		byVal, ok := byCol[col.Name]
+		if !ok {
+			byVal = map[relstore.Value][]*relstore.Tuple{}
+			byCol[col.Name] = byVal
+		}
+		byVal[v] = append(byVal[v], tp)
+	}
+}
+
+// Arrive feeds one tuple into the mesh and returns the joining trees it
+// completes. The tuple must belong to a table of m's database (it need not
+// be stored there — the mesh keeps its own buffers).
+func (m *Mesh) Arrive(tp *relstore.Tuple) []cn.Result {
+	if m.db.Table(tp.Table) == nil {
+		return nil // not part of this schema
+	}
+	mask := m.maskOf(tp)
+	m.masks[tp.ID] = mask
+	m.seenByTable[tp.Table] = append(m.seenByTable[tp.Table], tp)
+	m.index(tp)
+	if m.Window > 0 && len(m.seenByTable[tp.Table]) > m.Window {
+		old := m.seenByTable[tp.Table][0]
+		m.seenByTable[tp.Table] = m.seenByTable[tp.Table][1:]
+		m.evicted[old.ID] = true
+	}
+
+	var out []cn.Result
+	for _, c := range m.cns {
+		for ni, spec := range c.Nodes {
+			if spec.Table != tp.Table {
+				continue
+			}
+			if (mask != 0) == spec.Free {
+				continue // keyword node needs a match, free node a non-match
+			}
+			out = append(out, m.join(c, ni, tp)...)
+		}
+	}
+	return out
+}
+
+// join enumerates completions of c with node fixed to tp, drawing the
+// other nodes from buffered tuples — and, to guarantee exactly-once
+// emission, only from tuples that arrived strictly before tp.
+func (m *Mesh) join(c *cn.CN, fixed int, tp *relstore.Tuple) []cn.Result {
+	adj := make([][]int, len(c.Nodes))
+	for ei, e := range c.Edges {
+		adj[e.A] = append(adj[e.A], ei)
+		adj[e.B] = append(adj[e.B], ei)
+	}
+	order := []int{fixed}
+	parent := map[int]int{fixed: -1}
+	via := map[int]cn.EdgeSpec{}
+	for qi := 0; qi < len(order); qi++ {
+		n := order[qi]
+		for _, ei := range adj[n] {
+			e := c.Edges[ei]
+			other := e.A
+			if other == n {
+				other = e.B
+			}
+			if _, seen := parent[other]; seen {
+				continue
+			}
+			parent[other] = n
+			via[other] = e
+			order = append(order, other)
+		}
+	}
+
+	full := (uint32(1) << uint(len(m.terms))) - 1
+	binding := make([]*relstore.Tuple, len(c.Nodes))
+	var out []cn.Result
+	var rec func(oi int)
+	rec = func(oi int) {
+		if oi == len(order) {
+			var cover uint32
+			for _, b := range binding {
+				cover |= m.masks[b.ID]
+			}
+			if cover != full {
+				return
+			}
+			if !m.minimal(c, binding, full) {
+				return
+			}
+			tuples := make([]*relstore.Tuple, len(binding))
+			copy(tuples, binding)
+			out = append(out, cn.Result{CN: c, Tuples: tuples})
+			return
+		}
+		node := order[oi]
+		var cands []*relstore.Tuple
+		if oi == 0 {
+			cands = []*relstore.Tuple{tp}
+		} else {
+			cands = m.candidates(c, via[node], parent[node], binding[parent[node]], node)
+		}
+		for _, cand := range cands {
+			if oi > 0 && (cand.ID == tp.ID || m.evicted[cand.ID]) {
+				continue // strictly-earlier arrivals only
+			}
+			dup := false
+			for _, b := range binding {
+				if b != nil && b.ID == cand.ID {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			binding[node] = cand
+			rec(oi + 1)
+			binding[node] = nil
+		}
+	}
+	rec(0)
+	return out
+}
+
+// candidates resolves join partners for node `to` from the buffered value
+// index, filtered to the node's keyword/free status.
+func (m *Mesh) candidates(c *cn.CN, e cn.EdgeSpec, from int, bound *relstore.Tuple, to int) []*relstore.Tuple {
+	fromTable := m.db.Table(c.Nodes[from].Table)
+	toSpec := c.Nodes[to]
+	var fromCol, toCol string
+	if e.Via.From == c.Nodes[from].Table && e.Via.To == toSpec.Table {
+		fromCol, toCol = e.Via.FromCol, e.Via.ToCol
+	} else {
+		fromCol, toCol = e.Via.ToCol, e.Via.FromCol
+	}
+	if e.Via.From == e.Via.To {
+		if from == e.A {
+			fromCol, toCol = e.Via.FromCol, e.Via.ToCol
+		} else {
+			fromCol, toCol = e.Via.ToCol, e.Via.FromCol
+		}
+	}
+	v := fromTable.Value(bound, fromCol)
+	if v.IsNull() {
+		return nil
+	}
+	byCol, ok := m.valueIndex[toSpec.Table]
+	if !ok {
+		return nil
+	}
+	var out []*relstore.Tuple
+	for _, cand := range byCol[toCol][v] {
+		inKW := m.masks[cand.ID] != 0
+		if inKW != toSpec.Free {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// minimal mirrors the batch evaluator's MTJNT condition: dropping any leaf
+// must lose a keyword.
+func (m *Mesh) minimal(c *cn.CN, binding []*relstore.Tuple, full uint32) bool {
+	if len(c.Nodes) == 1 {
+		return true
+	}
+	deg := make([]int, len(c.Nodes))
+	for _, e := range c.Edges {
+		deg[e.A]++
+		deg[e.B]++
+	}
+	for li := range c.Nodes {
+		if deg[li] > 1 {
+			continue
+		}
+		var rest uint32
+		for i, b := range binding {
+			if i == li {
+				continue
+			}
+			rest |= m.masks[b.ID]
+		}
+		if rest == full {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,62 @@
+// Package text provides the shared tokenizer used by the inverted index,
+// the XML keyword index and the query parsers, so that data and queries
+// agree on token boundaries.
+package text
+
+import "strings"
+
+// keepRune reports whether r is part of a token. Letters and digits are
+// kept; '&' is kept so that entity names like "at&t" survive as one token
+// (the query-cleaning examples depend on this).
+func keepRune(r rune) bool {
+	switch {
+	case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		return true
+	case r == '&':
+		return true
+	case r > 127: // non-ASCII letters pass through
+		return true
+	}
+	return false
+}
+
+// Tokenize lower-cases s and splits it into tokens on non-token runes.
+func Tokenize(s string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(s) {
+		if keepRune(r) {
+			b.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Normalize lower-cases and trims a single token the same way Tokenize
+// would; multi-token input yields the first token only.
+func Normalize(s string) string {
+	toks := Tokenize(s)
+	if len(toks) == 0 {
+		return ""
+	}
+	return toks[0]
+}
+
+// Contains reports whether token appears among the tokens of s.
+func Contains(s, token string) bool {
+	for _, t := range Tokenize(s) {
+		if t == token {
+			return true
+		}
+	}
+	return false
+}

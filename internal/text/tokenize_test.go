@@ -1,0 +1,67 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"at&t iPad", []string{"at&t", "ipad"}},
+		{"XML-keyword_search", []string{"xml", "keyword", "search"}},
+		{"  ", nil},
+		{"", nil},
+		{"B+ tree (1979)", []string{"b", "tree", "1979"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize("  SIGMOD  "); got != "sigmod" {
+		t.Errorf("Normalize = %q", got)
+	}
+	if got := Normalize("two words"); got != "two" {
+		t.Errorf("Normalize multi-token = %q", got)
+	}
+	if got := Normalize("!!!"); got != "" {
+		t.Errorf("Normalize symbols = %q", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	if !Contains("The Shining (1980)", "shining") {
+		t.Errorf("Contains failed")
+	}
+	if Contains("The Shining", "shin") {
+		t.Errorf("Contains must match whole tokens only")
+	}
+}
+
+// Property: tokenizing is idempotent — re-tokenizing the join of tokens
+// yields the same tokens.
+func TestTokenizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Tokenize(s)
+		joined := ""
+		for i, tok := range once {
+			if i > 0 {
+				joined += " "
+			}
+			joined += tok
+		}
+		twice := Tokenize(joined)
+		return reflect.DeepEqual(once, twice)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package trie implements a byte trie with prefix ranges over the sorted
+// token list — the structure TASTIER-style type-ahead search uses: every
+// trie node corresponds to a contiguous range of token ranks, so prefix
+// matching becomes a range check (slides 72-73).
+package trie
+
+import "sort"
+
+type node struct {
+	children map[byte]*node
+	// leafRank is the rank of the complete token ending here, or -1.
+	leafRank int
+	// lo, hi delimit the half-open rank range [lo, hi) of tokens below
+	// this node, assigned by Build.
+	lo, hi int
+}
+
+func newNode() *node {
+	return &node{children: make(map[byte]*node), leafRank: -1}
+}
+
+// Trie holds a frozen set of tokens with rank ranges.
+type Trie struct {
+	root   *node
+	tokens []string // sorted; index = rank
+	built  bool
+}
+
+// New builds a trie over the given tokens (deduplicated, sorted
+// internally).
+func New(tokens []string) *Trie {
+	dedup := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		if t != "" {
+			dedup[t] = true
+		}
+	}
+	sorted := make([]string, 0, len(dedup))
+	for t := range dedup {
+		sorted = append(sorted, t)
+	}
+	sort.Strings(sorted)
+
+	tr := &Trie{root: newNode(), tokens: sorted}
+	for rank, tok := range sorted {
+		cur := tr.root
+		for i := 0; i < len(tok); i++ {
+			b := tok[i]
+			next, ok := cur.children[b]
+			if !ok {
+				next = newNode()
+				cur.children[b] = next
+			}
+			cur = next
+		}
+		cur.leafRank = rank
+	}
+	tr.assignRanges(tr.root, 0)
+	tr.built = true
+	return tr
+}
+
+// assignRanges walks in sorted order assigning [lo, hi) token-rank ranges.
+// Because tokens were inserted from a sorted list, a node's subtree covers
+// a contiguous rank interval.
+func (tr *Trie) assignRanges(n *node, next int) int {
+	n.lo = next
+	if n.leafRank >= 0 {
+		next++
+	}
+	// Children in byte order gives sorted traversal.
+	keys := make([]int, 0, len(n.children))
+	for b := range n.children {
+		keys = append(keys, int(b))
+	}
+	sort.Ints(keys)
+	for _, b := range keys {
+		next = tr.assignRanges(n.children[byte(b)], next)
+	}
+	n.hi = next
+	return next
+}
+
+// Len returns the number of distinct tokens.
+func (tr *Trie) Len() int { return len(tr.tokens) }
+
+// Token returns the token with the given rank.
+func (tr *Trie) Token(rank int) string {
+	if rank < 0 || rank >= len(tr.tokens) {
+		return ""
+	}
+	return tr.tokens[rank]
+}
+
+// Rank returns the rank of an exact token, or -1.
+func (tr *Trie) Rank(token string) int {
+	n := tr.walk(token)
+	if n == nil {
+		return -1
+	}
+	return n.leafRank
+}
+
+// PrefixRange returns the half-open rank range [lo, hi) of tokens with the
+// given prefix; ok is false when no token has the prefix.
+func (tr *Trie) PrefixRange(prefix string) (lo, hi int, ok bool) {
+	n := tr.walk(prefix)
+	if n == nil || n.lo == n.hi {
+		return 0, 0, false
+	}
+	return n.lo, n.hi, true
+}
+
+// Complete returns up to limit tokens having the prefix, in sorted order.
+// limit <= 0 means no limit.
+func (tr *Trie) Complete(prefix string, limit int) []string {
+	lo, hi, ok := tr.PrefixRange(prefix)
+	if !ok {
+		return nil
+	}
+	if limit > 0 && hi-lo > limit {
+		hi = lo + limit
+	}
+	out := make([]string, hi-lo)
+	copy(out, tr.tokens[lo:hi])
+	return out
+}
+
+// HasPrefix reports whether any token has the given prefix.
+func (tr *Trie) HasPrefix(prefix string) bool {
+	_, _, ok := tr.PrefixRange(prefix)
+	return ok
+}
+
+func (tr *Trie) walk(s string) *node {
+	cur := tr.root
+	for i := 0; i < len(s); i++ {
+		next, ok := cur.children[s[i]]
+		if !ok {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}
+
+// FuzzyComplete returns tokens within edit distance maxEdits of the prefix
+// (extending auto-completion to tolerate errors, Chaudhuri & Kaushik
+// SIGMOD'09): a token matches if some prefix of it is within maxEdits edits
+// of the query prefix. Results are sorted; limit <= 0 means no limit.
+func (tr *Trie) FuzzyComplete(prefix string, maxEdits, limit int) []string {
+	if maxEdits <= 0 {
+		return tr.Complete(prefix, limit)
+	}
+	m := len(prefix)
+	seen := map[int]bool{}
+	var ranks []int
+
+	// Standard trie-NFA traversal with per-node edit-distance rows.
+	type frame struct {
+		n   *node
+		row []int
+	}
+	row0 := make([]int, m+1)
+	for i := range row0 {
+		row0[i] = i
+	}
+	stack := []frame{{tr.root, row0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// If the distance at the full prefix is within budget, every token
+		// below this node completes a fuzzy match of the prefix.
+		if f.row[m] <= maxEdits {
+			for r := f.n.lo; r < f.n.hi; r++ {
+				if !seen[r] {
+					seen[r] = true
+					ranks = append(ranks, r)
+				}
+			}
+			continue
+		}
+		// Prune when the entire row exceeds the budget.
+		min := f.row[0]
+		for _, v := range f.row {
+			if v < min {
+				min = v
+			}
+		}
+		if min > maxEdits {
+			continue
+		}
+		for b, child := range f.n.children {
+			next := make([]int, m+1)
+			next[0] = f.row[0] + 1
+			for i := 1; i <= m; i++ {
+				cost := 1
+				if prefix[i-1] == b {
+					cost = 0
+				}
+				next[i] = minInt(next[i-1]+1, f.row[i]+1, f.row[i-1]+cost)
+			}
+			stack = append(stack, frame{child, next})
+		}
+	}
+	sort.Ints(ranks)
+	if limit > 0 && len(ranks) > limit {
+		ranks = ranks[:limit]
+	}
+	out := make([]string, len(ranks))
+	for i, r := range ranks {
+		out[i] = tr.tokens[r]
+	}
+	return out
+}
+
+func minInt(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

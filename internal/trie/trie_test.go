@@ -1,0 +1,146 @@
+package trie
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var tokens = []string{"sigact", "sigmod", "sigweb", "sigir", "srivastava", "search", "sigmod"}
+
+func TestPrefixRange(t *testing.T) {
+	tr := New(tokens)
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d, want 6 (dedup)", tr.Len())
+	}
+	lo, hi, ok := tr.PrefixRange("sig")
+	if !ok {
+		t.Fatalf("PrefixRange(sig) not found")
+	}
+	got := []string{}
+	for r := lo; r < hi; r++ {
+		got = append(got, tr.Token(r))
+	}
+	want := []string{"sigact", "sigir", "sigmod", "sigweb"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("range tokens = %v, want %v", got, want)
+	}
+	if _, _, ok := tr.PrefixRange("zzz"); ok {
+		t.Errorf("absent prefix should not be found")
+	}
+	// Whole-token prefix works too.
+	if lo, hi, ok := tr.PrefixRange("sigmod"); !ok || hi-lo != 1 {
+		t.Errorf("PrefixRange(sigmod) = [%d,%d) ok=%v", lo, hi, ok)
+	}
+	// Empty prefix covers everything.
+	if lo, hi, _ := tr.PrefixRange(""); lo != 0 || hi != tr.Len() {
+		t.Errorf("empty prefix range = [%d,%d)", lo, hi)
+	}
+}
+
+func TestCompleteAndRank(t *testing.T) {
+	tr := New(tokens)
+	if got := tr.Complete("s", 2); !reflect.DeepEqual(got, []string{"search", "sigact"}) {
+		t.Errorf("Complete limit = %v", got)
+	}
+	if got := tr.Complete("sr", 0); !reflect.DeepEqual(got, []string{"srivastava"}) {
+		t.Errorf("Complete = %v", got)
+	}
+	if tr.Rank("sigmod") < 0 {
+		t.Errorf("Rank(sigmod) missing")
+	}
+	if tr.Rank("sig") != -1 {
+		t.Errorf("Rank of non-token prefix must be -1")
+	}
+	if !tr.HasPrefix("sri") || tr.HasPrefix("xyz") {
+		t.Errorf("HasPrefix broken")
+	}
+	if tr.Token(-1) != "" || tr.Token(99) != "" {
+		t.Errorf("Token out of range should be empty")
+	}
+}
+
+func TestFuzzyComplete(t *testing.T) {
+	tr := New(tokens)
+	// "sigmmod" is one edit away from prefix of "sigmod".
+	got := tr.FuzzyComplete("sigmmod", 1, 0)
+	found := false
+	for _, g := range got {
+		if g == "sigmod" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("FuzzyComplete(sigmmod,1) = %v, want sigmod included", got)
+	}
+	// Zero edits degrades to exact Complete.
+	if got := tr.FuzzyComplete("sig", 0, 0); len(got) != 4 {
+		t.Errorf("FuzzyComplete 0 edits = %v", got)
+	}
+	// Results are sorted and deduplicated.
+	got = tr.FuzzyComplete("si", 1, 0)
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("fuzzy results not sorted: %v", got)
+	}
+	seen := map[string]bool{}
+	for _, g := range got {
+		if seen[g] {
+			t.Errorf("duplicate in fuzzy results: %v", got)
+		}
+		seen[g] = true
+	}
+}
+
+// Property: Complete(prefix) returns exactly the sorted tokens having the
+// prefix.
+func TestCompleteMatchesFilter(t *testing.T) {
+	f := func(words []string, prefixSeed string) bool {
+		clean := make([]string, 0, len(words))
+		for _, w := range words {
+			if len(w) > 12 {
+				w = w[:12]
+			}
+			if w != "" {
+				clean = append(clean, strings.ToLower(w))
+			}
+		}
+		prefix := strings.ToLower(prefixSeed)
+		if len(prefix) > 4 {
+			prefix = prefix[:4]
+		}
+		tr := New(clean)
+		got := tr.Complete(prefix, 0)
+		want := map[string]bool{}
+		for _, w := range clean {
+			if strings.HasPrefix(w, prefix) {
+				want[w] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, g := range got {
+			if !want[g] {
+				return false
+			}
+		}
+		return sort.StringsAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rank ranges are consistent — Token(Rank(w)) == w for every
+// inserted token.
+func TestRankRoundTrip(t *testing.T) {
+	tr := New(tokens)
+	for _, w := range tokens {
+		r := tr.Rank(w)
+		if r < 0 || tr.Token(r) != w {
+			t.Errorf("rank round trip failed for %q: rank=%d token=%q", w, r, tr.Token(r))
+		}
+	}
+}

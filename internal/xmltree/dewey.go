@@ -1,0 +1,91 @@
+// Package xmltree models XML documents as labeled trees with Dewey
+// identifiers — the substrate for the XML keyword-search algorithms the
+// tutorial surveys (SLCA, ELCA, XSeek, XReal, snippets, clustering).
+package xmltree
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Dewey is a Dewey identifier: the child-ordinal path from the root. The
+// root's Dewey is the empty path. Dewey order equals document order, and
+// prefix containment equals the ancestor-or-self relation — the two
+// properties the stack-based XML KWS algorithms rely on.
+type Dewey []int
+
+// Compare orders Dewey IDs in document order: -1 if d precedes o, 0 if
+// equal, 1 if d follows o. An ancestor precedes its descendants.
+func (d Dewey) Compare(o Dewey) int {
+	n := len(d)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if d[i] != o[i] {
+			if d[i] < o[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(d) < len(o):
+		return -1
+	case len(d) > len(o):
+		return 1
+	}
+	return 0
+}
+
+// IsAncestorOrSelf reports whether d is a prefix of o.
+func (d Dewey) IsAncestorOrSelf(o Dewey) bool {
+	if len(d) > len(o) {
+		return false
+	}
+	for i := range d {
+		if d[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LCA returns the longest common prefix of d and o: the Dewey ID of their
+// lowest common ancestor.
+func (d Dewey) LCA(o Dewey) Dewey {
+	n := len(d)
+	if len(o) < n {
+		n = len(o)
+	}
+	i := 0
+	for i < n && d[i] == o[i] {
+		i++
+	}
+	out := make(Dewey, i)
+	copy(out, d[:i])
+	return out
+}
+
+// Equal reports component-wise equality.
+func (d Dewey) Equal(o Dewey) bool { return d.Compare(o) == 0 }
+
+// Child returns d extended by ordinal i.
+func (d Dewey) Child(i int) Dewey {
+	out := make(Dewey, len(d)+1)
+	copy(out, d)
+	out[len(d)] = i
+	return out
+}
+
+// String renders "1.0.2"; the root renders as "ε".
+func (d Dewey) String() string {
+	if len(d) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(d))
+	for i, c := range d {
+		parts[i] = strconv.Itoa(c)
+	}
+	return strings.Join(parts, ".")
+}

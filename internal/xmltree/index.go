@@ -1,0 +1,63 @@
+package xmltree
+
+import (
+	"sort"
+
+	"kwsearch/internal/text"
+)
+
+// Index maps keywords to the nodes that contain them, in document order.
+// A node matches a keyword if the keyword appears among the tokens of its
+// Value, or equals its (lower-cased) Label — keyword queries may name tag
+// names ("paper, Mark") as well as content.
+type Index struct {
+	tree     *Tree
+	postings map[string][]*Node
+}
+
+// NewIndex builds the keyword index of t.
+func NewIndex(t *Tree) *Index {
+	ix := &Index{tree: t, postings: make(map[string][]*Node)}
+	for _, n := range t.Nodes() {
+		seen := map[string]bool{}
+		for _, tok := range text.Tokenize(n.Value) {
+			if !seen[tok] {
+				seen[tok] = true
+				ix.postings[tok] = append(ix.postings[tok], n)
+			}
+		}
+		if lbl := text.Normalize(n.Label); lbl != "" && !seen[lbl] {
+			ix.postings[lbl] = append(ix.postings[lbl], n)
+		}
+	}
+	// Nodes were visited in document order, so postings are sorted already;
+	// assert the invariant cheaply in case of future edits.
+	for _, list := range ix.postings {
+		if !sort.SliceIsSorted(list, func(i, j int) bool { return list[i].ID < list[j].ID }) {
+			sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
+		}
+	}
+	return ix
+}
+
+// Tree returns the indexed tree.
+func (ix *Index) Tree() *Tree { return ix.tree }
+
+// Lookup returns the matching nodes for the (normalized) keyword, in
+// document order. The slice is shared; callers must not mutate it.
+func (ix *Index) Lookup(keyword string) []*Node {
+	return ix.postings[text.Normalize(keyword)]
+}
+
+// Terms returns all indexed terms, sorted.
+func (ix *Index) Terms() []string {
+	out := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DocFreq returns the number of nodes containing the keyword.
+func (ix *Index) DocFreq(keyword string) int { return len(ix.Lookup(keyword)) }

@@ -1,0 +1,244 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// NodeID is the preorder number of a node, which equals its document-order
+// position.
+type NodeID int32
+
+// Node is one element (or attribute pseudo-element) of the tree.
+type Node struct {
+	ID       NodeID
+	Parent   *Node
+	Children []*Node
+	// Label is the element tag (attributes are modeled as child elements
+	// labeled "@name").
+	Label string
+	// Value is the concatenated character data directly under the node.
+	Value string
+	Dewey Dewey
+	Depth int
+}
+
+// IsLeaf reports whether the node has no element children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// LabelPath renders "/conf/paper/title" — the root-to-node label path used
+// for structure inference (slides 27, 36).
+func (n *Node) LabelPath() string {
+	var labels []string
+	for cur := n; cur != nil; cur = cur.Parent {
+		labels = append(labels, cur.Label)
+	}
+	var b strings.Builder
+	for i := len(labels) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(labels[i])
+	}
+	return b.String()
+}
+
+// Tree is a frozen XML tree: node IDs, Dewey IDs and depths are assigned.
+type Tree struct {
+	Root  *Node
+	nodes []*Node
+}
+
+// Len returns the number of nodes.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// Nodes returns all nodes in document (preorder) order. The slice is
+// shared; callers must not mutate it.
+func (t *Tree) Nodes() []*Node { return t.nodes }
+
+// Node resolves a NodeID.
+func (t *Tree) Node(id NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(t.nodes) {
+		return nil
+	}
+	return t.nodes[id]
+}
+
+// ByDewey finds the node with exactly the given Dewey ID, or nil.
+func (t *Tree) ByDewey(d Dewey) *Node {
+	cur := t.Root
+	for _, ord := range d {
+		if cur == nil || ord < 0 || ord >= len(cur.Children) {
+			return nil
+		}
+		cur = cur.Children[ord]
+	}
+	return cur
+}
+
+// NodesByLabel returns all nodes with the given label, in document order.
+func (t *Tree) NodesByLabel(label string) []*Node {
+	var out []*Node
+	for _, n := range t.nodes {
+		if n.Label == label {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// LabelPaths returns the distinct label paths of the tree, sorted — the
+// "all the label paths" candidate structures of slide 27.
+func (t *Tree) LabelPaths() []string {
+	seen := map[string]bool{}
+	for _, n := range t.nodes {
+		seen[n.LabelPath()] = true
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MaxDepth returns the depth of the deepest node (root depth is 0).
+func (t *Tree) MaxDepth() int {
+	max := 0
+	for _, n := range t.nodes {
+		if n.Depth > max {
+			max = n.Depth
+		}
+	}
+	return max
+}
+
+// Subtree returns root and all its descendants in document order.
+func Subtree(root *Node) []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(n *Node) {
+		out = append(out, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// SubtreeText concatenates the values in root's subtree, in document order.
+func SubtreeText(root *Node) string {
+	var b strings.Builder
+	for _, n := range Subtree(root) {
+		if n.Value == "" {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(n.Value)
+	}
+	return b.String()
+}
+
+// Builder assembles a tree programmatically; Freeze assigns IDs.
+type Builder struct {
+	root *Node
+}
+
+// NewBuilder starts a tree with the given root label.
+func NewBuilder(rootLabel string) *Builder {
+	return &Builder{root: &Node{Label: rootLabel}}
+}
+
+// Root returns the root node under construction.
+func (b *Builder) Root() *Node { return b.root }
+
+// Child appends a child with the given label and value under parent and
+// returns it.
+func (b *Builder) Child(parent *Node, label, value string) *Node {
+	n := &Node{Label: label, Value: value, Parent: parent}
+	parent.Children = append(parent.Children, n)
+	return n
+}
+
+// Freeze assigns preorder IDs, Dewey IDs and depths, and returns the tree.
+// The builder must not be reused afterwards.
+func (b *Builder) Freeze() *Tree {
+	t := &Tree{Root: b.root}
+	var walk func(n *Node, dewey Dewey, depth int)
+	walk = func(n *Node, dewey Dewey, depth int) {
+		n.ID = NodeID(len(t.nodes))
+		n.Dewey = dewey
+		n.Depth = depth
+		t.nodes = append(t.nodes, n)
+		for i, c := range n.Children {
+			walk(c, dewey.Child(i), depth+1)
+		}
+	}
+	walk(b.root, Dewey{}, 0)
+	return t
+}
+
+// Parse reads an XML document into a Tree. Attributes become child nodes
+// labeled "@name"; character data is concatenated into the enclosing
+// element's Value.
+func Parse(r io.Reader) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: %w", err)
+		}
+		switch el := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Label: el.Name.Local}
+			for _, attr := range el.Attr {
+				a := &Node{Label: "@" + attr.Name.Local, Value: attr.Value, Parent: n}
+				n.Children = append(n.Children, a)
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: multiple root elements")
+				}
+				root = n
+			} else {
+				top := stack[len(stack)-1]
+				n.Parent = top
+				top.Children = append(top.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: unbalanced end element %s", el.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				text := strings.TrimSpace(string(el))
+				if text != "" {
+					top := stack[len(stack)-1]
+					if top.Value != "" {
+						top.Value += " "
+					}
+					top.Value += text
+				}
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: empty document")
+	}
+	b := &Builder{root: root}
+	return b.Freeze(), nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Tree, error) { return Parse(strings.NewReader(s)) }

@@ -1,0 +1,237 @@
+package xmltree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeweyCompare(t *testing.T) {
+	cases := []struct {
+		a, b Dewey
+		want int
+	}{
+		{Dewey{}, Dewey{}, 0},
+		{Dewey{}, Dewey{0}, -1},
+		{Dewey{0}, Dewey{}, 1},
+		{Dewey{0, 1}, Dewey{0, 2}, -1},
+		{Dewey{1}, Dewey{0, 5}, 1},
+		{Dewey{0, 1, 2}, Dewey{0, 1, 2}, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDeweyAncestorAndLCA(t *testing.T) {
+	a := Dewey{0, 1}
+	b := Dewey{0, 1, 3}
+	c := Dewey{0, 2}
+	if !a.IsAncestorOrSelf(b) {
+		t.Errorf("%v should be ancestor of %v", a, b)
+	}
+	if a.IsAncestorOrSelf(c) {
+		t.Errorf("%v should not be ancestor of %v", a, c)
+	}
+	if !a.IsAncestorOrSelf(a) {
+		t.Errorf("ancestor-or-self must include self")
+	}
+	if got := b.LCA(c); !got.Equal(Dewey{0}) {
+		t.Errorf("LCA(%v,%v) = %v, want [0]", b, c, got)
+	}
+	if got := a.LCA(b); !got.Equal(a) {
+		t.Errorf("LCA(ancestor,descendant) = %v, want %v", got, a)
+	}
+	if s := (Dewey{}).String(); s != "ε" {
+		t.Errorf("root string = %q", s)
+	}
+	if s := (Dewey{1, 0, 2}).String(); s != "1.0.2" {
+		t.Errorf("string = %q", s)
+	}
+}
+
+// Property: LCA is the unique common ancestor that both prefixes reach, and
+// it is an ancestor-or-self of both inputs.
+func TestDeweyLCAProperties(t *testing.T) {
+	gen := func(seed int64) (Dewey, Dewey) {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() Dewey {
+			d := make(Dewey, rng.Intn(6))
+			for i := range d {
+				d[i] = rng.Intn(3)
+			}
+			return d
+		}
+		return mk(), mk()
+	}
+	f := func(seed int64) bool {
+		a, b := gen(seed)
+		l := a.LCA(b)
+		if !l.IsAncestorOrSelf(a) || !l.IsAncestorOrSelf(b) {
+			return false
+		}
+		// Extending the LCA by one more component of a (if any) must not
+		// remain an ancestor of b unless the components agree.
+		if len(l) < len(a) && len(l) < len(b) && a[len(l)] == b[len(l)] {
+			return false // LCA was not maximal
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const confXML = `
+<conf>
+  <name>SIGMOD</name>
+  <year>2007</year>
+  <paper>
+    <title>keyword</title>
+    <author>Mark</author>
+    <author>Chen</author>
+  </paper>
+  <paper>
+    <title>RDF</title>
+    <author>Mark</author>
+    <author>Zhang</author>
+  </paper>
+</conf>`
+
+func TestParseStructure(t *testing.T) {
+	tr, err := ParseString(confXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Label != "conf" {
+		t.Fatalf("root = %s", tr.Root.Label)
+	}
+	papers := tr.NodesByLabel("paper")
+	if len(papers) != 2 {
+		t.Fatalf("papers = %d, want 2", len(papers))
+	}
+	if got := papers[0].Dewey.String(); got != "2" {
+		t.Errorf("first paper dewey = %s, want 2", got)
+	}
+	if got := papers[1].Children[1].LabelPath(); got != "/conf/paper/author" {
+		t.Errorf("label path = %s", got)
+	}
+	// Preorder IDs must be dense and in document order.
+	for i, n := range tr.Nodes() {
+		if int(n.ID) != i {
+			t.Fatalf("node %d has ID %d", i, n.ID)
+		}
+		if i > 0 && tr.Nodes()[i-1].Dewey.Compare(n.Dewey) >= 0 {
+			t.Fatalf("dewey order violated at %d", i)
+		}
+	}
+	if tr.MaxDepth() != 2 {
+		t.Errorf("max depth = %d, want 2", tr.MaxDepth())
+	}
+}
+
+func TestParseAttributesAndErrors(t *testing.T) {
+	tr, err := ParseString(`<movie year="1980"><title>Shining</title></movie>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	year := tr.NodesByLabel("@year")
+	if len(year) != 1 || year[0].Value != "1980" {
+		t.Fatalf("attribute node = %+v", year)
+	}
+	if _, err := ParseString(``); err == nil {
+		t.Errorf("empty document must error")
+	}
+	if _, err := ParseString(`<a></a><b></b>`); err == nil {
+		t.Errorf("multiple roots must error")
+	}
+	if _, err := ParseString(`<a><b></a>`); err == nil {
+		t.Errorf("unbalanced document must error")
+	}
+}
+
+func TestByDeweyRoundTrip(t *testing.T) {
+	tr, err := ParseString(confXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tr.Nodes() {
+		if got := tr.ByDewey(n.Dewey); got != n {
+			t.Fatalf("ByDewey(%v) = %v, want %v", n.Dewey, got, n)
+		}
+	}
+	if tr.ByDewey(Dewey{99}) != nil {
+		t.Errorf("ByDewey out of range should be nil")
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	b := NewBuilder("auctions")
+	a1 := b.Child(b.Root(), "open_auction", "")
+	b.Child(a1, "seller", "Tom")
+	b.Child(a1, "buyer", "Peter")
+	tr := b.Freeze()
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if got := tr.Node(2).LabelPath(); got != "/auctions/open_auction/seller" {
+		t.Errorf("path = %s", got)
+	}
+	paths := tr.LabelPaths()
+	want := []string{"/auctions", "/auctions/open_auction",
+		"/auctions/open_auction/buyer", "/auctions/open_auction/seller"}
+	if !reflect.DeepEqual(paths, want) {
+		t.Errorf("LabelPaths = %v", paths)
+	}
+}
+
+func TestSubtreeText(t *testing.T) {
+	tr, err := ParseString(confXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := tr.NodesByLabel("paper")[0]
+	if got := SubtreeText(paper); got != "keyword Mark Chen" {
+		t.Errorf("SubtreeText = %q", got)
+	}
+	if got := len(Subtree(paper)); got != 4 {
+		t.Errorf("Subtree size = %d, want 4", got)
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	tr, err := ParseString(confXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(tr)
+	marks := ix.Lookup("Mark")
+	if len(marks) != 2 {
+		t.Fatalf("Mark matches %d nodes, want 2", len(marks))
+	}
+	for i := 1; i < len(marks); i++ {
+		if marks[i-1].ID >= marks[i].ID {
+			t.Fatalf("postings not in document order")
+		}
+	}
+	// Label matching: "paper" matches the two paper elements.
+	papers := ix.Lookup("paper")
+	if len(papers) != 2 {
+		t.Fatalf("paper matches %d nodes, want 2", len(papers))
+	}
+	if ix.DocFreq("sigmod") != 1 {
+		t.Errorf("DocFreq(sigmod) = %d, want 1", ix.DocFreq("sigmod"))
+	}
+	if got := ix.Lookup("NoSuchTerm"); got != nil {
+		t.Errorf("unknown term should yield nil")
+	}
+	if len(ix.Terms()) == 0 {
+		t.Errorf("Terms should not be empty")
+	}
+	if ix.Tree() != tr {
+		t.Errorf("Tree accessor broken")
+	}
+}

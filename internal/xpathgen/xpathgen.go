@@ -1,0 +1,304 @@
+// Package xpathgen turns keyword queries into scored XPath-like structured
+// queries over an XML tree — the probabilistic refinement of Petkova et
+// al. (ECIR'09, slides 47-48): per-keyword content/structure bindings get
+// language-model probabilities, combinations are reduced to valid queries
+// with aggregation / specialization / nesting operators, and only queries
+// with non-empty results are kept, ranked by probability.
+//
+// The query grammar is the fragment the slides use: one target element
+// with direct content predicates and nested element predicates,
+// //target[~"w"][.//label[~"w"]].
+package xpathgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kwsearch/internal/text"
+	"kwsearch/internal/xmltree"
+)
+
+// Nest is one nested predicate [.//Label[~"Contains..."]].
+type Nest struct {
+	Label    string
+	Contains []string
+}
+
+// Query is one structured interpretation.
+type Query struct {
+	Target string
+	// Contains are content predicates directly on the target.
+	Contains []string
+	Nested   []Nest
+}
+
+// String renders `//paper[~"xml"][.//author[~"widom"]]`.
+func (q Query) String() string {
+	var b strings.Builder
+	b.WriteString("//")
+	b.WriteString(q.Target)
+	if len(q.Contains) > 0 {
+		fmt.Fprintf(&b, "[~%q]", strings.Join(q.Contains, " "))
+	}
+	for _, n := range q.Nested {
+		fmt.Fprintf(&b, "[.//%s[~%q]]", n.Label, strings.Join(n.Contains, " "))
+	}
+	return b.String()
+}
+
+// Evaluate returns the target nodes satisfying every predicate, in
+// document order.
+func (q Query) Evaluate(t *xmltree.Tree) []*xmltree.Node {
+	var out []*xmltree.Node
+	for _, n := range t.NodesByLabel(q.Target) {
+		if q.matches(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (q Query) matches(n *xmltree.Node) bool {
+	sub := xmltree.Subtree(n)
+	subText := xmltree.SubtreeText(n)
+	for _, w := range q.Contains {
+		if !text.Contains(subText, w) {
+			return false
+		}
+	}
+	for _, nest := range q.Nested {
+		ok := false
+		for _, d := range sub {
+			if d == n || d.Label != nest.Label {
+				continue
+			}
+			dt := xmltree.SubtreeText(d)
+			all := true
+			for _, w := range nest.Contains {
+				if !text.Contains(dt, w) {
+					all = false
+					break
+				}
+			}
+			if all {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Scored pairs a query with its probability.
+type Scored struct {
+	Query Query
+	Prob  float64
+	// Results caches the non-empty evaluation that validated the query.
+	Results []*xmltree.Node
+}
+
+// stats aggregates the per-label statistics the estimators need.
+type stats struct {
+	instances map[string]int
+	// wordIn[label][term] counts instances of label whose own value
+	// contains term.
+	wordIn map[string]map[string]int
+	// containIn[outer][inner] counts instances of outer whose subtree has
+	// an inner-labeled descendant.
+	containIn map[string]map[string]int
+	labels    []string
+}
+
+func collectStats(t *xmltree.Tree) *stats {
+	st := &stats{
+		instances: map[string]int{},
+		wordIn:    map[string]map[string]int{},
+		containIn: map[string]map[string]int{},
+	}
+	for _, n := range t.Nodes() {
+		st.instances[n.Label]++
+		if st.wordIn[n.Label] == nil {
+			st.wordIn[n.Label] = map[string]int{}
+		}
+		seen := map[string]bool{}
+		for _, tok := range text.Tokenize(n.Value) {
+			if !seen[tok] {
+				seen[tok] = true
+				st.wordIn[n.Label][tok]++
+			}
+		}
+		inner := map[string]bool{}
+		for _, d := range xmltree.Subtree(n) {
+			if d != n {
+				inner[d.Label] = true
+			}
+		}
+		if st.containIn[n.Label] == nil {
+			st.containIn[n.Label] = map[string]int{}
+		}
+		for l := range inner {
+			st.containIn[n.Label][l]++
+		}
+	}
+	for l := range st.instances {
+		st.labels = append(st.labels, l)
+	}
+	sort.Strings(st.labels)
+	return st
+}
+
+// binding is one keyword→label assignment with its LM probability
+// Pr[~w | label] (slide 47's pLM).
+type binding struct {
+	keyword string
+	label   string
+	prob    float64
+}
+
+func (st *stats) bindings(keyword string, max int) []binding {
+	var out []binding
+	for _, l := range st.labels {
+		hits := st.wordIn[l][keyword]
+		if hits == 0 {
+			continue
+		}
+		out = append(out, binding{
+			keyword: keyword,
+			label:   l,
+			prob:    float64(hits) / float64(st.instances[l]+1),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].prob != out[j].prob {
+			return out[i].prob > out[j].prob
+		}
+		return out[i].label < out[j].label
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// containment is Pr[label is a descendant of target] — the specialization
+// operator's probability (slide 47).
+func (st *stats) containment(target, label string) float64 {
+	if target == label {
+		return 1
+	}
+	n := st.instances[target]
+	if n == 0 {
+		return 0
+	}
+	return float64(st.containIn[target][label]) / float64(n)
+}
+
+// infoGain is the IG(A) surrogate of slide 48: targets with more
+// instances discriminate more when a nested predicate holds (a root
+// element that exists once carries no information).
+func (st *stats) infoGain(target string) float64 {
+	n := st.instances[target]
+	return 1 - 1/float64(1+n)
+}
+
+// Generate enumerates scored structured queries for the keyword query:
+// every combination of top bindings, reduced under each candidate target
+// by aggregation (shared label → one predicate) and nesting/specialization
+// (other labels become [.//label[~w]] with containment and IG factors).
+// Only queries with non-empty results survive; top-k by probability.
+func Generate(t *xmltree.Tree, terms []string, k int) []Scored {
+	norm := make([]string, 0, len(terms))
+	for _, raw := range terms {
+		if n := text.Normalize(raw); n != "" {
+			norm = append(norm, n)
+		}
+	}
+	if len(norm) == 0 {
+		return nil
+	}
+	st := collectStats(t)
+	const maxBindings = 3
+	cands := make([][]binding, len(norm))
+	for i, w := range norm {
+		cands[i] = st.bindings(w, maxBindings)
+		if len(cands[i]) == 0 {
+			return nil
+		}
+	}
+
+	seen := map[string]bool{}
+	var out []Scored
+	choice := make([]binding, len(norm))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(norm) {
+			reduceCombination(t, st, choice, seen, &out)
+			return
+		}
+		for _, b := range cands[i] {
+			choice[i] = b
+			rec(i + 1)
+		}
+	}
+	rec(0)
+
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].Query.String() < out[j].Query.String()
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// reduceCombination emits the valid queries of one binding combination for
+// every candidate target label.
+func reduceCombination(t *xmltree.Tree, st *stats, choice []binding, seen map[string]bool, out *[]Scored) {
+	baseProb := 1.0
+	for _, b := range choice {
+		baseProb *= b.prob
+	}
+	for _, target := range st.labels {
+		q := Query{Target: target}
+		prob := baseProb * st.infoGain(target)
+		ok := true
+		for _, b := range choice {
+			if b.label == target {
+				// Aggregation: predicate directly on the target.
+				q.Contains = append(q.Contains, b.keyword)
+				continue
+			}
+			c := st.containment(target, b.label)
+			if c == 0 {
+				ok = false
+				break
+			}
+			prob *= c
+			q.Nested = append(q.Nested, Nest{Label: b.label, Contains: []string{b.keyword}})
+		}
+		if !ok {
+			continue
+		}
+		// Merge nested predicates sharing a label (aggregation inside the
+		// nest): //a[.//t[~x]][.//t[~y]] stays as-is — both forms are
+		// generated by the operators; we keep the separated form, which is
+		// the weaker (superset) query, and let validation decide.
+		key := q.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		res := q.Evaluate(t)
+		if len(res) == 0 {
+			continue // slide 48: only valid (non-empty) queries survive
+		}
+		*out = append(*out, Scored{Query: q, Prob: prob, Results: res})
+	}
+}

@@ -1,0 +1,136 @@
+package xpathgen
+
+import (
+	"strings"
+	"testing"
+
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/xmltree"
+)
+
+func bibTree() *xmltree.Tree {
+	b := xmltree.NewBuilder("bib")
+	conf := b.Child(b.Root(), "conf", "")
+	for _, row := range [][2]string{
+		{"XML streams", "Widom"},
+		{"XML views", "Widom"},
+		{"Datalog", "Ullman"},
+	} {
+		p := b.Child(conf, "paper", "")
+		b.Child(p, "title", row[0])
+		b.Child(p, "author", row[1])
+	}
+	j := b.Child(b.Root(), "journal", "")
+	p := b.Child(j, "paper", "")
+	b.Child(p, "title", "Query optimization")
+	b.Child(p, "author", "Selinger")
+	return b.Freeze()
+}
+
+func TestQueryEvaluate(t *testing.T) {
+	tr := bibTree()
+	q := Query{
+		Target: "paper",
+		Nested: []Nest{{Label: "title", Contains: []string{"xml"}}, {Label: "author", Contains: []string{"widom"}}},
+	}
+	got := q.Evaluate(tr)
+	if len(got) != 2 {
+		t.Fatalf("results = %d, want the two Widom XML papers", len(got))
+	}
+	// Direct content predicate on a leaf target.
+	q2 := Query{Target: "title", Contains: []string{"xml"}}
+	if got := q2.Evaluate(tr); len(got) != 2 {
+		t.Fatalf("title results = %d", len(got))
+	}
+	// Unsatisfiable query.
+	q3 := Query{Target: "paper", Contains: []string{"nosuch"}}
+	if got := q3.Evaluate(tr); len(got) != 0 {
+		t.Fatalf("impossible query matched %d", len(got))
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := Query{
+		Target:   "paper",
+		Contains: []string{"xml"},
+		Nested:   []Nest{{Label: "author", Contains: []string{"widom"}}},
+	}
+	want := `//paper[~"xml"][.//author[~"widom"]]`
+	if got := q.String(); got != want {
+		t.Fatalf("String = %s, want %s", got, want)
+	}
+}
+
+func TestGenerateWidomXML(t *testing.T) {
+	tr := bibTree()
+	got := Generate(tr, []string{"widom", "xml"}, 5)
+	if len(got) == 0 {
+		t.Fatal("no queries generated")
+	}
+	// The top query targets paper (not bib/conf, thanks to the IG factor)
+	// with nested title/author predicates.
+	top := got[0]
+	if top.Query.Target != "paper" {
+		t.Errorf("top target = %s (query %s)", top.Query.Target, top.Query)
+	}
+	s := top.Query.String()
+	if !strings.Contains(s, "widom") || !strings.Contains(s, "xml") {
+		t.Errorf("top query misses keywords: %s", s)
+	}
+	if len(top.Results) != 2 {
+		t.Errorf("top query results = %d, want 2", len(top.Results))
+	}
+	// Every surviving query is valid (non-empty) and probabilities descend.
+	for i, sc := range got {
+		if len(sc.Results) == 0 {
+			t.Fatalf("empty-result query survived: %s", sc.Query)
+		}
+		if sc.Prob <= 0 {
+			t.Fatalf("prob = %v", sc.Prob)
+		}
+		if i > 0 && sc.Prob > got[i-1].Prob {
+			t.Fatalf("not sorted by probability")
+		}
+	}
+}
+
+func TestGenerateUnmatchedKeyword(t *testing.T) {
+	tr := bibTree()
+	if got := Generate(tr, []string{"nosuchword"}, 5); got != nil {
+		t.Errorf("unmatched keyword generated %v", got)
+	}
+	if got := Generate(tr, nil, 5); got != nil {
+		t.Errorf("empty query generated %v", got)
+	}
+}
+
+func TestGenerateSingleKeywordAggregation(t *testing.T) {
+	tr := bibTree()
+	got := Generate(tr, []string{"xml"}, 3)
+	if len(got) == 0 {
+		t.Fatal("nothing generated")
+	}
+	// The direct binding //title[~"xml"] must be among the top queries.
+	found := false
+	for _, sc := range got {
+		if sc.Query.Target == "title" && len(sc.Query.Contains) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("direct title binding missing: %v", got)
+	}
+}
+
+func TestGenerateOnAuctions(t *testing.T) {
+	tr := dataset.AuctionsXML()
+	got := Generate(tr, []string{"tom", "mary"}, 5)
+	if len(got) == 0 {
+		t.Fatal("nothing generated")
+	}
+	// Valid targets must be auction elements (the only common ancestors).
+	top := got[0]
+	if !strings.Contains(top.Query.Target, "auction") && top.Query.Target != "auctions" {
+		t.Errorf("top target = %s", top.Query.Target)
+	}
+}

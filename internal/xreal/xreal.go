@@ -1,0 +1,147 @@
+// Package xreal infers the most likely *search-for node type* of an XML
+// keyword query from data statistics (XReal, Bao et al. ICDE'09, slides
+// 37-38): candidate types are label paths; a type scores by how many of
+// its instances contain each query keyword, with a depth-reduction factor,
+// and types that cannot cover every keyword score zero.
+package xreal
+
+import (
+	"math"
+	"sort"
+
+	"kwsearch/internal/text"
+	"kwsearch/internal/xmltree"
+)
+
+// TypeScore is one candidate return type with its confidence.
+type TypeScore struct {
+	// Path is the label path identifying the node type, e.g. /bib/conf/paper.
+	Path  string
+	Score float64
+}
+
+// Options tunes the inference.
+type Options struct {
+	// DepthFactor r in (0,1] discounts deep types: score is multiplied by
+	// r^depth. The paper's default is 0.8.
+	DepthFactor float64
+	// MinInstances skips types with fewer instances (noise guard).
+	MinInstances int
+}
+
+// DefaultOptions mirrors the paper's configuration.
+func DefaultOptions() Options { return Options{DepthFactor: 0.8, MinInstances: 1} }
+
+// InferReturnType ranks the node types of t by
+//
+//	score(T) = Πₖ ln(1 + f_k(T)) · r^depth(T)
+//
+// where f_k(T) counts instances of T whose subtree contains keyword k.
+// Types missing any keyword entirely score 0 and are omitted ("T must have
+// the potential to match all query keywords"). Results are sorted by
+// descending score.
+func InferReturnType(ix *xmltree.Index, terms []string, opts Options) []TypeScore {
+	if opts.DepthFactor <= 0 || opts.DepthFactor > 1 {
+		opts.DepthFactor = 0.8
+	}
+	norm := make([]string, 0, len(terms))
+	for _, t := range terms {
+		if n := text.Normalize(t); n != "" {
+			norm = append(norm, n)
+		}
+	}
+	if len(norm) == 0 {
+		return nil
+	}
+	t := ix.Tree()
+
+	// Instances and per-keyword covering counts per label path.
+	instances := map[string]int{}
+	depth := map[string]int{}
+	cover := make(map[string][]int) // path -> per-term instance counts
+	lists := make([][]*xmltree.Node, len(norm))
+	for i, term := range norm {
+		lists[i] = ix.Lookup(term)
+		if len(lists[i]) == 0 {
+			return nil
+		}
+	}
+	for _, n := range t.Nodes() {
+		p := n.LabelPath()
+		instances[p]++
+		depth[p] = n.Depth
+		counts, ok := cover[p]
+		if !ok {
+			counts = make([]int, len(norm))
+			cover[p] = counts
+		}
+		for i, list := range lists {
+			if hasMatchInSubtree(list, n.Dewey) {
+				counts[i]++
+			}
+		}
+	}
+
+	var out []TypeScore
+	for p, counts := range cover {
+		if instances[p] < opts.MinInstances {
+			continue
+		}
+		score := math.Pow(opts.DepthFactor, float64(depth[p]))
+		ok := true
+		for _, c := range counts {
+			if c == 0 {
+				ok = false
+				break
+			}
+			score *= math.Log(1 + float64(c))
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, TypeScore{Path: p, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+func hasMatchInSubtree(list []*xmltree.Node, d xmltree.Dewey) bool {
+	i := sort.Search(len(list), func(i int) bool {
+		return list[i].Dewey.Compare(d) >= 0
+	})
+	return i < len(list) && d.IsAncestorOrSelf(list[i].Dewey)
+}
+
+// NodeScore scores one instance of the chosen return type for ranking:
+// leaf nodes score by content TF, internal nodes aggregate their children
+// with a damping factor (the XReal instance scoring of slide 38).
+func NodeScore(ix *xmltree.Index, n *xmltree.Node, terms []string) float64 {
+	norm := make([]string, 0, len(terms))
+	for _, t := range terms {
+		if s := text.Normalize(t); s != "" {
+			norm = append(norm, s)
+		}
+	}
+	var rec func(n *xmltree.Node) float64
+	rec = func(n *xmltree.Node) float64 {
+		s := 0.0
+		toks := text.Tokenize(n.Value)
+		for _, term := range norm {
+			for _, tok := range toks {
+				if tok == term {
+					s++
+				}
+			}
+		}
+		for _, c := range n.Children {
+			s += 0.8 * rec(c)
+		}
+		return s
+	}
+	return rec(n)
+}

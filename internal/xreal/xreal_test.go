@@ -1,0 +1,123 @@
+package xreal
+
+import (
+	"strings"
+	"testing"
+
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/xmltree"
+)
+
+// slide37Tree builds a bibliography where Widom-XML papers concentrate in
+// conferences: 2 conf papers match, 1 journal paper matches, phdthesis has
+// no XML at all.
+func slide37Tree() *xmltree.Tree {
+	b := xmltree.NewBuilder("bib")
+	conf := b.Child(b.Root(), "conf", "")
+	for _, ti := range []string{"XML streams", "XML views", "Datalog"} {
+		p := b.Child(conf, "paper", "")
+		b.Child(p, "title", ti)
+		if strings.Contains(ti, "XML") {
+			b.Child(p, "author", "Widom")
+		} else {
+			b.Child(p, "author", "Ullman")
+		}
+	}
+	j := b.Child(b.Root(), "journal", "")
+	p := b.Child(j, "paper", "")
+	b.Child(p, "title", "XML integration")
+	b.Child(p, "author", "Widom")
+	p2 := b.Child(j, "paper", "")
+	b.Child(p2, "title", "Query optimization")
+	b.Child(p2, "author", "Selinger")
+	th := b.Child(b.Root(), "phdthesis", "")
+	tp := b.Child(th, "paper", "")
+	b.Child(tp, "title", "Storage managers")
+	b.Child(tp, "author", "Widom")
+	return b.Freeze()
+}
+
+// TestSlide37ReturnTypeRanking reproduces E26: for Q = "Widom XML",
+// /bib/conf/paper scores above /bib/journal/paper, and /bib/phdthesis/paper
+// is excluded (it cannot match "XML").
+func TestSlide37ReturnTypeRanking(t *testing.T) {
+	ix := xmltree.NewIndex(slide37Tree())
+	got := InferReturnType(ix, []string{"widom", "xml"}, DefaultOptions())
+	if len(got) == 0 {
+		t.Fatal("no candidate types")
+	}
+	scores := map[string]float64{}
+	for _, ts := range got {
+		scores[ts.Path] = ts.Score
+	}
+	confPaper := scores["/bib/conf/paper"]
+	journalPaper := scores["/bib/journal/paper"]
+	if confPaper == 0 || journalPaper == 0 {
+		t.Fatalf("paper types missing from ranking: %v", got)
+	}
+	if !(confPaper > journalPaper) {
+		t.Errorf("conf/paper (%v) must outrank journal/paper (%v)", confPaper, journalPaper)
+	}
+	if _, ok := scores["/bib/phdthesis/paper"]; ok {
+		t.Errorf("phdthesis/paper cannot cover 'xml' and must score 0 (be omitted)")
+	}
+}
+
+func TestInferReturnTypeEmptyAndUnmatched(t *testing.T) {
+	ix := xmltree.NewIndex(slide37Tree())
+	if got := InferReturnType(ix, nil, DefaultOptions()); got != nil {
+		t.Errorf("empty query = %v", got)
+	}
+	if got := InferReturnType(ix, []string{"nosuch"}, DefaultOptions()); got != nil {
+		t.Errorf("unmatched keyword = %v", got)
+	}
+}
+
+func TestDepthFactorPrefersShallowTypes(t *testing.T) {
+	// Two types covering equally: the shallower one wins with r < 1.
+	b := xmltree.NewBuilder("root")
+	a := b.Child(b.Root(), "a", "kw kw2")
+	b.Child(a, "b", "kw kw2")
+	ix := xmltree.NewIndex(b.Freeze())
+	got := InferReturnType(ix, []string{"kw", "kw2"}, Options{DepthFactor: 0.5})
+	if len(got) < 2 {
+		t.Fatalf("types = %v", got)
+	}
+	if got[0].Path != "/root/a" && got[0].Path != "/root" {
+		t.Errorf("top type = %v, want a shallow one", got[0])
+	}
+}
+
+func TestInferOnGeneratedBib(t *testing.T) {
+	cfg := dataset.DefaultBibConfig()
+	cfg.PapersPerVenue = 20
+	ix := xmltree.NewIndex(dataset.BibXML(cfg))
+	got := InferReturnType(ix, []string{"keyword", "search"}, DefaultOptions())
+	if len(got) == 0 {
+		t.Fatal("no types on generated bib")
+	}
+	// The top candidates should be paper-flavoured (not authors or years).
+	top := got[0].Path
+	if !strings.Contains(top, "paper") && !strings.Contains(top, "title") &&
+		top != "/bib" && !strings.Contains(top, "conf") && !strings.Contains(top, "journal") {
+		t.Errorf("unexpected top type %q", top)
+	}
+	// Scores descend.
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatalf("scores not sorted at %d", i)
+		}
+	}
+}
+
+func TestNodeScore(t *testing.T) {
+	tr := slide37Tree()
+	ix := xmltree.NewIndex(tr)
+	papers := tr.NodesByLabel("paper")
+	// The XML+Widom conf paper outscores the Datalog paper.
+	sXML := NodeScore(ix, papers[0], []string{"widom", "xml"})
+	sDatalog := NodeScore(ix, papers[2], []string{"widom", "xml"})
+	if !(sXML > sDatalog) {
+		t.Errorf("NodeScore: xml paper %v should beat datalog paper %v", sXML, sDatalog)
+	}
+}

@@ -1,0 +1,216 @@
+// Package xseek infers what a keyword query should *return* (slides
+// 51-52): XSeek's node classification into entities, attributes and
+// connection nodes, the split of query keywords into predicates and
+// explicit return labels (Liu & Chen SIGMOD'07), and Précis-style weighted
+// path expansion that bounds which attributes join a result schema
+// (Koutrika et al. ICDE'06).
+package xseek
+
+import (
+	"sort"
+
+	"kwsearch/internal/schemagraph"
+	"kwsearch/internal/text"
+	"kwsearch/internal/xmltree"
+)
+
+// Category classifies a node type per XSeek's data-semantics analysis.
+type Category int
+
+const (
+	// Connection nodes neither repeat nor carry values (pure structure).
+	Connection Category = iota
+	// Entity node types appear multiple times under one parent instance
+	// (the "*-node" star pattern of a DTD).
+	Entity
+	// Attribute node types occur at most once per parent and hold a value.
+	Attribute
+)
+
+func (c Category) String() string {
+	switch c {
+	case Entity:
+		return "entity"
+	case Attribute:
+		return "attribute"
+	default:
+		return "connection"
+	}
+}
+
+// Classify assigns a category to every label path of the tree: a path is an
+// Entity if some parent instance has two or more children on it, an
+// Attribute if it is single-valued per parent and leaf-valued, and a
+// Connection node otherwise.
+func Classify(t *xmltree.Tree) map[string]Category {
+	repeats := map[string]bool{}
+	hasValueLeaf := map[string]bool{}
+	seenPath := map[string]bool{}
+	for _, n := range t.Nodes() {
+		counts := map[string]int{}
+		for _, c := range n.Children {
+			counts[c.Label]++
+		}
+		for label, cnt := range counts {
+			path := n.LabelPath() + "/" + label
+			if cnt > 1 {
+				repeats[path] = true
+			}
+		}
+	}
+	for _, n := range t.Nodes() {
+		p := n.LabelPath()
+		seenPath[p] = true
+		if n.IsLeaf() && n.Value != "" {
+			hasValueLeaf[p] = true
+		}
+	}
+	out := make(map[string]Category, len(seenPath))
+	for p := range seenPath {
+		switch {
+		case repeats[p]:
+			out[p] = Entity
+		case hasValueLeaf[p]:
+			out[p] = Attribute
+		default:
+			out[p] = Connection
+		}
+	}
+	return out
+}
+
+// QueryAnalysis splits keywords into structural return labels and value
+// predicates (slide 51: keywords can specify predicates or return nodes).
+type QueryAnalysis struct {
+	// ReturnLabels are keywords that name a node label in the data
+	// ("institution" in Q1 = "John, institution").
+	ReturnLabels []string
+	// Predicates are keywords that match node values ("John").
+	Predicates []string
+}
+
+// AnalyzeQuery classifies each term: a term equal to some node label is an
+// explicit return label; terms matching only values are predicates. A term
+// doing both is treated as a return label (the XSeek precedence).
+func AnalyzeQuery(t *xmltree.Tree, terms []string) QueryAnalysis {
+	labels := map[string]bool{}
+	for _, n := range t.Nodes() {
+		labels[text.Normalize(n.Label)] = true
+	}
+	var qa QueryAnalysis
+	for _, raw := range terms {
+		term := text.Normalize(raw)
+		if term == "" {
+			continue
+		}
+		if labels[term] {
+			qa.ReturnLabels = append(qa.ReturnLabels, term)
+		} else {
+			qa.Predicates = append(qa.Predicates, term)
+		}
+	}
+	return qa
+}
+
+// ReturnNode describes one inferred output item for a result.
+type ReturnNode struct {
+	Node *xmltree.Node
+	// Explicit is true when the node answers a return-label keyword,
+	// false when it is the implicit master entity of the predicates.
+	Explicit bool
+}
+
+// InferReturnNodes computes the return nodes for one query result rooted at
+// result: explicit return-label matches inside the subtree, plus — when
+// the query has value predicates — the nearest ancestor-or-self entity of
+// the result root (the implicit "entity involved in the result",
+// slide 51).
+func InferReturnNodes(t *xmltree.Tree, cats map[string]Category, qa QueryAnalysis, result *xmltree.Node) []ReturnNode {
+	var out []ReturnNode
+	if len(qa.ReturnLabels) > 0 {
+		want := map[string]bool{}
+		for _, l := range qa.ReturnLabels {
+			want[l] = true
+		}
+		for _, n := range xmltree.Subtree(result) {
+			if want[text.Normalize(n.Label)] {
+				out = append(out, ReturnNode{Node: n, Explicit: true})
+			}
+		}
+	}
+	if len(qa.Predicates) > 0 {
+		// Nearest entity at or above the result root.
+		for cur := result; cur != nil; cur = cur.Parent {
+			if cats[cur.LabelPath()] == Entity {
+				out = append(out, ReturnNode{Node: cur, Explicit: false})
+				break
+			}
+			if cur.Parent == nil {
+				// Fall back to the result root itself.
+				out = append(out, ReturnNode{Node: result, Explicit: false})
+			}
+		}
+	}
+	return out
+}
+
+// PrecisSchema expands a result schema from rootTable over the weighted
+// schema graph: a table joins the output schema when the maximum path
+// weight (product of edge weights) from the root reaches it at or above
+// minWeight, capped at maxTables tables (slide 52). The root is always
+// included. Results are sorted by descending weight, ties by name.
+func PrecisSchema(g *schemagraph.Graph, rootTable string, minWeight float64, maxTables int) []string {
+	type wt struct {
+		table  string
+		weight float64
+	}
+	best := map[string]float64{rootTable: 1}
+	// Dijkstra-style max-product search.
+	frontier := []wt{{table: rootTable, weight: 1}}
+	for len(frontier) > 0 {
+		// Pop max weight.
+		bi := 0
+		for i := range frontier {
+			if frontier[i].weight > frontier[bi].weight {
+				bi = i
+			}
+		}
+		cur := frontier[bi]
+		frontier = append(frontier[:bi], frontier[bi+1:]...)
+		if cur.weight < best[cur.table] {
+			continue
+		}
+		for _, e := range g.Adjacent(cur.table) {
+			other := e.To
+			if other == cur.table {
+				other = e.From
+			}
+			w := cur.weight * e.Weight
+			if w < minWeight {
+				continue
+			}
+			if old, ok := best[other]; !ok || w > old {
+				best[other] = w
+				frontier = append(frontier, wt{table: other, weight: w})
+			}
+		}
+	}
+	list := make([]wt, 0, len(best))
+	for tb, w := range best {
+		list = append(list, wt{table: tb, weight: w})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].weight != list[j].weight {
+			return list[i].weight > list[j].weight
+		}
+		return list[i].table < list[j].table
+	})
+	if maxTables > 0 && len(list) > maxTables {
+		list = list[:maxTables]
+	}
+	out := make([]string, len(list))
+	for i, e := range list {
+		out[i] = e.table
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package xseek
+
+import (
+	"reflect"
+	"testing"
+
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/schemagraph"
+	"kwsearch/internal/xmltree"
+)
+
+func scientistTree(t *testing.T) *xmltree.Tree {
+	t.Helper()
+	// The slide-6 structured document: scientists with name + publications.
+	b := xmltree.NewBuilder("scientists")
+	s1 := b.Child(b.Root(), "scientist", "")
+	b.Child(s1, "name", "John")
+	pubs := b.Child(s1, "publications", "")
+	p1 := b.Child(pubs, "paper", "")
+	b.Child(p1, "title", "cloud computing")
+	p2 := b.Child(pubs, "paper", "")
+	b.Child(p2, "title", "XML search")
+	s2 := b.Child(b.Root(), "scientist", "")
+	b.Child(s2, "name", "Mary")
+	pubs2 := b.Child(s2, "publications", "")
+	p3 := b.Child(pubs2, "paper", "")
+	b.Child(p3, "title", "databases")
+	b.Child(s2, "institution", "Univ of Toronto")
+	return b.Freeze()
+}
+
+func TestClassify(t *testing.T) {
+	tr := scientistTree(t)
+	cats := Classify(tr)
+	if cats["/scientists/scientist"] != Entity {
+		t.Errorf("scientist = %v, want entity", cats["/scientists/scientist"])
+	}
+	if cats["/scientists/scientist/publications/paper"] != Entity {
+		t.Errorf("paper = %v, want entity", cats["/scientists/scientist/publications/paper"])
+	}
+	if cats["/scientists/scientist/name"] != Attribute {
+		t.Errorf("name = %v, want attribute", cats["/scientists/scientist/name"])
+	}
+	if cats["/scientists/scientist/publications"] != Connection {
+		t.Errorf("publications = %v, want connection", cats["/scientists/scientist/publications"])
+	}
+	if Connection.String() != "connection" || Entity.String() != "entity" || Attribute.String() != "attribute" {
+		t.Errorf("category names broken")
+	}
+}
+
+// TestAnalyzeQuerySlide51: Q1 = "John, institution" has an explicit return
+// label; Q2 = "John, Toronto" is all predicates.
+func TestAnalyzeQuerySlide51(t *testing.T) {
+	tr := scientistTree(t)
+	qa := AnalyzeQuery(tr, []string{"John", "institution"})
+	if !reflect.DeepEqual(qa.ReturnLabels, []string{"institution"}) {
+		t.Errorf("return labels = %v", qa.ReturnLabels)
+	}
+	if !reflect.DeepEqual(qa.Predicates, []string{"john"}) {
+		t.Errorf("predicates = %v", qa.Predicates)
+	}
+	qa2 := AnalyzeQuery(tr, []string{"John", "Toronto"})
+	if len(qa2.ReturnLabels) != 0 || len(qa2.Predicates) != 2 {
+		t.Errorf("Q2 analysis = %+v", qa2)
+	}
+}
+
+func TestInferReturnNodes(t *testing.T) {
+	tr := scientistTree(t)
+	cats := Classify(tr)
+
+	// Q = "Mary, institution": result rooted at scientist Mary; explicit
+	// return node is her institution, implicit is the scientist entity.
+	mary := tr.NodesByLabel("scientist")[1]
+	qa := AnalyzeQuery(tr, []string{"Mary", "institution"})
+	rns := InferReturnNodes(tr, cats, qa, mary)
+	var explicitLabels, implicitLabels []string
+	for _, rn := range rns {
+		if rn.Explicit {
+			explicitLabels = append(explicitLabels, rn.Node.Label)
+		} else {
+			implicitLabels = append(implicitLabels, rn.Node.Label)
+		}
+	}
+	if !reflect.DeepEqual(explicitLabels, []string{"institution"}) {
+		t.Errorf("explicit = %v", explicitLabels)
+	}
+	if !reflect.DeepEqual(implicitLabels, []string{"scientist"}) {
+		t.Errorf("implicit = %v", implicitLabels)
+	}
+}
+
+func TestInferReturnNodesClimbsToEntity(t *testing.T) {
+	tr := scientistTree(t)
+	cats := Classify(tr)
+	// Result rooted at a title node: the implicit entity is the paper.
+	title := tr.NodesByLabel("title")[0]
+	qa := AnalyzeQuery(tr, []string{"cloud"})
+	rns := InferReturnNodes(tr, cats, qa, title)
+	if len(rns) != 1 || rns[0].Node.Label != "paper" || rns[0].Explicit {
+		t.Fatalf("return nodes = %+v", rns)
+	}
+}
+
+// TestPrecisSchemaSlide52 reproduces E6: with min weight 0.4, sponsor
+// (path weight 0.36) is excluded from the person result schema.
+func TestPrecisSchemaSlide52(t *testing.T) {
+	g, err := schemagraph.New(
+		[]string{"person", "review", "conference", "sponsor"},
+		[]schemagraph.Edge{
+			{From: "person", To: "review", Weight: 0.8},
+			{From: "review", To: "conference", Weight: 0.9},
+			{From: "conference", To: "sponsor", Weight: 0.5},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := PrecisSchema(g, "person", 0.4, 0)
+	want := []string{"person", "review", "conference"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("schema = %v, want %v (sponsor pruned at 0.36 < 0.4)", got, want)
+	}
+	// Lowering the threshold admits sponsor.
+	got = PrecisSchema(g, "person", 0.3, 0)
+	if len(got) != 4 || got[3] != "sponsor" {
+		t.Errorf("schema at 0.3 = %v", got)
+	}
+	// Table cap applies after ranking by weight.
+	got = PrecisSchema(g, "person", 0.3, 2)
+	if !reflect.DeepEqual(got, []string{"person", "review"}) {
+		t.Errorf("capped schema = %v", got)
+	}
+}
+
+func TestPrecisSchemaOnDBLP(t *testing.T) {
+	db := dataset.WidomBib()
+	g := schemagraph.FromDB(db)
+	got := PrecisSchema(g, "author", 0.5, 0)
+	// Unweighted edges (weight 1): everything reachable stays.
+	if len(got) != 3 {
+		t.Errorf("schema = %v", got)
+	}
+}
