@@ -1,0 +1,24 @@
+# Convenience targets; verify.sh is the canonical sequence.
+
+.PHONY: verify verify-short build test race lint bench
+
+verify:
+	./verify.sh
+
+verify-short:
+	./verify.sh -short
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/parallel/... ./internal/stream/... ./internal/cn/...
+
+lint:
+	go run ./cmd/kwslint ./...
+
+bench:
+	go run ./cmd/benchrunner

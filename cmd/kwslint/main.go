@@ -1,0 +1,80 @@
+// Command kwslint runs the module's static-analysis rules (see
+// internal/analysis/rules) over package patterns and exits non-zero when
+// it finds violations.
+//
+// Usage:
+//
+//	kwslint [-rules] [packages...]
+//
+// Each package argument is a directory or a dir/... pattern; the default
+// is ./... from the current directory. Diagnostics print one per line as
+// path:line:col: message (rule). A finding is suppressed by a
+// `//lint:ignore rule reason` comment on the same line or the line
+// directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"kwsearch/internal/analysis"
+	"kwsearch/internal/analysis/rules"
+)
+
+func main() {
+	listRules := flag.Bool("rules", false, "list the rules and exit")
+	flag.Parse()
+
+	ruleSet := rules.Default()
+	if *listRules {
+		for _, r := range ruleSet {
+			fmt.Printf("%-30s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	ld, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kwslint:", err)
+		os.Exit(2)
+	}
+	dirs, err := ld.MatchDirs(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kwslint:", err)
+		os.Exit(2)
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "kwslint: no packages match", patterns)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	failed := false
+	for _, dir := range dirs {
+		pkg, err := ld.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kwslint: %s: %v\n", dir, err)
+			failed = true
+			continue
+		}
+		for _, d := range analysis.Run(pkg, ruleSet) {
+			// Print paths relative to the working directory so the output
+			// is stable and clickable regardless of checkout location.
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && len(rel) < len(d.Pos.Filename) {
+				d.Pos.Filename = rel
+			}
+			fmt.Println(d)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoaderModuleDiscovery(t *testing.T) {
+	ld, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.ModulePath != "kwsearch" {
+		t.Fatalf("module path = %q, want kwsearch", ld.ModulePath)
+	}
+	if _, err := filepath.Abs(ld.ModuleRoot); err != nil {
+		t.Fatalf("module root %q: %v", ld.ModuleRoot, err)
+	}
+}
+
+func TestLoadDirTypeChecks(t *testing.T) {
+	ld, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := ld.LoadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Path != "kwsearch/internal/analysis" {
+		t.Fatalf("path = %q", pkg.Path)
+	}
+	if pkg.Types == nil || pkg.Types.Name() != "analysis" {
+		t.Fatalf("types package = %v", pkg.Types)
+	}
+	// The loader must resolve stdlib imports well enough to type
+	// expressions: find some expression with a concrete type.
+	typed := 0
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				if tv, ok := pkg.Info.Types[e]; ok && tv.Type != types.Typ[types.Invalid] {
+					typed++
+				}
+			}
+			return true
+		})
+	}
+	if typed == 0 {
+		t.Fatal("no expressions received types; import resolution is broken")
+	}
+}
+
+func TestMatchDirsSkipsTestdata(t *testing.T) {
+	ld, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ld.MatchDirs([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundRules := false
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Fatalf("MatchDirs returned a testdata dir: %s", d)
+		}
+		if filepath.Base(d) == "rules" {
+			foundRules = true
+		}
+	}
+	if !foundRules {
+		t.Fatalf("MatchDirs missed the rules subpackage: %v", dirs)
+	}
+}
+
+func TestImportPathOutsideModule(t *testing.T) {
+	ld, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ld.importPath(filepath.Join(ld.ModuleRoot, "internal", "analysis", "rules", "testdata", "src", "rand")); got != "" {
+		t.Fatalf("testdata dir mapped to import path %q, want \"\"", got)
+	}
+	if got := ld.importPath(filepath.Dir(ld.ModuleRoot)); got != "" {
+		t.Fatalf("dir above module mapped to %q, want \"\"", got)
+	}
+}

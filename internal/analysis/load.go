@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready to be linted.
+type Package struct {
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Path is the module-relative import path ("" if Dir is outside the
+	// module, e.g. a testdata fixture).
+	Path string
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files of Dir.
+	Files []*ast.File
+	// Types is the (possibly incomplete) type-checked package.
+	Types *types.Package
+	// Info holds expression types, definitions and uses for Files.
+	Info *types.Info
+	// TypeErrors collects type-checker complaints; the loader is lenient
+	// so rules run even when an import could not be fully resolved.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one module using only the
+// standard library: module-local imports resolve against the module root,
+// everything else against GOROOT/src (with the GOROOT vendor directory as
+// a fallback). Imports are checked without function bodies, so loading
+// stays fast even when a package pulls in large stdlib dependencies.
+type Loader struct {
+	// ModuleRoot is the directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+
+	fset     *token.FileSet
+	imported map[string]*types.Package
+}
+
+// NewLoader builds a Loader for the module containing dir, walking
+// upwards until it finds go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("no module declaration in %s/go.mod", root)
+	}
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       token.NewFileSet(),
+		imported:   map[string]*types.Package{},
+	}, nil
+}
+
+// Fset returns the loader's shared file set (all loads share positions).
+func (ld *Loader) Fset() *token.FileSet { return ld.fset }
+
+// LoadDir parses and type-checks the non-test Go files of dir.
+func (ld *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := build.ImportDir(abs, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no non-test Go files in %s", abs)
+	}
+
+	pkg := &Package{Dir: abs, Path: ld.importPath(abs), Fset: ld.fset, Files: files}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:    ld,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	path := pkg.Path
+	if path == "" {
+		path = bp.Name
+	}
+	// Check is lenient: with Error set it keeps going and returns a
+	// partially-complete package, which is all the rules need.
+	tpkg, _ := conf.Check(path, ld.fset, files, pkg.Info)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// importPath maps an absolute directory inside the module to its import
+// path, or "" when the directory cannot be imported (outside the module
+// or under a testdata directory).
+func (ld *Loader) importPath(abs string) string {
+	rel, err := filepath.Rel(ld.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return ""
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		return ld.ModulePath
+	}
+	for _, seg := range strings.Split(rel, "/") {
+		if seg == "testdata" {
+			return ""
+		}
+	}
+	return ld.ModulePath + "/" + rel
+}
+
+// Import resolves an import path for the type checker: module-local
+// packages from the module tree, everything else from GOROOT source.
+// Dependencies are checked without function bodies and cached.
+func (ld *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := ld.imported[path]; ok {
+		return pkg, nil
+	}
+	dir, err := ld.resolveDir(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer:         ld,
+		FakeImportC:      true,
+		IgnoreFuncBodies: true,
+		Error:            func(error) {}, // lenient: partial packages are fine
+	}
+	pkg, _ := conf.Check(path, ld.fset, files, nil)
+	ld.imported[path] = pkg
+	return pkg, nil
+}
+
+// resolveDir maps an import path to a source directory.
+func (ld *Loader) resolveDir(path string) (string, error) {
+	if path == ld.ModulePath {
+		return ld.ModuleRoot, nil
+	}
+	if rest, ok := strings.CutPrefix(path, ld.ModulePath+"/"); ok {
+		return filepath.Join(ld.ModuleRoot, filepath.FromSlash(rest)), nil
+	}
+	goroot := runtime.GOROOT()
+	for _, cand := range []string{
+		filepath.Join(goroot, "src", filepath.FromSlash(path)),
+		filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if st, err := os.Stat(cand); err == nil && st.IsDir() {
+			return cand, nil
+		}
+	}
+	return "", fmt.Errorf("cannot resolve import %q (not module-local, not in GOROOT)", path)
+}
+
+// MatchDirs expands package patterns into package directories. A pattern
+// ending in "/..." walks the tree below its prefix; any other pattern
+// names a single directory. Directories named testdata or vendor and
+// hidden/underscore directories are skipped, as are directories with no
+// non-test Go files.
+func (ld *Loader) MatchDirs(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return
+		}
+		if !seen[abs] && hasGoFiles(abs) {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	for _, pat := range patterns {
+		if root, ok := strings.CutSuffix(pat, "/..."); ok {
+			if root == "." || root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor") {
+					return fs.SkipDir
+				}
+				add(p)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(pat)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one non-test
+// Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

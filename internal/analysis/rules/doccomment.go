@@ -1,0 +1,115 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+
+	"kwsearch/internal/analysis"
+)
+
+// DocComment flags exported package-level identifiers (functions,
+// methods on exported types, types, consts, vars) that carry no doc
+// comment. The engine's internal packages are its API surface for the
+// rest of the module; undocumented exports rot fastest.
+type DocComment struct {
+	// Only restricts the rule to packages whose import path contains one
+	// of these substrings (e.g. "internal/"); empty applies everywhere.
+	Only []string
+}
+
+// Name implements analysis.Rule.
+func (DocComment) Name() string { return "missing-doc-comment" }
+
+// Doc implements analysis.Rule.
+func (DocComment) Doc() string {
+	return "exported identifiers of internal packages need doc comments"
+}
+
+// Check implements analysis.Rule.
+func (r DocComment) Check(p *analysis.Pass) {
+	if !pathMatches(p.Path, r.Only) {
+		return
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				r.checkFunc(p, d)
+			case *ast.GenDecl:
+				r.checkGen(p, d)
+			}
+		}
+	}
+}
+
+func (r DocComment) checkFunc(p *analysis.Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() || hasText(fn.Doc) {
+		return
+	}
+	kind := "function"
+	if fn.Recv != nil {
+		// A method is part of the public surface only if its receiver
+		// type is exported too.
+		base := receiverBase(fn.Recv)
+		if base == nil || !base.IsExported() {
+			return
+		}
+		kind = "method"
+	}
+	p.Reportf(fn.Name.Pos(), "exported %s %s is missing a doc comment", kind, fn.Name.Name)
+}
+
+func (r DocComment) checkGen(p *analysis.Pass, gd *ast.GenDecl) {
+	groupDoc := hasText(gd.Doc)
+	for _, spec := range gd.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && !hasText(s.Doc) {
+				p.Reportf(s.Name.Pos(), "exported type %s is missing a doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			// Trailing line comments count for const/var specs: that is
+			// the idiomatic way to document enum-style groups.
+			if groupDoc || hasText(s.Doc) || hasText(s.Comment) {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					kind := "var"
+					if gd.Tok == token.CONST {
+						kind = "const"
+					}
+					p.Reportf(name.Pos(), "exported %s %s is missing a doc comment", kind, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverBase returns the identifier of the receiver's base type.
+func receiverBase(recv *ast.FieldList) *ast.Ident {
+	if len(recv.List) == 0 {
+		return nil
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// hasText reports whether a comment group contains any content.
+func hasText(cg *ast.CommentGroup) bool { return cg != nil && len(cg.Text()) > 0 }

@@ -1,0 +1,60 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kwsearch/internal/analysis"
+)
+
+// FloatEq flags `==` and `!=` between floating-point expressions in the
+// score-bearing packages. Scores are sums of per-tuple terms, and
+// floating-point addition is not associative: two evaluation orders of
+// the same result tree can differ in the last bit, so exact equality
+// silently flips top-k tie-breaks. Comparisons must go through an
+// epsilon helper (almostEq-style) instead.
+type FloatEq struct {
+	// Packages restricts the rule to packages whose import path contains
+	// one of these substrings; empty applies it everywhere.
+	Packages []string
+}
+
+// Name implements analysis.Rule.
+func (FloatEq) Name() string { return "float-equality" }
+
+// Doc implements analysis.Rule.
+func (FloatEq) Doc() string {
+	return "float score comparisons must use an epsilon helper, not == or !="
+}
+
+// Check implements analysis.Rule.
+func (r FloatEq) Check(p *analysis.Pass) {
+	if !pathMatches(p.Path, r.Packages) {
+		return
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(p.TypeOf(be.X)) || isFloat(p.TypeOf(be.Y)) {
+				p.Reportf(be.OpPos, "%s on floating-point values is brittle under reordering; compare with an epsilon helper", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,115 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kwsearch/internal/analysis"
+)
+
+// Goroutine flags `go` statements in functions with no visible join: no
+// sync.WaitGroup Add/Done/Wait, no channel operation (send, receive,
+// close, select, range over a channel) anywhere in the enclosing
+// function. A fire-and-forget goroutine in engine code either leaks or
+// races with shutdown; the join must be visible where the goroutine is
+// launched.
+type Goroutine struct{}
+
+// Name implements analysis.Rule.
+func (Goroutine) Name() string { return "goroutine-without-waitgroup" }
+
+// Doc implements analysis.Rule.
+func (Goroutine) Doc() string {
+	return "goroutines must have a visible join (WaitGroup or channel) in the launching function"
+}
+
+// Check implements analysis.Rule.
+func (r Goroutine) Check(p *analysis.Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			var gos []*ast.GoStmt
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					gos = append(gos, g)
+				}
+				return true
+			})
+			if len(gos) == 0 || hasJoinEvidence(p, fn.Body) {
+				continue
+			}
+			for _, g := range gos {
+				p.Reportf(g.Pos(), "goroutine has no visible join in %s: tie it to a sync.WaitGroup or a channel the caller drains", fn.Name.Name)
+			}
+		}
+	}
+}
+
+// hasJoinEvidence scans a function body (including launched goroutine
+// bodies) for anything that could coordinate goroutine completion.
+func hasJoinEvidence(p *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if isWaitGroupMethod(p, fun) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupMethod reports whether sel is Add/Done/Wait on a
+// sync.WaitGroup (or on an unresolvable receiver, to stay lenient when
+// type info is partial).
+func isWaitGroupMethod(p *analysis.Pass, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Add", "Done", "Wait":
+	default:
+		return false
+	}
+	t := p.TypeOf(sel.X)
+	if t == nil {
+		return true // unknown receiver: assume coordination rather than flag
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -1,0 +1,167 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"kwsearch/internal/analysis"
+)
+
+// MapRange flags `for range` over a map whose body emits results (appends
+// to a slice or sends on a channel) with no subsequent sort in the same
+// function — the classic nondeterministic top-k tie-break: Go randomizes
+// map iteration order, so emitted order differs run to run unless the
+// keys or the collected results are sorted afterwards.
+type MapRange struct{}
+
+// Name implements analysis.Rule.
+func (MapRange) Name() string { return "nondeterministic-map-range" }
+
+// Doc implements analysis.Rule.
+func (MapRange) Doc() string {
+	return "map iteration that emits results must sort keys first or sort the results after"
+}
+
+// Check implements analysis.Rule.
+func (r MapRange) Check(p *analysis.Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || p.IsTestFile(fn.Pos()) {
+				continue
+			}
+			r.checkFunc(p, fn)
+		}
+	}
+}
+
+func (r MapRange) checkFunc(p *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if !bodyEmits(p, rs) {
+			return true
+		}
+		if sortedAfter(fn.Body, rs.End()) {
+			return true
+		}
+		p.Reportf(rs.For, "iteration over map %s emits results in nondeterministic order; sort the keys first or sort the output before returning", exprString(rs.X))
+		return true
+	})
+}
+
+// bodyEmits reports whether the loop body appends to a slice that
+// outlives the iteration or sends on a channel — the operations whose
+// observable order depends on map iteration order. Appends to a slice
+// declared inside the loop (a fresh per-key buffer) and pure aggregation
+// (summing, writing into another map) are order-insensitive and not
+// flagged.
+func bodyEmits(p *analysis.Pass, rs *ast.RangeStmt) bool {
+	emits := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 {
+				if appendTargetEscapes(p, rs, n.Args[0]) {
+					emits = true
+				}
+			}
+		case *ast.SendStmt:
+			emits = true
+		}
+		return !emits
+	})
+	return emits
+}
+
+// appendTargetEscapes reports whether the first append argument refers to
+// state that outlives one loop iteration: an identifier declared outside
+// the range statement, or a selector/index into an outer structure.
+// Fresh slices built per iteration (locals declared in the body, nil
+// literals, nested appends) do not escape.
+func appendTargetEscapes(p *analysis.Pass, rs *ast.RangeStmt, target ast.Expr) bool {
+	switch t := target.(type) {
+	case *ast.Ident:
+		obj := objectOf(p, t)
+		if obj == nil {
+			return true // unresolved: assume it escapes rather than miss a bug
+		}
+		return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	default:
+		return false // fresh value: []T(nil), make(...), inner append(...)
+	}
+}
+
+// objectOf resolves an identifier to its object via uses or defs.
+func objectOf(p *analysis.Pass, id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// sortedAfter reports whether a sort-like call occurs in body after pos:
+// a call into the sort or slices packages, or any function or method
+// whose name starts with "sort" (sortResults-style local helpers).
+func sortedAfter(body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := fun.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+				found = true
+			}
+			if isSortName(fun.Sel.Name) {
+				found = true
+			}
+		case *ast.Ident:
+			if isSortName(fun.Name) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortName matches identifiers that conventionally perform a sort.
+func isSortName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "sort")
+}
+
+// exprString renders a short expression for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

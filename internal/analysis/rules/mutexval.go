@@ -1,0 +1,89 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kwsearch/internal/analysis"
+)
+
+// MutexValue flags function receivers and parameters declared with a
+// non-pointer type that contains a sync.Mutex or sync.RWMutex (directly
+// or through embedded structs and arrays). Copying such a value forks the
+// lock: the copy guards nothing, and the race detector only catches the
+// consequence, not the cause.
+type MutexValue struct{}
+
+// Name implements analysis.Rule.
+func (MutexValue) Name() string { return "mutex-by-value" }
+
+// Doc implements analysis.Rule.
+func (MutexValue) Doc() string {
+	return "receivers/parameters must not copy structs containing sync.Mutex or sync.RWMutex"
+}
+
+// Check implements analysis.Rule.
+func (r MutexValue) Check(p *analysis.Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn.Recv != nil {
+				r.checkFields(p, fn.Recv, "receiver")
+			}
+			if fn.Type.Params != nil {
+				r.checkFields(p, fn.Type.Params, "parameter")
+			}
+		}
+	}
+}
+
+func (r MutexValue) checkFields(p *analysis.Pass, fields *ast.FieldList, kind string) {
+	for _, field := range fields.List {
+		t := p.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if lock := lockInside(t, map[types.Type]bool{}); lock != "" {
+			name := "_"
+			if len(field.Names) > 0 {
+				name = field.Names[0].Name
+			}
+			p.Reportf(field.Pos(), "%s %s copies %s by value; use a pointer so the lock is shared", kind, name, lock)
+		}
+	}
+}
+
+// lockInside returns the name of a lock type reachable from t without
+// pointer indirection, or "".
+func lockInside(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex":
+				return "sync." + obj.Name()
+			}
+		}
+		return lockInside(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if lock := lockInside(t.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return lockInside(t.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,92 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kwsearch/internal/analysis"
+)
+
+// Rand flags uses of package-level math/rand state. Dataset generators
+// and samplers must thread a seeded *rand.Rand through the call path so
+// every generated corpus and query log is reproducible; the package-level
+// functions share a global, unseeded (pre-1.20 semantics) source that
+// silently breaks that guarantee.
+type Rand struct{}
+
+// Name implements analysis.Rule.
+func (Rand) Name() string { return "unseeded-or-global-rand" }
+
+// Doc implements analysis.Rule.
+func (Rand) Doc() string {
+	return "thread a seeded *rand.Rand; package-level math/rand state is unseeded and shared"
+}
+
+// randConstructors are the math/rand selectors that are fine to use at
+// package level: they build explicitly-seeded generators rather than
+// consuming shared state.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes an explicit *Rand
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// randTypeNames lets the syntactic fallback (no type info) skip selectors
+// used as types, e.g. *rand.Rand in a signature.
+var randTypeNames = map[string]bool{
+	"Rand":     true,
+	"Source":   true,
+	"Source64": true,
+	"Zipf":     true,
+	"PCG":      true,
+	"ChaCha8":  true,
+}
+
+// Check implements analysis.Rule.
+func (Rand) Check(p *analysis.Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		hasImport := importsPath(f, "math/rand") || importsPath(f, "math/rand/v2")
+		if !hasImport {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch path := pkgNameOf(p, id); path {
+			case "math/rand", "math/rand/v2":
+				// Typed resolution: skip type names and constructors.
+				if obj := p.Info.Uses[sel.Sel]; obj != nil {
+					if _, isType := obj.(*types.TypeName); isType {
+						return true
+					}
+				}
+			case "":
+				// No type info; fall back to the conventional name.
+				if id.Name != "rand" {
+					return true
+				}
+				if randTypeNames[sel.Sel.Name] {
+					return true
+				}
+			default:
+				return true // some other package
+			}
+			if randConstructors[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "package-level %s.%s uses shared unseeded state; thread a seeded *rand.Rand instead", id.Name, sel.Sel.Name)
+			return true
+		})
+	}
+}

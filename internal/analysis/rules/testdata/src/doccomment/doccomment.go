@@ -1,0 +1,58 @@
+// Package fixture exercises the missing-doc-comment rule. The want
+// comments use the +N offset form with a blank separator line so that
+// they do not themselves become doc comments of the declarations they
+// test.
+package fixture
+
+// Documented is documented: fine.
+type Documented struct{}
+
+// want+2 "exported type Undocumented is missing a doc comment"
+
+type Undocumented struct{}
+
+// DocumentedFunc is documented: fine.
+func DocumentedFunc() {}
+
+// want+2 "exported function UndocumentedFunc is missing a doc comment"
+
+func UndocumentedFunc() {}
+
+// DocumentedMethod is documented: fine.
+func (Documented) DocumentedMethod() {}
+
+// want+2 "exported method UndocumentedMethod is missing a doc comment"
+
+func (Documented) UndocumentedMethod() {}
+
+// methodOnUnexported is not part of the public surface: fine.
+func (u unexported) Exported() {}
+
+type unexported struct{}
+
+// want+2 "exported var UndocumentedVar is missing a doc comment"
+
+var UndocumentedVar = 1
+
+// DocumentedVar is documented: fine.
+var DocumentedVar = 2
+
+// Grouped consts under one group doc: fine.
+const (
+	// GroupedA is the first value.
+	GroupedA = iota
+	// GroupedB is the second.
+	GroupedB
+)
+
+// EnumStyle demonstrates trailing-comment docs for value specs.
+const (
+	TrailingDocumented = 1 // TrailingDocumented is documented by this trailing comment.
+)
+
+// want+2 "exported const UndocumentedConst is missing a doc comment"
+
+const UndocumentedConst = 3
+
+// unexportedVar needs no doc: fine.
+var unexportedVar = 4

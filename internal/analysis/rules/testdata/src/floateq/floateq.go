@@ -1,0 +1,26 @@
+// Package fixture exercises the float-equality rule.
+package fixture
+
+// exactEq compares float64 with ==: flagged.
+func exactEq(a, b float64) bool {
+	return a == b // want "epsilon"
+}
+
+// exactNeq compares float32 with !=: flagged.
+func exactNeq(a, b float32) bool {
+	return a != b // want "epsilon"
+}
+
+// zeroGuard compares against a literal; still exact equality: flagged.
+func zeroGuard(x float64) bool {
+	return x == 0 // want "epsilon"
+}
+
+// ordered comparisons are fine.
+func ordered(a, b float64) bool { return a < b }
+
+// intEq is not a float comparison: fine.
+func intEq(a, b int) bool { return a == b }
+
+// stringEq is fine too.
+func stringEq(a, b string) bool { return a == b }

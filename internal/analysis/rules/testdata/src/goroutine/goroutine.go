@@ -1,0 +1,45 @@
+// Package fixture exercises the goroutine-without-waitgroup rule.
+package fixture
+
+import "sync"
+
+// fireAndForget launches with no join anywhere: flagged.
+func fireAndForget(work func()) {
+	go work() // want "no visible join"
+}
+
+// fireAndForgetLiteral is the same with a function literal: flagged.
+func fireAndForgetLiteral() {
+	go func() {}() // want "no visible join"
+}
+
+// joinedByWaitGroup ties the goroutine to a WaitGroup: fine.
+func joinedByWaitGroup(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// joinedByChannel hands back a channel the caller drains: fine.
+func joinedByChannel() <-chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+		close(ch)
+	}()
+	return ch
+}
+
+// joinedByReceive blocks on the goroutine's completion signal: fine.
+func joinedByReceive(work func()) {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}

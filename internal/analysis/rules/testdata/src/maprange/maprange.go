@@ -1,0 +1,73 @@
+// Package fixture exercises the nondeterministic-map-range rule.
+package fixture
+
+import "sort"
+
+// emitUnsorted appends in map order with no later sort: flagged.
+func emitUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "nondeterministic order"
+		out = append(out, k)
+	}
+	return out
+}
+
+// sendUnsorted emits on a channel in map order: flagged.
+func sendUnsorted(m map[string]int, ch chan string) {
+	for k := range m { // want "nondeterministic order"
+		ch <- k
+	}
+}
+
+// emitThenSort collects then sorts before returning: fine.
+func emitThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// emitThenHelperSort relies on a sort-named helper: fine.
+func emitThenHelperSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortKeys(xs []string) { sort.Strings(xs) }
+
+// aggregate only folds values, order-insensitively: fine.
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// perKeyBuffer appends to a slice born inside the loop: fine.
+func perKeyBuffer(m map[string][]int) map[string][]int {
+	out := map[string][]int{}
+	for k, vs := range m {
+		var buf []int
+		for _, v := range vs {
+			buf = append(buf, v*2)
+		}
+		out[k] = buf
+	}
+	return out
+}
+
+// sliceRange is not a map range at all: fine.
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+// Package fixture exercises the mutex-by-value rule.
+package fixture
+
+import "sync"
+
+// guarded is a struct that owns a lock.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// wrapper embeds a lock-bearing struct by value.
+type wrapper struct {
+	g guarded
+}
+
+// rwGuarded owns an RWMutex.
+type rwGuarded struct {
+	mu sync.RWMutex
+}
+
+// valueReceiver copies the lock on every call: flagged.
+func (g guarded) valueReceiver() int { return g.n } // want "copies sync.Mutex by value"
+
+// pointerReceiver shares the lock: fine.
+func (g *guarded) pointerReceiver() int { return g.n }
+
+// byValueParam copies the lock at every call site: flagged.
+func byValueParam(g guarded) int { return g.n } // want "copies sync.Mutex by value"
+
+// nestedByValue copies a lock buried one struct deep: flagged.
+func nestedByValue(w wrapper) int { return w.g.n } // want "copies sync.Mutex by value"
+
+// rwByValue copies an RWMutex: flagged.
+func rwByValue(r rwGuarded) { _ = r } // want "copies sync.RWMutex by value"
+
+// byPointer shares the lock: fine.
+func byPointer(g *guarded) int { return g.n }
+
+// plainStruct has no lock: fine.
+func plainStruct(s struct{ n int }) int { return s.n }

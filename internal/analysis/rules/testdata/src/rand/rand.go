@@ -1,0 +1,30 @@
+// Package fixture exercises the unseeded-or-global-rand rule.
+package fixture
+
+import "math/rand"
+
+// globalVar consumes shared package-level state: flagged.
+var globalVar = rand.Intn(10) // want "seeded"
+
+// badShuffle uses the global source: flagged.
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "seeded"
+}
+
+// badSeed seeds the global source, which is still shared state: flagged.
+func badSeed() {
+	rand.Seed(42) // want "seeded"
+}
+
+// goodSeeded builds an explicit generator: fine.
+func goodSeeded(seed int64, xs []int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(len(xs))
+}
+
+// goodThreaded takes the generator as a parameter; *rand.Rand as a type
+// is fine, as is the Zipf constructor fed an explicit generator.
+func goodThreaded(rng *rand.Rand) uint64 {
+	z := rand.NewZipf(rng, 1.3, 2, 100)
+	return z.Uint64()
+}

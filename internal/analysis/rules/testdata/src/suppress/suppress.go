@@ -1,0 +1,43 @@
+// Package fixture proves the //lint:ignore suppression directive: every
+// violation below carries a directive, so running the full default rule
+// set over this package must produce no diagnostics at all — except the
+// deliberately malformed directive at the bottom, which must be reported
+// rather than silently swallowed.
+package fixture
+
+import "math/rand"
+
+//lint:ignore unseeded-or-global-rand directive on the line above suppresses
+var fromGlobal = rand.Intn(10)
+
+// inline demonstrates a same-line directive.
+func inline() int {
+	return rand.Intn(3) //lint:ignore unseeded-or-global-rand same-line directive suppresses
+}
+
+// multiRule demonstrates suppressing one rule of several with a
+// comma-separated list.
+func multiRule(m map[string]int, a, b float64) []string {
+	var out []string
+	//lint:ignore nondeterministic-map-range,float-equality comma list covers both rules
+	for k := range m {
+		out = append(out, k)
+	}
+	//lint:ignore float-equality exact comparison is intentional here
+	if a == b {
+		return nil
+	}
+	return out
+}
+
+// otherRule checks that a directive naming a different rule does NOT
+// suppress; this finding must still surface.
+func otherRule(a, b float64) bool {
+	//lint:ignore nondeterministic-map-range wrong rule name, does not apply
+	return a == b // want "epsilon"
+}
+
+// want+2 "malformed lint:ignore directive"
+
+//lint:ignore float-equality
+var missingReason = 1.0

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"kwsearch/internal/datagraph"
+	"kwsearch/internal/fmath"
 )
 
 // Answer is one distinct-root result: the root, its distance to the
@@ -197,7 +198,7 @@ func search(g *datagraph.Graph, groups [][]datagraph.NodeID, opts Options, prioF
 			}
 		}
 		sort.Slice(out, func(a, b int) bool {
-			if out[a].Cost != out[b].Cost {
+			if !fmath.Eq(out[a].Cost, out[b].Cost) {
 				return out[a].Cost < out[b].Cost
 			}
 			return out[a].Root < out[b].Root

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 
+	"kwsearch/internal/fmath"
 	"kwsearch/internal/relstore"
 )
 
@@ -12,7 +13,7 @@ import (
 // first tuple ID so strategy outputs are comparable.
 func sortResults(rs []Result) {
 	sort.SliceStable(rs, func(i, j int) bool {
-		if rs[i].Score != rs[j].Score {
+		if !fmath.Eq(rs[i].Score, rs[j].Score) {
 			return rs[i].Score > rs[j].Score
 		}
 		if len(rs[i].Tuples) != len(rs[j].Tuples) {

@@ -40,6 +40,7 @@ var FirstNames = []string{
 	"rakesh", "christos", "jiawei", "philip", "laura", "anhai", "alon",
 }
 
+// LastNames generate author surnames, paired with FirstNames.
 var LastNames = []string{
 	"widom", "ullman", "seltzer", "dewitt", "chen", "wang", "liu", "lin",
 	"chaudhuri", "das", "srivastava", "gray", "stonebraker", "garcia",

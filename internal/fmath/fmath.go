@@ -1,0 +1,32 @@
+// Package fmath holds the epsilon comparison helpers the float-equality
+// lint rule (internal/analysis/rules) demands: score and cost values are
+// sums of per-tuple terms, and floating-point addition is not
+// associative, so two evaluation orders of the same result can differ in
+// the last bits. Exact == / != on such values silently flips top-k
+// tie-breaks; these helpers absorb that noise.
+package fmath
+
+import "math"
+
+// Eps is the comparison tolerance: absolute for values near zero,
+// relative (scaled by magnitude) otherwise. Scores in this engine are
+// O(1)-magnitude TF·IDF sums, so 1e-9 is far above accumulated rounding
+// error and far below any genuine score gap.
+const Eps = 1e-9
+
+// Eq reports whether a and b are equal within Eps (absolutely for small
+// values, relatively for large ones).
+func Eq(a, b float64) bool {
+	if a == b { //lint:ignore float-equality fast path; exact hits (and infinities) are equal
+		return true
+	}
+	d := math.Abs(a - b)
+	if d <= Eps {
+		return true
+	}
+	return d <= Eps*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// Zero reports whether x is within Eps of zero — the divide-by-zero
+// guard form of Eq(x, 0).
+func Zero(x float64) bool { return math.Abs(x) <= Eps }

@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentDecomposeDeterministic stresses the documented read-only
+// contract of Decompose and SharingAwarePartition: many goroutines
+// decompose the same CNs against one shared Evaluator and partition
+// them, and every goroutine must observe bit-identical prefixes, costs
+// and makespans. Run with -race to catch hidden memoization writes.
+func TestConcurrentDecomposeDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped in -short")
+	}
+	ev, ref, cns := setup(t)
+	refAssign := SharingAwarePartition(ref, 4)
+
+	const goroutines = 8
+	const rounds = 10
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				jobs := make([]Job, len(cns))
+				for i, c := range cns {
+					jobs[i] = Decompose(c, ev)
+				}
+				for i := range jobs {
+					if len(jobs[i].Prefixes) != len(ref[i].Prefixes) {
+						t.Errorf("job %d: %d prefixes, want %d", i, len(jobs[i].Prefixes), len(ref[i].Prefixes))
+						return
+					}
+					for k := range jobs[i].Prefixes {
+						if jobs[i].Prefixes[k] != ref[i].Prefixes[k] {
+							t.Errorf("job %d prefix %d diverged", i, k)
+							return
+						}
+						if jobs[i].PrefixCosts[k] != ref[i].PrefixCosts[k] {
+							t.Errorf("job %d cost %d diverged: %v vs %v", i, k, jobs[i].PrefixCosts[k], ref[i].PrefixCosts[k])
+							return
+						}
+					}
+				}
+				a := SharingAwarePartition(jobs, 4)
+				if a.Makespan() != refAssign.Makespan() {
+					t.Errorf("makespan diverged: %v vs %v", a.Makespan(), refAssign.Makespan())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentEvaluationAfterPrewarm stresses the Prewarm contract:
+// after one Prewarm, EvaluateCN from many goroutines must be read-only.
+// This is exactly what Execute and ExecuteDataParallel rely on; -race
+// verifies there is no lazy cache write left on the evaluation path.
+func TestConcurrentEvaluationAfterPrewarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped in -short")
+	}
+	ev, jobs, cns := setup(t)
+	ev.Prewarm(cns)
+
+	want := 0
+	for _, c := range cns {
+		want += len(ev.EvaluateCN(c))
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := 0
+			for _, c := range cns {
+				got += len(ev.EvaluateCN(c))
+			}
+			if got != want {
+				t.Errorf("concurrent evaluation produced %d results, want %d", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The parallel executors themselves, once more under the detector.
+	a := SharingAwarePartition(jobs, 4)
+	if got := len(Execute(ev, a)); got != want {
+		t.Fatalf("Execute produced %d results, want %d", got, want)
+	}
+	if got := len(ExecuteDataParallel(ev, jobs, 4)); got != want {
+		t.Fatalf("ExecuteDataParallel produced %d results, want %d", got, want)
+	}
+}

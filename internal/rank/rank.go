@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"kwsearch/internal/datagraph"
+	"kwsearch/internal/fmath"
 	"kwsearch/internal/invindex"
 	"kwsearch/internal/text"
 )
@@ -29,11 +30,11 @@ func CosineScore(ix *invindex.Index, query []string, doc invindex.DocID) float64
 		dot += w * ix.TFIDF(t, doc)
 		qn += w * w
 	}
-	if dot == 0 {
+	if fmath.Zero(dot) {
 		return 0
 	}
 	dn := docNorm(ix, doc)
-	if dn == 0 || qn == 0 {
+	if fmath.Zero(dn) || fmath.Zero(qn) {
 		return 0
 	}
 	return dot / (math.Sqrt(qn) * dn)
@@ -76,7 +77,7 @@ func (r *Ranker) Cosine(query []string, doc invindex.DocID) float64 {
 		dot += w * r.ix.TFIDF(t, doc)
 		qn += w * w
 	}
-	if dot == 0 || qn == 0 {
+	if fmath.Zero(dot) || fmath.Zero(qn) {
 		return 0
 	}
 	dn, ok := r.norms[doc]
@@ -84,7 +85,7 @@ func (r *Ranker) Cosine(query []string, doc invindex.DocID) float64 {
 		dn = docNorm(r.ix, doc)
 		r.norms[doc] = dn
 	}
-	if dn == 0 {
+	if fmath.Zero(dn) {
 		return 0
 	}
 	return dot / (math.Sqrt(qn) * dn)
@@ -136,7 +137,7 @@ func Authority(g *datagraph.Graph, damping float64, iters int) []float64 {
 		// Dangling mass is spread uniformly.
 		dangling := 0.0
 		for i := 0; i < n; i++ {
-			if outWeight[i] == 0 {
+			if fmath.Zero(outWeight[i]) {
 				dangling += score[i]
 				continue
 			}

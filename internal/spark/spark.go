@@ -10,6 +10,8 @@ import (
 	"math"
 	"sort"
 
+	"kwsearch/internal/fmath"
+
 	"kwsearch/internal/cn"
 	"kwsearch/internal/invindex"
 	"kwsearch/internal/relstore"
@@ -123,7 +125,7 @@ type Stats struct {
 
 func sortSpark(rs []Result) {
 	sort.SliceStable(rs, func(i, j int) bool {
-		if rs[i].SparkScore != rs[j].SparkScore {
+		if !fmath.Eq(rs[i].SparkScore, rs[j].SparkScore) {
 			return rs[i].SparkScore > rs[j].SparkScore
 		}
 		return len(rs[i].Tuples) < len(rs[j].Tuples)

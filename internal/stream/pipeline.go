@@ -1,0 +1,153 @@
+package stream
+
+import (
+	"sync"
+
+	"kwsearch/internal/cn"
+	"kwsearch/internal/relstore"
+)
+
+// Pipeline runs a Mesh behind channels so that many producers can feed
+// tuples concurrently while one consumer drains completed joining trees.
+// The mesh itself stays single-threaded: exactly one worker goroutine
+// owns it and applies arrivals in the order they win the feed channel,
+// which preserves the mesh's strictly-earlier-arrivals exactly-once
+// guarantee without locking its maps.
+//
+//	p := NewPipeline(mesh, 64)
+//	go func() { for _, tp := range tuples { p.Feed(tp) }; p.Finish() }()
+//	for r := range p.Results() { ... }
+//
+// Shutdown has two modes: Finish stops accepting new tuples but lets
+// everything already fed complete; Close aborts, dropping queued tuples.
+// Both are idempotent and safe to call concurrently with Feed: a feed
+// racing a shutdown either wins (the tuple is processed or queued) or
+// loses (Feed returns false); none block forever and none panic on a
+// closed channel.
+type Pipeline struct {
+	mesh *Mesh
+
+	in   chan *relstore.Tuple
+	out  chan cn.Result
+	quit chan struct{}
+
+	// mu guards closed: Feed holds it shared while sending so that the
+	// shutdown paths cannot close the feed channel under a send.
+	mu     sync.RWMutex
+	closed bool
+
+	abort sync.Once
+	wg    sync.WaitGroup
+}
+
+// NewPipeline arms mesh behind buffered feed/result channels of the
+// given capacity (minimum 1) and starts the worker goroutine. The caller
+// must not use mesh directly afterwards.
+func NewPipeline(mesh *Mesh, buf int) *Pipeline {
+	if buf < 1 {
+		buf = 1
+	}
+	p := &Pipeline{
+		mesh: mesh,
+		in:   make(chan *relstore.Tuple, buf),
+		out:  make(chan cn.Result, buf),
+		quit: make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.run()
+	return p
+}
+
+// run is the single goroutine that owns the mesh.
+func (p *Pipeline) run() {
+	defer p.wg.Done()
+	defer close(p.out)
+	for {
+		select {
+		case <-p.quit:
+			return
+		case tp, ok := <-p.in:
+			if !ok {
+				return // Finish: feed closed and drained
+			}
+			for _, r := range p.mesh.Arrive(tp) {
+				select {
+				case p.out <- r:
+				case <-p.quit:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Feed offers one tuple to the mesh, blocking while the feed buffer is
+// full. It reports whether the tuple was accepted; false means the
+// pipeline is shut down. Safe for concurrent use — but note that when
+// multiple producers race, the arrival order (and therefore which tuple
+// "completes" a joining tree) is whichever order the channel serializes.
+func (p *Pipeline) Feed(tp *relstore.Tuple) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.in <- tp:
+		return true
+	case <-p.quit:
+		return false
+	}
+}
+
+// Results returns the channel of completed joining trees. It is closed
+// when the worker exits (after Finish has drained, or on Close).
+func (p *Pipeline) Results() <-chan cn.Result {
+	return p.out
+}
+
+// Finish stops accepting tuples, waits for every queued tuple to be
+// processed and its results delivered, then closes the results channel.
+// A consumer must be draining Results or Finish cannot complete.
+func (p *Pipeline) Finish() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.in)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Close aborts the pipeline: queued tuples are dropped, the results
+// channel is closed, and the worker is gone when Close returns.
+func (p *Pipeline) Close() {
+	// Signal quit before taking the lock: a Feed blocked on a full
+	// buffer holds the read lock and only the quit signal unblocks it.
+	p.abort.Do(func() { close(p.quit) })
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Drain feeds every tuple, finishes the pipeline, and returns the
+// collected results in completion order — the synchronous convenience
+// wrapper, equivalent to calling mesh.Arrive in a loop.
+func Drain(mesh *Mesh, tuples []*relstore.Tuple, buf int) []cn.Result {
+	p := NewPipeline(mesh, buf)
+	var results []cn.Result
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range p.Results() {
+			results = append(results, r)
+		}
+	}()
+	for _, tp := range tuples {
+		p.Feed(tp)
+	}
+	p.Finish()
+	<-done
+	return results
+}

@@ -1,0 +1,152 @@
+package stream
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"kwsearch/internal/relstore"
+)
+
+// allTuples returns every tuple of the database in a deterministic
+// shuffled order.
+func allTuples(db *relstore.DB, seed int64) []*relstore.Tuple {
+	var all []*relstore.Tuple
+	for _, name := range db.TableNames() {
+		all = append(all, db.Table(name).Tuples()...)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all
+}
+
+// TestPipelineMatchesSequential: a single-producer pipeline must emit
+// exactly what direct Arrive calls in the same order emit.
+func TestPipelineMatchesSequential(t *testing.T) {
+	db, cns, terms := setup(t)
+	order := allTuples(db, 7)
+
+	want := streamAll(db, cns, terms, order)
+	got := map[string]int{}
+	for _, r := range Drain(NewMesh(db, terms, cns), order, 8) {
+		got[resultKey(r)]++
+	}
+	if len(want) == 0 {
+		t.Fatal("sequential streaming produced nothing; test is vacuous")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pipeline emitted %d distinct results, want %d", len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("result %s emitted %d times, want %d", k, got[k], n)
+		}
+	}
+}
+
+// TestPipelineConcurrentProducers stresses the mesh behind concurrent
+// producers with a graceful Finish: whatever order the feed channel
+// serializes, the emitted multiset must equal the batch evaluation
+// (every joining tree exactly once — the mesh's exactly-once guarantee
+// is order-independent). Run with -race.
+func TestPipelineConcurrentProducers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped in -short")
+	}
+	db, cns, terms := setup(t)
+	want := batchResults(t, db, cns, terms)
+	all := allTuples(db, 11)
+
+	const producers = 4
+	for round := 0; round < 5; round++ {
+		p := NewPipeline(NewMesh(db, terms, cns), 4)
+		got := map[string]int{}
+		consumerDone := make(chan struct{})
+		go func() {
+			defer close(consumerDone)
+			for r := range p.Results() {
+				got[resultKey(r)]++
+			}
+		}()
+
+		var wg sync.WaitGroup
+		for w := 0; w < producers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(all); i += producers {
+					if !p.Feed(all[i]) {
+						t.Errorf("Feed rejected tuple before shutdown")
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		p.Finish()
+		<-consumerDone
+
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d distinct results, want %d", round, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != 1 {
+				t.Fatalf("round %d: result %s emitted %d times, want exactly once", round, k, got[k])
+			}
+		}
+	}
+}
+
+// TestPipelineAbortUnderLoad stresses the hard-shutdown path: producers
+// keep feeding while the consumer reads only a few results and then
+// Closes mid-flight. The test passes if nothing deadlocks, Feed starts
+// returning false, the results channel closes, and -race stays quiet.
+func TestPipelineAbortUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped in -short")
+	}
+	db, cns, terms := setup(t)
+	all := allTuples(db, 13)
+
+	for round := 0; round < 10; round++ {
+		p := NewPipeline(NewMesh(db, terms, cns), 2)
+
+		var wg sync.WaitGroup
+		rejected := make([]bool, 4)
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for loop := 0; ; loop++ {
+					if !p.Feed(all[(loop*4+w)%len(all)]) {
+						rejected[w] = true
+						return
+					}
+				}
+			}(w)
+		}
+
+		// Consume a handful of results (there may be fewer if the abort
+		// races ahead), then pull the plug while producers are running.
+		taken := 0
+		for taken < round && taken < 5 {
+			if _, ok := <-p.Results(); !ok {
+				t.Fatal("results channel closed before Close")
+			}
+			taken++
+		}
+		p.Close()
+		wg.Wait()
+		for w, r := range rejected {
+			if !r {
+				t.Fatalf("round %d: producer %d exited without seeing shutdown", round, w)
+			}
+		}
+		// After Close the results channel must drain to closed.
+		for range p.Results() {
+		}
+		if p.Feed(all[0]) {
+			t.Fatal("Feed accepted a tuple after Close")
+		}
+	}
+}

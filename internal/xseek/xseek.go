@@ -27,6 +27,7 @@ const (
 	Attribute
 )
 
+// String names the category for diagnostics and test output.
 func (c Category) String() string {
 	switch c {
 	case Entity:

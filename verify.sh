@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# verify.sh — the canonical tier-1 entry point: everything CI (and a
+# human before pushing) runs, in dependency order. Exits non-zero on the
+# first failure.
+#
+#   ./verify.sh          # full verification
+#   ./verify.sh -short   # skip the -race stress tests' slow bodies
+set -euo pipefail
+cd "$(dirname "$0")"
+
+short=""
+if [[ "${1:-}" == "-short" ]]; then
+    short="-short"
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test $short ./...
+
+echo "==> go test -race (concurrency-bearing packages)"
+go test -race $short ./internal/parallel/... ./internal/stream/... ./internal/cn/...
+
+echo "==> kwslint ./..."
+go run ./cmd/kwslint ./...
+
+echo "verify: OK"
