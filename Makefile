@@ -15,7 +15,8 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/parallel/... ./internal/stream/... ./internal/cn/...
+	go test -race ./internal/parallel/... ./internal/stream/... ./internal/cn/... \
+		./internal/cache/... ./internal/exec/... ./internal/lca/...
 
 lint:
 	go run ./cmd/kwslint ./...

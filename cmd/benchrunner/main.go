@@ -6,11 +6,13 @@
 //
 // Usage:
 //
-//	benchrunner            # run all experiments
-//	benchrunner E5 E10     # run selected experiments
+//	benchrunner                # run all experiments
+//	benchrunner E5 E10         # run selected experiments
+//	benchrunner -performance   # measure executor efficiency, write BENCH_exec.json
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -32,8 +34,20 @@ func register(id, title string, run func() error) {
 }
 
 func main() {
+	performance := flag.Bool("performance", false,
+		"run the executor-efficiency workload (cache hit/miss/eviction, per-worker jobs) and write BENCH_exec.json")
+	flag.Parse()
+	if *performance {
+		if err := writeExecPerformance("BENCH_exec.json"); err != nil {
+			fmt.Fprintf(os.Stderr, "performance: %v\n", err)
+			os.Exit(1)
+		}
+		if flag.NArg() == 0 {
+			return
+		}
+	}
 	want := map[string]bool{}
-	for _, a := range os.Args[1:] {
+	for _, a := range flag.Args() {
 		want[strings.ToUpper(a)] = true
 	}
 	sort.SliceStable(experiments, func(i, j int) bool {

@@ -25,6 +25,8 @@ func main() {
 	k := flag.Int("k", 10, "number of results")
 	doClean := flag.Bool("clean", false, "run noisy-channel query cleaning first")
 	snip := flag.Bool("snippets", false, "print snippets for XML results")
+	workers := flag.Int("workers", 1, "worker-pool size for cn/slca evaluation (>1 enables the parallel executor)")
+	stats := flag.Bool("stats", false, "print execution-layer statistics after the search")
 	flag.Parse()
 	query := strings.Join(flag.Args(), " ")
 	if query == "" {
@@ -49,7 +51,7 @@ func main() {
 		fmt.Printf("cleaned query: %s\n", cleaned)
 	}
 	results, err := engine.Search(query, core.Options{
-		K: *k, Semantics: semantics, Clean: *doClean,
+		K: *k, Semantics: semantics, Clean: *doClean, Workers: *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -68,6 +70,25 @@ func main() {
 			}
 		}
 	}
+	if *stats && engine.Exec != nil {
+		printExecStats(engine)
+	}
+}
+
+// printExecStats reports the execution layer's work breakdown and cache
+// counters for the search that just ran.
+func printExecStats(engine *core.Engine) {
+	st := engine.LastExecStats
+	fmt.Printf("exec: workers=%d cns=%d evaluated=%d skipped=%d prefix-reuses=%d result-cache-hit=%v\n",
+		st.Workers, st.CNs, st.Evaluated, st.Skipped, st.PrefixReuses, st.ResultCacheHit)
+	if len(st.JobsPerWorker) > 0 {
+		fmt.Printf("exec: jobs per worker %v\n", st.JobsPerWorker)
+	}
+	postings, results := engine.Exec.CacheStats()
+	fmt.Printf("cache: postings hits=%d misses=%d evicted=%d entries=%d (hit rate %.2f)\n",
+		postings.Hits, postings.Misses, postings.Evictions, postings.Entries, postings.HitRate())
+	fmt.Printf("cache: results  hits=%d misses=%d evicted=%d entries=%d (hit rate %.2f)\n",
+		results.Hits, results.Misses, results.Evictions, results.Entries, results.HitRate())
 }
 
 func buildEngine(data string) (*core.Engine, error) {

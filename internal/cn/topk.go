@@ -9,9 +9,14 @@ import (
 	"kwsearch/internal/relstore"
 )
 
-// sortResults orders by descending score, breaking ties by CN size then
-// first tuple ID so strategy outputs are comparable.
-func sortResults(rs []Result) {
+// SortResults orders by descending score, breaking ties by CN size, then
+// sorted tuple IDs, then the CN's canonical string, then tuple IDs in CN
+// node order. The last tie-break makes the order total even for symmetric
+// CNs, where two distinct bindings can use the same tuple multiset in
+// swapped positions — without it, which twin survives a top-k truncation
+// would depend on production order, and the serial vs parallel execution
+// paths in internal/exec could not be byte-compared.
+func SortResults(rs []Result) {
 	sort.SliceStable(rs, func(i, j int) bool {
 		if !fmath.Eq(rs[i].Score, rs[j].Score) {
 			return rs[i].Score > rs[j].Score
@@ -19,7 +24,18 @@ func sortResults(rs []Result) {
 		if len(rs[i].Tuples) != len(rs[j].Tuples) {
 			return len(rs[i].Tuples) < len(rs[j].Tuples)
 		}
-		return resultKey(rs[i]) < resultKey(rs[j])
+		if ki, kj := resultKey(rs[i]), resultKey(rs[j]); ki != kj {
+			return ki < kj
+		}
+		if ci, cj := rs[i].CN.Canonical(), rs[j].CN.Canonical(); ci != cj {
+			return ci < cj
+		}
+		for n := range rs[i].Tuples {
+			if a, b := rs[i].Tuples[n].ID, rs[j].Tuples[n].ID; a != b {
+				return a < b
+			}
+		}
+		return false
 	})
 }
 
@@ -43,18 +59,19 @@ func TopKNaive(ev *Evaluator, cns []*CN, k int) []Result {
 	for _, c := range cns {
 		all = append(all, ev.EvaluateCN(c)...)
 	}
-	sortResults(all)
+	SortResults(all)
 	if len(all) > k {
 		all = all[:k]
 	}
 	return all
 }
 
-// cnBound returns an upper bound on the score any result of c can reach:
+// Bound returns an upper bound on the score any result of c can reach:
 // each keyword node is bounded by the best tuple score of its R^Q, free
 // nodes contribute 0, and the sum is normalized by CN size (the score is
-// monotone, so the bound is sound).
-func cnBound(ev *Evaluator, c *CN) float64 {
+// monotone, so the bound is sound). The Sparse strategy and the
+// internal/exec worker pool both prune with it.
+func (ev *Evaluator) Bound(c *CN) float64 {
 	s := 0.0
 	for _, n := range c.Nodes {
 		if !n.Free {
@@ -70,15 +87,15 @@ func cnBound(ev *Evaluator, c *CN) float64 {
 func TopKSparse(ev *Evaluator, cns []*CN, k int) []Result {
 	order := append([]*CN(nil), cns...)
 	sort.SliceStable(order, func(i, j int) bool {
-		return cnBound(ev, order[i]) > cnBound(ev, order[j])
+		return ev.Bound(order[i]) > ev.Bound(order[j])
 	})
 	var top []Result
 	for _, c := range order {
-		if len(top) >= k && top[k-1].Score >= cnBound(ev, c) {
+		if len(top) >= k && top[k-1].Score >= ev.Bound(c) {
 			break
 		}
 		top = append(top, ev.EvaluateCN(c)...)
-		sortResults(top)
+		SortResults(top)
 		if len(top) > k {
 			top = top[:k]
 		}
@@ -183,7 +200,7 @@ func TopKGlobalPipeline(ev *Evaluator, cns []*CN, k int) []Result {
 			seen[key] = true
 			top = append(top, r)
 		}
-		sortResults(top)
+		SortResults(top)
 		if len(top) > k {
 			top = top[:k]
 		}

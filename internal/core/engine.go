@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,6 +19,7 @@ import (
 	"kwsearch/internal/clean"
 	"kwsearch/internal/cn"
 	"kwsearch/internal/datagraph"
+	"kwsearch/internal/exec"
 	"kwsearch/internal/invindex"
 	"kwsearch/internal/lca"
 	"kwsearch/internal/relstore"
@@ -85,6 +87,15 @@ type Options struct {
 	MaxCNSize int
 	// Clean runs noisy-channel query cleaning before searching.
 	Clean bool
+	// Workers sets the worker-pool size for candidate-network and SLCA
+	// evaluation. 0 or 1 keeps the serial paths; >1 routes CN searches
+	// through the internal/exec cached executor and SLCA through the
+	// range-split parallel algorithm. SLCA answers are identical either
+	// way. CN scores are too, but among equal-score results at the k
+	// boundary the executor matches the exhaustive-evaluation reference
+	// order, while the serial Global Pipeline's early termination may
+	// surface a different subset of the tied results.
+	Workers int
 }
 
 func (o Options) withDefaults(xml bool) Options {
@@ -150,6 +161,14 @@ type Engine struct {
 	// FreeTables are the relations allowed as free tuple sets in candidate
 	// networks; defaults to the tables without text columns (link tables).
 	FreeTables []string
+
+	// Exec is the concurrent cached execution layer used by CN searches
+	// when Options.Workers > 1. Populated by NewRelational.
+	Exec *exec.Executor
+	// LastExecStats describes the most recent executor-backed search.
+	// Engines are not safe for concurrent Search calls; use Exec.TopK
+	// directly when querying from multiple goroutines.
+	LastExecStats exec.Stats
 }
 
 // NewRelational builds an engine over a relational database.
@@ -174,6 +193,7 @@ func NewRelational(db *relstore.DB) *Engine {
 			e.FreeTables = append(e.FreeTables, name)
 		}
 	}
+	e.Exec = exec.New(db, ix, exec.Options{FreeTables: e.FreeTables})
 	return e
 }
 
@@ -227,6 +247,20 @@ func (e *Engine) requireRelational() error {
 func (e *Engine) searchCN(terms []string, opts Options) ([]Result, error) {
 	if err := e.requireRelational(); err != nil {
 		return nil, err
+	}
+	if opts.Semantics == CandidateNetworks && opts.Workers > 1 && e.Exec != nil {
+		rs, st, err := e.Exec.TopK(context.Background(), exec.Query{
+			Terms: terms, K: opts.K, MaxCNSize: opts.MaxCNSize, Workers: opts.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.LastExecStats = st
+		var out []Result
+		for _, r := range rs {
+			out = append(out, Result{Score: r.Score, Tuples: r.Tuples, CN: r.CN})
+		}
+		return out, nil
 	}
 	ev := cn.NewEvaluator(e.DB, e.Index, terms)
 	cns := cn.Enumerate(e.Schema, cn.EnumerateOptions{
@@ -312,9 +346,12 @@ func (e *Engine) searchXML(terms []string, opts Options) ([]Result, error) {
 		return nil, fmt.Errorf("core: semantics %v requires an XML engine", opts.Semantics)
 	}
 	var nodes []*xmltree.Node
-	if opts.Semantics == ELCA {
+	switch {
+	case opts.Semantics == ELCA:
 		nodes = lca.ELCAStack(e.XIndex, terms)
-	} else {
+	case opts.Workers > 1:
+		nodes = lca.SLCAParallel(e.XIndex, terms, opts.Workers)
+	default:
 		nodes = lca.SLCA(e.XIndex, terms)
 	}
 	// Rank results by subtree compactness (smaller, deeper subtrees

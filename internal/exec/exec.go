@@ -1,0 +1,280 @@
+// Package exec is the concurrent, cache-backed query-execution layer in
+// front of the candidate-network machinery: the piece EMBANKS (Gupta &
+// Sudarshan) and Mragyati (Sarda & Jain) argue a keyword-search engine
+// needs before it can serve real traffic. It combines
+//
+//   - a sharded, generation-aware LRU cache (internal/cache) for
+//     term→posting lookups shared across queries and for whole-query
+//     top-k result sets;
+//   - a worker pool that fans candidate networks out across
+//     GOMAXPROCS-many goroutines using parallel.Assign's sharing-aware
+//     partitioning, with per-worker materialized-prefix reuse
+//     (cn.EvaluatePrefix keyed by cn.PrefixKey) so CNs placed together
+//     actually share their common join work;
+//   - sound top-k early termination: workers process their CNs in
+//     descending score-bound order, skip CNs whose bound cannot reach the
+//     shared k-th score, and a context cancellation path stops in-flight
+//     workers the moment every remaining bound is dominated. The
+//     returned top-k is byte-identical to full serial evaluation.
+package exec
+
+import (
+	"context"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"kwsearch/internal/cache"
+	"kwsearch/internal/cn"
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/parallel"
+	"kwsearch/internal/relstore"
+	"kwsearch/internal/schemagraph"
+	"kwsearch/internal/text"
+)
+
+// Options configures an Executor.
+type Options struct {
+	// Workers is the default worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// FreeTables are the relations allowed as free tuple sets in CNs.
+	FreeTables []string
+	// PostingCacheSize bounds the term→posting cache (entries; 0 = 4096).
+	PostingCacheSize int
+	// ResultCacheSize bounds the whole-query result cache (0 = 256).
+	ResultCacheSize int
+	// CacheShards stripes both caches (0 = 16).
+	CacheShards int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.PostingCacheSize <= 0 {
+		o.PostingCacheSize = 4096
+	}
+	if o.ResultCacheSize <= 0 {
+		o.ResultCacheSize = 256
+	}
+	if o.CacheShards <= 0 {
+		o.CacheShards = 16
+	}
+	return o
+}
+
+// Query is one top-k request.
+type Query struct {
+	// Terms are the raw keywords (normalized internally).
+	Terms []string
+	// K bounds the result count (<=0 means 10).
+	K int
+	// MaxCNSize bounds candidate-network size (<=0 means 5).
+	MaxCNSize int
+	// Workers overrides the executor's pool size for this query (0 =
+	// executor default, 1 = serial in-process).
+	Workers int
+}
+
+func (q Query) withDefaults(x *Executor) Query {
+	if q.K <= 0 {
+		q.K = 10
+	}
+	if q.MaxCNSize <= 0 {
+		q.MaxCNSize = 5
+	}
+	if q.Workers <= 0 {
+		q.Workers = x.opts.Workers
+	}
+	return q
+}
+
+// Stats describes how one TopK call was executed.
+type Stats struct {
+	// Workers is the pool size used.
+	Workers int
+	// JobsPerWorker counts the CN jobs placed on each worker.
+	JobsPerWorker []int
+	// CNs is the number of candidate networks enumerated.
+	CNs int
+	// Evaluated and Skipped partition the CNs into those actually joined
+	// and those pruned by the shared top-k bound (or abandoned after
+	// cancellation).
+	Evaluated int
+	Skipped   int
+	// PrefixReuses counts evaluation levels served from a worker's
+	// materialized-prefix table instead of being recomputed.
+	PrefixReuses int
+	// ResultCacheHit reports that the whole answer came from the result
+	// cache and nothing below it ran.
+	ResultCacheHit bool
+}
+
+// Executor is a reusable, concurrency-safe execution layer over one
+// database + index pair. Construct with New; methods may be called from
+// multiple goroutines.
+type Executor struct {
+	db   *relstore.DB
+	ix   *invindex.Index
+	sg   *schemagraph.Graph
+	opts Options
+
+	postings *cache.Cache[[]invindex.Posting]
+	results  *cache.Cache[[]cn.Result]
+
+	evaluated atomic.Uint64
+	skipped   atomic.Uint64
+	reuses    atomic.Uint64
+}
+
+// New builds an executor. FreeTables defaults to the text-free link
+// relations when left nil (matching core.NewRelational's policy is the
+// caller's concern).
+func New(db *relstore.DB, ix *invindex.Index, opts Options) *Executor {
+	opts = opts.withDefaults()
+	return &Executor{
+		db:       db,
+		ix:       ix,
+		sg:       schemagraph.FromDB(db),
+		opts:     opts,
+		postings: cache.New[[]invindex.Posting](opts.PostingCacheSize, opts.CacheShards),
+		results:  cache.New[[]cn.Result](opts.ResultCacheSize, opts.CacheShards),
+	}
+}
+
+// Postings is the cached term→posting lookup: the first access per term
+// goes to the index, later ones (from any query) hit the sharded cache.
+func (x *Executor) Postings(term string) []invindex.Posting {
+	norm := text.Normalize(term)
+	if norm == "" {
+		return nil
+	}
+	return x.postings.GetOrCompute(norm, func() []invindex.Posting {
+		return x.ix.Postings(norm)
+	})
+}
+
+// InvalidateCaches bumps both cache generations — call after growing the
+// index or mutating the database.
+func (x *Executor) InvalidateCaches() {
+	x.postings.Invalidate()
+	x.results.Invalidate()
+}
+
+// CacheStats returns the posting- and result-cache counters.
+func (x *Executor) CacheStats() (postings, results cache.Stats) {
+	return x.postings.Stats(), x.results.Stats()
+}
+
+// normTerms normalizes and drops empty tokens.
+func normTerms(terms []string) []string {
+	var out []string
+	for _, t := range terms {
+		if n := text.Normalize(t); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// resultCacheKey identifies a query in the result cache. Worker count is
+// excluded deliberately: the answer is execution-plan independent.
+func resultCacheKey(terms []string, k, maxCN int) string {
+	return strings.Join(terms, " ") + "|k=" + strconv.Itoa(k) + "|cn=" + strconv.Itoa(maxCN)
+}
+
+// copyResults guards cached slices against caller mutation.
+func copyResults(rs []cn.Result) []cn.Result {
+	return append([]cn.Result(nil), rs...)
+}
+
+// TopK answers q with the worker pool, consulting the result cache
+// first. The returned slice is the caller's to keep. Cancelling ctx
+// aborts the evaluation and returns ctx.Err(); the partial results are
+// discarded.
+func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error) {
+	q = q.withDefaults(x)
+	st := Stats{Workers: q.Workers}
+	terms := normTerms(q.Terms)
+	if len(terms) == 0 {
+		return nil, st, nil
+	}
+
+	key := resultCacheKey(terms, q.K, q.MaxCNSize)
+	if rs, ok := x.results.Get(key); ok {
+		st.ResultCacheHit = true
+		return copyResults(rs), st, nil
+	}
+
+	// AND-semantics fast path via the posting cache: a term with no
+	// postings at all makes total coverage impossible, so skip building
+	// the evaluator (a full-database scan) outright.
+	for _, t := range terms {
+		if len(x.Postings(t)) == 0 {
+			x.results.Put(key, nil)
+			return nil, st, nil
+		}
+	}
+
+	ev := cn.NewEvaluator(x.db, x.ix, terms)
+	cns := cn.Enumerate(x.sg, cn.EnumerateOptions{
+		MaxSize:       q.MaxCNSize,
+		KeywordTables: ev.KeywordTables(),
+		FreeTables:    x.opts.FreeTables,
+	})
+	st.CNs = len(cns)
+	if len(cns) == 0 {
+		x.results.Put(key, nil)
+		return nil, st, nil
+	}
+
+	jobs := make([]parallel.Job, len(cns))
+	for i, c := range cns {
+		jobs[i] = parallel.Decompose(c, ev)
+	}
+	assignment := parallel.Assign(jobs, q.Workers)
+	for _, js := range assignment.Jobs {
+		st.JobsPerWorker = append(st.JobsPerWorker, len(js))
+	}
+
+	ev.Prewarm(cns) // evaluation is read-only from here on
+
+	top, runStats, err := x.runPool(ctx, ev, assignment, q.K)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Evaluated = runStats.Evaluated
+	st.Skipped = runStats.Skipped
+	st.PrefixReuses = runStats.PrefixReuses
+	x.evaluated.Add(uint64(runStats.Evaluated))
+	x.skipped.Add(uint64(runStats.Skipped))
+	x.reuses.Add(uint64(runStats.PrefixReuses))
+
+	x.results.Put(key, copyResults(top))
+	return top, st, nil
+}
+
+// TopKSerial is the reference path: full evaluation of every CN on the
+// calling goroutine, no bound pruning, no caches. The worker pool's
+// answer is asserted byte-identical to this in the package tests.
+func (x *Executor) TopKSerial(q Query) []cn.Result {
+	q = q.withDefaults(x)
+	terms := normTerms(q.Terms)
+	if len(terms) == 0 {
+		return nil
+	}
+	ev := cn.NewEvaluator(x.db, x.ix, terms)
+	cns := cn.Enumerate(x.sg, cn.EnumerateOptions{
+		MaxSize:       q.MaxCNSize,
+		KeywordTables: ev.KeywordTables(),
+		FreeTables:    x.opts.FreeTables,
+	})
+	return cn.TopKNaive(ev, cns, q.K)
+}
+
+// CounterTotals returns the lifetime evaluated/skipped/prefix-reuse
+// counters (across all TopK calls).
+func (x *Executor) CounterTotals() (evaluated, skipped, prefixReuses uint64) {
+	return x.evaluated.Load(), x.skipped.Load(), x.reuses.Load()
+}

@@ -1,0 +1,245 @@
+package exec
+
+import (
+	"context"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kwsearch/internal/cn"
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/relstore"
+)
+
+var (
+	fixOnce sync.Once
+	fixDB   *relstore.DB
+	fixIx   *invindex.Index
+)
+
+// dblp returns the shared DBLP fixture (built once per test binary).
+func dblp() (*relstore.DB, *invindex.Index) {
+	fixOnce.Do(func() {
+		fixDB = dataset.DBLP(dataset.DefaultDBLPConfig())
+		fixIx = invindex.FromDB(fixDB)
+	})
+	return fixDB, fixIx
+}
+
+func newTestExecutor(workers int) *Executor {
+	db, ix := dblp()
+	return New(db, ix, Options{
+		Workers:    workers,
+		FreeTables: []string{"write", "cite"},
+	})
+}
+
+// renderResults serializes results bit-exactly: canonical CN, tuple IDs in
+// CN node order, and the raw float64 bits of the score. Two result lists
+// render equal iff they are byte-identical answers.
+func renderResults(rs []cn.Result) string {
+	var b strings.Builder
+	for _, r := range rs {
+		b.WriteString(r.CN.Canonical())
+		for _, tp := range r.Tuples {
+			b.WriteByte(' ')
+			b.WriteString(strconv.Itoa(int(tp.ID)))
+		}
+		b.WriteByte('@')
+		b.WriteString(strconv.FormatUint(math.Float64bits(r.Score), 16))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestTopKMatchesSerialByteIdentical is the acceptance-criteria check: the
+// worker pool's answer must be byte-identical to full serial evaluation,
+// for every worker count, including the result-cache replay.
+func TestTopKMatchesSerialByteIdentical(t *testing.T) {
+	queries := []Query{
+		{Terms: []string{"keyword", "search"}, K: 10, MaxCNSize: 5},
+		{Terms: []string{"wang", "search"}, K: 5, MaxCNSize: 5},
+		{Terms: []string{"keyword", "search", "database"}, K: 10, MaxCNSize: 4},
+		{Terms: []string{"keyword"}, K: 3, MaxCNSize: 3},
+	}
+	for _, q := range queries {
+		x := newTestExecutor(4)
+		want := renderResults(x.TopKSerial(q))
+		for _, workers := range []int{1, 2, 4, 8} {
+			qq := q
+			qq.Workers = workers
+			rs, st, err := x.TopK(context.Background(), qq)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", q.Terms, workers, err)
+			}
+			if got := renderResults(rs); got != want {
+				t.Errorf("%v workers=%d: parallel answer differs from serial\ngot:\n%swant:\n%s",
+					q.Terms, workers, got, want)
+			}
+			if !st.ResultCacheHit && st.CNs > 0 && st.Evaluated+st.Skipped != st.CNs {
+				t.Errorf("%v workers=%d: evaluated %d + skipped %d != CNs %d",
+					q.Terms, workers, st.Evaluated, st.Skipped, st.CNs)
+			}
+		}
+	}
+}
+
+// TestParallelBeatsSerial is the acceptance-criteria perf check: at 4
+// workers, the executor (bound pruning + prefix reuse + pool) must answer
+// the DBLP fixture query faster than full serial evaluation. Best-of-3 on
+// both sides to damp scheduler noise; the win is algorithmic (the serial
+// reference evaluates every CN), so it holds even on one core.
+func TestParallelBeatsSerial(t *testing.T) {
+	q := Query{Terms: []string{"keyword", "search"}, K: 10, MaxCNSize: 5, Workers: 4}
+
+	best := func(f func()) time.Duration {
+		d := time.Duration(math.MaxInt64)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			f()
+			if e := time.Since(start); e < d {
+				d = e
+			}
+		}
+		return d
+	}
+
+	x := newTestExecutor(4)
+	// Warm once outside timing so both sides measure steady-state work.
+	x.TopKSerial(q)
+
+	serial := best(func() { x.TopKSerial(q) })
+	parallel := best(func() {
+		x.InvalidateCaches() // no result-cache replays in the timed region
+		if _, _, err := x.TopK(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("serial=%v parallel=%v (%.2fx)", serial, parallel, float64(serial)/float64(parallel))
+	if parallel >= serial {
+		t.Errorf("parallel executor (%v) not faster than serial (%v) at 4 workers", parallel, serial)
+	}
+}
+
+// TestResultCache checks the whole-query cache: a repeated query is served
+// from cache with the identical answer, caller mutation cannot corrupt the
+// cached copy, and InvalidateCaches forces re-execution.
+func TestResultCache(t *testing.T) {
+	x := newTestExecutor(2)
+	q := Query{Terms: []string{"keyword", "search"}, K: 5, MaxCNSize: 4}
+
+	rs1, st1, err := x.TopK(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.ResultCacheHit {
+		t.Fatal("first query claims a result-cache hit")
+	}
+	want := renderResults(rs1)
+	if len(rs1) > 0 {
+		rs1[0].Score = -1 // caller mutation must not reach the cache
+	}
+
+	rs2, st2, err := x.TopK(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.ResultCacheHit {
+		t.Error("second identical query missed the result cache")
+	}
+	if got := renderResults(rs2); got != want {
+		t.Errorf("cached answer differs:\ngot:\n%swant:\n%s", got, want)
+	}
+
+	x.InvalidateCaches()
+	_, st3, err := x.TopK(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.ResultCacheHit {
+		t.Error("query after InvalidateCaches still hit the result cache")
+	}
+	_, results := x.CacheStats()
+	if results.Stale == 0 {
+		t.Error("expected a stale result-cache entry after invalidation")
+	}
+}
+
+// TestNoPostingsFastPath: a term absent from the index short-circuits the
+// query (AND semantics) without building an evaluator, and the nil answer
+// is itself cached.
+func TestNoPostingsFastPath(t *testing.T) {
+	x := newTestExecutor(2)
+	q := Query{Terms: []string{"keyword", "zzzznosuchterm"}, K: 5, MaxCNSize: 4}
+	rs, st, err := x.TopK(context.Background(), q)
+	if err != nil || rs != nil {
+		t.Fatalf("want nil results, got %v (err %v)", rs, err)
+	}
+	if st.CNs != 0 {
+		t.Errorf("fast path enumerated %d CNs", st.CNs)
+	}
+	if _, st2, _ := x.TopK(context.Background(), q); !st2.ResultCacheHit {
+		t.Error("empty answer was not cached")
+	}
+	if rs := x.TopKSerial(q); len(rs) != 0 {
+		t.Errorf("serial reference disagrees: %d results for impossible query", len(rs))
+	}
+}
+
+// TestEmptyTerms: queries that normalize to nothing return nothing.
+func TestEmptyTerms(t *testing.T) {
+	x := newTestExecutor(2)
+	for _, terms := range [][]string{nil, {}, {""}, {"  ", "\t"}} {
+		rs, _, err := x.TopK(context.Background(), Query{Terms: terms})
+		if err != nil || len(rs) != 0 {
+			t.Errorf("terms %q: got %d results, err %v", terms, len(rs), err)
+		}
+	}
+}
+
+// TestContextCancelled: a cancelled context aborts TopK with ctx.Err() and
+// no partial results.
+func TestContextCancelled(t *testing.T) {
+	x := newTestExecutor(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rs, _, err := x.TopK(ctx, Query{Terms: []string{"keyword", "search"}, K: 10, MaxCNSize: 5})
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if rs != nil {
+		t.Fatalf("cancelled query returned %d results", len(rs))
+	}
+}
+
+// TestStatsShape: JobsPerWorker covers every enumerated CN exactly once
+// and the lifetime counters advance.
+func TestStatsShape(t *testing.T) {
+	x := newTestExecutor(4)
+	_, st, err := x.TopK(context.Background(), Query{Terms: []string{"keyword", "search"}, K: 10, MaxCNSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 4 || len(st.JobsPerWorker) != 4 {
+		t.Fatalf("want 4 workers, got %d with %d job buckets", st.Workers, len(st.JobsPerWorker))
+	}
+	total := 0
+	for _, n := range st.JobsPerWorker {
+		total += n
+	}
+	if total != st.CNs {
+		t.Errorf("jobs per worker sum %d != %d CNs", total, st.CNs)
+	}
+	ev, sk, _ := x.CounterTotals()
+	if int(ev) != st.Evaluated || int(sk) != st.Skipped {
+		t.Errorf("lifetime counters (%d,%d) disagree with per-call stats (%d,%d)", ev, sk, st.Evaluated, st.Skipped)
+	}
+	postings, _ := x.CacheStats()
+	if postings.Entries == 0 {
+		t.Error("posting cache empty after a query")
+	}
+}

@@ -1,0 +1,206 @@
+package exec
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"kwsearch/internal/cn"
+	"kwsearch/internal/fmath"
+	"kwsearch/internal/parallel"
+	"kwsearch/internal/relstore"
+)
+
+// runStats aggregates per-worker execution counters for one TopK call.
+type runStats struct {
+	Evaluated    int
+	Skipped      int
+	PrefixReuses int
+}
+
+// sharedTopK is the workers' common accumulator: adds re-sort with the
+// deterministic cn.SortResults order and truncate to k, so the k-th score
+// is monotone non-decreasing over the run — the property the pruning and
+// cancellation logic rely on.
+type sharedTopK struct {
+	mu sync.Mutex
+	k  int
+	rs []cn.Result
+}
+
+func (t *sharedTopK) add(rs []cn.Result) {
+	if len(rs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rs = append(t.rs, rs...)
+	cn.SortResults(t.rs)
+	if len(t.rs) > t.k {
+		t.rs = t.rs[:t.k]
+	}
+}
+
+// kth returns the current k-th best score, or -Inf while the top-k is
+// not yet full (nothing may be pruned before that).
+func (t *sharedTopK) kth() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.rs) < t.k {
+		return math.Inf(-1)
+	}
+	return t.rs[t.k-1].Score
+}
+
+func (t *sharedTopK) snapshot() []cn.Result {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]cn.Result(nil), t.rs...)
+}
+
+// dominates reports kth > bound by a genuine margin (epsilon-safe): only
+// then is dropping the CN provably harmless, ties included.
+func dominates(kth, bound float64) bool {
+	return kth > bound && !fmath.Eq(kth, bound)
+}
+
+// runPool executes the assigned jobs across one goroutine per worker.
+// Each worker processes its jobs in descending score-bound order,
+// maintains a materialized-prefix table keyed by cn.PrefixKey for
+// intra-worker join reuse, skips jobs whose bound is dominated by the
+// shared k-th score, and publishes a bound watermark; when every
+// watermark is dominated the pool context is cancelled, stopping
+// in-flight workers between prefix levels. The final top-k equals full
+// serial evaluation byte for byte (see package tests).
+func (x *Executor) runPool(parent context.Context, ev *cn.Evaluator, a parallel.Assignment, k int) ([]cn.Result, runStats, error) {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	workers := len(a.Jobs)
+	top := &sharedTopK{k: k}
+	marks := make([]atomic.Uint64, workers)
+	perWorker := make([]runStats, workers)
+
+	// Per-worker job order: descending bound (deterministic tie-break by
+	// canonical CN string) so the skip check fires as early as possible.
+	ordered := make([][]parallel.Job, workers)
+	bounds := make([][]float64, workers)
+	for w, js := range a.Jobs {
+		ordered[w] = append([]parallel.Job(nil), js...)
+		sort.SliceStable(ordered[w], func(i, j int) bool {
+			bi, bj := ev.Bound(ordered[w][i].CN), ev.Bound(ordered[w][j].CN)
+			if !fmath.Eq(bi, bj) {
+				return bi > bj
+			}
+			return ordered[w][i].CN.Canonical() < ordered[w][j].CN.Canonical()
+		})
+		bounds[w] = make([]float64, len(ordered[w]))
+		for i, j := range ordered[w] {
+			bounds[w][i] = ev.Bound(j.CN)
+		}
+		if len(bounds[w]) > 0 {
+			marks[w].Store(math.Float64bits(bounds[w][0]))
+		} else {
+			marks[w].Store(math.Float64bits(math.Inf(-1)))
+		}
+	}
+
+	// tryCancel fires the internal cancellation when the shared k-th
+	// score dominates every worker's watermark: no unevaluated or
+	// in-flight CN can contribute a top-k result anymore. Watermarks are
+	// monotone non-increasing and kth is monotone non-decreasing, so a
+	// stale read can only delay cancellation, never make it unsound.
+	tryCancel := func() {
+		kth := top.kth()
+		if math.IsInf(kth, -1) {
+			return
+		}
+		for w := range marks {
+			if !dominates(kth, math.Float64frombits(marks[w].Load())) {
+				return
+			}
+		}
+		cancel()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		if len(ordered[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &perWorker[w]
+			prefixes := map[string][][]*relstore.Tuple{}
+			for ji, job := range ordered[w] {
+				if ctx.Err() != nil {
+					st.Skipped += len(ordered[w]) - ji
+					break
+				}
+				if dominates(top.kth(), bounds[w][ji]) {
+					st.Skipped++
+				} else if x.evalJob(ctx, ev, job.CN, prefixes, top, st) {
+					tryCancel()
+				} else {
+					st.Skipped++ // abandoned mid-evaluation by cancellation
+				}
+				next := math.Inf(-1)
+				if ji+1 < len(bounds[w]) {
+					next = bounds[w][ji+1]
+				}
+				marks[w].Store(math.Float64bits(next))
+				tryCancel()
+			}
+			marks[w].Store(math.Float64bits(math.Inf(-1)))
+		}(w)
+	}
+	wg.Wait()
+
+	var agg runStats
+	for _, st := range perWorker {
+		agg.Evaluated += st.Evaluated
+		agg.Skipped += st.Skipped
+		agg.PrefixReuses += st.PrefixReuses
+	}
+	if err := parent.Err(); err != nil {
+		return nil, agg, err
+	}
+	return top.snapshot(), agg, nil
+}
+
+// evalJob evaluates one CN with materialized-prefix reuse, checking ctx
+// between prefix levels. It returns false when cancellation interrupted
+// the evaluation (results discarded — they are provably below the k-th
+// score whenever the internal cancellation fired).
+func (x *Executor) evalJob(ctx context.Context, ev *cn.Evaluator, c *cn.CN, prefixes map[string][][]*relstore.Tuple, top *sharedTopK, st *runStats) bool {
+	n := len(c.Nodes)
+	start := 0
+	var bindings [][]*relstore.Tuple
+	for d := n - 1; d >= 1; d-- {
+		if bs, ok := prefixes[c.PrefixKey(d)]; ok {
+			bindings, start = bs, d
+			st.PrefixReuses++
+			break
+		}
+	}
+	// A cached-but-empty prefix proves the CN joins to nothing.
+	dead := start > 0 && len(bindings) == 0
+	for d := start + 1; d <= n && !dead; d++ {
+		if ctx.Err() != nil {
+			return false
+		}
+		bindings = ev.EvaluatePrefix(c, bindings, d)
+		if d < n {
+			prefixes[c.PrefixKey(d)] = bindings
+		}
+		dead = len(bindings) == 0
+	}
+	st.Evaluated++
+	if !dead {
+		top.add(ev.BindingResults(c, bindings))
+	}
+	return true
+}

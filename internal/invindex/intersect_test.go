@@ -1,0 +1,126 @@
+package invindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// sortedUnique draws n distinct DocIDs from [0, space) and returns them
+// sorted — the shape of a posting list.
+func sortedUnique(rng *rand.Rand, n, space int) []DocID {
+	seen := map[DocID]bool{}
+	var out []DocID
+	for len(out) < n && len(out) < space {
+		d := DocID(rng.Intn(space))
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestGallopEqualsMergeProperty asserts the galloping and linear-merge
+// intersections agree on randomized skewed posting lists (seeded PRNG),
+// across skew ratios that straddle GallopCrossover.
+func TestGallopEqualsMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 200; round++ {
+		small := sortedUnique(rng, rng.Intn(30), 200)
+		// Skew the second list anywhere from equal-sized to 100x.
+		factor := 1 + rng.Intn(100)
+		large := sortedUnique(rng, len(small)*factor+rng.Intn(5), 2000)
+		m := IntersectMerge(small, large)
+		g := IntersectGallop(small, large)
+		if !reflect.DeepEqual(m, g) {
+			t.Fatalf("round %d: merge %v != gallop %v\nsmall=%v\nlarge=%v", round, m, g, small, large)
+		}
+		// Argument order must not matter.
+		if gr := IntersectGallop(large, small); !reflect.DeepEqual(m, gr) {
+			t.Fatalf("round %d: gallop not symmetric: %v vs %v", round, m, gr)
+		}
+	}
+}
+
+// TestIntersectEdgeCases pins the empty, singleton and duplicate-boundary
+// shapes for both algorithms.
+func TestIntersectEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []DocID
+		want []DocID
+	}{
+		{"both-empty", nil, nil, nil},
+		{"left-empty", nil, []DocID{1, 2, 3}, nil},
+		{"right-empty", []DocID{1, 2, 3}, nil, nil},
+		{"singletons-hit", []DocID{7}, []DocID{7}, []DocID{7}},
+		{"singletons-miss", []DocID{7}, []DocID{8}, nil},
+		{"singleton-vs-long", []DocID{5}, []DocID{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, []DocID{5}},
+		{"shared-low-boundary", []DocID{0, 9}, []DocID{0, 3, 5}, []DocID{0}},
+		{"shared-high-boundary", []DocID{2, 9}, []DocID{4, 6, 9}, []DocID{9}},
+		{"shared-both-boundaries", []DocID{1, 5, 9}, []DocID{1, 9}, []DocID{1, 9}},
+		{"disjoint-interleaved", []DocID{1, 3, 5}, []DocID{2, 4, 6}, nil},
+		{"identical", []DocID{2, 4, 6}, []DocID{2, 4, 6}, []DocID{2, 4, 6}},
+	}
+	for _, tc := range cases {
+		if got := IntersectMerge(tc.a, tc.b); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: merge = %v, want %v", tc.name, got, tc.want)
+		}
+		if got := IntersectGallop(tc.a, tc.b); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: gallop = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestIntersectListsAdaptive checks the n-way fold against a brute-force
+// membership count, and that the index-level Intersect still honours AND
+// semantics.
+func TestIntersectListsAdaptive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 50; round++ {
+		nLists := 2 + rng.Intn(3)
+		lists := make([][]DocID, nLists)
+		for i := range lists {
+			lists[i] = sortedUnique(rng, rng.Intn(80), 100)
+		}
+		counts := map[DocID]int{}
+		for _, l := range lists {
+			for _, d := range l {
+				counts[d]++
+			}
+		}
+		var want []DocID
+		for d := DocID(0); d < 100; d++ {
+			if counts[d] == nLists {
+				want = append(want, d)
+			}
+		}
+		got := IntersectLists(lists)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: IntersectLists = %v, want %v", round, got, want)
+		}
+	}
+
+	ix := New()
+	ix.Add(1, "alpha beta")
+	ix.Add(2, "alpha beta gamma")
+	ix.Add(3, "beta gamma")
+	if got := ix.Intersect([]string{"alpha", "beta"}); !reflect.DeepEqual(got, []DocID{1, 2}) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if got := ix.Intersect([]string{"alpha", "missing"}); got != nil {
+		t.Fatalf("missing term should yield nil, got %v", got)
+	}
+	if got := ix.Intersect(nil); got != nil {
+		t.Fatalf("empty query should yield nil, got %v", got)
+	}
+}

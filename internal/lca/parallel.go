@@ -1,0 +1,71 @@
+package lca
+
+import (
+	"sync"
+
+	"kwsearch/internal/xmltree"
+)
+
+// slcaParallelMinAnchors is the shortest-list length below which
+// SLCAParallel falls back to the serial path: goroutine startup dominates
+// the per-anchor binary searches on tiny lists.
+const slcaParallelMinAnchors = 64
+
+// SLCAParallel computes SLCA with the Indexed-Lookup-Eager strategy
+// fanned out over workers goroutines: the shortest posting list is split
+// into contiguous anchor ranges, each range runs ILE independently
+// (anchorCandidate only reads the lists), and the per-range candidates
+// are concatenated in range order before the global minimalization —
+// which is also what resolves candidates that straddle a range boundary
+// (an ancestor produced in one range with a descendant candidate in the
+// next is pruned exactly as in the serial merge). Results are identical
+// to SLCA for every worker count.
+func SLCAParallel(ix *xmltree.Index, terms []string, workers int) []*xmltree.Node {
+	lists := lookupLists(ix, terms)
+	if lists == nil {
+		return nil
+	}
+	min := 0
+	for i, l := range lists {
+		if len(l) < len(lists[min]) {
+			min = i
+		}
+	}
+	anchors := lists[min]
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(anchors) {
+		workers = len(anchors)
+	}
+	if workers == 1 || len(anchors) < slcaParallelMinAnchors {
+		return SLCA(ix, terms)
+	}
+
+	t := ix.Tree()
+	perRange := make([][]*xmltree.Node, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(anchors) / workers
+		hi := (w + 1) * len(anchors) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var local []*xmltree.Node
+			for _, v := range anchors[lo:hi] {
+				d := anchorCandidate(v, lists, min)
+				if n := t.ByDewey(d); n != nil {
+					local = append(local, n)
+				}
+			}
+			perRange[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	var cands []*xmltree.Node
+	for _, local := range perRange {
+		cands = append(cands, local...)
+	}
+	return minimalize(cands)
+}

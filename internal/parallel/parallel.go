@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"kwsearch/internal/cn"
+	"kwsearch/internal/fmath"
 )
 
 // Job is one CN with its cost decomposition: Prefixes[i] identifies the
@@ -76,8 +77,28 @@ func (a Assignment) Makespan() float64 {
 
 func sortJobsByCost(jobs []Job) []Job {
 	out := append([]Job(nil), jobs...)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost() > out[j].Cost() })
+	// Equal-cost jobs tie-break on the canonical CN string: with a plain
+	// stable sort, worker placement of equal-cost jobs depends on the
+	// caller's input order, which silently changes which prefixes are
+	// co-located (and thus how much shared-prefix reuse the executor
+	// gets) between runs. The canonical tie-break makes Assign a pure
+	// function of the job *set*.
+	sort.SliceStable(out, func(i, j int) bool {
+		ci, cj := out[i].Cost(), out[j].Cost()
+		if !fmath.Eq(ci, cj) {
+			return ci > cj
+		}
+		return out[i].CN.Canonical() < out[j].CN.Canonical()
+	})
 	return out
+}
+
+// Assign is the canonical partitioning entry point of the execution
+// layer: sharing-aware placement (slide 132) with the deterministic
+// equal-cost tie-break, so the same job set always lands on the same
+// workers regardless of enumeration order.
+func Assign(jobs []Job, workers int) Assignment {
+	return SharingAwarePartition(jobs, workers)
 }
 
 // NaivePartition assigns the largest job to the currently lightest core

@@ -173,3 +173,58 @@ func TestExecuteDataParallelMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestAssignDeterministicUnderPermutation is the equal-cost tie-break
+// fix: Assign must produce identical worker placement for any input
+// permutation of the same job set, so shared-prefix co-location (and
+// everything downstream that keys off it) is stable across runs.
+func TestAssignDeterministicUnderPermutation(t *testing.T) {
+	_, jobs, _ := setup(t)
+	ref := Assign(jobs, 4)
+	refKeys := assignmentKeys(ref)
+
+	// A few deterministic permutations, including reversal (which flips
+	// the relative order of every equal-cost pair).
+	perms := [][]Job{reversed(jobs), rotated(jobs, 1), rotated(jobs, len(jobs)/2)}
+	for pi, perm := range perms {
+		got := Assign(perm, 4)
+		if got.Makespan() != ref.Makespan() {
+			t.Fatalf("perm %d: makespan %v != %v", pi, got.Makespan(), ref.Makespan())
+		}
+		gotKeys := assignmentKeys(got)
+		for w := range refKeys {
+			if len(gotKeys[w]) != len(refKeys[w]) {
+				t.Fatalf("perm %d worker %d: %d jobs, want %d", pi, w, len(gotKeys[w]), len(refKeys[w]))
+			}
+			for i := range refKeys[w] {
+				if gotKeys[w][i] != refKeys[w][i] {
+					t.Fatalf("perm %d worker %d job %d: %q != %q", pi, w, i, gotKeys[w][i], refKeys[w][i])
+				}
+			}
+		}
+	}
+}
+
+// assignmentKeys renders each worker's job list as canonical CN strings.
+func assignmentKeys(a Assignment) [][]string {
+	out := make([][]string, len(a.Jobs))
+	for w, js := range a.Jobs {
+		for _, j := range js {
+			out[w] = append(out[w], j.CN.Canonical())
+		}
+	}
+	return out
+}
+
+func reversed(jobs []Job) []Job {
+	out := make([]Job, len(jobs))
+	for i, j := range jobs {
+		out[len(jobs)-1-i] = j
+	}
+	return out
+}
+
+func rotated(jobs []Job, by int) []Job {
+	out := append([]Job(nil), jobs[by:]...)
+	return append(out, jobs[:by]...)
+}

@@ -23,7 +23,8 @@ echo "==> go test ./..."
 go test $short ./...
 
 echo "==> go test -race (concurrency-bearing packages)"
-go test -race $short ./internal/parallel/... ./internal/stream/... ./internal/cn/...
+go test -race $short ./internal/parallel/... ./internal/stream/... ./internal/cn/... \
+    ./internal/cache/... ./internal/exec/... ./internal/lca/...
 
 echo "==> kwslint ./..."
 go run ./cmd/kwslint ./...
