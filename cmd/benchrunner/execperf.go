@@ -11,6 +11,7 @@ import (
 	"kwsearch/internal/dataset"
 	"kwsearch/internal/exec"
 	"kwsearch/internal/invindex"
+	"kwsearch/internal/obs"
 )
 
 func init() {
@@ -98,6 +99,45 @@ type execPerfJSON struct {
 	ResultCacheHits int        `json:"result_cache_hits"`
 	PostingCache    cacheJSON  `json:"posting_cache"`
 	ResultCache     cacheJSON  `json:"result_cache"`
+	// Stages is the per-stage wall-time breakdown of one traced cold
+	// execution of the first workload query (span-tree derived):
+	// enumerate, evaluate, and the per-worker evaluate children.
+	Stages []stageJSON `json:"stages"`
+}
+
+// stageJSON is one pipeline stage's share of the traced execution. Name
+// is the span path from the root ("evaluate/worker-0"); Percent is the
+// stage's share of the root span's wall time (children overlap their
+// parents, so percentages do not sum to 100).
+type stageJSON struct {
+	Name    string  `json:"name"`
+	NS      int64   `json:"ns"`
+	Percent float64 `json:"percent"`
+}
+
+// stagesFromTrace flattens the span tree below root into stage rows.
+func stagesFromTrace(root *obs.Span) []stageJSON {
+	total := root.Duration()
+	var out []stageJSON
+	path := map[*obs.Span]string{root: ""}
+	root.Walk(func(sp *obs.Span, depth int) {
+		for _, c := range sp.Children() {
+			if path[sp] == "" {
+				path[c] = c.Name()
+			} else {
+				path[c] = path[sp] + "/" + c.Name()
+			}
+		}
+		if sp == root {
+			return
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(sp.Duration()) / float64(total)
+		}
+		out = append(out, stageJSON{Name: path[sp], NS: sp.Duration().Nanoseconds(), Percent: pct})
+	})
+	return out
 }
 
 // bestOf reports the fastest of n runs of f — single runs are too noisy
@@ -149,6 +189,16 @@ func writeExecPerformance(path string) error {
 		}
 	}
 
+	// One more cold traced execution yields the per-stage breakdown.
+	x.InvalidateCaches()
+	root := obs.StartSpan("query")
+	if _, _, err := x.TopK(context.Background(), exec.Query{
+		Terms: execQueries[0], K: 10, MaxCNSize: 5, Workers: 4, Trace: root,
+	}); err != nil {
+		return err
+	}
+	root.End()
+
 	evaluated, skipped, reuses := x.CounterTotals()
 	postings, results := x.CacheStats()
 	doc := execPerfJSON{
@@ -166,6 +216,7 @@ func writeExecPerformance(path string) error {
 		ResultCacheHits: resultHits,
 		PostingCache:    toCacheJSON(postings),
 		ResultCache:     toCacheJSON(results),
+		Stages:          stagesFromTrace(root),
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

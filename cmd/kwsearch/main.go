@@ -6,9 +6,13 @@
 //	kwsearch -data dblp -semantics cn -k 5 keyword search
 //	kwsearch -data seltzer -semantics banks Seltzer Berkeley
 //	kwsearch -data auctions -semantics slca seller Tom
+//	kwsearch -data dblp -workers 4 -trace keyword search
+//	kwsearch -data dblp -json keyword search | jq .stats
+//	kwsearch -data dblp -serve localhost:6060 keyword search
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +20,7 @@ import (
 
 	"kwsearch/internal/core"
 	"kwsearch/internal/dataset"
+	"kwsearch/internal/obs"
 	"kwsearch/internal/snippet"
 )
 
@@ -26,7 +31,10 @@ func main() {
 	doClean := flag.Bool("clean", false, "run noisy-channel query cleaning first")
 	snip := flag.Bool("snippets", false, "print snippets for XML results")
 	workers := flag.Int("workers", 1, "worker-pool size for cn/slca evaluation (>1 enables the parallel executor)")
-	stats := flag.Bool("stats", false, "print execution-layer statistics after the search")
+	stats := flag.Bool("stats", false, "print the engine's metrics-registry snapshot after the search")
+	trace := flag.Bool("trace", false, "print the query's span tree (pipeline stages with timings and attributes)")
+	jsonOut := flag.Bool("json", false, "emit results, stats and trace as one JSON object")
+	serve := flag.String("serve", "", "after the query, serve /metrics, /debug/vars and /debug/pprof on this address and block")
 	flag.Parse()
 	query := strings.Join(flag.Args(), " ")
 	if query == "" {
@@ -46,49 +54,94 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *doClean && engine.Cleaner != nil {
-		cleaned := engine.Cleaner.Clean(query)
-		fmt.Printf("cleaned query: %s\n", cleaned)
+	if *doClean && !*jsonOut && engine.Cleaner != nil {
+		fmt.Printf("cleaned query: %s\n", engine.Cleaner.Clean(query))
 	}
-	results, err := engine.Search(query, core.Options{
+	resp, err := engine.Query(query, core.Options{
 		K: *k, Semantics: semantics, Clean: *doClean, Workers: *workers,
+		Trace: *trace || *jsonOut,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if len(results) == 0 {
-		fmt.Println("no results")
-		return
+
+	if *jsonOut {
+		emitJSON(query, resp)
+	} else {
+		printText(engine, resp, *snip, *trace, *stats)
 	}
-	terms := engine.Terms(query, *doClean)
-	for i, r := range results {
+
+	if *serve != "" {
+		srv, err := obs.Serve(*serve, engine.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", srv.Addr())
+		select {} // block until interrupted
+	}
+}
+
+// printText is the human-readable output path: ranked results, then the
+// optional span tree and metrics snapshot.
+func printText(engine *core.Engine, resp *core.Response, snip, trace, stats bool) {
+	if len(resp.Results) == 0 {
+		fmt.Println("no results")
+	}
+	for i, r := range resp.Results {
 		fmt.Printf("%2d. %s\n", i+1, r)
-		if *snip && r.Node != nil {
-			for _, it := range snippet.Generate(r.Node, terms, 4) {
+		if snip && r.Node != nil {
+			for _, it := range snippet.Generate(r.Node, resp.Stats.Terms, 4) {
 				fmt.Printf("      %s: %s\n", it.Label, it.Value)
 			}
 		}
 	}
-	if *stats && engine.Exec != nil {
-		printExecStats(engine)
+	if trace && resp.Trace != nil {
+		fmt.Printf("\ntrace (%s total):\n%s", resp.Stats.Elapsed, resp.Trace)
+	}
+	if stats {
+		if st := resp.Stats.Exec; st != nil {
+			fmt.Printf("\nexec: workers=%d cns=%d evaluated=%d skipped=%d prefix-reuses=%d result-cache-hit=%v\n",
+				st.Workers, st.CNs, st.Evaluated, st.Skipped, st.PrefixReuses, st.ResultCacheHit)
+			if len(st.JobsPerWorker) > 0 {
+				fmt.Printf("exec: jobs per worker %v\n", st.JobsPerWorker)
+			}
+		}
+		if engine.Metrics != nil {
+			fmt.Printf("\nmetrics:\n%s", engine.Metrics.Snapshot())
+		}
 	}
 }
 
-// printExecStats reports the execution layer's work breakdown and cache
-// counters for the search that just ran.
-func printExecStats(engine *core.Engine) {
-	st := engine.LastExecStats
-	fmt.Printf("exec: workers=%d cns=%d evaluated=%d skipped=%d prefix-reuses=%d result-cache-hit=%v\n",
-		st.Workers, st.CNs, st.Evaluated, st.Skipped, st.PrefixReuses, st.ResultCacheHit)
-	if len(st.JobsPerWorker) > 0 {
-		fmt.Printf("exec: jobs per worker %v\n", st.JobsPerWorker)
+// jsonResult is one ranked answer in the -json payload.
+type jsonResult struct {
+	Rank  int     `json:"rank"`
+	Score float64 `json:"score"`
+	Text  string  `json:"text"`
+}
+
+// jsonOutput is the -json payload: the query, ranked results, the
+// engine-level stats (terms, timings, executor and cache counters), and
+// the span tree when tracing ran.
+type jsonOutput struct {
+	Query   string       `json:"query"`
+	Results []jsonResult `json:"results"`
+	Stats   core.Stats   `json:"stats"`
+	Trace   *core.Trace  `json:"trace,omitempty"`
+}
+
+func emitJSON(query string, resp *core.Response) {
+	out := jsonOutput{Query: query, Stats: resp.Stats, Trace: resp.Trace}
+	for i, r := range resp.Results {
+		out.Results = append(out.Results, jsonResult{Rank: i + 1, Score: r.Score, Text: r.String()})
 	}
-	postings, results := engine.Exec.CacheStats()
-	fmt.Printf("cache: postings hits=%d misses=%d evicted=%d entries=%d (hit rate %.2f)\n",
-		postings.Hits, postings.Misses, postings.Evictions, postings.Entries, postings.HitRate())
-	fmt.Printf("cache: results  hits=%d misses=%d evicted=%d entries=%d (hit rate %.2f)\n",
-		results.Hits, results.Misses, results.Evictions, results.Entries, results.HitRate())
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 func buildEngine(data string) (*core.Engine, error) {

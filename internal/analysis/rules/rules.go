@@ -23,6 +23,7 @@ func Default() []analysis.Rule {
 		Rand{},
 		Goroutine{},
 		MutexValue{},
+		SpanLeak{},
 		FloatEq{Packages: []string{"internal/rank", "internal/cn", "internal/banks"}},
 		DocComment{Only: []string{"internal/"}},
 	}

@@ -1,0 +1,184 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kwsearch/internal/analysis"
+)
+
+// SpanLeak flags exported functions that start a trace span (an
+// assignment from obs.StartSpan or a Child call) but can miss End() on an
+// early return: no `defer sp.End()`, and some return statement after the
+// start has no sp.End() between the start and itself. An unended span
+// reports a zero duration and fails the tree's WellFormed check, so the
+// leak shows up as corrupt traces far from the function that caused it.
+//
+// The check is lexical, not flow-sensitive: an End anywhere between the
+// start and a return (including inside a function literal, e.g. a worker
+// goroutine that ends its own span) satisfies it. That keeps the rule
+// quiet on the deliberate hand-off patterns in internal/exec and
+// internal/lca while still catching the common leak — an error-path
+// return inserted after the span was started.
+type SpanLeak struct{}
+
+// Name implements analysis.Rule.
+func (SpanLeak) Name() string { return "span-leak" }
+
+// Doc implements analysis.Rule.
+func (SpanLeak) Doc() string {
+	return "a started span must be ended on every path: defer sp.End() or call End before each return"
+}
+
+// Check implements analysis.Rule.
+func (r SpanLeak) Check(p *analysis.Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			r.checkFunc(p, fn)
+		}
+	}
+}
+
+// spanStart records one `sp := StartSpan(...)` / `sp := x.Child(...)`
+// site inside a function.
+type spanStart struct {
+	name string
+	pos  token.Pos
+}
+
+func (r SpanLeak) checkFunc(p *analysis.Pass, fn *ast.FuncDecl) {
+	var starts []spanStart
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isSpanStart(p, call) {
+			starts = append(starts, spanStart{name: id.Name, pos: as.Pos()})
+		}
+		return true
+	})
+	if len(starts) == 0 {
+		return
+	}
+
+	// Gather, once per function: deferred End receivers, End call
+	// positions per receiver name, return statements outside function
+	// literals (a return inside a literal exits the literal, not fn),
+	// and literal ranges.
+	deferred := map[string]bool{}
+	endPos := map[string][]token.Pos{}
+	var returns []token.Pos
+	var litRanges [][2]token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			litRanges = append(litRanges, [2]token.Pos{n.Pos(), n.End()})
+		case *ast.DeferStmt:
+			if name, ok := endReceiver(n.Call); ok {
+				deferred[name] = true
+			}
+		case *ast.CallExpr:
+			if name, ok := endReceiver(n); ok {
+				endPos[name] = append(endPos[name], n.Pos())
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		}
+		return true
+	})
+	inLit := func(pos token.Pos) bool {
+		for _, lr := range litRanges {
+			if lr[0] <= pos && pos < lr[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, st := range starts {
+		if deferred[st.name] {
+			continue
+		}
+		endedBetween := func(lo, hi token.Pos) bool {
+			for _, e := range endPos[st.name] {
+				if lo < e && e < hi {
+					return true
+				}
+			}
+			return false
+		}
+		leaky := token.NoPos
+		sawReturn := false
+		for _, ret := range returns {
+			if ret <= st.pos || inLit(ret) || inLit(st.pos) != inLit(ret) {
+				continue
+			}
+			sawReturn = true
+			if !endedBetween(st.pos, ret) {
+				leaky = ret
+				break
+			}
+		}
+		// A function (or literal) that falls off its end must still End
+		// the span somewhere.
+		if !sawReturn && leaky == token.NoPos && !endedBetween(st.pos, fn.Body.End()) {
+			leaky = fn.Body.End()
+		}
+		if leaky != token.NoPos {
+			p.Reportf(st.pos, "span %s started in %s may escape without End (line %d): defer %s.End() or end it before each return",
+				st.name, fn.Name.Name, p.Fset.Position(leaky).Line, st.name)
+		}
+	}
+}
+
+// endReceiver returns the receiver identifier of a plain `<ident>.End()`
+// call, and whether the call has that shape.
+func endReceiver(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// isSpanStart reports whether call creates a span: a StartSpan call or a
+// Child method call whose result type (when resolvable) is *Span.
+func isSpanStart(p *analysis.Pass, call *ast.CallExpr) bool {
+	named := false
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		named = fun.Name == "StartSpan"
+	case *ast.SelectorExpr:
+		named = fun.Sel.Name == "StartSpan" || fun.Sel.Name == "Child"
+	}
+	if !named {
+		return false
+	}
+	t := p.TypeOf(call)
+	if t == nil {
+		return true // no type info: trust the name (fixture mode)
+	}
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := ptr.Elem().(*types.Named)
+	return ok && n.Obj().Name() == "Span"
+}

@@ -1,0 +1,85 @@
+// Package fixture exercises the span-leak rule with a local stand-in for
+// the obs span API (the rule matches StartSpan/Child by name and result
+// type, so the fixture needs no imports).
+package fixture
+
+// Span mimics obs.Span.
+type Span struct{}
+
+// StartSpan mimics obs.StartSpan.
+func StartSpan(name string) *Span { return &Span{} }
+
+// Child mimics (*obs.Span).Child.
+func (s *Span) Child(name string) *Span { return &Span{} }
+
+// End mimics (*obs.Span).End.
+func (s *Span) End() {}
+
+// LeakOnEarlyReturn ends the span on the happy path only: the error
+// return escapes with the span still open.
+func LeakOnEarlyReturn(fail bool) int {
+	sp := StartSpan("work") // want "may escape without End"
+	if fail {
+		return -1
+	}
+	sp.End()
+	return 0
+}
+
+// LeakChildNeverEnded starts a child span and forgets it entirely.
+func LeakChildNeverEnded(parent *Span) {
+	child := parent.Child("stage") // want "may escape without End"
+	_ = child
+}
+
+// DeferredEnd is safe: defer covers every return.
+func DeferredEnd(fail bool) int {
+	sp := StartSpan("work")
+	defer sp.End()
+	if fail {
+		return -1
+	}
+	return 0
+}
+
+// EndBeforeEveryReturn is safe without defer: each return is preceded by
+// an End.
+func EndBeforeEveryReturn(fail bool) int {
+	sp := StartSpan("work")
+	if fail {
+		sp.End()
+		return -1
+	}
+	sp.End()
+	return 0
+}
+
+// HandoffToGoroutine is safe: the literal ends the span, which the
+// lexical check accepts (the goroutine owns the span's lifetime).
+func HandoffToGoroutine(parent *Span, join chan struct{}) {
+	child := parent.Child("worker")
+	go func() {
+		child.End()
+		close(join)
+	}()
+}
+
+// leakInUnexported is outside the rule's scope (unexported): not flagged
+// even though the span is never ended.
+func leakInUnexported() {
+	sp := StartSpan("work")
+	_ = sp
+}
+
+// NotASpan uses an unrelated Child method: the result type is not *Span,
+// so the rule ignores it.
+func NotASpan(t *Tree) *Tree {
+	n := t.Child("left")
+	return n
+}
+
+// Tree is an unrelated type with a Child method.
+type Tree struct{}
+
+// Child returns a subtree, not a span.
+func (t *Tree) Child(name string) *Tree { return &Tree{} }

@@ -13,6 +13,7 @@ import (
 
 	"kwsearch/internal/datagraph"
 	"kwsearch/internal/fmath"
+	"kwsearch/internal/obs"
 )
 
 // Answer is one distinct-root result: the root, its distance to the
@@ -33,6 +34,14 @@ type Stats struct {
 	Expansions int
 	// Touched counts distinct (group, node) distance entries created.
 	Touched int
+}
+
+// Record annotates sp with the search's work counters (no-op on a nil
+// span), so a traced query shows how much of the graph the expansion
+// visited.
+func (s Stats) Record(sp *obs.Span) {
+	sp.SetAttr("expansions", s.Expansions)
+	sp.SetAttr("touched", s.Touched)
 }
 
 // Options bounds a search.

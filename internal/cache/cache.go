@@ -16,6 +16,8 @@ package cache
 import (
 	"sync"
 	"sync/atomic"
+
+	"kwsearch/internal/obs"
 )
 
 // Stats aggregates the per-shard counters. All counters are cumulative
@@ -52,18 +54,24 @@ type shard[V any] struct {
 	capacity int
 	entries  map[string]*entry[V]
 	head     entry[V] // sentinel
-	hits     uint64
-	misses   uint64
-	evicted  uint64
-	stale    uint64
 }
 
 // Cache is a sharded, generation-aware LRU keyed by string. The zero
 // value is not usable; construct with New.
+//
+// The counters are obs.Counters shared across shards (one atomic add
+// per event, no per-shard aggregation pass) so a cache can surface its
+// numbers in an engine's metrics registry via Instrument while keeping
+// the Stats accessor API.
 type Cache[V any] struct {
 	shards []*shard[V]
 	mask   uint32
 	gen    atomic.Uint64
+
+	hits    *obs.Counter
+	misses  *obs.Counter
+	evicted *obs.Counter
+	stale   *obs.Counter
 }
 
 // New returns a cache holding up to capacity entries total, striped over
@@ -81,7 +89,14 @@ func New[V any](capacity, shards int) *Cache[V] {
 		capacity = n
 	}
 	perShard := (capacity + n - 1) / n
-	c := &Cache[V]{shards: make([]*shard[V], n), mask: uint32(n - 1)}
+	c := &Cache[V]{
+		shards:  make([]*shard[V], n),
+		mask:    uint32(n - 1),
+		hits:    &obs.Counter{},
+		misses:  &obs.Counter{},
+		evicted: &obs.Counter{},
+		stale:   &obs.Counter{},
+	}
 	for i := range c.shards {
 		s := &shard[V]{capacity: perShard, entries: make(map[string]*entry[V], perShard)}
 		s.head.next = &s.head
@@ -122,38 +137,47 @@ func (s *shard[V]) pushFront(e *entry[V]) {
 
 // Get returns the cached value for key. A stale entry (written before the
 // last Invalidate) is dropped and reported as a miss.
+//
+// The generation is read after the shard lock is taken: entry
+// generations are stamped under the same lock and the counter is
+// monotone, so the loaded value can never lag an entry's stamp. Loading
+// before the lock (as an earlier version did) let a racing Invalidate
+// make a just-written current entry look stale — it was then dropped
+// and double-counted as stale+miss even though it was fresh.
 func (c *Cache[V]) Get(key string) (V, bool) {
-	gen := c.gen.Load()
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	gen := c.gen.Load()
 	e, ok := s.entries[key]
 	if !ok {
-		s.misses++
+		c.misses.Inc()
 		var zero V
 		return zero, false
 	}
 	if e.gen != gen {
 		unlink(e)
 		delete(s.entries, key)
-		s.stale++
-		s.misses++
+		c.stale.Inc()
+		c.misses.Inc()
 		var zero V
 		return zero, false
 	}
-	s.hits++
+	c.hits.Inc()
 	unlink(e)
 	s.pushFront(e)
 	return e.val, true
 }
 
 // Put stores key→val at the current generation, evicting the least
-// recently used entry of the shard when it is full.
+// recently used entry of the shard when it is full. As in Get, the
+// generation is read under the shard lock so the stale/evicted split of
+// the eviction counters is exact.
 func (c *Cache[V]) Put(key string, val V) {
-	gen := c.gen.Load()
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	gen := c.gen.Load()
 	if e, ok := s.entries[key]; ok {
 		e.val = val
 		e.gen = gen
@@ -167,9 +191,9 @@ func (c *Cache[V]) Put(key string, val V) {
 			unlink(lru)
 			delete(s.entries, lru.key)
 			if lru.gen != gen {
-				s.stale++
+				c.stale.Inc()
 			} else {
-				s.evicted++
+				c.evicted.Inc()
 			}
 		}
 	}
@@ -212,17 +236,30 @@ func (c *Cache[V]) Len() int {
 // Shards returns the stripe count (diagnostics).
 func (c *Cache[V]) Shards() int { return len(c.shards) }
 
-// Stats sums the per-shard counters.
+// Stats reads the counters and the live entry count. The counters are
+// lifetime totals regardless of whether Instrument was called.
 func (c *Cache[V]) Stats() Stats {
-	var st Stats
+	st := Stats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evicted.Value(),
+		Stale:     c.stale.Value(),
+	}
 	for _, s := range c.shards {
 		s.mu.Lock()
-		st.Hits += s.hits
-		st.Misses += s.misses
-		st.Evictions += s.evicted
-		st.Stale += s.stale
 		st.Entries += len(s.entries)
 		s.mu.Unlock()
 	}
 	return st
+}
+
+// Instrument surfaces the cache's counters in reg under
+// "<prefix>.hits", ".misses", ".evictions" and ".stale", so registry
+// snapshots include them without double counting — the counters are
+// shared, not copied. Call it once, before concurrent use.
+func (c *Cache[V]) Instrument(reg *obs.Registry, prefix string) {
+	reg.Attach(prefix+".hits", c.hits)
+	reg.Attach(prefix+".misses", c.misses)
+	reg.Attach(prefix+".evictions", c.evicted)
+	reg.Attach(prefix+".stale", c.stale)
 }

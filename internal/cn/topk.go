@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"kwsearch/internal/fmath"
+	"kwsearch/internal/obs"
 	"kwsearch/internal/relstore"
 )
 
@@ -144,6 +145,15 @@ func (h *gpHeap) Pop() interface{} {
 // bound, producing only the joins needed to certify the top k (the Global
 // Pipeline of Hristidis et al. VLDB'03). Requires the monotone score.
 func TopKGlobalPipeline(ev *Evaluator, cns []*CN, k int) []Result {
+	return TopKGlobalPipelineTraced(ev, cns, k, nil)
+}
+
+// TopKGlobalPipelineTraced is TopKGlobalPipeline recording its work onto
+// sp (nil disables tracing): how many CNs entered the pipeline vs were
+// pruned outright (zero bound), how many driver tuples were advanced,
+// how many candidate rows the probes produced, and whether the k-th
+// score certified the answer before the heap drained.
+func TopKGlobalPipelineTraced(ev *Evaluator, cns []*CN, k int, sp *obs.Span) []Result {
 	h := &gpHeap{ev: ev}
 	for _, c := range cns {
 		kwNodes := c.KeywordNodes()
@@ -173,7 +183,11 @@ func TopKGlobalPipeline(ev *Evaluator, cns []*CN, k int) []Result {
 		}
 	}
 	heap.Init(h)
+	sp.SetAttr("cns", len(cns))
+	sp.SetAttr("pipelined", h.Len())
+	sp.SetAttr("pruned", len(cns)-h.Len())
 
+	advances, produced, certified := 0, 0, false
 	var top []Result
 	seen := map[string]bool{}
 	for h.Len() > 0 {
@@ -184,10 +198,12 @@ func TopKGlobalPipeline(ev *Evaluator, cns []*CN, k int) []Result {
 			continue
 		}
 		if len(top) >= k && top[k-1].Score >= b {
+			certified = true
 			break
 		}
 		tp := st.tuples[st.pos]
 		st.pos++
+		advances++
 		heap.Fix(h, 0)
 		for _, r := range ev.EvaluateCNWith(st.cn, st.driver, tp) {
 			// The same result can be produced through different driver
@@ -198,6 +214,7 @@ func TopKGlobalPipeline(ev *Evaluator, cns []*CN, k int) []Result {
 				continue
 			}
 			seen[key] = true
+			produced++
 			top = append(top, r)
 		}
 		SortResults(top)
@@ -205,5 +222,8 @@ func TopKGlobalPipeline(ev *Evaluator, cns []*CN, k int) []Result {
 			top = top[:k]
 		}
 	}
+	sp.SetAttr("driver_advances", advances)
+	sp.SetAttr("produced", produced)
+	sp.SetAttr("certified_early", certified)
 	return top
 }

@@ -11,6 +11,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -22,6 +23,7 @@ import (
 	"kwsearch/internal/exec"
 	"kwsearch/internal/invindex"
 	"kwsearch/internal/lca"
+	"kwsearch/internal/obs"
 	"kwsearch/internal/relstore"
 	"kwsearch/internal/schemagraph"
 	"kwsearch/internal/spark"
@@ -76,6 +78,12 @@ func (s Semantics) String() string {
 	return fmt.Sprintf("semantics(%d)", int(s))
 }
 
+// MarshalJSON encodes the semantics as its String name, so JSON payloads
+// (kwsearch -json, BENCH files) stay readable.
+func (s Semantics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
 // Options tunes a search.
 type Options struct {
 	// K bounds the result count (default 10).
@@ -87,6 +95,13 @@ type Options struct {
 	MaxCNSize int
 	// Clean runs noisy-channel query cleaning before searching.
 	Clean bool
+	// Trace enables per-query span collection: Query returns the span
+	// tree in Response.Trace (kwsearch -trace prints it). Search ignores
+	// the collected trace but still pays its (small) cost.
+	Trace bool
+	// Observer, when non-nil, is called at the end of every Query with
+	// that query's Stats and Trace (trace nil unless Trace is set).
+	Observer QueryObserver
 	// Workers sets the worker-pool size for candidate-network and SLCA
 	// evaluation. 0 or 1 keeps the serial paths; >1 routes CN searches
 	// through the internal/exec cached executor and SLCA through the
@@ -162,6 +177,12 @@ type Engine struct {
 	// networks; defaults to the tables without text columns (link tables).
 	FreeTables []string
 
+	// Metrics is the engine's metrics registry: the inverted index, the
+	// execution layer and its caches surface their counters here, and
+	// Query records per-query histograms. Populated by the constructors;
+	// serve it with obs.Serve for live inspection.
+	Metrics *obs.Registry
+
 	// Exec is the concurrent cached execution layer used by CN searches
 	// when Options.Workers > 1. Populated by NewRelational.
 	Exec *exec.Executor
@@ -174,12 +195,15 @@ type Engine struct {
 // NewRelational builds an engine over a relational database.
 func NewRelational(db *relstore.DB) *Engine {
 	ix := invindex.FromDB(db)
+	reg := obs.NewRegistry()
+	ix.Instrument(reg, "invindex")
 	e := &Engine{
 		DB:      db,
 		Schema:  schemagraph.FromDB(db),
 		Graph:   datagraph.FromDB(db, nil),
 		Index:   ix,
 		Cleaner: clean.NewCleaner(ix),
+		Metrics: reg,
 	}
 	for _, name := range db.TableNames() {
 		hasText := false
@@ -193,7 +217,7 @@ func NewRelational(db *relstore.DB) *Engine {
 			e.FreeTables = append(e.FreeTables, name)
 		}
 	}
-	e.Exec = exec.New(db, ix, exec.Options{FreeTables: e.FreeTables})
+	e.Exec = exec.New(db, ix, exec.Options{FreeTables: e.FreeTables, Metrics: reg})
 	return e
 }
 
@@ -206,7 +230,9 @@ func NewXML(tree *xmltree.Tree) *Engine {
 			rix.Add(invindex.DocID(n.ID), n.Value)
 		}
 	}
-	return &Engine{Tree: tree, XIndex: xix, Cleaner: clean.NewCleaner(rix)}
+	reg := obs.NewRegistry()
+	rix.Instrument(reg, "invindex")
+	return &Engine{Tree: tree, XIndex: xix, Cleaner: clean.NewCleaner(rix), Metrics: reg}
 }
 
 // Terms tokenizes (and optionally cleans) the query.
@@ -217,24 +243,14 @@ func (e *Engine) Terms(query string, doClean bool) []string {
 	return text.Tokenize(query)
 }
 
-// Search runs the query under the selected semantics.
+// Search runs the query under the selected semantics. It is Query minus
+// the observability artifacts; Options.Observer still fires.
 func (e *Engine) Search(query string, opts Options) ([]Result, error) {
-	opts = opts.withDefaults(e.Tree != nil)
-	terms := e.Terms(query, opts.Clean)
-	if len(terms) == 0 {
-		return nil, fmt.Errorf("core: empty query")
+	resp, err := e.Query(query, opts)
+	if err != nil {
+		return nil, err
 	}
-	switch opts.Semantics {
-	case CandidateNetworks, SparkNetworks:
-		return e.searchCN(terms, opts)
-	case DistinctRoot:
-		return e.searchBanks(terms, opts)
-	case SteinerTree:
-		return e.searchSteiner(terms, opts)
-	case SLCA, ELCA:
-		return e.searchXML(terms, opts)
-	}
-	return nil, fmt.Errorf("core: unknown semantics %v", opts.Semantics)
+	return resp.Results, nil
 }
 
 func (e *Engine) requireRelational() error {
@@ -244,43 +260,84 @@ func (e *Engine) requireRelational() error {
 	return nil
 }
 
-func (e *Engine) searchCN(terms []string, opts Options) ([]Result, error) {
+// lookupSpan resolves every term's postings (through lookup, which may be
+// cache-backed) under a "lookup" child span recording the term and total
+// posting counts. The resolution itself warms whatever cache backs
+// lookup, so the work is part of the pipeline, not tracing overhead.
+func lookupSpan(sp *obs.Span, terms []string, lookup func(string) int) {
+	lsp := sp.Child("lookup")
+	total := 0
+	for _, t := range terms {
+		total += lookup(t)
+	}
+	lsp.SetAttr("terms", len(terms))
+	lsp.SetAttr("postings", total)
+	lsp.End()
+}
+
+func (e *Engine) searchCN(terms []string, opts Options, sp *obs.Span, st *Stats) ([]Result, error) {
 	if err := e.requireRelational(); err != nil {
 		return nil, err
 	}
 	if opts.Semantics == CandidateNetworks && opts.Workers > 1 && e.Exec != nil {
-		rs, st, err := e.Exec.TopK(context.Background(), exec.Query{
+		lookupSpan(sp, terms, func(t string) int { return len(e.Exec.Postings(t)) })
+		rs, xst, err := e.Exec.TopK(context.Background(), exec.Query{
 			Terms: terms, K: opts.K, MaxCNSize: opts.MaxCNSize, Workers: opts.Workers,
+			Trace: sp,
 		})
 		if err != nil {
 			return nil, err
 		}
-		e.LastExecStats = st
+		e.LastExecStats = xst
+		st.Exec = &e.LastExecStats
 		var out []Result
 		for _, r := range rs {
 			out = append(out, Result{Score: r.Score, Tuples: r.Tuples, CN: r.CN})
 		}
+		rankSpan(sp, len(out))
 		return out, nil
 	}
+	lookupSpan(sp, terms, func(t string) int { return len(e.Index.Postings(t)) })
 	ev := cn.NewEvaluator(e.DB, e.Index, terms)
+	esp := sp.Child("enumerate")
 	cns := cn.Enumerate(e.Schema, cn.EnumerateOptions{
 		MaxSize:       opts.MaxCNSize,
 		KeywordTables: ev.KeywordTables(),
 		FreeTables:    e.FreeTables,
 	})
+	esp.SetAttr("cns", len(cns))
+	esp.End()
 	var out []Result
 	if opts.Semantics == SparkNetworks {
+		vsp := sp.Child("evaluate")
 		scorer := spark.NewScorer(ev, e.Index)
 		rs, _ := spark.TopKSkyline(scorer, cns, opts.K)
+		vsp.SetAttr("cns", len(cns))
+		vsp.SetAttr("produced", len(rs))
+		vsp.End()
 		for _, r := range rs {
 			out = append(out, Result{Score: r.SparkScore, Tuples: r.Tuples, CN: r.CN})
 		}
+		rankSpan(sp, len(out))
 		return out, nil
 	}
-	for _, r := range cn.TopKGlobalPipeline(ev, cns, opts.K) {
+	vsp := sp.Child("evaluate")
+	rs := cn.TopKGlobalPipelineTraced(ev, cns, opts.K, vsp)
+	vsp.End()
+	for _, r := range rs {
 		out = append(out, Result{Score: r.Score, Tuples: r.Tuples, CN: r.CN})
 	}
+	rankSpan(sp, len(out))
 	return out, nil
+}
+
+// rankSpan emits the terminal "rank" stage span: result conversion and
+// final ordering (already done by the evaluation layers, which return
+// sorted answers — the span records the merge point and result count).
+func rankSpan(sp *obs.Span, results int) {
+	rsp := sp.Child("rank")
+	rsp.SetAttr("results", results)
+	rsp.End()
 }
 
 // keywordGroups maps terms to data-graph node groups; ok is false when a
@@ -298,15 +355,33 @@ func (e *Engine) keywordGroups(terms []string) ([][]datagraph.NodeID, bool) {
 	return groups, true
 }
 
-func (e *Engine) searchBanks(terms []string, opts Options) ([]Result, error) {
+// groupsSpan runs keywordGroups under a "lookup" child span recording the
+// group count and total matched nodes.
+func (e *Engine) groupsSpan(sp *obs.Span, terms []string) ([][]datagraph.NodeID, bool) {
+	lsp := sp.Child("lookup")
+	groups, ok := e.keywordGroups(terms)
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	lsp.SetAttr("terms", len(terms))
+	lsp.SetAttr("matches", total)
+	lsp.End()
+	return groups, ok
+}
+
+func (e *Engine) searchBanks(terms []string, opts Options, sp *obs.Span) ([]Result, error) {
 	if err := e.requireRelational(); err != nil {
 		return nil, err
 	}
-	groups, ok := e.keywordGroups(terms)
+	groups, ok := e.groupsSpan(sp, terms)
 	if !ok {
 		return nil, nil
 	}
-	answers, _ := banks.BackwardSearch(e.Graph, groups, banks.Options{K: opts.K})
+	xsp := sp.Child("expand")
+	answers, bst := banks.BackwardSearch(e.Graph, groups, banks.Options{K: opts.K})
+	bst.Record(xsp)
+	xsp.End()
 	var out []Result
 	for _, a := range answers {
 		out = append(out, Result{
@@ -315,19 +390,28 @@ func (e *Engine) searchBanks(terms []string, opts Options) ([]Result, error) {
 			Root:  e.DB.TupleByID(relstore.TupleID(a.Root)),
 		})
 	}
+	rankSpan(sp, len(out))
 	return out, nil
 }
 
-func (e *Engine) searchSteiner(terms []string, opts Options) ([]Result, error) {
+func (e *Engine) searchSteiner(terms []string, opts Options, sp *obs.Span) ([]Result, error) {
 	if err := e.requireRelational(); err != nil {
 		return nil, err
 	}
-	groups, ok := e.keywordGroups(terms)
+	groups, ok := e.groupsSpan(sp, terms)
 	if !ok {
 		return nil, nil
 	}
+	xsp := sp.Child("expand")
 	tree, found := steiner.GroupSteiner(e.Graph, groups)
+	xsp.SetAttr("found", found)
+	if found {
+		xsp.SetAttr("cost", tree.Cost)
+		xsp.SetAttr("nodes", len(tree.Nodes()))
+	}
+	xsp.End()
 	if !found {
+		rankSpan(sp, 0)
 		return nil, nil
 	}
 	r := Result{
@@ -338,22 +422,28 @@ func (e *Engine) searchSteiner(terms []string, opts Options) ([]Result, error) {
 	for _, n := range tree.Nodes() {
 		r.Tuples = append(r.Tuples, e.DB.TupleByID(relstore.TupleID(n)))
 	}
+	rankSpan(sp, 1)
 	return []Result{r}, nil
 }
 
-func (e *Engine) searchXML(terms []string, opts Options) ([]Result, error) {
+func (e *Engine) searchXML(terms []string, opts Options, sp *obs.Span) ([]Result, error) {
 	if e.XIndex == nil {
 		return nil, fmt.Errorf("core: semantics %v requires an XML engine", opts.Semantics)
 	}
+	vsp := sp.Child("evaluate")
 	var nodes []*xmltree.Node
 	switch {
 	case opts.Semantics == ELCA:
-		nodes = lca.ELCAStack(e.XIndex, terms)
+		vsp.SetAttr("algorithm", "elca-stack")
+		nodes = lca.ELCAStackTraced(e.XIndex, terms, vsp)
 	case opts.Workers > 1:
-		nodes = lca.SLCAParallel(e.XIndex, terms, opts.Workers)
+		vsp.SetAttr("algorithm", "slca-parallel")
+		nodes = lca.SLCAParallelTraced(e.XIndex, terms, opts.Workers, vsp)
 	default:
-		nodes = lca.SLCA(e.XIndex, terms)
+		vsp.SetAttr("algorithm", "slca-ile")
+		nodes = lca.SLCATraced(e.XIndex, terms, vsp)
 	}
+	vsp.End()
 	// Rank results by subtree compactness (smaller, deeper subtrees
 	// first), the default XML ranking heuristic.
 	sort.SliceStable(nodes, func(i, j int) bool {
@@ -370,6 +460,7 @@ func (e *Engine) searchXML(terms []string, opts Options) ([]Result, error) {
 		}
 		out = append(out, Result{Score: 1 / float64(1+len(xmltree.Subtree(n))), Node: n})
 	}
+	rankSpan(sp, len(out))
 	return out, nil
 }
 

@@ -1,0 +1,114 @@
+package core
+
+// This file is the observability surface of the engine: per-query Stats,
+// the span-tree Trace, the QueryObserver callback, and the Query entry
+// point that instruments the whole pipeline (clean → lookup →
+// enumerate/expand → evaluate → rank) on top of the engine's metrics
+// registry.
+
+import (
+	"fmt"
+	"time"
+
+	"kwsearch/internal/exec"
+	"kwsearch/internal/obs"
+)
+
+// Trace is the span tree a traced query produces (see Options.Trace). It
+// aliases obs.Span so callers can walk, print or JSON-encode it without
+// importing internal/obs.
+type Trace = obs.Span
+
+// Stats summarizes one Query call at the engine level.
+type Stats struct {
+	// Semantics that actually ran, after Auto resolution.
+	Semantics Semantics `json:"semantics"`
+	// Terms the search executed with, after cleaning and normalization.
+	Terms []string `json:"terms"`
+	// Results is the number of answers returned.
+	Results int `json:"results"`
+	// Elapsed is the wall time of the whole pipeline.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Exec holds the worker-pool execution stats when the query ran
+	// through internal/exec (CandidateNetworks with Workers > 1).
+	Exec *exec.Stats `json:"exec,omitempty"`
+	// Metrics is the delta of the engine's registry over this query:
+	// every counter incremented and histogram observed while it ran.
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// QueryObserver receives every Query's Stats and Trace as it completes.
+// The trace is nil unless Options.Trace was set. Set it in
+// Options.Observer; it runs on the querying goroutine.
+type QueryObserver func(Stats, *Trace)
+
+// Response bundles a query's results with its observability artifacts.
+type Response struct {
+	// Results are the ranked answers, as Search returns them.
+	Results []Result
+	// Stats summarizes the execution.
+	Stats Stats
+	// Trace is the root span of the pipeline, nil unless Options.Trace.
+	Trace *Trace
+}
+
+// Query runs the search like Search but also returns per-query stats, an
+// optional span trace, and feeds Options.Observer. Engines are not safe
+// for concurrent Query calls (see LastExecStats).
+func (e *Engine) Query(query string, opts Options) (*Response, error) {
+	opts = opts.withDefaults(e.Tree != nil)
+	start := time.Now()
+	var before obs.Snapshot
+	if e.Metrics != nil {
+		before = e.Metrics.Snapshot()
+	}
+	var root *obs.Span
+	if opts.Trace {
+		root = obs.StartSpan("query")
+		root.SetAttr("semantics", opts.Semantics.String())
+	}
+
+	csp := root.Child("clean")
+	terms := e.Terms(query, opts.Clean)
+	csp.SetAttr("terms", len(terms))
+	csp.SetAttr("cleaned", opts.Clean)
+	csp.End()
+	root.SetAttr("keywords", len(terms))
+	if len(terms) == 0 {
+		root.End()
+		return nil, fmt.Errorf("core: empty query")
+	}
+
+	st := Stats{Semantics: opts.Semantics, Terms: terms}
+	var results []Result
+	var err error
+	switch opts.Semantics {
+	case CandidateNetworks, SparkNetworks:
+		results, err = e.searchCN(terms, opts, root, &st)
+	case DistinctRoot:
+		results, err = e.searchBanks(terms, opts, root)
+	case SteinerTree:
+		results, err = e.searchSteiner(terms, opts, root)
+	case SLCA, ELCA:
+		results, err = e.searchXML(terms, opts, root)
+	default:
+		err = fmt.Errorf("core: unknown semantics %v", opts.Semantics)
+	}
+	root.SetAttr("results", len(results))
+	root.End()
+	if err != nil {
+		return nil, err
+	}
+
+	st.Results = len(results)
+	st.Elapsed = time.Since(start)
+	if e.Metrics != nil {
+		e.Metrics.Histogram("query.elapsed_us").Observe(float64(st.Elapsed.Microseconds()))
+		st.Metrics = e.Metrics.Snapshot().Sub(before)
+	}
+	resp := &Response{Results: results, Stats: st, Trace: root}
+	if opts.Observer != nil {
+		opts.Observer(resp.Stats, resp.Trace)
+	}
+	return resp, nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"kwsearch/internal/dataset"
+)
+
+func TestQueryStatsAndObserver(t *testing.T) {
+	e := NewRelational(dataset.WidomBib())
+	var observed *Stats
+	var observedTrace *Trace
+	resp, err := e.Query("Widom XML", Options{K: 5, Trace: true,
+		Observer: func(st Stats, tr *Trace) { observed, observedTrace = &st, tr }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("no results")
+	}
+	st := resp.Stats
+	if st.Semantics != CandidateNetworks {
+		t.Errorf("semantics = %v", st.Semantics)
+	}
+	if len(st.Terms) != 2 || st.Results != len(resp.Results) || st.Elapsed <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Metrics.Counters["invindex.lookups"] == 0 {
+		t.Errorf("metrics delta missing index lookups: %v", st.Metrics.Counters)
+	}
+	if observed == nil || observed.Results != st.Results || observedTrace != resp.Trace {
+		t.Errorf("observer saw %+v / %p, want %+v / %p", observed, observedTrace, st, resp.Trace)
+	}
+	if resp.Trace == nil {
+		t.Fatal("trace requested but nil")
+	}
+	if err := resp.Trace.WellFormed(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryWithoutTraceHasNoTrace(t *testing.T) {
+	e := NewRelational(dataset.WidomBib())
+	resp, err := e.Query("Widom XML", Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace != nil {
+		t.Fatal("trace present without Options.Trace")
+	}
+}
+
+// TestTraceShapeGoldenSerial pins the exact span-tree shape of a seeded
+// serial CN query: the pipeline stages and their attribute keys must not
+// drift silently. Timings are excluded (Shape drops them), so the test
+// is deterministic.
+func TestTraceShapeGoldenSerial(t *testing.T) {
+	e := NewRelational(dataset.WidomBib())
+	resp, err := e.Query("Widom XML", Options{K: 5, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"query(keywords,results,semantics)\n" +
+		"  clean(cleaned,terms)\n" +
+		"  lookup(postings,terms)\n" +
+		"  enumerate(cns)\n" +
+		"  evaluate(certified_early,cns,driver_advances,pipelined,produced,pruned)\n" +
+		"  rank(results)\n"
+	if got := resp.Trace.Shape(); got != want {
+		t.Errorf("trace shape drifted:\n got:\n%s want:\n%s", got, want)
+	}
+}
+
+// TestTraceShapeGoldenParallel pins the shape of the executor-backed
+// path, including the per-worker child spans (the job assignment is
+// deterministic for a fixed dataset and worker count).
+func TestTraceShapeGoldenParallel(t *testing.T) {
+	e := NewRelational(dataset.WidomBib())
+	resp, err := e.Query("Widom XML", Options{K: 5, Workers: 2, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"query(keywords,result_cache_hit,results,semantics)\n" +
+		"  clean(cleaned,terms)\n" +
+		"  lookup(postings,terms)\n" +
+		"  enumerate(cns)\n" +
+		"  evaluate(evaluated,prefix_reuses,skipped,workers)\n" +
+		"    worker-0(busy,evaluated,idle,jobs,prefix_reuses,skipped)\n" +
+		"    worker-1(busy,evaluated,idle,jobs,prefix_reuses,skipped)\n" +
+		"  rank(results)\n"
+	if got := resp.Trace.Shape(); got != want {
+		t.Errorf("trace shape drifted:\n got:\n%s want:\n%s", got, want)
+	}
+	if st := resp.Stats.Exec; st == nil {
+		t.Fatal("exec stats missing on executor path")
+	} else if len(st.WorkerBusy) != len(st.JobsPerWorker) || len(st.SkippedPerWorker) != len(st.JobsPerWorker) {
+		t.Fatalf("per-worker stats misaligned: %+v", st)
+	}
+
+	// A repeat of the same query hits the result cache: the trace shrinks
+	// to the stages that actually ran.
+	resp2, err := e.Query("Widom XML", Options{K: 5, Workers: 2, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := "" +
+		"query(keywords,result_cache_hit,results,semantics)\n" +
+		"  clean(cleaned,terms)\n" +
+		"  lookup(postings,terms)\n" +
+		"  rank(results)\n"
+	if got := resp2.Trace.Shape(); got != want2 {
+		t.Errorf("cached trace shape drifted:\n got:\n%s want:\n%s", got, want2)
+	}
+}
+
+// TestTraceShapeXML covers the SLCA path: the evaluate span must carry
+// the lca attributes (list sizes, anchors, candidates).
+func TestTraceShapeXML(t *testing.T) {
+	e := NewXML(dataset.ConfXML())
+	resp, err := e.Query("keyword Mark", Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"query(keywords,results,semantics)\n" +
+		"  clean(cleaned,terms)\n" +
+		"  evaluate(algorithm,anchors,candidates,list_sizes)\n" +
+		"  rank(results)\n"
+	if got := resp.Trace.Shape(); got != want {
+		t.Errorf("xml trace shape drifted:\n got:\n%s want:\n%s", got, want)
+	}
+	if err := resp.Trace.WellFormed(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,11 +23,12 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
-	"sync/atomic"
+	"time"
 
 	"kwsearch/internal/cache"
 	"kwsearch/internal/cn"
 	"kwsearch/internal/invindex"
+	"kwsearch/internal/obs"
 	"kwsearch/internal/parallel"
 	"kwsearch/internal/relstore"
 	"kwsearch/internal/schemagraph"
@@ -46,6 +47,10 @@ type Options struct {
 	ResultCacheSize int
 	// CacheShards stripes both caches (0 = 16).
 	CacheShards int
+	// Metrics, when non-nil, receives the executor's lifetime counters and
+	// both cache counter sets (see Instrument). Leaving it nil costs one
+	// branch per counter event.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -75,6 +80,11 @@ type Query struct {
 	// Workers overrides the executor's pool size for this query (0 =
 	// executor default, 1 = serial in-process).
 	Workers int
+	// Trace, when non-nil, receives child spans for the execution stages
+	// (enumerate, evaluate with one child per pool worker) plus attributes
+	// such as the result-cache outcome. Nil disables tracing at the cost
+	// of one branch per span site.
+	Trace *obs.Span
 }
 
 func (q Query) withDefaults(x *Executor) Query {
@@ -109,6 +119,14 @@ type Stats struct {
 	// ResultCacheHit reports that the whole answer came from the result
 	// cache and nothing below it ran.
 	ResultCacheHit bool
+	// WorkerBusy is, per pool worker, the time spent inside CN evaluation;
+	// WorkerIdle is the rest of that worker's wall time in the pool
+	// (waiting on the shared top-k lock, bound checks, scheduling). Both
+	// are indexed like JobsPerWorker.
+	WorkerBusy []time.Duration
+	WorkerIdle []time.Duration
+	// SkippedPerWorker splits Skipped by pool worker.
+	SkippedPerWorker []int
 }
 
 // Executor is a reusable, concurrency-safe execution layer over one
@@ -123,9 +141,9 @@ type Executor struct {
 	postings *cache.Cache[[]invindex.Posting]
 	results  *cache.Cache[[]cn.Result]
 
-	evaluated atomic.Uint64
-	skipped   atomic.Uint64
-	reuses    atomic.Uint64
+	evaluated *obs.Counter
+	skipped   *obs.Counter
+	reuses    *obs.Counter
 }
 
 // New builds an executor. FreeTables defaults to the text-free link
@@ -133,14 +151,33 @@ type Executor struct {
 // caller's concern).
 func New(db *relstore.DB, ix *invindex.Index, opts Options) *Executor {
 	opts = opts.withDefaults()
-	return &Executor{
-		db:       db,
-		ix:       ix,
-		sg:       schemagraph.FromDB(db),
-		opts:     opts,
-		postings: cache.New[[]invindex.Posting](opts.PostingCacheSize, opts.CacheShards),
-		results:  cache.New[[]cn.Result](opts.ResultCacheSize, opts.CacheShards),
+	x := &Executor{
+		db:        db,
+		ix:        ix,
+		sg:        schemagraph.FromDB(db),
+		opts:      opts,
+		postings:  cache.New[[]invindex.Posting](opts.PostingCacheSize, opts.CacheShards),
+		results:   cache.New[[]cn.Result](opts.ResultCacheSize, opts.CacheShards),
+		evaluated: &obs.Counter{},
+		skipped:   &obs.Counter{},
+		reuses:    &obs.Counter{},
 	}
+	if opts.Metrics != nil {
+		x.Instrument(opts.Metrics)
+	}
+	return x
+}
+
+// Instrument surfaces the executor's lifetime counters in reg as
+// "exec.evaluated", "exec.skipped" and "exec.prefix_reuses", and both
+// cache counter sets under "cache.postings.*" and "cache.results.*".
+// Call before concurrent use (New does, when Options.Metrics is set).
+func (x *Executor) Instrument(reg *obs.Registry) {
+	x.evaluated = reg.Attach("exec.evaluated", x.evaluated)
+	x.skipped = reg.Attach("exec.skipped", x.skipped)
+	x.reuses = reg.Attach("exec.prefix_reuses", x.reuses)
+	x.postings.Instrument(reg, "cache.postings")
+	x.results.Instrument(reg, "cache.results")
 }
 
 // Postings is the cached term→posting lookup: the first access per term
@@ -195,6 +232,7 @@ func copyResults(rs []cn.Result) []cn.Result {
 // discarded.
 func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error) {
 	q = q.withDefaults(x)
+	sp := q.Trace
 	st := Stats{Workers: q.Workers}
 	terms := normTerms(q.Terms)
 	if len(terms) == 0 {
@@ -204,8 +242,10 @@ func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error
 	key := resultCacheKey(terms, q.K, q.MaxCNSize)
 	if rs, ok := x.results.Get(key); ok {
 		st.ResultCacheHit = true
+		sp.SetAttr("result_cache_hit", true)
 		return copyResults(rs), st, nil
 	}
+	sp.SetAttr("result_cache_hit", false)
 
 	// AND-semantics fast path via the posting cache: a term with no
 	// postings at all makes total coverage impossible, so skip building
@@ -213,10 +253,12 @@ func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error
 	for _, t := range terms {
 		if len(x.Postings(t)) == 0 {
 			x.results.Put(key, nil)
+			sp.SetAttr("empty_term", t)
 			return nil, st, nil
 		}
 	}
 
+	esp := sp.Child("enumerate")
 	ev := cn.NewEvaluator(x.db, x.ix, terms)
 	cns := cn.Enumerate(x.sg, cn.EnumerateOptions{
 		MaxSize:       q.MaxCNSize,
@@ -224,6 +266,8 @@ func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error
 		FreeTables:    x.opts.FreeTables,
 	})
 	st.CNs = len(cns)
+	esp.SetAttr("cns", len(cns))
+	esp.End()
 	if len(cns) == 0 {
 		x.results.Put(key, nil)
 		return nil, st, nil
@@ -240,16 +284,28 @@ func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error
 
 	ev.Prewarm(cns) // evaluation is read-only from here on
 
-	top, runStats, err := x.runPool(ctx, ev, assignment, q.K)
+	vsp := sp.Child("evaluate")
+	vsp.SetAttr("workers", len(assignment.Jobs))
+	top, perWorker, err := x.runPool(ctx, ev, assignment, q.K, vsp)
 	if err != nil {
+		vsp.End()
 		return nil, st, err
 	}
-	st.Evaluated = runStats.Evaluated
-	st.Skipped = runStats.Skipped
-	st.PrefixReuses = runStats.PrefixReuses
-	x.evaluated.Add(uint64(runStats.Evaluated))
-	x.skipped.Add(uint64(runStats.Skipped))
-	x.reuses.Add(uint64(runStats.PrefixReuses))
+	for _, ws := range perWorker {
+		st.Evaluated += ws.Evaluated
+		st.Skipped += ws.Skipped
+		st.PrefixReuses += ws.PrefixReuses
+		st.WorkerBusy = append(st.WorkerBusy, ws.Busy)
+		st.WorkerIdle = append(st.WorkerIdle, ws.Idle())
+		st.SkippedPerWorker = append(st.SkippedPerWorker, ws.Skipped)
+	}
+	vsp.SetAttr("evaluated", st.Evaluated)
+	vsp.SetAttr("skipped", st.Skipped)
+	vsp.SetAttr("prefix_reuses", st.PrefixReuses)
+	vsp.End()
+	x.evaluated.Add(uint64(st.Evaluated))
+	x.skipped.Add(uint64(st.Skipped))
+	x.reuses.Add(uint64(st.PrefixReuses))
 
 	x.results.Put(key, copyResults(top))
 	return top, st, nil
@@ -276,5 +332,5 @@ func (x *Executor) TopKSerial(q Query) []cn.Result {
 // CounterTotals returns the lifetime evaluated/skipped/prefix-reuse
 // counters (across all TopK calls).
 func (x *Executor) CounterTotals() (evaluated, skipped, prefixReuses uint64) {
-	return x.evaluated.Load(), x.skipped.Load(), x.reuses.Load()
+	return x.evaluated.Value(), x.skipped.Value(), x.reuses.Value()
 }

@@ -4,20 +4,36 @@ import (
 	"context"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kwsearch/internal/cn"
 	"kwsearch/internal/fmath"
+	"kwsearch/internal/obs"
 	"kwsearch/internal/parallel"
 	"kwsearch/internal/relstore"
 )
 
-// runStats aggregates per-worker execution counters for one TopK call.
+// runStats holds one pool worker's execution counters for one TopK call.
 type runStats struct {
 	Evaluated    int
 	Skipped      int
 	PrefixReuses int
+	// Busy is the time spent inside evalJob; Wall is the worker's total
+	// time in the pool (launch to exit).
+	Busy time.Duration
+	Wall time.Duration
+}
+
+// Idle returns the worker's non-evaluating time: Wall - Busy, clamped at
+// zero (the two are sampled with separate clock reads).
+func (s runStats) Idle() time.Duration {
+	if s.Wall <= s.Busy {
+		return 0
+	}
+	return s.Wall - s.Busy
 }
 
 // sharedTopK is the workers' common accumulator: adds re-sort with the
@@ -74,7 +90,13 @@ func dominates(kth, bound float64) bool {
 // watermark is dominated the pool context is cancelled, stopping
 // in-flight workers between prefix levels. The final top-k equals full
 // serial evaluation byte for byte (see package tests).
-func (x *Executor) runPool(parent context.Context, ev *cn.Evaluator, a parallel.Assignment, k int) ([]cn.Result, runStats, error) {
+//
+// When sp is non-nil every non-empty worker gets a child span
+// ("worker-<i>"), created in the launch loop before any goroutine starts
+// so the span tree's shape depends only on the (deterministic) job
+// assignment. The returned slice holds one runStats per worker slot,
+// including empty ones.
+func (x *Executor) runPool(parent context.Context, ev *cn.Evaluator, a parallel.Assignment, k int, sp *obs.Span) ([]cn.Result, []runStats, error) {
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
@@ -130,9 +152,12 @@ func (x *Executor) runPool(parent context.Context, ev *cn.Evaluator, a parallel.
 		if len(ordered[w]) == 0 {
 			continue
 		}
+		wsp := sp.Child("worker-" + strconv.Itoa(w))
+		wsp.SetAttr("jobs", len(ordered[w]))
 		wg.Add(1)
-		go func(w int) {
+		go func(w int, wsp *obs.Span) {
 			defer wg.Done()
+			launched := time.Now()
 			st := &perWorker[w]
 			prefixes := map[string][][]*relstore.Tuple{}
 			for ji, job := range ordered[w] {
@@ -142,10 +167,15 @@ func (x *Executor) runPool(parent context.Context, ev *cn.Evaluator, a parallel.
 				}
 				if dominates(top.kth(), bounds[w][ji]) {
 					st.Skipped++
-				} else if x.evalJob(ctx, ev, job.CN, prefixes, top, st) {
-					tryCancel()
 				} else {
-					st.Skipped++ // abandoned mid-evaluation by cancellation
+					t0 := time.Now()
+					done := x.evalJob(ctx, ev, job.CN, prefixes, top, st)
+					st.Busy += time.Since(t0)
+					if done {
+						tryCancel()
+					} else {
+						st.Skipped++ // abandoned mid-evaluation by cancellation
+					}
 				}
 				next := math.Inf(-1)
 				if ji+1 < len(bounds[w]) {
@@ -155,20 +185,21 @@ func (x *Executor) runPool(parent context.Context, ev *cn.Evaluator, a parallel.
 				tryCancel()
 			}
 			marks[w].Store(math.Float64bits(math.Inf(-1)))
-		}(w)
+			st.Wall = time.Since(launched)
+			wsp.SetAttr("evaluated", st.Evaluated)
+			wsp.SetAttr("skipped", st.Skipped)
+			wsp.SetAttr("prefix_reuses", st.PrefixReuses)
+			wsp.SetAttr("busy", st.Busy.Round(time.Microsecond))
+			wsp.SetAttr("idle", st.Idle().Round(time.Microsecond))
+			wsp.End()
+		}(w, wsp)
 	}
 	wg.Wait()
 
-	var agg runStats
-	for _, st := range perWorker {
-		agg.Evaluated += st.Evaluated
-		agg.Skipped += st.Skipped
-		agg.PrefixReuses += st.PrefixReuses
-	}
 	if err := parent.Err(); err != nil {
-		return nil, agg, err
+		return nil, perWorker, err
 	}
-	return top.snapshot(), agg, nil
+	return top.snapshot(), perWorker, nil
 }
 
 // evalJob evaluates one CN with materialized-prefix reuse, checking ctx

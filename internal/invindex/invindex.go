@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 
+	"kwsearch/internal/obs"
 	"kwsearch/internal/relstore"
 	"kwsearch/internal/text"
 )
@@ -28,6 +29,25 @@ type Index struct {
 	docLen   map[DocID]int
 	totalLen int64
 	numDocs  int
+
+	// instr counters are nil until Instrument is called; obs counters
+	// no-op on nil, so un-instrumented indexes pay one branch per event.
+	lookups         *obs.Counter
+	postingsScanned *obs.Counter
+	gallopPicks     *obs.Counter
+	mergePicks      *obs.Counter
+}
+
+// Instrument surfaces the index's work counters in reg:
+// "<prefix>.lookups" (posting-list resolutions), ".postings_scanned"
+// (postings returned by those lookups), ".intersect_gallop" and
+// ".intersect_merge" (which pairwise intersection path IntersectLists
+// chose). Call before concurrent use.
+func (ix *Index) Instrument(reg *obs.Registry, prefix string) {
+	ix.lookups = reg.Counter(prefix + ".lookups")
+	ix.postingsScanned = reg.Counter(prefix + ".postings_scanned")
+	ix.gallopPicks = reg.Counter(prefix + ".intersect_gallop")
+	ix.mergePicks = reg.Counter(prefix + ".intersect_merge")
 }
 
 // New returns an empty index.
@@ -107,6 +127,8 @@ func (ix *Index) Postings(term string) []Posting {
 	if !sort.SliceIsSorted(list, func(i, j int) bool { return list[i].Doc < list[j].Doc }) {
 		sort.Slice(list, func(i, j int) bool { return list[i].Doc < list[j].Doc })
 	}
+	ix.lookups.Inc()
+	ix.postingsScanned.Add(uint64(len(list)))
 	return list
 }
 
@@ -252,6 +274,13 @@ func IntersectGallop(a, b []DocID) []DocID {
 // passes GallopCrossover. Zero lists yield nil; any empty list yields an
 // empty intersection.
 func IntersectLists(lists [][]DocID) []DocID {
+	return intersectListsCounted(lists, nil, nil)
+}
+
+// intersectListsCounted is IntersectLists with per-path counters: each
+// pairwise fold step increments gallop or merge according to the path
+// taken (nil counters no-op).
+func intersectListsCounted(lists [][]DocID, gallop, merge *obs.Counter) []DocID {
 	if len(lists) == 0 {
 		return nil
 	}
@@ -264,8 +293,10 @@ func IntersectLists(lists [][]DocID) []DocID {
 			return nil
 		}
 		if len(other) >= GallopCrossover*len(out) {
+			gallop.Inc()
 			out = IntersectGallop(out, other)
 		} else {
+			merge.Inc()
 			out = IntersectMerge(out, other)
 		}
 	}
@@ -286,7 +317,7 @@ func (ix *Index) Intersect(terms []string) []DocID {
 			return nil
 		}
 	}
-	return IntersectLists(lists)
+	return intersectListsCounted(lists, ix.gallopPicks, ix.mergePicks)
 }
 
 // Union returns the documents containing any of the terms, sorted and

@@ -3,8 +3,19 @@ package lca
 import (
 	"sort"
 
+	"kwsearch/internal/obs"
 	"kwsearch/internal/xmltree"
 )
+
+// ELCAStackTraced is ELCAStack recording its work onto sp (nil disables
+// tracing): per-term posting-list sizes and the result count.
+func ELCAStackTraced(ix *xmltree.Index, terms []string, sp *obs.Span) []*xmltree.Node {
+	lists := lookupLists(ix, terms)
+	recordListSizes(sp, lists)
+	out := ELCAStack(ix, terms)
+	sp.SetAttr("elcas", len(out))
+	return out
+}
 
 // ELCAStack computes the Exclusive LCAs in one pass over the merged match
 // stream with a path stack — the DIL-style semantics of XRank (Guo et al.

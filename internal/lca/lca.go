@@ -10,6 +10,7 @@ package lca
 import (
 	"sort"
 
+	"kwsearch/internal/obs"
 	"kwsearch/internal/xmltree"
 )
 
@@ -142,16 +143,26 @@ func anchorCandidate(v *xmltree.Node, lists [][]*xmltree.Node, skip int) xmltree
 // anchor on the shortest list, binary-search the others —
 // O(k·d·|Smin|·log|Smax|), the complexity slide 138 quotes.
 func SLCA(ix *xmltree.Index, terms []string) []*xmltree.Node {
+	return SLCATraced(ix, terms, nil)
+}
+
+// SLCATraced is SLCA recording its work onto sp (nil disables tracing):
+// per-term posting-list sizes, the anchor count (shortest list), and the
+// candidate count before minimalization.
+func SLCATraced(ix *xmltree.Index, terms []string, sp *obs.Span) []*xmltree.Node {
 	lists := lookupLists(ix, terms)
 	if lists == nil {
+		sp.SetAttr("anchors", 0)
 		return nil
 	}
+	recordListSizes(sp, lists)
 	min := 0
 	for i, l := range lists {
 		if len(l) < len(lists[min]) {
 			min = i
 		}
 	}
+	sp.SetAttr("anchors", len(lists[min]))
 	t := ix.Tree()
 	var cands []*xmltree.Node
 	for _, v := range lists[min] {
@@ -160,7 +171,20 @@ func SLCA(ix *xmltree.Index, terms []string) []*xmltree.Node {
 			cands = append(cands, n)
 		}
 	}
+	sp.SetAttr("candidates", len(cands))
 	return minimalize(cands)
+}
+
+// recordListSizes annotates sp with the per-term posting-list sizes.
+func recordListSizes(sp *obs.Span, lists [][]*xmltree.Node) {
+	if sp == nil {
+		return
+	}
+	sizes := make([]int, len(lists))
+	for i, l := range lists {
+		sizes[i] = len(l)
+	}
+	sp.SetAttr("list_sizes", sizes)
 }
 
 // SLCAScan is the scan-eager variant: anchors still come from the shortest

@@ -1,8 +1,10 @@
 package lca
 
 import (
+	"strconv"
 	"sync"
 
+	"kwsearch/internal/obs"
 	"kwsearch/internal/xmltree"
 )
 
@@ -21,8 +23,18 @@ const slcaParallelMinAnchors = 64
 // next is pruned exactly as in the serial merge). Results are identical
 // to SLCA for every worker count.
 func SLCAParallel(ix *xmltree.Index, terms []string, workers int) []*xmltree.Node {
+	return SLCAParallelTraced(ix, terms, workers, nil)
+}
+
+// SLCAParallelTraced is SLCAParallel recording its work onto sp (nil
+// disables tracing): list sizes, the anchor count, and one child span per
+// range worker carrying that range's bounds and candidate count. Child
+// spans are created in the launch loop, before any goroutine starts, so
+// the span tree's shape is deterministic for a given worker count.
+func SLCAParallelTraced(ix *xmltree.Index, terms []string, workers int, sp *obs.Span) []*xmltree.Node {
 	lists := lookupLists(ix, terms)
 	if lists == nil {
+		sp.SetAttr("anchors", 0)
 		return nil
 	}
 	min := 0
@@ -38,9 +50,16 @@ func SLCAParallel(ix *xmltree.Index, terms []string, workers int) []*xmltree.Nod
 	if workers > len(anchors) {
 		workers = len(anchors)
 	}
+	recordListSizes(sp, lists)
+	sp.SetAttr("anchors", len(anchors))
 	if workers == 1 || len(anchors) < slcaParallelMinAnchors {
-		return SLCA(ix, terms)
+		sp.SetAttr("serial_fallback", true)
+		child := sp.Child("slca-serial")
+		defer child.End()
+		return SLCATraced(ix, terms, child)
 	}
+	sp.SetAttr("serial_fallback", false)
+	sp.SetAttr("ranges", workers)
 
 	t := ix.Tree()
 	perRange := make([][]*xmltree.Node, workers)
@@ -48,8 +67,11 @@ func SLCAParallel(ix *xmltree.Index, terms []string, workers int) []*xmltree.Nod
 	for w := 0; w < workers; w++ {
 		lo := w * len(anchors) / workers
 		hi := (w + 1) * len(anchors) / workers
+		child := sp.Child("range-" + strconv.Itoa(w))
+		child.SetAttr("lo", lo)
+		child.SetAttr("hi", hi)
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(w, lo, hi int, child *obs.Span) {
 			defer wg.Done()
 			var local []*xmltree.Node
 			for _, v := range anchors[lo:hi] {
@@ -59,7 +81,9 @@ func SLCAParallel(ix *xmltree.Index, terms []string, workers int) []*xmltree.Nod
 				}
 			}
 			perRange[w] = local
-		}(w, lo, hi)
+			child.SetAttr("candidates", len(local))
+			child.End()
+		}(w, lo, hi, child)
 	}
 	wg.Wait()
 
@@ -67,5 +91,6 @@ func SLCAParallel(ix *xmltree.Index, terms []string, workers int) []*xmltree.Nod
 	for _, local := range perRange {
 		cands = append(cands, local...)
 	}
+	sp.SetAttr("candidates", len(cands))
 	return minimalize(cands)
 }

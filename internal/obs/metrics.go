@@ -1,0 +1,381 @@
+// Package obs is the engine's observability layer: a concurrent-safe
+// metrics registry (counters, gauges, bounded-bucket histograms with
+// quantile estimates) and a lightweight span tracer that records one
+// query's pipeline as a tree of timed stages with attributes.
+//
+// The package is stdlib-only and designed so instrumented hot paths pay
+// roughly one atomic add per event: counters are plain atomics, every
+// metric and span method is safe on a nil receiver (disabled
+// instrumentation degrades to a nil check), and the registry lock is
+// only taken when a metric is first created or a snapshot is read.
+// EMBANKS (Gupta & Sudarshan) motivates exactly this cost accounting —
+// node/edge I/O counts that explain, not just time, a keyword-search
+// engine's behaviour.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; all methods are safe on a nil receiver (no-ops), so
+// un-instrumented code paths cost one branch.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n events.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. Like Counter, the zero value
+// works and nil receivers no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultBuckets are the histogram bucket upper bounds used when none
+// are given: geometric, factor 4 from 1 up to ~4^15 ≈ 1.07e9. They span
+// both event counts and nanosecond-scale durations (1ns .. ~1s) with a
+// bounded, cheap bucket array.
+var DefaultBuckets = func() []float64 {
+	b := make([]float64, 16)
+	v := 1.0
+	for i := range b {
+		b[i] = v
+		v *= 4
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket histogram: observations land in the first
+// bucket whose upper bound is >= the value, with one overflow bucket
+// past the last bound. Observe is one atomic add plus a small binary
+// search over the (immutable) bounds; Quantile estimates by linear
+// interpolation inside the selected bucket. Nil receivers no-op.
+type Histogram struct {
+	bounds []float64 // sorted ascending, immutable after construction
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds (DefaultBuckets when nil).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket
+// counts: the target rank's bucket is located, then the estimate
+// interpolates linearly between the bucket's bounds. The estimate is
+// always within the true value's bucket, so its error is bounded by the
+// bucket width. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is 1-based: the ceil(q*total)-th smallest observation.
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := lo
+		if i < len(h.bounds) {
+			hi = h.bounds[i]
+		}
+		// Interpolate by the rank's position inside this bucket.
+		inBucket := h.counts[i].Load()
+		if inBucket <= 1 || hi == lo {
+			return hi
+		}
+		below := cum - inBucket
+		frac := float64(rank-below) / float64(inBucket)
+		return lo + frac*(hi-lo)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram used by
+// Registry.Snapshot.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Registry is a named collection of metrics. Lookup-or-create methods
+// take a short write lock; the returned metric pointers are stable, so
+// hot paths should hold on to them rather than re-resolve by name.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Nil registries return nil (a no-op counter).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Attach registers an existing counter under name, so components that
+// own their counters (e.g. a cache's hit counter) can surface them in a
+// registry without double counting. An already-registered name keeps
+// its first counter; Attach then returns that one.
+func (r *Registry) Attach(name string, c *Counter) *Counter {
+	if r == nil || c == nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.counters[name]; ok {
+		return prev
+	}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Nil registries return nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name with
+// DefaultBuckets, creating it on first use. Nil registries return nil.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(nil)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// JSON-marshalable and renderable for CLIs.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current value of every metric. Nil registries
+// return an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = HistogramSnapshot{
+			Count: h.Count(), Sum: h.Sum(),
+			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+		}
+	}
+	return s
+}
+
+// Sub returns the counter-wise difference s - earlier (gauges and
+// histograms are carried over from s unchanged): the per-query delta a
+// caller gets by snapshotting around one request.
+func (s Snapshot) Sub(earlier Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     s.Gauges,
+		Histograms: s.Histograms,
+	}
+	for name, v := range s.Counters {
+		d := v - earlier.Counters[name]
+		if d != 0 {
+			out.Counters[name] = d
+		}
+	}
+	return out
+}
+
+// String renders the snapshot sorted by metric name, one per line —
+// the CLI -stats format.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-42s %d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-42s %d\n", name, s.Gauges[name])
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "%-42s n=%d sum=%.0f p50=%.0f p95=%.0f p99=%.0f\n",
+			name, h.Count, h.Sum, h.P50, h.P95, h.P99)
+	}
+	return b.String()
+}

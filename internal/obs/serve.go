@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Serve exposes a registry over HTTP for ops tooling, entirely opt-in
+// (nothing listens unless it is called):
+//
+//	/metrics     — JSON Snapshot of reg
+//	/debug/vars  — the process's expvar page (reg is also published
+//	               there under "kwsearch" on first Serve)
+//	/debug/pprof — the standard pprof index, profiles included
+//
+// It binds addr immediately (so the caller sees bind errors
+// synchronously and can read the chosen port from Addr when addr ends
+// in ":0"), then serves in a background goroutine. Shut it down with
+// (*Server).Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	publishExpvar(reg)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &Server{
+		http: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+		done: make(chan error, 1),
+	}
+	go func() { srv.done <- srv.http.Serve(ln) }()
+	return srv, nil
+}
+
+// Server is a running observability endpoint; Close stops it.
+type Server struct {
+	http *http.Server
+	ln   net.Listener
+	done chan error
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for the serve goroutine to exit.
+func (s *Server) Close() error {
+	err := s.http.Close()
+	<-s.done
+	return err
+}
+
+// expvarCur is the registry /debug/vars reflects; Serve publishes the
+// expvar Func once and swaps the target on later calls, since
+// expvar.Publish panics on duplicate names.
+var (
+	expvarMu  sync.Mutex
+	expvarCur *Registry
+)
+
+func publishExpvar(reg *Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	first := expvarCur == nil
+	expvarCur = reg
+	if first {
+		expvar.Publish("kwsearch", expvar.Func(func() interface{} {
+			expvarMu.Lock()
+			defer expvarMu.Unlock()
+			return expvarCur.Snapshot()
+		}))
+	}
+}

@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"kwsearch/internal/obs"
+)
+
+// TestPipelineSpanTreeWellFormed drives a real multi-producer pipeline
+// run while growing one span tree from every goroutine involved —
+// producers, consumer and the feeding loop all create children and set
+// attributes concurrently. The tree must come out well-formed (every
+// span ended, children nested within parents) and structurally complete.
+// Run with -race.
+func TestPipelineSpanTreeWellFormed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped in -short")
+	}
+	db, cns, terms := setup(t)
+	all := allTuples(db, 17)
+
+	root := obs.StartSpan("stream-query")
+	p := NewPipeline(NewMesh(db, terms, cns), 4)
+
+	csp := root.Child("consume")
+	consumerDone := make(chan struct{})
+	results := 0
+	go func() {
+		defer close(consumerDone)
+		for range p.Results() {
+			results++
+		}
+		csp.SetAttr("results", results)
+		csp.End()
+	}()
+
+	const producers = 4
+	// Producer spans are created before the goroutines start, so the
+	// root's child list is deterministic: consume + one per producer.
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		psp := root.Child("produce-" + strconv.Itoa(w))
+		wg.Add(1)
+		go func(w int, psp *obs.Span) {
+			defer wg.Done()
+			fed := 0
+			for i := w; i < len(all); i += producers {
+				// A per-tuple child exercises concurrent tree growth on
+				// sibling branches.
+				tsp := psp.Child("feed")
+				if !p.Feed(all[i]) {
+					tsp.End()
+					break
+				}
+				fed++
+				tsp.SetAttr("n", fed)
+				tsp.End()
+			}
+			psp.SetAttr("fed", fed)
+			psp.End()
+		}(w, psp)
+	}
+	wg.Wait()
+	p.Finish()
+	<-consumerDone
+	root.SetAttr("results", results)
+	root.End()
+
+	if err := root.WellFormed(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	kids := root.Children()
+	if len(kids) != producers+1 {
+		t.Fatalf("root has %d children, want %d", len(kids), producers+1)
+	}
+	totalFeeds := 0
+	for _, c := range kids {
+		if c.Name() == "consume" {
+			continue
+		}
+		fed, ok := c.Attr("fed")
+		if !ok {
+			t.Fatalf("producer span %s missing fed attr", c.Name())
+		}
+		if got := len(c.Children()); got < fed.(int) {
+			t.Fatalf("producer %s has %d feed children for %d feeds", c.Name(), got, fed)
+		}
+		totalFeeds += fed.(int)
+	}
+	if totalFeeds != len(all) {
+		t.Fatalf("producers fed %d tuples, want %d", totalFeeds, len(all))
+	}
+	if results == 0 {
+		t.Fatal("pipeline emitted nothing; span test is vacuous")
+	}
+}
