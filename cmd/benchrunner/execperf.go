@@ -103,6 +103,10 @@ type execPerfJSON struct {
 	// execution of the first workload query (span-tree derived):
 	// enumerate, evaluate, and the per-worker evaluate children.
 	Stages []stageJSON `json:"stages"`
+	// Resilience records the robustness layer's costs: deadline-carrying
+	// context overhead on the pool executor and shed-decision latency
+	// under a saturated admission gate (E35).
+	Resilience resilienceJSON `json:"resilience"`
 }
 
 // stageJSON is one pipeline stage's share of the traced execution. Name
@@ -199,6 +203,11 @@ func writeExecPerformance(path string) error {
 	}
 	root.End()
 
+	res, err := measureResilience()
+	if err != nil {
+		return err
+	}
+
 	evaluated, skipped, reuses := x.CounterTotals()
 	postings, results := x.CacheStats()
 	doc := execPerfJSON{
@@ -217,6 +226,7 @@ func writeExecPerformance(path string) error {
 		PostingCache:    toCacheJSON(postings),
 		ResultCache:     toCacheJSON(results),
 		Stages:          stagesFromTrace(root),
+		Resilience:      res,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -231,5 +241,7 @@ func writeExecPerformance(path string) error {
 		postings.Hits, postings.Hits+postings.Misses,
 		results.Hits, results.Hits+results.Misses,
 		postings.Evictions+results.Evictions)
+	fmt.Printf("performance: ctx overhead %.1f%% (background %v vs deadline %v), shed p99 %dµs\n",
+		res.CtxOverheadPct, time.Duration(res.CtxBackgroundNS), time.Duration(res.CtxDeadlineNS), res.ShedP99US)
 	return nil
 }

@@ -7,12 +7,19 @@
 //	kwsearch -data seltzer -semantics banks Seltzer Berkeley
 //	kwsearch -data auctions -semantics slca seller Tom
 //	kwsearch -data dblp -workers 4 -trace keyword search
+//	kwsearch -data dblp -deadline 50ms keyword search
 //	kwsearch -data dblp -json keyword search | jq .stats
 //	kwsearch -data dblp -serve localhost:6060 keyword search
+//
+// Exit codes: 0 success (including partial results on deadline), 2 usage
+// error, 3 bad query, 4 shed by admission control, 5 deadline expired
+// before any evaluation could run, 1 any other failure.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +38,9 @@ func main() {
 	doClean := flag.Bool("clean", false, "run noisy-channel query cleaning first")
 	snip := flag.Bool("snippets", false, "print snippets for XML results")
 	workers := flag.Int("workers", 1, "worker-pool size for cn/slca evaluation (>1 enables the parallel executor)")
+	deadline := flag.Duration("deadline", 0, "per-query time budget (0 = none); an expiring deadline returns the partial answer certified so far")
+	admit := flag.Int("admit", 0, "admission-control concurrency limit (0 = off; relevant with -serve under external load)")
+	admitQueue := flag.Int("admit-queue", 0, "bounded admission queue depth used with -admit")
 	stats := flag.Bool("stats", false, "print the engine's metrics-registry snapshot after the search")
 	trace := flag.Bool("trace", false, "print the query's span tree (pipeline stages with timings and attributes)")
 	jsonOut := flag.Bool("json", false, "emit results, stats and trace as one JSON object")
@@ -57,12 +67,24 @@ func main() {
 	if *doClean && !*jsonOut && engine.Cleaner != nil {
 		fmt.Printf("cleaned query: %s\n", engine.Cleaner.Clean(query))
 	}
-	resp, err := engine.Query(query, core.Options{
-		K: *k, Semantics: semantics, Clean: *doClean, Workers: *workers,
+	if *admit > 0 {
+		engine.Admit(*admit, *admitQueue)
+	}
+	resp, err := engine.Query(context.Background(), core.Request{
+		Query: query, TopK: *k, Semantics: semantics, Clean: *doClean,
+		Workers: *workers, Deadline: *deadline,
 		Trace: *trace || *jsonOut,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		switch {
+		case errors.Is(err, core.ErrBadQuery):
+			os.Exit(3)
+		case errors.Is(err, core.ErrOverloaded):
+			os.Exit(4)
+		case errors.Is(err, core.ErrDeadlineExceeded):
+			os.Exit(5)
+		}
 		os.Exit(1)
 	}
 
@@ -86,6 +108,9 @@ func main() {
 // printText is the human-readable output path: ranked results, then the
 // optional span tree and metrics snapshot.
 func printText(engine *core.Engine, resp *core.Response, snip, trace, stats bool) {
+	if resp.Partial {
+		fmt.Println("partial results: the deadline expired before the answer was complete")
+	}
 	if len(resp.Results) == 0 {
 		fmt.Println("no results")
 	}

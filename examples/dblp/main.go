@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,12 +27,14 @@ func main() {
 	fmt.Printf("cleaning %q -> %s\n\n", raw, cleaned)
 
 	for _, sem := range []core.Semantics{core.CandidateNetworks, core.SparkNetworks, core.DistinctRoot} {
-		results, err := engine.Search(raw, core.Options{K: 3, Semantics: sem, Clean: true})
+		resp, err := engine.Query(context.Background(), core.Request{
+			Query: raw, TopK: 3, Semantics: sem, Clean: true,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("top-3 under %s semantics:\n", sem)
-		for i, r := range results {
+		for i, r := range resp.Results {
 			fmt.Printf("  %d. %s\n", i+1, r)
 		}
 		fmt.Println()

@@ -4,8 +4,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"kwsearch/internal/core"
 	"kwsearch/internal/relstore"
@@ -62,14 +64,23 @@ func main() {
 	}
 
 	// 3. Search. The engine enumerates candidate networks (join trees),
-	// evaluates them, and ranks the joining trees of tuples.
+	// evaluates them, and ranks the joining trees of tuples. Query is
+	// context-first: cancellation and the per-request Deadline propagate
+	// into every evaluation stage, and a deadline that expires
+	// mid-evaluation returns the certified prefix with Partial set
+	// instead of an error.
 	engine := core.NewRelational(db)
-	results, err := engine.Search("Widom XML", core.Options{K: 5})
+	resp, err := engine.Query(context.Background(), core.Request{
+		Query: "Widom XML", TopK: 5, Deadline: time.Second,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	if resp.Partial {
+		fmt.Println("(deadline expired: showing the certified prefix)")
+	}
 	fmt.Println("Q: Widom XML")
-	for i, r := range results {
+	for i, r := range resp.Results {
 		fmt.Printf("%d. %s\n", i+1, r)
 		for j, tp := range r.Tuples {
 			table := db.Table(r.CN.Nodes[j].Table)

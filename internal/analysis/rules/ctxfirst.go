@@ -1,0 +1,174 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kwsearch/internal/analysis"
+)
+
+// CtxFirst flags exported functions in the evaluation packages that do
+// interruptible work — spawn goroutines, or loop over candidate
+// networks — without being cancellable: they either take no
+// context.Context at all, or take one and never consult it. The
+// robustness layer only holds if every long-running stage checks its
+// context at iteration boundaries; an exported entry point that ignores
+// its context reintroduces unbounded work the caller cannot abort.
+type CtxFirst struct {
+	// Packages restricts the rule to packages whose import path contains
+	// one of these substrings; empty applies it everywhere.
+	Packages []string
+}
+
+// Name implements analysis.Rule.
+func (CtxFirst) Name() string { return "ctx-first" }
+
+// Doc implements analysis.Rule.
+func (CtxFirst) Doc() string {
+	return "exported functions that spawn goroutines or loop over CNs must accept and honor a context.Context"
+}
+
+// Check implements analysis.Rule.
+func (r CtxFirst) Check(p *analysis.Pass) {
+	if !pathMatches(p.Path, r.Packages) {
+		return
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			what := interruptibleWork(p, fn.Body)
+			if what == "" {
+				continue
+			}
+			ctxParam := contextParam(p, fn.Type)
+			if ctxParam == nil {
+				p.Reportf(fn.Name.Pos(), "exported %s %s but takes no context.Context; long-running work must be cancellable", fn.Name.Name, what)
+				continue
+			}
+			if ctxParam.Name == "_" || !identUsed(p, fn.Body, ctxParam) {
+				p.Reportf(ctxParam.Pos(), "exported %s takes a context.Context but never consults it; check ctx at iteration boundaries or pass it on", fn.Name.Name)
+			}
+		}
+	}
+}
+
+// interruptibleWork reports what makes the function body long-running
+// enough to need a context: "spawns goroutines" for a GoStmt, "loops
+// over candidate networks" for a range over a CN slice. Empty means
+// neither.
+func interruptibleWork(p *analysis.Pass, body *ast.BlockStmt) string {
+	what := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			what = "spawns goroutines"
+		case *ast.RangeStmt:
+			if rangesOverCNs(p, n) {
+				what = "loops over candidate networks"
+			}
+		}
+		return what == ""
+	})
+	return what
+}
+
+// rangesOverCNs reports whether the range statement iterates a slice (or
+// array) whose element type is the candidate-network type CN, possibly
+// behind a pointer.
+func rangesOverCNs(p *analysis.Pass, rs *ast.RangeStmt) bool {
+	t := p.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	default:
+		return false
+	}
+	if ptr, ok := elem.Underlying().(*types.Pointer); ok {
+		elem = ptr.Elem()
+	}
+	named, ok := elem.(*types.Named)
+	return ok && named.Obj().Name() == "CN"
+}
+
+// contextParam returns the identifier of the first parameter whose type
+// is context.Context, or nil if the signature has none.
+func contextParam(p *analysis.Pass, ft *ast.FuncType) *ast.Ident {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		if !isContextType(p, field.Type) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			// Anonymous context parameter: unusable by definition, so
+			// return a stand-in the caller reports as unused.
+			return ast.NewIdent("_")
+		}
+		return field.Names[0]
+	}
+	return nil
+}
+
+// isContextType reports whether expr denotes context.Context, by type
+// information when available and syntactically otherwise.
+func isContextType(p *analysis.Pass, expr ast.Expr) bool {
+	if t := p.TypeOf(expr); t != nil {
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+				return true
+			}
+		}
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "context"
+}
+
+// identUsed reports whether any identifier in body refers to the same
+// object as param (per the type-checker's Uses map; falls back to a name
+// match when type info is missing).
+func identUsed(p *analysis.Pass, body *ast.BlockStmt, param *ast.Ident) bool {
+	var obj types.Object
+	if p.Info != nil {
+		obj = p.Info.Defs[param]
+	}
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj != nil {
+			if p.Info.Uses[id] == obj {
+				used = true
+			}
+		} else if id.Name == param.Name && id != param {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

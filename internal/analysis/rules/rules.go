@@ -24,6 +24,10 @@ func Default() []analysis.Rule {
 		Goroutine{},
 		MutexValue{},
 		SpanLeak{},
+		CtxFirst{Packages: []string{
+			"internal/exec", "internal/cn", "internal/lca",
+			"internal/banks", "internal/steiner", "internal/core",
+		}},
 		FloatEq{Packages: []string{"internal/rank", "internal/cn", "internal/banks"}},
 		DocComment{Only: []string{"internal/"}},
 	}

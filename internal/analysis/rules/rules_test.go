@@ -19,6 +19,7 @@ func TestMutexValueFixture(t *testing.T) { fixture(t, "mutexval", MutexValue{}) 
 func TestFloatEqFixture(t *testing.T)    { fixture(t, "floateq", FloatEq{}) }
 func TestDocCommentFixture(t *testing.T) { fixture(t, "doccomment", DocComment{}) }
 func TestSpanLeakFixture(t *testing.T)   { fixture(t, "spanleak", SpanLeak{}) }
+func TestCtxFirstFixture(t *testing.T)   { fixture(t, "ctxfirst", CtxFirst{}) }
 
 // TestSuppression runs the FULL default rule set over a fixture whose
 // violations all carry //lint:ignore directives: the only expected
@@ -41,7 +42,7 @@ func (r *recorder) Errorf(format string, args ...interface{}) { r.errors++ }
 // its rule disabled must produce failures, proving the fixtures actually
 // pin rule behavior.
 func TestFixtureFailsWhenRuleDisabled(t *testing.T) {
-	for _, dir := range []string{"maprange", "rand", "goroutine", "mutexval", "floateq", "doccomment", "spanleak"} {
+	for _, dir := range []string{"maprange", "rand", "goroutine", "mutexval", "floateq", "doccomment", "spanleak", "ctxfirst"} {
 		rec := &recorder{TB: t}
 		analysis.RunFixtureTest(rec, filepath.Join("testdata", "src", dir), nil)
 		if rec.errors == 0 {
@@ -62,6 +63,7 @@ func TestRuleNamesStable(t *testing.T) {
 		"float-equality":              true,
 		"missing-doc-comment":         true,
 		"span-leak":                   true,
+		"ctx-first":                   true,
 	}
 	got := Default()
 	if len(got) != len(want) {

@@ -1,0 +1,90 @@
+// Package fixture exercises the ctx-first rule: exported functions that
+// spawn goroutines or loop over candidate networks must accept a
+// context.Context and actually consult it.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// CN stands in for the engine's candidate-network type; the rule matches
+// the named type, not the defining package.
+type CN struct{ score float64 }
+
+// SpawnsWithoutCtx launches workers with no way to stop them: flagged.
+func SpawnsWithoutCtx(work []func()) { // want "takes no context.Context"
+	var wg sync.WaitGroup
+	for _, w := range work {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(w)
+	}
+	wg.Wait()
+}
+
+// EvaluatesWithoutCtx loops over candidate networks uninterruptibly:
+// flagged.
+func EvaluatesWithoutCtx(cns []*CN) float64 { // want "takes no context.Context"
+	total := 0.0
+	for _, c := range cns {
+		total += c.score
+	}
+	return total
+}
+
+// IgnoresItsCtx accepts a context but never consults it — the caller
+// cannot cancel anything: flagged on the parameter.
+func IgnoresItsCtx(ctx context.Context, cns []*CN) float64 { // want "never consults it"
+	total := 0.0
+	for _, c := range cns {
+		total += c.score
+	}
+	return total
+}
+
+// HonorsItsCtx checks the context at iteration boundaries: fine.
+func HonorsItsCtx(ctx context.Context, cns []*CN) (float64, error) {
+	total := 0.0
+	for _, c := range cns {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		total += c.score
+	}
+	return total, nil
+}
+
+// PassesItsCtxOn hands the context to the work it spawns: fine.
+func PassesItsCtxOn(ctx context.Context, work func(context.Context)) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work(ctx)
+	}()
+	<-done
+}
+
+// unexportedLoop is internal plumbing whose caller already checked:
+// skipped, the rule covers the exported surface only.
+func unexportedLoop(cns []*CN) float64 {
+	total := 0.0
+	for _, c := range cns {
+		total += c.score
+	}
+	return total
+}
+
+// SerialReference is a deliberately signature-stable baseline; the
+// escape hatch documents why it stays context-free.
+//
+//lint:ignore ctx-first serial reference baseline kept signature-stable
+func SerialReference(cns []*CN) float64 {
+	total := 0.0
+	for _, c := range cns {
+		total += c.score
+	}
+	return total
+}

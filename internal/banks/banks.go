@@ -8,13 +8,21 @@ package banks
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 
 	"kwsearch/internal/datagraph"
 	"kwsearch/internal/fmath"
 	"kwsearch/internal/obs"
+	"kwsearch/internal/resilience"
 )
+
+// banksCtxCheckStride is how many expansion-loop iterations run between
+// cancellation checks: the per-iteration work (one heap pop plus
+// neighbour relaxations) is small, so checking every iteration would put
+// a synchronized load on the hot path for nothing.
+const banksCtxCheckStride = 64
 
 // Answer is one distinct-root result: the root, its distance to the
 // nearest member of each keyword group, the matched member per group, and
@@ -173,9 +181,17 @@ func collect(its []*iterator, r datagraph.NodeID) (Answer, bool) {
 }
 
 // search is the shared engine: prioFn selects BANKS I (nil: pure
-// equi-distance) or BANKS II (activation-scaled priorities).
-func search(g *datagraph.Graph, groups [][]datagraph.NodeID, opts Options, prioFn func(it *iterator) func(datagraph.NodeID, float64) float64) ([]Answer, Stats) {
+// equi-distance) or BANKS II (activation-scaled priorities). Cancellation
+// (checked every banksCtxCheckStride iterations, along with the
+// resilience.StageBanksExpand injector) stops the expansion and returns
+// the answers completed so far as a best-effort partial set — unlike the
+// top-k pipelines there is no bound structure to certify a prefix, so
+// partial BANKS answers may be suboptimal, exactly as under a
+// MaxExpansions budget.
+func search(ctx context.Context, g *datagraph.Graph, groups [][]datagraph.NodeID, opts Options, prioFn func(it *iterator) func(datagraph.NodeID, float64) float64) ([]Answer, Stats, error) {
 	var stats Stats
+	inj := resilience.From(ctx)
+	var stopped error
 	if opts.K <= 0 {
 		opts.K = 10
 	}
@@ -183,7 +199,7 @@ func search(g *datagraph.Graph, groups [][]datagraph.NodeID, opts Options, prioF
 	reachedBy := map[datagraph.NodeID]int{}
 	for i, grp := range groups {
 		if len(grp) == 0 {
-			return nil, stats
+			return nil, stats, nil
 		}
 		its[i] = newIterator(i, grp)
 		stats.Touched += len(grp)
@@ -221,7 +237,16 @@ func search(g *datagraph.Graph, groups [][]datagraph.NodeID, opts Options, prioF
 		}
 	}
 
-	for {
+	for iter := 0; ; iter++ {
+		if iter%banksCtxCheckStride == 0 {
+			stopped = ctx.Err()
+			if stopped == nil {
+				stopped = inj.At(ctx, resilience.StageBanksExpand)
+			}
+			if stopped != nil {
+				break
+			}
+		}
 		if opts.MaxExpansions > 0 && stats.Expansions >= opts.MaxExpansions {
 			break
 		}
@@ -280,14 +305,24 @@ func search(g *datagraph.Graph, groups [][]datagraph.NodeID, opts Options, prioF
 	if len(answers) > opts.K {
 		answers = answers[:opts.K]
 	}
-	return answers, stats
+	return answers, stats, stopped
 }
 
 // BackwardSearch is BANKS I: concurrent equi-distance backward expansion
 // from every keyword group. With no expansion cap the returned top-k is
 // exact for the distinct-root cost.
 func BackwardSearch(g *datagraph.Graph, groups [][]datagraph.NodeID, opts Options) ([]Answer, Stats) {
-	return search(g, groups, opts, nil)
+	as, st, _ := BackwardSearchCtx(context.Background(), g, groups, opts)
+	return as, st
+}
+
+// BackwardSearchCtx is BackwardSearch with cancellation and fault
+// injection (resilience.StageBanksExpand) checked at expansion
+// boundaries. When ctx ends mid-search the answers completed so far come
+// back with ctx's error — best-effort partials, like an exhausted
+// MaxExpansions budget.
+func BackwardSearchCtx(ctx context.Context, g *datagraph.Graph, groups [][]datagraph.NodeID, opts Options) ([]Answer, Stats, error) {
+	return search(ctx, g, groups, opts, nil)
 }
 
 // BidirectionalSearch is BANKS II-style search: expansion order is scaled
@@ -299,6 +334,15 @@ func BackwardSearch(g *datagraph.Graph, groups [][]datagraph.NodeID, opts Option
 // to BackwardSearch's). Its value shows under tight budgets on hub-heavy
 // graphs, where good answers surface before the hubs are expanded.
 func BidirectionalSearch(g *datagraph.Graph, groups [][]datagraph.NodeID, opts Options) ([]Answer, Stats) {
+	as, st, _ := BidirectionalSearchCtx(context.Background(), g, groups, opts)
+	return as, st
+}
+
+// BidirectionalSearchCtx is BidirectionalSearch with cancellation and
+// fault injection checked at expansion boundaries; see BackwardSearchCtx
+// for the partial-answer semantics (already heuristic here, so a partial
+// set degrades gracefully).
+func BidirectionalSearchCtx(ctx context.Context, g *datagraph.Graph, groups [][]datagraph.NodeID, opts Options) ([]Answer, Stats, error) {
 	prioFn := func(it *iterator) func(datagraph.NodeID, float64) float64 {
 		return func(n datagraph.NodeID, d float64) float64 {
 			// Activation decays with degree: hubs spread little activation,
@@ -310,5 +354,5 @@ func BidirectionalSearch(g *datagraph.Graph, groups [][]datagraph.NodeID, opts O
 			return d * (1 + math.Log(1+deg))
 		}
 	}
-	return search(g, groups, opts, prioFn)
+	return search(ctx, g, groups, opts, prioFn)
 }

@@ -1,0 +1,76 @@
+package banks
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"kwsearch/internal/datagraph"
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/resilience"
+)
+
+// TestBackwardSearchCtxCancelled: a cancelled context stops the expansion
+// at the next stride boundary and returns whatever answers had completed,
+// with ctx's error — the same degraded mode as an exhausted expansion
+// budget.
+func TestBackwardSearchCtxCancelled(t *testing.T) {
+	db := dataset.SeltzerBerkeley()
+	ix := invindex.FromDB(db)
+	g := datagraph.FromDB(db, nil)
+	groups := groupsFor(db, ix, []string{"seltzer", "berkeley"})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := BackwardSearchCtx(ctx, g, groups, Options{K: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+}
+
+// TestBanksCtxInjectedFault: an armed StageBanksExpand fault interrupts
+// both search variants with the injected error.
+func TestBanksCtxInjectedFault(t *testing.T) {
+	boom := errors.New("injected expand fault")
+	db := dataset.SeltzerBerkeley()
+	ix := invindex.FromDB(db)
+	g := datagraph.FromDB(db, nil)
+	groups := groupsFor(db, ix, []string{"seltzer", "berkeley"})
+	for name, f := range map[string]func(context.Context) error{
+		"backward": func(ctx context.Context) error {
+			_, _, err := BackwardSearchCtx(ctx, g, groups, Options{K: 3})
+			return err
+		},
+		"bidirectional": func(ctx context.Context) error {
+			_, _, err := BidirectionalSearchCtx(ctx, g, groups, Options{K: 3})
+			return err
+		},
+	} {
+		in := resilience.NewInjector(1).Arm(resilience.StageBanksExpand, resilience.Fault{Err: boom})
+		if err := f(resilience.WithInjector(context.Background(), in)); !errors.Is(err, boom) {
+			t.Errorf("%s: err = %v, want injected fault", name, err)
+		}
+	}
+}
+
+// TestBackwardSearchCtxUninterruptedMatches: with a live context the ctx
+// variant is the same search.
+func TestBackwardSearchCtxUninterruptedMatches(t *testing.T) {
+	db := dataset.SeltzerBerkeley()
+	ix := invindex.FromDB(db)
+	g := datagraph.FromDB(db, nil)
+	groups := groupsFor(db, ix, []string{"seltzer", "berkeley"})
+	want, _ := BackwardSearch(g, groups, Options{K: 3})
+	got, _, err := BackwardSearchCtx(context.Background(), g, groups, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d answers, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Root != want[i].Root || got[i].Cost != want[i].Cost {
+			t.Fatalf("answer %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}

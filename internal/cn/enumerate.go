@@ -1,8 +1,10 @@
 package cn
 
 import (
+	"context"
 	"sort"
 
+	"kwsearch/internal/resilience"
 	"kwsearch/internal/schemagraph"
 )
 
@@ -32,9 +34,19 @@ type EnumerateOptions struct {
 // uses the same single-valued foreign key twice (such a CN can only bind
 // both neighbours to the same tuple, duplicating a smaller CN's results).
 func Enumerate(g *schemagraph.Graph, opts EnumerateOptions) []*CN {
+	cns, _ := EnumerateCtx(context.Background(), g, opts)
+	return cns
+}
+
+// EnumerateCtx is Enumerate with cancellation checked at every frontier
+// expansion. A cancelled enumeration returns nil and ctx's error — a
+// partial CN set would silently change which answers exist, so the caller
+// gets nothing rather than a truncated search space.
+func EnumerateCtx(ctx context.Context, g *schemagraph.Graph, opts EnumerateOptions) ([]*CN, error) {
 	if opts.MaxSize <= 0 {
 		opts.MaxSize = 5
 	}
+	inj := resilience.From(ctx)
 	kw := map[string]bool{}
 	for _, t := range opts.KeywordTables {
 		kw[t] = true
@@ -80,7 +92,7 @@ func Enumerate(g *schemagraph.Graph, opts EnumerateOptions) []*CN {
 		}
 		c := &CN{Nodes: []NodeSpec{{Table: t}}}
 		if !emit(c) {
-			return results
+			return results, nil
 		}
 		push(c)
 	}
@@ -88,6 +100,12 @@ func Enumerate(g *schemagraph.Graph, opts EnumerateOptions) []*CN {
 	for size := 1; size < opts.MaxSize; size++ {
 		var next []*CN
 		for _, c := range frontier {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := inj.At(ctx, resilience.StageEnumerate); err != nil {
+				return nil, err
+			}
 			if c.Size() != size {
 				continue
 			}
@@ -98,7 +116,7 @@ func Enumerate(g *schemagraph.Graph, opts EnumerateOptions) []*CN {
 				}
 				frontierSeen[key] = true
 				if !emit(grown) {
-					return results
+					return results, nil
 				}
 				next = append(next, grown)
 			}
@@ -108,7 +126,7 @@ func Enumerate(g *schemagraph.Graph, opts EnumerateOptions) []*CN {
 			break
 		}
 	}
-	return results
+	return results, nil
 }
 
 // growCN returns all one-node extensions of c obeying the same-FK pruning

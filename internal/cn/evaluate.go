@@ -1,6 +1,7 @@
 package cn
 
 import (
+	"context"
 	"sort"
 
 	"kwsearch/internal/invindex"
@@ -154,15 +155,26 @@ func (ev *Evaluator) lookup(table, column string) map[relstore.Value][]*relstore
 // before evaluating from multiple goroutines (the parallel package does
 // this).
 func (ev *Evaluator) Prewarm(cns []*CN) {
+	_ = ev.PrewarmCtx(context.Background(), cns)
+}
+
+// PrewarmCtx is Prewarm with cancellation checked between CNs. A
+// cancelled prewarm returns ctx's error; the tables built so far stay
+// valid (the next call resumes where this one stopped).
+func (ev *Evaluator) PrewarmCtx(ctx context.Context, cns []*CN) error {
 	for _, term := range ev.Terms {
 		ev.Index.Postings(term)
 	}
 	for _, c := range cns {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, e := range c.Edges {
 			ev.lookup(e.Via.From, e.Via.FromCol)
 			ev.lookup(e.Via.To, e.Via.ToCol)
 		}
 	}
+	return nil
 }
 
 // nodeSet returns the tuple set (keyword or free) for CN node n.

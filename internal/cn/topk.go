@@ -2,12 +2,14 @@ package cn
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 	"strconv"
 
 	"kwsearch/internal/fmath"
 	"kwsearch/internal/obs"
 	"kwsearch/internal/relstore"
+	"kwsearch/internal/resilience"
 )
 
 // SortResults orders by descending score, breaking ties by CN size, then
@@ -55,6 +57,8 @@ func resultKey(r Result) string {
 
 // TopKNaive evaluates every CN fully, then sorts — the baseline of
 // slide 116's Discover2 comparison.
+//
+//lint:ignore ctx-first serial reference baseline, kept signature-stable for the E17 comparison
 func TopKNaive(ev *Evaluator, cns []*CN, k int) []Result {
 	var all []Result
 	for _, c := range cns {
@@ -85,6 +89,8 @@ func (ev *Evaluator) Bound(c *CN) float64 {
 // TopKSparse evaluates CNs in descending upper-bound order and stops as
 // soon as the current k-th score dominates every unevaluated CN's bound
 // (the Sparse strategy of Hristidis et al. VLDB'03).
+//
+//lint:ignore ctx-first serial reference baseline, kept signature-stable for the E17 comparison
 func TopKSparse(ev *Evaluator, cns []*CN, k int) []Result {
 	order := append([]*CN(nil), cns...)
 	sort.SliceStable(order, func(i, j int) bool {
@@ -154,6 +160,32 @@ func TopKGlobalPipeline(ev *Evaluator, cns []*CN, k int) []Result {
 // how many candidate rows the probes produced, and whether the k-th
 // score certified the answer before the heap drained.
 func TopKGlobalPipelineTraced(ev *Evaluator, cns []*CN, k int, sp *obs.Span) []Result {
+	rs, _ := TopKGlobalPipelineCtx(context.Background(), ev, cns, k, sp)
+	return rs
+}
+
+// certifiedPrefix returns the leading results whose scores strictly
+// dominate bound (epsilon-safe): exactly the prefix of the full top-k a
+// deadline-interrupted evaluation can still prove correct, because no
+// unevaluated work can reach those scores. Results tied with bound are
+// dropped — a remaining CN could produce an equal-score twin that the
+// deterministic total order would rank ahead of them.
+func certifiedPrefix(rs []Result, bound float64) []Result {
+	i := 0
+	for i < len(rs) && rs[i].Score > bound && !fmath.Eq(rs[i].Score, bound) {
+		i++
+	}
+	return rs[:i]
+}
+
+// TopKGlobalPipelineCtx is the context-first Global Pipeline:
+// cancellation and the fault injector (resilience.StagePipeline) are
+// checked at every driver-tuple advance. When ctx ends mid-evaluation it
+// returns the certified prefix of the top-k — the leading results whose
+// scores strictly dominate every remaining bound — together with ctx's
+// error, so callers can surface a sound partial answer.
+func TopKGlobalPipelineCtx(ctx context.Context, ev *Evaluator, cns []*CN, k int, sp *obs.Span) ([]Result, error) {
+	inj := resilience.From(ctx)
 	h := &gpHeap{ev: ev}
 	for _, c := range cns {
 		kwNodes := c.KeywordNodes()
@@ -201,6 +233,20 @@ func TopKGlobalPipelineTraced(ev *Evaluator, cns []*CN, k int, sp *obs.Span) []R
 			certified = true
 			break
 		}
+		err := ctx.Err()
+		if err == nil {
+			err = inj.At(ctx, resilience.StagePipeline)
+		}
+		if err != nil {
+			// b is the max score any remaining work can reach, so the
+			// results strictly above it are final.
+			top = certifiedPrefix(top, b)
+			sp.SetAttr("driver_advances", advances)
+			sp.SetAttr("produced", produced)
+			sp.SetAttr("certified_early", false)
+			sp.SetAttr("partial", true)
+			return top, err
+		}
 		tp := st.tuples[st.pos]
 		st.pos++
 		advances++
@@ -225,5 +271,5 @@ func TopKGlobalPipelineTraced(ev *Evaluator, cns []*CN, k int, sp *obs.Span) []R
 	sp.SetAttr("driver_advances", advances)
 	sp.SetAttr("produced", produced)
 	sp.SetAttr("certified_early", certified)
-	return top
+	return top, nil
 }

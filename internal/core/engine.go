@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"kwsearch/internal/banks"
 	"kwsearch/internal/clean"
@@ -25,6 +26,7 @@ import (
 	"kwsearch/internal/lca"
 	"kwsearch/internal/obs"
 	"kwsearch/internal/relstore"
+	"kwsearch/internal/resilience"
 	"kwsearch/internal/schemagraph"
 	"kwsearch/internal/spark"
 	"kwsearch/internal/steiner"
@@ -187,9 +189,24 @@ type Engine struct {
 	// when Options.Workers > 1. Populated by NewRelational.
 	Exec *exec.Executor
 	// LastExecStats describes the most recent executor-backed search.
-	// Engines are not safe for concurrent Search calls; use Exec.TopK
-	// directly when querying from multiple goroutines.
+	// Writes are serialized by execMu, making concurrent Query calls
+	// safe; read it through ExecStats. Per-query stats are better taken
+	// from Response.Stats.Exec, which is never overwritten by later
+	// queries.
 	LastExecStats exec.Stats
+
+	// execMu guards LastExecStats.
+	execMu sync.Mutex
+	// gate is the admission controller, nil unless Admit installed one.
+	gate *resilience.Gate
+}
+
+// ExecStats returns a copy of LastExecStats, safe under concurrent
+// Query calls.
+func (e *Engine) ExecStats() exec.Stats {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	return e.LastExecStats
 }
 
 // NewRelational builds an engine over a relational database.
@@ -245,8 +262,13 @@ func (e *Engine) Terms(query string, doClean bool) []string {
 
 // Search runs the query under the selected semantics. It is Query minus
 // the observability artifacts; Options.Observer still fires.
+//
+// Deprecated: use Query with a context.Context and a Request — it adds
+// cancellation, deadlines with partial results, and admission control.
+// Search is a thin wrapper over Query(context.Background(),
+// FromOptions(query, opts)) and stays for compatibility.
 func (e *Engine) Search(query string, opts Options) ([]Result, error) {
-	resp, err := e.Query(query, opts)
+	resp, err := e.Query(context.Background(), FromOptions(query, opts))
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +277,7 @@ func (e *Engine) Search(query string, opts Options) ([]Result, error) {
 
 func (e *Engine) requireRelational() error {
 	if e.DB == nil {
-		return fmt.Errorf("core: semantics requires a relational engine")
+		return badQuery("core: semantics requires a relational engine")
 	}
 	return nil
 }
@@ -275,46 +297,66 @@ func lookupSpan(sp *obs.Span, terms []string, lookup func(string) int) {
 	lsp.End()
 }
 
-func (e *Engine) searchCN(terms []string, opts Options, sp *obs.Span, st *Stats) ([]Result, error) {
+// cnResults converts evaluator results to the public shape.
+func cnResults(rs []cn.Result) []Result {
+	var out []Result
+	for _, r := range rs {
+		out = append(out, Result{Score: r.Score, Tuples: r.Tuples, CN: r.CN})
+	}
+	return out
+}
+
+func (e *Engine) searchCN(ctx context.Context, terms []string, opts Options, sp *obs.Span, st *Stats) ([]Result, error) {
 	if err := e.requireRelational(); err != nil {
 		return nil, err
 	}
 	if opts.Semantics == CandidateNetworks && opts.Workers > 1 && e.Exec != nil {
 		lookupSpan(sp, terms, func(t string) int { return len(e.Exec.Postings(t)) })
-		rs, xst, err := e.Exec.TopK(context.Background(), exec.Query{
+		rs, xst, err := e.Exec.TopK(ctx, exec.Query{
 			Terms: terms, K: opts.K, MaxCNSize: opts.MaxCNSize, Workers: opts.Workers,
 			Trace: sp,
 		})
-		if err != nil {
-			return nil, err
-		}
+		e.execMu.Lock()
 		e.LastExecStats = xst
-		st.Exec = &e.LastExecStats
-		var out []Result
-		for _, r := range rs {
-			out = append(out, Result{Score: r.Score, Tuples: r.Tuples, CN: r.CN})
+		e.execMu.Unlock()
+		st.Exec = &xst
+		if err != nil {
+			// rs is the certified prefix (possibly empty); Query decides
+			// whether the error becomes a partial response.
+			return cnResults(rs), err
 		}
+		out := cnResults(rs)
 		rankSpan(sp, len(out))
 		return out, nil
 	}
 	lookupSpan(sp, terms, func(t string) int { return len(e.Index.Postings(t)) })
 	ev := cn.NewEvaluator(e.DB, e.Index, terms)
 	esp := sp.Child("enumerate")
-	cns := cn.Enumerate(e.Schema, cn.EnumerateOptions{
+	cns, err := cn.EnumerateCtx(ctx, e.Schema, cn.EnumerateOptions{
 		MaxSize:       opts.MaxCNSize,
 		KeywordTables: ev.KeywordTables(),
 		FreeTables:    e.FreeTables,
 	})
+	if err != nil {
+		esp.SetAttr("cancelled", true)
+		esp.End()
+		return nil, err
+	}
 	esp.SetAttr("cns", len(cns))
 	esp.End()
-	var out []Result
 	if opts.Semantics == SparkNetworks {
+		// SPARK's skyline scorer is not context-aware; honor ctx at the
+		// stage boundary so an already-expired deadline costs nothing.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		vsp := sp.Child("evaluate")
 		scorer := spark.NewScorer(ev, e.Index)
 		rs, _ := spark.TopKSkyline(scorer, cns, opts.K)
 		vsp.SetAttr("cns", len(cns))
 		vsp.SetAttr("produced", len(rs))
 		vsp.End()
+		out := make([]Result, 0, len(rs))
 		for _, r := range rs {
 			out = append(out, Result{Score: r.SparkScore, Tuples: r.Tuples, CN: r.CN})
 		}
@@ -322,11 +364,12 @@ func (e *Engine) searchCN(terms []string, opts Options, sp *obs.Span, st *Stats)
 		return out, nil
 	}
 	vsp := sp.Child("evaluate")
-	rs := cn.TopKGlobalPipelineTraced(ev, cns, opts.K, vsp)
+	rs, err := cn.TopKGlobalPipelineCtx(ctx, ev, cns, opts.K, vsp)
 	vsp.End()
-	for _, r := range rs {
-		out = append(out, Result{Score: r.Score, Tuples: r.Tuples, CN: r.CN})
+	if err != nil {
+		return cnResults(rs), err // certified prefix travels with the error
 	}
+	out := cnResults(rs)
 	rankSpan(sp, len(out))
 	return out, nil
 }
@@ -370,7 +413,7 @@ func (e *Engine) groupsSpan(sp *obs.Span, terms []string) ([][]datagraph.NodeID,
 	return groups, ok
 }
 
-func (e *Engine) searchBanks(terms []string, opts Options, sp *obs.Span) ([]Result, error) {
+func (e *Engine) searchBanks(ctx context.Context, terms []string, opts Options, sp *obs.Span) ([]Result, error) {
 	if err := e.requireRelational(); err != nil {
 		return nil, err
 	}
@@ -379,8 +422,11 @@ func (e *Engine) searchBanks(terms []string, opts Options, sp *obs.Span) ([]Resu
 		return nil, nil
 	}
 	xsp := sp.Child("expand")
-	answers, bst := banks.BackwardSearch(e.Graph, groups, banks.Options{K: opts.K})
+	answers, bst, err := banks.BackwardSearchCtx(ctx, e.Graph, groups, banks.Options{K: opts.K})
 	bst.Record(xsp)
+	if err != nil {
+		xsp.SetAttr("cancelled", true)
+	}
 	xsp.End()
 	var out []Result
 	for _, a := range answers {
@@ -390,11 +436,14 @@ func (e *Engine) searchBanks(terms []string, opts Options, sp *obs.Span) ([]Resu
 			Root:  e.DB.TupleByID(relstore.TupleID(a.Root)),
 		})
 	}
+	if err != nil {
+		return out, err // best-effort partials travel with the error
+	}
 	rankSpan(sp, len(out))
 	return out, nil
 }
 
-func (e *Engine) searchSteiner(terms []string, opts Options, sp *obs.Span) ([]Result, error) {
+func (e *Engine) searchSteiner(ctx context.Context, terms []string, opts Options, sp *obs.Span) ([]Result, error) {
 	if err := e.requireRelational(); err != nil {
 		return nil, err
 	}
@@ -403,7 +452,12 @@ func (e *Engine) searchSteiner(terms []string, opts Options, sp *obs.Span) ([]Re
 		return nil, nil
 	}
 	xsp := sp.Child("expand")
-	tree, found := steiner.GroupSteiner(e.Graph, groups)
+	tree, found, err := steiner.GroupSteinerCtx(ctx, e.Graph, groups)
+	if err != nil {
+		xsp.SetAttr("cancelled", true)
+		xsp.End()
+		return nil, err
+	}
 	xsp.SetAttr("found", found)
 	if found {
 		xsp.SetAttr("cost", tree.Cost)
@@ -426,24 +480,33 @@ func (e *Engine) searchSteiner(terms []string, opts Options, sp *obs.Span) ([]Re
 	return []Result{r}, nil
 }
 
-func (e *Engine) searchXML(terms []string, opts Options, sp *obs.Span) ([]Result, error) {
+func (e *Engine) searchXML(ctx context.Context, terms []string, opts Options, sp *obs.Span) ([]Result, error) {
 	if e.XIndex == nil {
-		return nil, fmt.Errorf("core: semantics %v requires an XML engine", opts.Semantics)
+		return nil, badQuery(fmt.Sprintf("core: semantics %v requires an XML engine", opts.Semantics))
+	}
+	// The serial LCA algorithms are not context-aware; honoring ctx at
+	// the stage boundary still stops an expired query before the scan.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	vsp := sp.Child("evaluate")
 	var nodes []*xmltree.Node
+	var err error
 	switch {
 	case opts.Semantics == ELCA:
 		vsp.SetAttr("algorithm", "elca-stack")
 		nodes = lca.ELCAStackTraced(e.XIndex, terms, vsp)
 	case opts.Workers > 1:
 		vsp.SetAttr("algorithm", "slca-parallel")
-		nodes = lca.SLCAParallelTraced(e.XIndex, terms, opts.Workers, vsp)
+		nodes, err = lca.SLCAParallelCtx(ctx, e.XIndex, terms, opts.Workers, vsp)
 	default:
 		vsp.SetAttr("algorithm", "slca-ile")
 		nodes = lca.SLCATraced(e.XIndex, terms, vsp)
 	}
 	vsp.End()
+	if err != nil {
+		return nil, err // SLCA has no sound partial answer (see lca docs)
+	}
 	// Rank results by subtree compactness (smaller, deeper subtrees
 	// first), the default XML ranking heuristic.
 	sort.SliceStable(nodes, func(i, j int) bool {

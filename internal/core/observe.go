@@ -1,20 +1,22 @@
 package core
 
 // This file is the observability surface of the engine: per-query Stats,
-// the span-tree Trace, the QueryObserver callback, and the Query entry
-// point that instruments the whole pipeline (clean → lookup →
-// enumerate/expand → evaluate → rank) on top of the engine's metrics
-// registry.
+// the span-tree Trace, the QueryObserver callback, and the context-first
+// Query entry point that instruments the whole pipeline (admit → clean →
+// lookup → enumerate/expand → evaluate → rank) on top of the engine's
+// metrics registry.
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	"time"
 
 	"kwsearch/internal/exec"
 	"kwsearch/internal/obs"
+	"kwsearch/internal/resilience"
 )
 
-// Trace is the span tree a traced query produces (see Options.Trace). It
+// Trace is the span tree a traced query produces (see Request.Trace). It
 // aliases obs.Span so callers can walk, print or JSON-encode it without
 // importing internal/obs.
 type Trace = obs.Span
@@ -27,6 +29,10 @@ type Stats struct {
 	Terms []string `json:"terms"`
 	// Results is the number of answers returned.
 	Results int `json:"results"`
+	// Partial reports that the deadline expired mid-evaluation and
+	// Results counts a certified prefix (CN semantics) or best-effort
+	// subset (graph semantics) of the full answer.
+	Partial bool `json:"partial,omitempty"`
 	// Elapsed is the wall time of the whole pipeline.
 	Elapsed time.Duration `json:"elapsed_ns"`
 	// Exec holds the worker-pool execution stats when the query ran
@@ -38,26 +44,69 @@ type Stats struct {
 }
 
 // QueryObserver receives every Query's Stats and Trace as it completes.
-// The trace is nil unless Options.Trace was set. Set it in
-// Options.Observer; it runs on the querying goroutine.
+// The trace is nil unless Request.Trace was set. Set it in
+// Request.Observer; it runs on the querying goroutine.
 type QueryObserver func(Stats, *Trace)
 
 // Response bundles a query's results with its observability artifacts.
 type Response struct {
 	// Results are the ranked answers, as Search returns them.
 	Results []Result
+	// Partial reports that the query's deadline expired mid-evaluation
+	// and Results holds the best answer certified by then — under CN
+	// semantics a provable prefix of the full top-k, under the graph
+	// semantics a best-effort subset. A partial response is a success:
+	// the error alongside it is nil.
+	Partial bool
 	// Stats summarizes the execution.
 	Stats Stats
-	// Trace is the root span of the pipeline, nil unless Options.Trace.
+	// Trace is the root span of the pipeline, nil unless Request.Trace.
 	Trace *Trace
 }
 
-// Query runs the search like Search but also returns per-query stats, an
-// optional span trace, and feeds Options.Observer. Engines are not safe
-// for concurrent Query calls (see LastExecStats).
-func (e *Engine) Query(query string, opts Options) (*Response, error) {
-	opts = opts.withDefaults(e.Tree != nil)
+// Query runs one search request under ctx. Cancellation and deadlines
+// propagate into every evaluation stage (CN enumeration, the exec worker
+// pool, the serial pipelines, graph expansion, SLCA ranges):
+//
+//   - ctx cancelled → the error is returned (typically context.Canceled)
+//     and any partial work is discarded;
+//   - deadline expired mid-evaluation (ctx's or Request.Deadline, the
+//     earlier wins) → the best answer certified so far is returned with
+//     Response.Partial set and a nil error;
+//   - admission control installed via Admit sheds with ErrOverloaded or
+//     fails queued queries whose deadline lapses with
+//     ErrDeadlineExceeded;
+//   - malformed requests fail with errors matching ErrBadQuery.
+//
+// Engines are safe for concurrent Query calls.
+func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
+	opts := req.options(e.Tree != nil)
+	if req.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Deadline)
+		defer cancel()
+	}
 	start := time.Now()
+
+	if err := resilience.Inject(ctx, resilience.StageAdmit); err != nil {
+		return nil, resilience.AsTyped(err)
+	}
+	if e.gate != nil {
+		release, err := e.gate.Acquire(ctx)
+		if err != nil {
+			if e.Metrics != nil {
+				switch {
+				case errors.Is(err, ErrOverloaded):
+					e.Metrics.Counter("query.shed").Inc()
+				case errors.Is(err, ErrDeadlineExceeded):
+					e.Metrics.Counter("query.deadline").Inc()
+				}
+			}
+			return nil, err
+		}
+		defer release()
+	}
+
 	var before obs.Snapshot
 	if e.Metrics != nil {
 		before = e.Metrics.Snapshot()
@@ -69,14 +118,14 @@ func (e *Engine) Query(query string, opts Options) (*Response, error) {
 	}
 
 	csp := root.Child("clean")
-	terms := e.Terms(query, opts.Clean)
+	terms := e.Terms(req.Query, opts.Clean)
 	csp.SetAttr("terms", len(terms))
 	csp.SetAttr("cleaned", opts.Clean)
 	csp.End()
 	root.SetAttr("keywords", len(terms))
 	if len(terms) == 0 {
 		root.End()
-		return nil, fmt.Errorf("core: empty query")
+		return nil, badQuery("core: empty query")
 	}
 
 	st := Stats{Semantics: opts.Semantics, Terms: terms}
@@ -84,29 +133,48 @@ func (e *Engine) Query(query string, opts Options) (*Response, error) {
 	var err error
 	switch opts.Semantics {
 	case CandidateNetworks, SparkNetworks:
-		results, err = e.searchCN(terms, opts, root, &st)
+		results, err = e.searchCN(ctx, terms, opts, root, &st)
 	case DistinctRoot:
-		results, err = e.searchBanks(terms, opts, root)
+		results, err = e.searchBanks(ctx, terms, opts, root)
 	case SteinerTree:
-		results, err = e.searchSteiner(terms, opts, root)
+		results, err = e.searchSteiner(ctx, terms, opts, root)
 	case SLCA, ELCA:
-		results, err = e.searchXML(terms, opts, root)
+		results, err = e.searchXML(ctx, terms, opts, root)
 	default:
-		err = fmt.Errorf("core: unknown semantics %v", opts.Semantics)
+		err = badQuery("core: unknown semantics " + opts.Semantics.String())
 	}
-	root.SetAttr("results", len(results))
-	root.End()
+	partial := false
 	if err != nil {
-		return nil, err
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The deadline ran out mid-evaluation: the stages handed back
+			// their certified/best-effort partials in results. Serve them.
+			partial = true
+			err = nil
+		} else {
+			root.SetAttr("ctx_done", true)
+			root.End()
+			return nil, err
+		}
 	}
 
 	st.Results = len(results)
+	st.Partial = partial
 	st.Elapsed = time.Since(start)
+	root.SetAttr("results", len(results))
+	if partial {
+		root.SetAttr("ctx_done", true)
+		root.SetAttr("partial", true)
+	}
+	root.End()
 	if e.Metrics != nil {
 		e.Metrics.Histogram("query.elapsed_us").Observe(float64(st.Elapsed.Microseconds()))
+		if partial {
+			e.Metrics.Counter("query.deadline").Inc()
+			e.Metrics.Counter("query.partial").Inc()
+		}
 		st.Metrics = e.Metrics.Snapshot().Sub(before)
 	}
-	resp := &Response{Results: results, Stats: st, Trace: root}
+	resp := &Response{Results: results, Partial: partial, Stats: st, Trace: root}
 	if opts.Observer != nil {
 		opts.Observer(resp.Stats, resp.Trace)
 	}

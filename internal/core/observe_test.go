@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -11,7 +12,7 @@ func TestQueryStatsAndObserver(t *testing.T) {
 	e := NewRelational(dataset.WidomBib())
 	var observed *Stats
 	var observedTrace *Trace
-	resp, err := e.Query("Widom XML", Options{K: 5, Trace: true,
+	resp, err := e.Query(context.Background(), Request{Query: "Widom XML", TopK: 5, Trace: true,
 		Observer: func(st Stats, tr *Trace) { observed, observedTrace = &st, tr }})
 	if err != nil {
 		t.Fatal(err)
@@ -42,12 +43,12 @@ func TestQueryStatsAndObserver(t *testing.T) {
 
 func TestQueryWithoutTraceHasNoTrace(t *testing.T) {
 	e := NewRelational(dataset.WidomBib())
-	resp, err := e.Query("Widom XML", Options{K: 5})
+	resp, err := e.Query(context.Background(), Request{Query: "Widom XML", TopK: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.Trace != nil {
-		t.Fatal("trace present without Options.Trace")
+		t.Fatal("trace present without Request.Trace")
 	}
 }
 
@@ -57,7 +58,7 @@ func TestQueryWithoutTraceHasNoTrace(t *testing.T) {
 // is deterministic.
 func TestTraceShapeGoldenSerial(t *testing.T) {
 	e := NewRelational(dataset.WidomBib())
-	resp, err := e.Query("Widom XML", Options{K: 5, Trace: true})
+	resp, err := e.Query(context.Background(), Request{Query: "Widom XML", TopK: 5, Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestTraceShapeGoldenSerial(t *testing.T) {
 // deterministic for a fixed dataset and worker count).
 func TestTraceShapeGoldenParallel(t *testing.T) {
 	e := NewRelational(dataset.WidomBib())
-	resp, err := e.Query("Widom XML", Options{K: 5, Workers: 2, Trace: true})
+	resp, err := e.Query(context.Background(), Request{Query: "Widom XML", TopK: 5, Workers: 2, Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestTraceShapeGoldenParallel(t *testing.T) {
 
 	// A repeat of the same query hits the result cache: the trace shrinks
 	// to the stages that actually ran.
-	resp2, err := e.Query("Widom XML", Options{K: 5, Workers: 2, Trace: true})
+	resp2, err := e.Query(context.Background(), Request{Query: "Widom XML", TopK: 5, Workers: 2, Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestTraceShapeGoldenParallel(t *testing.T) {
 // the lca attributes (list sizes, anchors, candidates).
 func TestTraceShapeXML(t *testing.T) {
 	e := NewXML(dataset.ConfXML())
-	resp, err := e.Query("keyword Mark", Options{Trace: true})
+	resp, err := e.Query(context.Background(), Request{Query: "keyword Mark", Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}

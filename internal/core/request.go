@@ -1,0 +1,122 @@
+package core
+
+// This file is the context-first request surface of the engine: the
+// Request type consolidating the legacy Options knobs with per-query
+// deadlines, the typed sentinel errors callers branch on with errors.Is,
+// and per-engine admission control (Admit) backed by
+// internal/resilience.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"kwsearch/internal/resilience"
+)
+
+// Typed sentinel errors. All satisfy errors.Is against themselves;
+// ErrDeadlineExceeded additionally matches context.DeadlineExceeded, so
+// both the engine's own deadline handling and callers holding a raw
+// context error agree on what happened.
+var (
+	// ErrBadQuery marks queries the engine cannot execute: empty after
+	// normalization, or a semantics the engine's data model lacks.
+	ErrBadQuery = errors.New("core: bad query")
+	// ErrOverloaded is returned when admission control sheds the query
+	// (the gate is full and the bounded queue has no room).
+	ErrOverloaded = resilience.ErrOverloaded
+	// ErrDeadlineExceeded is returned when the query's deadline expired
+	// while it was still queued for admission. A deadline that expires
+	// mid-evaluation instead yields a partial Response (see
+	// Response.Partial) with a nil error.
+	ErrDeadlineExceeded = resilience.ErrDeadlineExceeded
+)
+
+// Request is one search request: the query text plus every per-query
+// knob. The zero value of every field is a sensible default, so
+// Request{Query: "foo bar"} is a complete request.
+type Request struct {
+	// Query is the raw keyword query.
+	Query string
+	// Semantics selects the result definition (default CandidateNetworks
+	// for relational engines, SLCA for XML engines).
+	Semantics Semantics
+	// TopK bounds the result count (default 10).
+	TopK int
+	// MaxCNSize bounds candidate-network size (default 5).
+	MaxCNSize int
+	// Clean runs noisy-channel query cleaning before searching.
+	Clean bool
+	// Deadline is the per-query time budget (0 = none). It composes with
+	// whatever deadline the caller's context already carries — the
+	// earlier one wins. When it expires mid-evaluation the engine
+	// returns the best answer certified so far with Response.Partial
+	// set, rather than an error.
+	Deadline time.Duration
+	// Workers sets the worker-pool size for candidate-network and SLCA
+	// evaluation; see Options.Workers for the serial/parallel semantics.
+	Workers int
+	// Trace enables per-query span collection (Response.Trace).
+	Trace bool
+	// Observer, when non-nil, is called at the end of the query with its
+	// Stats and Trace (trace nil unless Trace is set).
+	Observer QueryObserver
+}
+
+// FromOptions converts a legacy Options bundle (plus the query text it
+// always traveled beside) into a Request.
+//
+// Deprecated: new code should construct Request directly; this exists so
+// Options-based call sites migrate mechanically.
+func FromOptions(query string, opts Options) Request {
+	return Request{
+		Query:     query,
+		Semantics: opts.Semantics,
+		TopK:      opts.K,
+		MaxCNSize: opts.MaxCNSize,
+		Clean:     opts.Clean,
+		Workers:   opts.Workers,
+		Trace:     opts.Trace,
+		Observer:  opts.Observer,
+	}
+}
+
+// options lowers the request onto the legacy Options shape the search
+// stages still consume internally, applying defaults.
+func (r Request) options(xml bool) Options {
+	return Options{
+		K:         r.TopK,
+		Semantics: r.Semantics,
+		MaxCNSize: r.MaxCNSize,
+		Clean:     r.Clean,
+		Trace:     r.Trace,
+		Observer:  r.Observer,
+		Workers:   r.Workers,
+	}.withDefaults(xml)
+}
+
+// Admit installs admission control on the engine: at most limit queries
+// run concurrently, at most maxQueue more wait for a slot (shedding with
+// ErrOverloaded beyond that), and a queued query that outlives its
+// deadline fails with ErrDeadlineExceeded. The gate's queue-depth gauge,
+// wait histogram and outcome counters land in Engine.Metrics under
+// "admission.*". A non-positive limit removes the gate.
+func (e *Engine) Admit(limit, maxQueue int) {
+	if limit <= 0 {
+		e.gate = nil
+		return
+	}
+	g := resilience.NewGate(limit, maxQueue)
+	if e.Metrics != nil {
+		g.Instrument(e.Metrics)
+	}
+	e.gate = g
+}
+
+// Gate returns the engine's admission gate, nil unless Admit installed
+// one.
+func (e *Engine) Gate() *resilience.Gate { return e.gate }
+
+func badQuery(msg string) error {
+	return fmt.Errorf("%s: %w", msg, ErrBadQuery)
+}

@@ -119,6 +119,11 @@ type Stats struct {
 	// ResultCacheHit reports that the whole answer came from the result
 	// cache and nothing below it ran.
 	ResultCacheHit bool
+	// Partial reports that the run was interrupted (deadline, cancellation
+	// or an injected fault) and the returned results are the certified
+	// prefix of the full top-k rather than the whole answer. Partial
+	// answers are never cached.
+	Partial bool
 	// WorkerBusy is, per pool worker, the time spent inside CN evaluation;
 	// WorkerIdle is the rest of that worker's wall time in the pool
 	// (waiting on the shared top-k lock, bound checks, scheduling). Both
@@ -227,9 +232,12 @@ func copyResults(rs []cn.Result) []cn.Result {
 }
 
 // TopK answers q with the worker pool, consulting the result cache
-// first. The returned slice is the caller's to keep. Cancelling ctx
-// aborts the evaluation and returns ctx.Err(); the partial results are
-// discarded.
+// first. The returned slice is the caller's to keep. Cancelling ctx (or
+// an armed resilience.Injector stage firing) aborts the evaluation and
+// returns the interrupting error; when the pool was already running, the
+// certified prefix of the top-k comes back with it (Stats.Partial set)
+// so callers can serve a sound partial answer. Interrupted runs are
+// never cached.
 func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error) {
 	q = q.withDefaults(x)
 	sp := q.Trace
@@ -260,11 +268,17 @@ func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error
 
 	esp := sp.Child("enumerate")
 	ev := cn.NewEvaluator(x.db, x.ix, terms)
-	cns := cn.Enumerate(x.sg, cn.EnumerateOptions{
+	cns, err := cn.EnumerateCtx(ctx, x.sg, cn.EnumerateOptions{
 		MaxSize:       q.MaxCNSize,
 		KeywordTables: ev.KeywordTables(),
 		FreeTables:    x.opts.FreeTables,
 	})
+	if err != nil {
+		// No partial answer is possible before the CN set exists.
+		esp.SetAttr("cancelled", true)
+		esp.End()
+		return nil, st, err
+	}
 	st.CNs = len(cns)
 	esp.SetAttr("cns", len(cns))
 	esp.End()
@@ -282,15 +296,14 @@ func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error
 		st.JobsPerWorker = append(st.JobsPerWorker, len(js))
 	}
 
-	ev.Prewarm(cns) // evaluation is read-only from here on
+	if err := ev.PrewarmCtx(ctx, cns); err != nil {
+		return nil, st, err
+	}
+	// Evaluation is read-only from here on.
 
 	vsp := sp.Child("evaluate")
 	vsp.SetAttr("workers", len(assignment.Jobs))
 	top, perWorker, err := x.runPool(ctx, ev, assignment, q.K, vsp)
-	if err != nil {
-		vsp.End()
-		return nil, st, err
-	}
 	for _, ws := range perWorker {
 		st.Evaluated += ws.Evaluated
 		st.Skipped += ws.Skipped
@@ -302,10 +315,17 @@ func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error
 	vsp.SetAttr("evaluated", st.Evaluated)
 	vsp.SetAttr("skipped", st.Skipped)
 	vsp.SetAttr("prefix_reuses", st.PrefixReuses)
-	vsp.End()
 	x.evaluated.Add(uint64(st.Evaluated))
 	x.skipped.Add(uint64(st.Skipped))
 	x.reuses.Add(uint64(st.PrefixReuses))
+	if err != nil {
+		st.Partial = true
+		vsp.SetAttr("partial", true)
+		vsp.SetAttr("certified", len(top))
+		vsp.End()
+		return top, st, err // certified prefix; never cached
+	}
+	vsp.End()
 
 	x.results.Put(key, copyResults(top))
 	return top, st, nil

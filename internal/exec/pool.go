@@ -14,6 +14,7 @@ import (
 	"kwsearch/internal/obs"
 	"kwsearch/internal/parallel"
 	"kwsearch/internal/relstore"
+	"kwsearch/internal/resilience"
 )
 
 // runStats holds one pool worker's execution counters for one TopK call.
@@ -82,6 +83,20 @@ func dominates(kth, bound float64) bool {
 	return kth > bound && !fmath.Eq(kth, bound)
 }
 
+// certifiedPrefix keeps the leading results whose scores strictly
+// dominate bound — the prefix of the full top-k an interrupted pool run
+// can still prove correct: every job abandoned by cancellation had a
+// bound at or below it, so no unevaluated CN can displace those entries.
+// Ties with bound are dropped (an abandoned CN could produce an
+// equal-score result the deterministic total order ranks ahead).
+func certifiedPrefix(rs []cn.Result, bound float64) []cn.Result {
+	i := 0
+	for i < len(rs) && dominates(rs[i].Score, bound) {
+		i++
+	}
+	return rs[:i]
+}
+
 // runPool executes the assigned jobs across one goroutine per worker.
 // Each worker processes its jobs in descending score-bound order,
 // maintains a materialized-prefix table keyed by cn.PrefixKey for
@@ -96,14 +111,32 @@ func dominates(kth, bound float64) bool {
 // so the span tree's shape depends only on the (deterministic) job
 // assignment. The returned slice holds one runStats per worker slot,
 // including empty ones.
+//
+// When parent ends (or a resilience.StageEval fault fires) mid-run the
+// pool drains its workers and returns the certified prefix of the top-k
+// together with the interrupting error: each worker records the highest
+// bound it walked away from, and only results strictly dominating the
+// maximum abandoned bound survive — a provable prefix of the serial
+// top-k.
 func (x *Executor) runPool(parent context.Context, ev *cn.Evaluator, a parallel.Assignment, k int, sp *obs.Span) ([]cn.Result, []runStats, error) {
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
+	inj := resilience.From(parent)
 	workers := len(a.Jobs)
 	top := &sharedTopK{k: k}
 	marks := make([]atomic.Uint64, workers)
 	perWorker := make([]runStats, workers)
+	// abandoned[w] is the highest job bound worker w gave up on without a
+	// finished evaluation; written only by worker w, read after wg.Wait.
+	abandoned := make([]float64, workers)
+	for w := range abandoned {
+		abandoned[w] = math.Inf(-1)
+	}
+	// injected holds the first StageEval fault error; it also fires the
+	// internal cancellation so the other workers stop at a job boundary.
+	var injMu sync.Mutex
+	var injErr error
 
 	// Per-worker job order: descending bound (deterministic tie-break by
 	// canonical CN string) so the skip check fires as early as possible.
@@ -161,8 +194,26 @@ func (x *Executor) runPool(parent context.Context, ev *cn.Evaluator, a parallel.
 			st := &perWorker[w]
 			prefixes := map[string][][]*relstore.Tuple{}
 			for ji, job := range ordered[w] {
-				if ctx.Err() != nil {
+				stop := ctx.Err()
+				if stop == nil {
+					if err := inj.At(ctx, resilience.StageEval); err != nil {
+						injMu.Lock()
+						if injErr == nil {
+							injErr = err
+						}
+						injMu.Unlock()
+						cancel()
+						stop = err
+					}
+				}
+				if stop != nil {
 					st.Skipped += len(ordered[w]) - ji
+					// Jobs run in descending bound order, so the first
+					// unprocessed bound caps everything this worker leaves
+					// behind.
+					if bounds[w][ji] > abandoned[w] {
+						abandoned[w] = bounds[w][ji]
+					}
 					break
 				}
 				if dominates(top.kth(), bounds[w][ji]) {
@@ -175,6 +226,9 @@ func (x *Executor) runPool(parent context.Context, ev *cn.Evaluator, a parallel.
 						tryCancel()
 					} else {
 						st.Skipped++ // abandoned mid-evaluation by cancellation
+						if bounds[w][ji] > abandoned[w] {
+							abandoned[w] = bounds[w][ji]
+						}
 					}
 				}
 				next := math.Inf(-1)
@@ -196,8 +250,18 @@ func (x *Executor) runPool(parent context.Context, ev *cn.Evaluator, a parallel.
 	}
 	wg.Wait()
 
-	if err := parent.Err(); err != nil {
-		return nil, perWorker, err
+	err := parent.Err()
+	if err == nil {
+		err = injErr
+	}
+	if err != nil {
+		bound := math.Inf(-1)
+		for _, b := range abandoned {
+			if b > bound {
+				bound = b
+			}
+		}
+		return certifiedPrefix(top.snapshot(), bound), perWorker, err
 	}
 	return top.snapshot(), perWorker, nil
 }

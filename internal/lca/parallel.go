@@ -1,12 +1,19 @@
 package lca
 
 import (
+	"context"
 	"strconv"
 	"sync"
 
 	"kwsearch/internal/obs"
+	"kwsearch/internal/resilience"
 	"kwsearch/internal/xmltree"
 )
+
+// slcaCtxCheckStride is how many anchors a range worker processes between
+// cancellation checks: rare enough to stay off the per-anchor hot path,
+// frequent enough to stop within microseconds of ctx ending.
+const slcaCtxCheckStride = 32
 
 // slcaParallelMinAnchors is the shortest-list length below which
 // SLCAParallel falls back to the serial path: goroutine startup dominates
@@ -32,10 +39,21 @@ func SLCAParallel(ix *xmltree.Index, terms []string, workers int) []*xmltree.Nod
 // spans are created in the launch loop, before any goroutine starts, so
 // the span tree's shape is deterministic for a given worker count.
 func SLCAParallelTraced(ix *xmltree.Index, terms []string, workers int, sp *obs.Span) []*xmltree.Node {
+	ns, _ := SLCAParallelCtx(context.Background(), ix, terms, workers, sp)
+	return ns
+}
+
+// SLCAParallelCtx is the context-first parallel SLCA: each range worker
+// checks cancellation every slcaCtxCheckStride anchors and consults the
+// fault injector (resilience.StageSLCARange) once per range. A cancelled
+// computation returns nil and the interrupting error — SLCA minimality
+// is a global property, so a subset of the candidates could wrongly keep
+// an ancestor whose descendant match was never produced.
+func SLCAParallelCtx(ctx context.Context, ix *xmltree.Index, terms []string, workers int, sp *obs.Span) ([]*xmltree.Node, error) {
 	lists := lookupLists(ix, terms)
 	if lists == nil {
 		sp.SetAttr("anchors", 0)
-		return nil
+		return nil, nil
 	}
 	min := 0
 	for i, l := range lists {
@@ -52,17 +70,25 @@ func SLCAParallelTraced(ix *xmltree.Index, terms []string, workers int, sp *obs.
 	}
 	recordListSizes(sp, lists)
 	sp.SetAttr("anchors", len(anchors))
+	inj := resilience.From(ctx)
 	if workers == 1 || len(anchors) < slcaParallelMinAnchors {
 		sp.SetAttr("serial_fallback", true)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := inj.At(ctx, resilience.StageSLCARange); err != nil {
+			return nil, err
+		}
 		child := sp.Child("slca-serial")
 		defer child.End()
-		return SLCATraced(ix, terms, child)
+		return SLCATraced(ix, terms, child), nil
 	}
 	sp.SetAttr("serial_fallback", false)
 	sp.SetAttr("ranges", workers)
 
 	t := ix.Tree()
 	perRange := make([][]*xmltree.Node, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * len(anchors) / workers
@@ -73,8 +99,22 @@ func SLCAParallelTraced(ix *xmltree.Index, terms []string, workers int, sp *obs.
 		wg.Add(1)
 		go func(w, lo, hi int, child *obs.Span) {
 			defer wg.Done()
+			if err := inj.At(ctx, resilience.StageSLCARange); err != nil {
+				errs[w] = err
+				child.SetAttr("cancelled", true)
+				child.End()
+				return
+			}
 			var local []*xmltree.Node
-			for _, v := range anchors[lo:hi] {
+			for i, v := range anchors[lo:hi] {
+				if i%slcaCtxCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						errs[w] = err
+						child.SetAttr("cancelled", true)
+						child.End()
+						return
+					}
+				}
 				d := anchorCandidate(v, lists, min)
 				if n := t.ByDewey(d); n != nil {
 					local = append(local, n)
@@ -87,10 +127,16 @@ func SLCAParallelTraced(ix *xmltree.Index, terms []string, workers int, sp *obs.
 	}
 	wg.Wait()
 
+	for _, err := range errs {
+		if err != nil {
+			sp.SetAttr("cancelled", true)
+			return nil, err
+		}
+	}
 	var cands []*xmltree.Node
 	for _, local := range perRange {
 		cands = append(cands, local...)
 	}
 	sp.SetAttr("candidates", len(cands))
-	return minimalize(cands)
+	return minimalize(cands), nil
 }

@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"kwsearch/internal/obs"
+)
+
+// Gate is an admission-control semaphore with a bounded wait queue: up to
+// Limit queries run concurrently, up to MaxQueue more wait for a slot
+// (respecting their context's deadline), and everything beyond that is
+// shed immediately with ErrOverloaded. The zero Gate is not usable;
+// construct with NewGate. All methods are safe for concurrent use.
+type Gate struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+
+	// Instrumentation (nil-safe, attached by Instrument).
+	queuedGauge *obs.Gauge
+	waitHist    *obs.Histogram
+	admitted    *obs.Counter
+	shed        *obs.Counter
+	timedOut    *obs.Counter
+}
+
+// NewGate builds a gate admitting limit concurrent holders with at most
+// maxQueue waiters. limit < 1 is clamped to 1; maxQueue < 0 to 0 (shed
+// the moment all slots are busy).
+func NewGate(limit, maxQueue int) *Gate {
+	if limit < 1 {
+		limit = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Gate{slots: make(chan struct{}, limit), maxQueue: int64(maxQueue)}
+}
+
+// Instrument surfaces the gate's counters in reg: "admission.queued"
+// (gauge: current waiters), "admission.wait_us" (histogram: time spent
+// waiting for a slot, admitted acquisitions only), "admission.admitted",
+// "admission.shed" and "admission.deadline" (counters). Call before
+// concurrent use.
+func (g *Gate) Instrument(reg *obs.Registry) {
+	g.queuedGauge = reg.Gauge("admission.queued")
+	g.waitHist = reg.Histogram("admission.wait_us")
+	g.admitted = reg.Counter("admission.admitted")
+	g.shed = reg.Counter("admission.shed")
+	g.timedOut = reg.Counter("admission.deadline")
+}
+
+// Limit returns the gate's concurrency limit.
+func (g *Gate) Limit() int { return cap(g.slots) }
+
+// Queued returns the current number of waiters.
+func (g *Gate) Queued() int { return int(g.queued.Load()) }
+
+// Acquire claims an execution slot, waiting (within ctx's deadline) while
+// the queue has room. It returns a release function that must be called
+// exactly once when the query finishes, or a typed error: ErrOverloaded
+// when the wait queue is full, ErrDeadlineExceeded when ctx's deadline
+// expired while queued, or context.Canceled when the caller gave up.
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	start := time.Now()
+	// Fast path: a free slot means no queueing at all.
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Inc()
+		g.waitHist.Observe(float64(time.Since(start).Microseconds()))
+		return g.releaseFunc(), nil
+	default:
+	}
+	// Slots busy: join the bounded queue or shed. The reservation is
+	// optimistic (increment, then re-check) so two racing queries cannot
+	// both sneak into the last queue position.
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		g.shed.Inc()
+		return nil, ErrOverloaded
+	}
+	g.queuedGauge.Set(g.queued.Load())
+	defer func() {
+		g.queuedGauge.Set(g.queued.Load())
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		g.queued.Add(-1)
+		g.admitted.Inc()
+		g.waitHist.Observe(float64(time.Since(start).Microseconds()))
+		return g.releaseFunc(), nil
+	case <-ctx.Done():
+		g.queued.Add(-1)
+		err := AsTyped(ctx.Err())
+		if err == ErrDeadlineExceeded {
+			g.timedOut.Inc()
+		} else {
+			g.shed.Inc()
+		}
+		return nil, err
+	}
+}
+
+// releaseFunc returns the idempotent slot release for one admission.
+func (g *Gate) releaseFunc() func() {
+	var released atomic.Bool
+	return func() {
+		if released.CompareAndSwap(false, true) {
+			<-g.slots
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGateConcurrentStress hammers one gate from many goroutines under
+// -race: the admitted count in flight must never exceed the limit, and
+// every outcome must be admit, shed, or a typed deadline error.
+func TestGateConcurrentStress(t *testing.T) {
+	const limit, queue, goroutines = 4, 8, 64
+	iters := 200
+	if testing.Short() {
+		iters = 20
+	}
+	g := NewGate(limit, queue)
+	var inFlight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+				release, err := g.Acquire(ctx)
+				if err == nil {
+					n := inFlight.Add(1)
+					for {
+						p := peak.Load()
+						if n <= p || peak.CompareAndSwap(p, n) {
+							break
+						}
+					}
+					inFlight.Add(-1)
+					release()
+				} else if !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrDeadlineExceeded) {
+					t.Errorf("unexpected Acquire error: %v", err)
+				}
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > limit {
+		t.Fatalf("in-flight peak %d exceeded limit %d", p, limit)
+	}
+	if g.Queued() != 0 {
+		t.Fatalf("Queued = %d after drain, want 0", g.Queued())
+	}
+}
+
+// TestInjectorConcurrentStress arms and hits one injector from many
+// goroutines under -race; hit counting must stay exact.
+func TestInjectorConcurrentStress(t *testing.T) {
+	const goroutines = 16
+	iters := 500
+	if testing.Short() {
+		iters = 50
+	}
+	in := NewInjector(3).Arm("s", Fault{Prob: 0.1, Err: errors.New("boom")})
+	ctx := WithInjector(context.Background(), in)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				_ = Inject(ctx, "s")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Hits("s"); got != goroutines*iters {
+		t.Fatalf("Hits = %d, want %d", got, goroutines*iters)
+	}
+}

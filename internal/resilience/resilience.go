@@ -1,0 +1,39 @@
+// Package resilience is the engine's robustness layer: typed overload and
+// deadline errors, an admission-control gate that bounds concurrent query
+// execution and sheds load when a queue limit is hit, and a deterministic
+// fault-injection harness used by tests to pin cancellation, timeout and
+// partial-result behaviour at named pipeline stages.
+//
+// The package is stdlib-only. Everything is context-first: the gate's
+// Acquire respects the caller's deadline, the injector travels inside a
+// context.Context so faults reach the deepest evaluation loops without
+// widening any signature, and injected delays abort the moment the
+// context is cancelled.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrOverloaded is returned when admission control sheds a query: the
+// engine is at its concurrency limit and the wait queue is full. Callers
+// should retry later (or against another replica); the query did not run.
+var ErrOverloaded = errors.New("kwsearch: overloaded, query shed")
+
+// ErrDeadlineExceeded is returned when a query's deadline expired before
+// it was admitted, and is the typed cause behind partial responses. It
+// wraps context.DeadlineExceeded, so errors.Is matches either sentinel.
+var ErrDeadlineExceeded = fmt.Errorf("kwsearch: deadline exceeded: %w", context.DeadlineExceeded)
+
+// AsTyped maps a context error to the package's typed sentinels:
+// context.DeadlineExceeded becomes ErrDeadlineExceeded; anything else is
+// returned unchanged (context.Canceled stays itself — a caller that
+// cancelled does not need a softer name for what it did).
+func AsTyped(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrDeadlineExceeded
+	}
+	return err
+}

@@ -1,0 +1,225 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"kwsearch/internal/obs"
+)
+
+func TestTypedErrorsSatisfyErrorsIs(t *testing.T) {
+	if !errors.Is(ErrDeadlineExceeded, context.DeadlineExceeded) {
+		t.Errorf("ErrDeadlineExceeded must wrap context.DeadlineExceeded")
+	}
+	if errors.Is(ErrOverloaded, context.DeadlineExceeded) {
+		t.Errorf("ErrOverloaded must not match deadline")
+	}
+	if got := AsTyped(context.DeadlineExceeded); !errors.Is(got, ErrDeadlineExceeded) {
+		t.Errorf("AsTyped(DeadlineExceeded) = %v", got)
+	}
+	if got := AsTyped(context.Canceled); got != context.Canceled {
+		t.Errorf("AsTyped(Canceled) = %v, want identity", got)
+	}
+}
+
+func TestGateAdmitsUpToLimit(t *testing.T) {
+	g := NewGate(2, 0)
+	r1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Third concurrent acquisition with no queue room sheds immediately.
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third Acquire = %v, want ErrOverloaded", err)
+	}
+	r1()
+	r1() // release is idempotent: double release must not free a second slot
+	r3, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	r3()
+	r2()
+}
+
+func TestGateQueueAdmitsWhenSlotFrees(t *testing.T) {
+	g := NewGate(1, 1)
+	r1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan error, 1)
+	go func() {
+		r, err := g.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		admitted <- err
+	}()
+	// Give the waiter time to enqueue, then free the slot.
+	deadline := time.Now().Add(time.Second)
+	for g.Queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if g.Queued() != 1 {
+		t.Fatalf("Queued = %d, want 1", g.Queued())
+	}
+	r1()
+	if err := <-admitted; err != nil {
+		t.Fatalf("queued Acquire = %v, want admitted", err)
+	}
+}
+
+func TestGateQueuedAcquireHonorsDeadline(t *testing.T) {
+	g := NewGate(1, 4)
+	r1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = g.Acquire(ctx)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("Acquire = %v, want ErrDeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("deadline ignored: waited %v", waited)
+	}
+	if g.Queued() != 0 {
+		t.Errorf("Queued = %d after timeout, want 0", g.Queued())
+	}
+}
+
+func TestGateInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := NewGate(1, 0)
+	g.Instrument(reg)
+	r, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatal(err)
+	}
+	r()
+	s := reg.Snapshot()
+	if s.Counters["admission.admitted"] != 1 || s.Counters["admission.shed"] != 1 {
+		t.Errorf("counters = %v", s.Counters)
+	}
+	if s.Histograms["admission.wait_us"].Count != 1 {
+		t.Errorf("wait histogram = %+v", s.Histograms["admission.wait_us"])
+	}
+}
+
+func TestInjectorSchedule(t *testing.T) {
+	boom := errors.New("boom")
+	in := NewInjector(1).Arm("s", Fault{Err: boom, After: 2, Every: 2})
+	ctx := context.Background()
+	var got []bool
+	for i := 0; i < 8; i++ {
+		got = append(got, in.At(ctx, "s") != nil)
+	}
+	// After=2 skips hits 1-2; Every=2 then fires on hits 4, 6, 8.
+	want := []bool{false, false, false, true, false, true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: triggered=%v, want %v (all %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if in.Hits("s") != 8 {
+		t.Errorf("Hits = %d, want 8", in.Hits("s"))
+	}
+}
+
+func TestInjectorSeededProbIsDeterministic(t *testing.T) {
+	boom := errors.New("boom")
+	run := func(seed int64) []bool {
+		in := NewInjector(seed).Arm("s", Fault{Err: boom, Prob: 0.5})
+		var out []bool
+		for i := 0; i < 32; i++ {
+			out = append(out, in.At(context.Background(), "s") != nil)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 diverged at hit %d", i)
+		}
+	}
+	fired := 0
+	for _, v := range a {
+		if v {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("Prob=0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestInjectorDelayAbortsOnCancel(t *testing.T) {
+	in := NewInjector(1).Arm("s", Fault{Delay: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- in.At(ctx, "s") }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("At = %v, want Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("injected delay ignored cancellation")
+	}
+}
+
+func TestInjectorNilAndContextPlumbing(t *testing.T) {
+	var nilIn *Injector
+	if err := nilIn.At(context.Background(), "s"); err != nil {
+		t.Fatalf("nil injector At = %v", err)
+	}
+	nilIn.Arm("s", Fault{})
+	nilIn.Disarm("s")
+	if nilIn.Hits("s") != 0 {
+		t.Fatal("nil injector counted hits")
+	}
+	if From(context.Background()) != nil {
+		t.Fatal("From(empty ctx) != nil")
+	}
+	in := NewInjector(7)
+	ctx := WithInjector(context.Background(), in)
+	if From(ctx) != in {
+		t.Fatal("From did not round-trip the injector")
+	}
+	if err := Inject(ctx, "s"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Hits("s") != 1 {
+		t.Errorf("Hits = %d, want 1", in.Hits("s"))
+	}
+}
+
+func TestInjectorDisarm(t *testing.T) {
+	boom := errors.New("boom")
+	in := NewInjector(1).Arm("s", Fault{Err: boom})
+	if err := in.At(context.Background(), "s"); !errors.Is(err, boom) {
+		t.Fatalf("armed At = %v", err)
+	}
+	in.Disarm("s")
+	if err := in.At(context.Background(), "s"); err != nil {
+		t.Fatalf("disarmed At = %v", err)
+	}
+	if in.Hits("s") != 2 {
+		t.Errorf("Hits = %d, want 2", in.Hits("s"))
+	}
+}

@@ -1,0 +1,53 @@
+package steiner
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"kwsearch/internal/datagraph"
+	"kwsearch/internal/resilience"
+)
+
+// TestGroupSteinerCtxCancelled: a cancelled context aborts the DP with
+// ctx's error and no tree — the result is exact or absent, never partial.
+func TestGroupSteinerCtxCancelled(t *testing.T) {
+	g := slide30Graph()
+	groups := [][]datagraph.NodeID{{0}, {2}, {3}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr, ok, err := GroupSteinerCtx(ctx, g, groups)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if ok || tr != nil {
+		t.Fatalf("cancelled search returned a tree (%v, ok=%v)", tr, ok)
+	}
+}
+
+// TestGroupSteinerCtxInjectedFault: an armed StageSteinerPop fault aborts
+// the DP with the injected error.
+func TestGroupSteinerCtxInjectedFault(t *testing.T) {
+	boom := errors.New("injected pop fault")
+	in := resilience.NewInjector(1).Arm(resilience.StageSteinerPop, resilience.Fault{Err: boom})
+	ctx := resilience.WithInjector(context.Background(), in)
+	tr, ok, err := GroupSteinerCtx(ctx, slide30Graph(), [][]datagraph.NodeID{{0}, {2}, {3}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if ok || tr != nil {
+		t.Fatalf("faulted search returned a tree (%v, ok=%v)", tr, ok)
+	}
+}
+
+// TestGroupSteinerCtxUninterruptedMatches: with a live context the ctx
+// variant finds the slide-30 optimum exactly like GroupSteiner.
+func TestGroupSteinerCtxUninterruptedMatches(t *testing.T) {
+	tr, ok, err := GroupSteinerCtx(context.Background(), slide30Graph(), [][]datagraph.NodeID{{0}, {2}, {3}})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if tr.Cost != 10 {
+		t.Fatalf("cost = %v, want 10", tr.Cost)
+	}
+}

@@ -7,9 +7,11 @@ package steiner
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 
 	"kwsearch/internal/datagraph"
+	"kwsearch/internal/resilience"
 )
 
 // Tree is a Steiner tree: a root, the undirected edges chosen, and the
@@ -76,13 +78,28 @@ type provenance struct {
 // Complexity is O(3^l·n + 2^l·(n log n + m)) for l groups — exact for the
 // small l keyword queries have.
 func GroupSteiner(g *datagraph.Graph, groups [][]datagraph.NodeID) (*Tree, bool) {
+	t, ok, _ := GroupSteinerCtx(context.Background(), g, groups)
+	return t, ok
+}
+
+// steinerCtxCheckStride is how many heap pops run between cancellation
+// checks in GroupSteinerCtx.
+const steinerCtxCheckStride = 64
+
+// GroupSteinerCtx is GroupSteiner with cancellation and fault injection
+// (resilience.StageSteinerPop) checked every steinerCtxCheckStride heap
+// pops. A cancelled search returns (nil, false) with ctx's error: the
+// tree is exact or absent, never approximate, so there is no meaningful
+// partial answer to salvage.
+func GroupSteinerCtx(ctx context.Context, g *datagraph.Graph, groups [][]datagraph.NodeID) (*Tree, bool, error) {
+	inj := resilience.From(ctx)
 	l := len(groups)
 	if l == 0 || l > 20 {
-		return nil, false
+		return nil, false, nil
 	}
 	for _, grp := range groups {
 		if len(grp) == 0 {
-			return nil, false
+			return nil, false, nil
 		}
 	}
 	full := (uint32(1) << uint(l)) - 1
@@ -109,14 +126,22 @@ func GroupSteiner(g *datagraph.Graph, groups [][]datagraph.NodeID) (*Tree, bool)
 	settled := map[state]bool{}
 	byNode := map[datagraph.NodeID][]uint32{}
 
-	for h.Len() > 0 {
+	for pops := 0; h.Len() > 0; pops++ {
+		if pops%steinerCtxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
+			if err := inj.At(ctx, resilience.StageSteinerPop); err != nil {
+				return nil, false, err
+			}
+		}
 		e := heap.Pop(h).(entry)
 		if settled[e.st] || e.cost > cost[e.st] {
 			continue
 		}
 		settled[e.st] = true
 		if e.st.mask == full {
-			return reconstruct(e.st, cost, prov), true
+			return reconstruct(e.st, cost, prov), true, nil
 		}
 		// Edge growth: lift the tree to a neighbour.
 		for _, edge := range g.Neighbors(e.st.node) {
@@ -134,7 +159,7 @@ func GroupSteiner(g *datagraph.Graph, groups [][]datagraph.NodeID) (*Tree, bool)
 		}
 		byNode[e.st.node] = append(byNode[e.st.node], e.st.mask)
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 func reconstruct(goal state, cost map[state]float64, prov map[state]provenance) *Tree {
