@@ -16,7 +16,8 @@ test:
 
 race:
 	go test -race ./internal/parallel/... ./internal/stream/... ./internal/cn/... \
-		./internal/cache/... ./internal/exec/... ./internal/lca/...
+		./internal/cache/... ./internal/exec/... ./internal/lca/... ./internal/obs/... \
+		./internal/resilience/... ./internal/core/... ./internal/server/...
 
 lint:
 	go run ./cmd/kwslint ./...

@@ -1,0 +1,147 @@
+// Command kwsd is the keyword-search daemon: it loads one built-in
+// dataset into a warm engine and serves it over HTTP.
+//
+//	kwsd -addr :8791 -data dblp -admit 8 -admit-queue 16
+//
+// Endpoints:
+//
+//	POST /query     one query        {"query": "keyword search", "k": 5, ...}
+//	POST /batch     up to 64 queries {"queries": [...]}
+//	GET  /healthz   200 while serving, 503 once draining
+//	GET  /metrics   metrics-registry snapshot (also /debug/vars, /debug/pprof)
+//
+// Status codes follow the engine's typed errors: 400 bad query, 429 shed
+// by admission control (Retry-After set), 503 deadline expired while
+// queued, and 200 with "partial": true when a per-request deadline
+// expires mid-evaluation (the certified prefix computed so far).
+//
+// SIGTERM or SIGINT starts a graceful drain: the listener stops
+// accepting, in-flight queries run to completion within -drain, and the
+// process exits 0 (1 if the drain deadline forced a hard close).
+//
+// -selfcheck starts the daemon on a loopback port, drives it with the
+// built-in load generator (concurrent clients whose served answers must
+// be byte-identical to in-process Engine.Query, a deadline probe that
+// must yield a certified partial, and an overload burst that must shed
+// with 429), prints the report and exits 0 only if every check passed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kwsearch/internal/core"
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8791", "listen address")
+	data := flag.String("data", "dblp", "dataset: dblp | widom | seltzer | products | events | auctions | conf | bib")
+	admit := flag.Int("admit", 8, "admission-control concurrency limit (0 = off)")
+	admitQueue := flag.Int("admit-queue", 16, "bounded admission queue depth used with -admit")
+	workers := flag.Int("workers", 1, "default worker-pool size for queries that don't set one")
+	deadline := flag.Duration("deadline", 0, "default per-query time budget for queries that don't set one (0 = none)")
+	maxDeadline := flag.Duration("max-deadline", time.Minute, "ceiling clamped onto any requested per-query deadline (0 = no ceiling)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-drain budget after SIGTERM/SIGINT")
+	selfcheck := flag.Bool("selfcheck", false, "serve on a loopback port, drive the built-in load generator against it, report, and exit")
+	clients := flag.Int("clients", 8, "selfcheck: concurrent clients")
+	perClient := flag.Int("per-client", 10, "selfcheck: queries per client")
+	flag.Parse()
+
+	engine, err := buildEngine(*data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *admit > 0 {
+		engine.Admit(*admit, *admitQueue)
+	}
+	srv := server.New(engine, server.Options{
+		DefaultWorkers:  *workers,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+	})
+
+	if *selfcheck {
+		return runSelfCheck(srv, engine, *clients, *perClient)
+	}
+
+	if err := srv.Start(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "kwsd: serving %s on http://%s (POST /query, /batch; GET /healthz, /metrics)\n", *data, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "kwsd: %s received, draining (budget %s)\n", s, *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "kwsd: drain incomplete, hard-closed: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "kwsd: drained cleanly")
+	return 0
+}
+
+// runSelfCheck serves on a loopback port and turns the load generator
+// loose on it. The serving engine is shared with the in-process
+// reference path on purpose: identical index, identical caches, so any
+// result divergence is the serving layer's fault.
+func runSelfCheck(srv *server.Server, engine *core.Engine, clients, perClient int) int {
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "kwsd: selfcheck against http://%s\n", srv.Addr())
+	report, err := server.SelfCheck(context.Background(), "http://"+srv.Addr(), engine, server.SelfCheckConfig{
+		Clients:   clients,
+		PerClient: perClient,
+	})
+	fmt.Println(report)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if derr := srv.Drain(ctx); derr != nil {
+		fmt.Fprintf(os.Stderr, "kwsd: post-selfcheck drain: %v\n", derr)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kwsd: selfcheck FAILED: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "kwsd: selfcheck passed")
+	return 0
+}
+
+func buildEngine(data string) (*core.Engine, error) {
+	switch data {
+	case "dblp":
+		return core.NewRelational(dataset.DBLP(dataset.DefaultDBLPConfig())), nil
+	case "widom":
+		return core.NewRelational(dataset.WidomBib()), nil
+	case "seltzer":
+		return core.NewRelational(dataset.SeltzerBerkeley()), nil
+	case "products":
+		return core.NewRelational(dataset.Products()), nil
+	case "events":
+		return core.NewRelational(dataset.EventsDB()), nil
+	case "auctions":
+		return core.NewXML(dataset.AuctionsXML()), nil
+	case "conf":
+		return core.NewXML(dataset.ConfDemoXML()), nil
+	case "bib":
+		return core.NewXML(dataset.BibXML(dataset.DefaultBibConfig())), nil
+	}
+	return nil, fmt.Errorf("unknown dataset %q", data)
+}

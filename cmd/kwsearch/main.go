@@ -10,10 +10,16 @@
 //	kwsearch -data dblp -deadline 50ms keyword search
 //	kwsearch -data dblp -json keyword search | jq .stats
 //	kwsearch -data dblp -serve localhost:6060 keyword search
+//	kwsearch -data dblp -n 16 -admit 1 keyword search
+//
+// -n runs the query that many times concurrently against the shared
+// engine; combined with -admit it demonstrates load shedding from the
+// command line (the summary goes to stderr).
 //
 // Exit codes: 0 success (including partial results on deadline), 2 usage
 // error, 3 bad query, 4 shed by admission control, 5 deadline expired
-// before any evaluation could run, 1 any other failure.
+// before any evaluation could run, 1 any other failure. With -n > 1 the
+// exit code is the most severe outcome across runs.
 package main
 
 import (
@@ -23,7 +29,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"kwsearch/internal/core"
 	"kwsearch/internal/dataset"
@@ -41,6 +51,7 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-query time budget (0 = none); an expiring deadline returns the partial answer certified so far")
 	admit := flag.Int("admit", 0, "admission-control concurrency limit (0 = off; relevant with -serve under external load)")
 	admitQueue := flag.Int("admit-queue", 0, "bounded admission queue depth used with -admit")
+	concurrent := flag.Int("n", 1, "run the query this many times concurrently (with -admit this demonstrates load shedding)")
 	stats := flag.Bool("stats", false, "print the engine's metrics-registry snapshot after the search")
 	trace := flag.Bool("trace", false, "print the query's span tree (pipeline stages with timings and attributes)")
 	jsonOut := flag.Bool("json", false, "emit results, stats and trace as one JSON object")
@@ -58,7 +69,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	semantics, err := parseSemantics(*sem)
+	semantics, err := core.ParseSemantics(*sem)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -70,11 +81,12 @@ func main() {
 	if *admit > 0 {
 		engine.Admit(*admit, *admitQueue)
 	}
-	resp, err := engine.Query(context.Background(), core.Request{
+	req := core.Request{
 		Query: query, TopK: *k, Semantics: semantics, Clean: *doClean,
 		Workers: *workers, Deadline: *deadline,
 		Trace: *trace || *jsonOut,
-	})
+	}
+	resp, err := runQueries(engine, req, *concurrent)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		switch {
@@ -101,8 +113,82 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", srv.Addr())
-		select {} // block until interrupted
+		// Block until interrupted, then drain in-flight scrapes
+		// gracefully (bounded) instead of dropping them mid-body.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server shutdown: %v\n", err)
+			os.Exit(1)
+		}
 	}
+}
+
+// runQueries executes req n times concurrently against the shared
+// engine (n == 1 is the plain single-query path) and returns the first
+// complete response. With an admission gate installed and n beyond its
+// capacity, some runs shed — the returned error is the most severe
+// failure across runs (bad query, then shed, then queued deadline), so
+// the exit code reflects what the burst hit even when one run won.
+func runQueries(engine *core.Engine, req core.Request, n int) (*core.Response, error) {
+	if n <= 1 {
+		return engine.Query(context.Background(), req)
+	}
+	responses := make([]*core.Response, n)
+	errs := make([]error, n)
+	startGun := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-startGun
+			responses[i], errs[i] = engine.Query(context.Background(), req)
+		}(i)
+	}
+	close(startGun)
+	wg.Wait()
+
+	var ok, shed, deadline, other int
+	var resp *core.Response
+	var worst error
+	rank := func(err error) int {
+		switch {
+		case errors.Is(err, core.ErrBadQuery):
+			return 3
+		case errors.Is(err, core.ErrOverloaded):
+			return 2
+		case errors.Is(err, core.ErrDeadlineExceeded):
+			return 1
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case errs[i] == nil:
+			ok++
+			if resp == nil {
+				resp = responses[i]
+			}
+		case errors.Is(errs[i], core.ErrOverloaded):
+			shed++
+		case errors.Is(errs[i], core.ErrDeadlineExceeded):
+			deadline++
+		default:
+			other++
+		}
+		if errs[i] != nil && (worst == nil || rank(errs[i]) > rank(worst)) {
+			worst = errs[i]
+		}
+	}
+	fmt.Fprintf(os.Stderr, "concurrent runs: n=%d ok=%d shed=%d deadline=%d other=%d\n", n, ok, shed, deadline, other)
+	if worst != nil {
+		return nil, worst
+	}
+	return resp, nil
 }
 
 // printText is the human-readable output path: ranked results, then the
@@ -189,24 +275,4 @@ func buildEngine(data string) (*core.Engine, error) {
 		return core.NewXML(dataset.BibXML(dataset.DefaultBibConfig())), nil
 	}
 	return nil, fmt.Errorf("unknown dataset %q", data)
-}
-
-func parseSemantics(s string) (core.Semantics, error) {
-	switch s {
-	case "auto":
-		return core.Auto, nil
-	case "cn":
-		return core.CandidateNetworks, nil
-	case "spark":
-		return core.SparkNetworks, nil
-	case "banks":
-		return core.DistinctRoot, nil
-	case "steiner":
-		return core.SteinerTree, nil
-	case "slca":
-		return core.SLCA, nil
-	case "elca":
-		return core.ELCA, nil
-	}
-	return core.Auto, fmt.Errorf("unknown semantics %q", s)
 }

@@ -14,6 +14,13 @@ import (
 // robustness layer only holds if every long-running stage checks its
 // context at iteration boundaries; an exported entry point that ignores
 // its context reintroduces unbounded work the caller cannot abort.
+//
+// In the serving packages it additionally flags HTTP handlers — any
+// function taking an *http.Request — that mint a fresh
+// context.Background() or context.TODO(): a handler that does not
+// derive from the request's context severs the client-disconnect and
+// deadline chain, so the engine keeps evaluating queries nobody is
+// waiting for.
 type CtxFirst struct {
 	// Packages restricts the rule to packages whose import path contains
 	// one of these substrings; empty applies it everywhere.
@@ -25,7 +32,7 @@ func (CtxFirst) Name() string { return "ctx-first" }
 
 // Doc implements analysis.Rule.
 func (CtxFirst) Doc() string {
-	return "exported functions that spawn goroutines or loop over CNs must accept and honor a context.Context"
+	return "exported functions that spawn goroutines or loop over CNs must accept and honor a context.Context; HTTP handlers must derive per-request contexts, not mint fresh ones"
 }
 
 // Check implements analysis.Rule.
@@ -39,7 +46,16 @@ func (r CtxFirst) Check(p *analysis.Pass) {
 		}
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// HTTP handlers (exported or not — handlers usually aren't)
+			// must thread the request's own context through to the
+			// engine, never a freshly minted root.
+			if httpRequestParam(p, fn.Type) != nil {
+				reportFreshContexts(p, fn)
+			}
+			if !fn.Name.IsExported() {
 				continue
 			}
 			what := interruptibleWork(p, fn.Body)
@@ -142,6 +158,71 @@ func isContextType(p *analysis.Pass, expr ast.Expr) bool {
 	}
 	id, ok := sel.X.(*ast.Ident)
 	return ok && id.Name == "context"
+}
+
+// httpRequestParam returns the identifier of the first parameter whose
+// type is *http.Request (an HTTP handler's request), or nil.
+func httpRequestParam(p *analysis.Pass, ft *ast.FuncType) *ast.Ident {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		if !isHTTPRequestPtr(p, field.Type) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			return ast.NewIdent("_")
+		}
+		return field.Names[0]
+	}
+	return nil
+}
+
+// isHTTPRequestPtr reports whether expr denotes *http.Request, by type
+// information when available and syntactically otherwise.
+func isHTTPRequestPtr(p *analysis.Pass, expr ast.Expr) bool {
+	star, ok := expr.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	if t := p.TypeOf(star.X); t != nil {
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+		}
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Request" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "http"
+}
+
+// reportFreshContexts flags every context.Background() / context.TODO()
+// call in an HTTP handler's body: handlers must derive from the
+// request's context (r.Context()) so client disconnects and deadlines
+// propagate into the engine.
+func reportFreshContexts(p *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if path := pkgNameOf(p, id); path != "context" && !(path == "" && id.Name == "context") {
+			return true
+		}
+		p.Reportf(call.Pos(), "HTTP handler %s mints context.%s(); derive from the request's context instead so disconnects and deadlines propagate", fn.Name.Name, sel.Sel.Name)
+		return true
+	})
 }
 
 // identUsed reports whether any identifier in body refers to the same

@@ -27,6 +27,7 @@ func Default() []analysis.Rule {
 		CtxFirst{Packages: []string{
 			"internal/exec", "internal/cn", "internal/lca",
 			"internal/banks", "internal/steiner", "internal/core",
+			"internal/server", "cmd/kwsd",
 		}},
 		FloatEq{Packages: []string{"internal/rank", "internal/cn", "internal/banks"}},
 		DocComment{Only: []string{"internal/"}},

@@ -1,0 +1,46 @@
+package fixture
+
+// This file exercises the ctx-first rule's HTTP-handler check: any
+// function taking an *http.Request must derive per-request contexts
+// from the request, never mint a fresh root.
+
+import (
+	"context"
+	"net/http"
+)
+
+// engine stands in for the query engine handlers call into.
+type engine struct{}
+
+func (engine) query(ctx context.Context, q string) ([]CN, error) { return nil, ctx.Err() }
+
+var eng engine
+
+// HandlerMintsBackground severs the client-disconnect chain: flagged.
+func HandlerMintsBackground(w http.ResponseWriter, r *http.Request) {
+	_, _ = eng.query(context.Background(), r.URL.Query().Get("q")) // want "mints context.Background"
+}
+
+// HandlerMintsTODO is the same disease with a different name: flagged.
+func HandlerMintsTODO(w http.ResponseWriter, r *http.Request) {
+	_, _ = eng.query(context.TODO(), r.URL.Query().Get("q")) // want "mints context.TODO"
+}
+
+// handlerMintsUnexported shows the handler check covers unexported
+// functions too — real handlers usually are: flagged.
+func handlerMintsUnexported(w http.ResponseWriter, r *http.Request) {
+	_, _ = eng.query(context.Background(), "q") // want "mints context.Background"
+}
+
+// HandlerDerives threads the request's own context through: fine.
+func HandlerDerives(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 0)
+	defer cancel()
+	_, _ = eng.query(ctx, r.URL.Query().Get("q"))
+}
+
+// NotAHandler takes no *http.Request, so minting a root context here is
+// outside this check's scope: fine.
+func NotAHandler(q string) {
+	_, _ = eng.query(context.Background(), q)
+}

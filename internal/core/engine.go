@@ -86,6 +86,30 @@ func (s Semantics) MarshalJSON() ([]byte, error) {
 	return json.Marshal(s.String())
 }
 
+// ParseSemantics maps a semantics name (the String form, with "" and
+// "auto" both meaning Auto) back to the enum. Unknown names fail with an
+// error matching ErrBadQuery, so transport layers can map it straight to
+// an invalid-request response.
+func ParseSemantics(name string) (Semantics, error) {
+	switch name {
+	case "", "auto":
+		return Auto, nil
+	case "cn":
+		return CandidateNetworks, nil
+	case "spark":
+		return SparkNetworks, nil
+	case "banks":
+		return DistinctRoot, nil
+	case "steiner":
+		return SteinerTree, nil
+	case "slca":
+		return SLCA, nil
+	case "elca":
+		return ELCA, nil
+	}
+	return Auto, badQuery(fmt.Sprintf("core: unknown semantics %q", name))
+}
+
 // Options tunes a search.
 type Options struct {
 	// K bounds the result count (default 10).

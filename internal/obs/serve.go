@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
@@ -10,25 +11,15 @@ import (
 	"time"
 )
 
-// Serve exposes a registry over HTTP for ops tooling, entirely opt-in
-// (nothing listens unless it is called):
+// Handler returns the observability mux for reg, for callers that mount
+// the endpoints on their own server (cmd/kwsd does):
 //
 //	/metrics     — JSON Snapshot of reg
 //	/debug/vars  — the process's expvar page (reg is also published
-//	               there under "kwsearch" on first Serve)
+//	               there under "kwsearch" on first call)
 //	/debug/pprof — the standard pprof index, profiles included
-//
-// It binds addr immediately (so the caller sees bind errors
-// synchronously and can read the chosen port from Addr when addr ends
-// in ":0"), then serves in a background goroutine. Shut it down with
-// (*Server).Close.
-func Serve(addr string, reg *Registry) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+func Handler(reg *Registry) http.Handler {
 	publishExpvar(reg)
-
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -42,9 +33,22 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
+// Serve exposes a registry over HTTP for ops tooling, entirely opt-in
+// (nothing listens unless it is called): the Handler endpoints on a
+// dedicated listener. It binds addr immediately (so the caller sees bind
+// errors synchronously and can read the chosen port from Addr when addr
+// ends in ":0"), then serves in a background goroutine. Stop it with
+// (*Server).Shutdown for a graceful drain, or Close to abort.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
 	srv := &Server{
-		http: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		http: &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second},
 		ln:   ln,
 		done: make(chan error, 1),
 	}
@@ -52,7 +56,8 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	return srv, nil
 }
 
-// Server is a running observability endpoint; Close stops it.
+// Server is a running observability endpoint; Shutdown or Close stops
+// it.
 type Server struct {
 	http *http.Server
 	ln   net.Listener
@@ -62,14 +67,32 @@ type Server struct {
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and waits for the serve goroutine to exit.
+// Shutdown gracefully stops the server: the listener closes immediately
+// (no new connections), in-flight requests — a /metrics scrape, a
+// streaming pprof profile — run to completion within ctx, and only then
+// does the serve goroutine exit. When ctx expires first, Shutdown falls
+// back to a hard Close so it always returns within the caller's bound,
+// and reports ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	if err != nil {
+		// Bounded fallback: the drain deadline lapsed with requests still
+		// in flight; abort them rather than hang past the caller's budget.
+		_ = s.http.Close()
+	}
+	<-s.done
+	return err
+}
+
+// Close stops the listener and aborts in-flight requests mid-response.
+// Prefer Shutdown, which lets them finish.
 func (s *Server) Close() error {
 	err := s.http.Close()
 	<-s.done
 	return err
 }
 
-// expvarCur is the registry /debug/vars reflects; Serve publishes the
+// expvarCur is the registry /debug/vars reflects; Handler publishes the
 // expvar Func once and swaps the target on later calls, since
 // expvar.Publish panics on duplicate names.
 var (

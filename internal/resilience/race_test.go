@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"kwsearch/internal/obs"
 )
 
 // TestGateConcurrentStress hammers one gate from many goroutines under
@@ -51,6 +53,52 @@ func TestGateConcurrentStress(t *testing.T) {
 	}
 	if g.Queued() != 0 {
 		t.Fatalf("Queued = %d after drain, want 0", g.Queued())
+	}
+}
+
+// TestGateQueuedGaugeReturnsToZero is the regression test for the
+// queued-gauge publish race: under a churn burst of racing acquirers
+// (admissions, sheds and queue timeouts all interleaving), the
+// "admission.queued" gauge must agree with the true queue depth — 0 —
+// once the burst drains. The pre-fix Set(Load()) publish could land a
+// stale value after the final decrement and leave the gauge non-zero.
+func TestGateQueuedGaugeReturnsToZero(t *testing.T) {
+	const limit, queue, goroutines = 2, 8, 32
+	bursts := 50
+	if testing.Short() {
+		bursts = 5
+	}
+	reg := obs.NewRegistry()
+	g := NewGate(limit, queue)
+	g.Instrument(reg)
+	gauge := reg.Gauge("admission.queued")
+	for b := 0; b < bursts; b++ {
+		var wg sync.WaitGroup
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ctx := context.Background()
+				if i%3 == 0 {
+					// A third of the churn expires while queued, so the
+					// timeout decrement path races the admit path too.
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(i%5)*100*time.Microsecond)
+					defer cancel()
+				}
+				release, err := g.Acquire(ctx)
+				if err == nil {
+					release()
+				}
+			}(i)
+		}
+		wg.Wait()
+		if v := gauge.Value(); v != 0 {
+			t.Fatalf("burst %d: admission.queued = %d after drain, want 0", b, v)
+		}
+		if q := g.Queued(); q != 0 {
+			t.Fatalf("burst %d: Queued() = %d after drain, want 0", b, q)
+		}
 	}
 }
 

@@ -98,6 +98,88 @@ func TestGateQueuedAcquireHonorsDeadline(t *testing.T) {
 	}
 }
 
+// expiredContext returns a context whose deadline is already in the
+// past; context.WithDeadline cancels it synchronously, so Err() is
+// non-nil by the time it is returned.
+func expiredContext(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	t.Cleanup(cancel)
+	if ctx.Err() == nil {
+		t.Fatal("context with past deadline not synchronously expired")
+	}
+	return ctx
+}
+
+// TestGateRejectsDoneContextOnFastPath is the regression test for the
+// ctx-fidelity bug: a context that is already cancelled or expired must
+// never be admitted, even when a slot is free.
+func TestGateRejectsDoneContextOnFastPath(t *testing.T) {
+	g := NewGate(2, 4)
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.Acquire(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire(cancelled) = %v, want context.Canceled", err)
+	}
+	if _, err := g.Acquire(expiredContext(t)); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("Acquire(expired) = %v, want ErrDeadlineExceeded", err)
+	}
+
+	// The rejected acquisitions must not have leaked slots or queue
+	// positions: both slots are still admittable.
+	if g.Queued() != 0 {
+		t.Fatalf("Queued = %d after rejections, want 0", g.Queued())
+	}
+	r1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("second slot unavailable after done-ctx rejections: %v", err)
+	}
+	r1()
+	r2()
+}
+
+// TestGateFullQueueDoneContextKeepsTypedError pins the shed-vs-deadline
+// precedence: when the queue is full AND the context is already done,
+// the caller gets its context's typed error, not ErrOverloaded — the
+// query was dead before the gate could shed it.
+func TestGateFullQueueDoneContextKeepsTypedError(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := NewGate(1, 0)
+	g.Instrument(reg)
+	r, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r()
+	// Queue has no room; a live ctx sheds...
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("live ctx on full queue = %v, want ErrOverloaded", err)
+	}
+	// ...but an expired one reports the deadline, and a cancelled one the
+	// cancellation.
+	if _, err := g.Acquire(expiredContext(t)); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("expired ctx on full queue = %v, want ErrDeadlineExceeded", err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.Acquire(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx on full queue = %v, want context.Canceled", err)
+	}
+	s := reg.Snapshot()
+	if s.Counters["admission.deadline"] != 1 {
+		t.Errorf("admission.deadline = %d, want 1", s.Counters["admission.deadline"])
+	}
+	// One genuine shed plus one cancellation-as-shed.
+	if s.Counters["admission.shed"] != 2 {
+		t.Errorf("admission.shed = %d, want 2", s.Counters["admission.shed"])
+	}
+}
+
 func TestGateInstrumentation(t *testing.T) {
 	reg := obs.NewRegistry()
 	g := NewGate(1, 0)

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"kwsearch/internal/core"
+	"kwsearch/internal/dataset"
+)
+
+// TestSelfCheckUnderLoad runs the full load-generator contract against a
+// gated engine: N concurrent clients whose served answers must be
+// byte-identical to in-process Engine.Query, a deadline probe that must
+// come back 200 partial with a certified prefix, and an overload burst
+// that must shed with 429 (never hang, never 500). Run under -race this
+// doubles as the serving layer's data-race gate.
+func TestSelfCheckUnderLoad(t *testing.T) {
+	e := core.NewRelational(dataset.DBLP(dataset.DefaultDBLPConfig()))
+	e.Admit(4, 8)
+	s := New(e, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cfg := SelfCheckConfig{Clients: 8, PerClient: 8, Timeout: 2 * time.Minute}
+	if testing.Short() {
+		cfg.Clients, cfg.PerClient = 4, 3
+	}
+	report, err := SelfCheck(context.Background(), ts.URL, e, cfg)
+	if err != nil {
+		t.Fatalf("selfcheck: %v", err)
+	}
+	t.Logf("selfcheck: %s", report)
+	if report.Mismatches != 0 {
+		t.Fatalf("%d served answers differed from in-process results", report.Mismatches)
+	}
+	if report.OK == 0 {
+		t.Fatal("selfcheck completed zero queries")
+	}
+}

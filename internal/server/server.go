@@ -1,0 +1,370 @@
+// Package server is the serving layer of the engine: a stdlib-only
+// HTTP/JSON front end that puts one warm core.Engine (and its admission
+// gate, caches and metrics registry) on the network. It maps POST /query
+// bodies onto core.Request — per-request deadlines become context
+// deadlines, typed engine errors become status codes (ErrBadQuery → 400,
+// ErrOverloaded → 429 with Retry-After, deadline-while-queued → 503,
+// partial results → 200 with "partial": true) — batches concurrent
+// queries through POST /batch, mounts the observability mux (/metrics,
+// /debug/vars, /debug/pprof) beside the query API, and drains gracefully:
+// Drain stops accepting, finishes in-flight requests within a bounded
+// deadline, then hard-closes whatever remains.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kwsearch/internal/core"
+	"kwsearch/internal/obs"
+)
+
+// statusClientClosedRequest reports a request whose client went away
+// before the answer was ready (nginx's 499 convention); nothing useful
+// can be written to the dead connection, but the status keeps the
+// server's metrics honest.
+const statusClientClosedRequest = 499
+
+// Options tunes the server. The zero value is a working configuration.
+type Options struct {
+	// DefaultWorkers is the worker-pool size applied to requests that do
+	// not set "workers" themselves (0 = serial evaluation).
+	DefaultWorkers int
+	// DefaultDeadline is applied to requests without "deadline_ms"
+	// (0 = no deadline).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps per-request deadlines; longer asks are clamped
+	// (0 = uncapped).
+	MaxDeadline time.Duration
+	// MaxBatch bounds the /batch fan-out (default 64).
+	MaxBatch int
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// BaseContext, when non-nil, seeds the context of every connection
+	// (and so every request). Tests use it to carry a fault injector
+	// into the pipeline; production leaves it nil.
+	BaseContext func() context.Context
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	return o
+}
+
+// Server serves one engine over HTTP. Construct with New, bind with
+// Start, stop with Drain (graceful) or Close (abortive).
+type Server struct {
+	engine *core.Engine
+	opts   Options
+	mux    *http.ServeMux
+
+	// Serving-path metrics, registered in the engine's registry.
+	requests *obs.Counter
+	batches  *obs.Counter
+	inflight *obs.Gauge
+	latency  *obs.Histogram
+
+	httpSrv  *http.Server
+	ln       net.Listener
+	done     chan error
+	draining atomic.Bool
+}
+
+// New builds a server over engine. The engine is shared across all
+// connections — its caches stay warm and its admission gate (when
+// installed via Engine.Admit) sheds load for every client at once.
+func New(engine *core.Engine, opts Options) *Server {
+	s := &Server{
+		engine:   engine,
+		opts:     opts.withDefaults(),
+		mux:      http.NewServeMux(),
+		requests: engine.Metrics.Counter("server.requests"),
+		batches:  engine.Metrics.Counter("server.batches"),
+		inflight: engine.Metrics.Gauge("server.inflight"),
+		latency:  engine.Metrics.Histogram("server.latency_us"),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	obsMux := obs.Handler(engine.Metrics)
+	s.mux.Handle("/metrics", obsMux)
+	s.mux.Handle("/debug/", obsMux)
+	return s
+}
+
+// Handler returns the server's mux: the query API plus the mounted
+// observability endpoints. Useful under httptest; production callers use
+// Start, which owns the listener needed for graceful drain.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds addr and serves in a background goroutine. Bind errors
+// surface synchronously; the chosen port is readable from Addr when addr
+// ends in ":0". The server's lifetime is not context-scoped: it ends
+// via Drain (graceful) or Close (hard), mirroring net/http.Server.
+//
+//lint:ignore ctx-first server lifetime is managed by Drain/Close, not a context
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	if s.opts.BaseContext != nil {
+		s.httpSrv.BaseContext = func(net.Listener) context.Context { return s.opts.BaseContext() }
+	}
+	s.done = make(chan error, 1)
+	go func() { s.done <- s.httpSrv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Drain gracefully stops a started server: the listener closes
+// immediately (new connections are refused, /healthz turns 503 for any
+// already-open keep-alive connection), in-flight queries run to
+// completion within ctx, and only then does the serve goroutine exit.
+// When ctx expires first the remaining requests are hard-closed, so
+// Drain always returns within the caller's bound; the ctx error is
+// reported in that case.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.httpSrv.Shutdown(ctx)
+	if err != nil {
+		_ = s.httpSrv.Close()
+	}
+	<-s.done
+	return err
+}
+
+// Close aborts the server without waiting for in-flight requests.
+// Prefer Drain.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	err := s.httpSrv.Close()
+	<-s.done
+	return err
+}
+
+// toRequest lowers a wire request onto core.Request, applying the
+// server's defaults and deadline cap.
+func (s *Server) toRequest(q QueryRequest) (core.Request, error) {
+	sem, err := core.ParseSemantics(q.Semantics)
+	if err != nil {
+		return core.Request{}, err
+	}
+	if q.DeadlineMS < 0 {
+		return core.Request{}, fmt.Errorf("server: negative deadline_ms %d: %w", q.DeadlineMS, core.ErrBadQuery)
+	}
+	deadline := time.Duration(q.DeadlineMS) * time.Millisecond
+	if deadline == 0 {
+		deadline = s.opts.DefaultDeadline
+	}
+	if s.opts.MaxDeadline > 0 && (deadline == 0 || deadline > s.opts.MaxDeadline) {
+		deadline = s.opts.MaxDeadline
+	}
+	workers := q.Workers
+	if workers == 0 {
+		workers = s.opts.DefaultWorkers
+	}
+	return core.Request{
+		Query:     q.Query,
+		Semantics: sem,
+		TopK:      q.TopK,
+		MaxCNSize: q.MaxCNSize,
+		Clean:     q.Clean,
+		Deadline:  deadline,
+		Workers:   workers,
+		Trace:     q.Trace,
+	}, nil
+}
+
+// execute runs one wire query under ctx and produces its wire response
+// with the status already mapped. It is the single evaluation path both
+// /query and each /batch item go through.
+func (s *Server) execute(ctx context.Context, q QueryRequest) QueryResponse {
+	req, err := s.toRequest(q)
+	if err != nil {
+		return errorResponse(q.Query, err)
+	}
+	resp, err := s.engine.Query(ctx, req)
+	if err != nil {
+		return errorResponse(q.Query, err)
+	}
+	out := QueryResponse{
+		Query:   q.Query,
+		Status:  http.StatusOK,
+		Partial: resp.Partial,
+		Results: toWireResults(resp.Results),
+	}
+	if q.Stats {
+		st := resp.Stats
+		out.Stats = &st
+	}
+	if q.Trace {
+		out.Trace = resp.Trace
+	}
+	return out
+}
+
+// errorResponse maps a typed engine error onto the wire: the status code
+// clients branch on plus the machine-readable cause.
+func errorResponse(query string, err error) QueryResponse {
+	resp := QueryResponse{Query: query, Error: err.Error()}
+	switch {
+	case errors.Is(err, core.ErrBadQuery):
+		resp.Status, resp.Code = http.StatusBadRequest, CodeBadQuery
+	case errors.Is(err, core.ErrOverloaded):
+		resp.Status, resp.Code = http.StatusTooManyRequests, CodeOverloaded
+	case errors.Is(err, core.ErrDeadlineExceeded):
+		// The deadline lapsed while the query was still queued for
+		// admission: nothing ran, so unlike a mid-evaluation expiry there
+		// is no partial answer to certify — retry against a less loaded
+		// server.
+		resp.Status, resp.Code = http.StatusServiceUnavailable, CodeDeadline
+	case errors.Is(err, context.Canceled):
+		resp.Status, resp.Code = statusClientClosedRequest, CodeInternal
+	default:
+		resp.Status, resp.Code = http.StatusInternalServerError, CodeInternal
+	}
+	return resp
+}
+
+// handleQuery is POST /query: one JSON query in, one JSON response out.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Inc()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var q QueryRequest
+	if !s.decodeBody(w, r, &q) {
+		return
+	}
+	// Every query runs under a context derived from the request's: a
+	// client that disconnects cancels its query, and the wire deadline
+	// (applied inside Engine.Query via core.Request.Deadline) composes
+	// with it — the earlier one wins.
+	resp := s.execute(r.Context(), q)
+	s.writeResponse(w, resp)
+	s.latency.Observe(float64(time.Since(start).Microseconds()))
+}
+
+// handleBatch is POST /batch: up to MaxBatch queries fanned out
+// concurrently, each passing individually through admission control, so
+// one oversized batch cannot monopolize the engine — the gate sheds its
+// excess exactly as it would shed independent clients.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.batches.Inc()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var batch BatchRequest
+	if !s.decodeBody(w, r, &batch) {
+		return
+	}
+	if len(batch.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(batch.Queries) > s.opts.MaxBatch {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(batch.Queries), s.opts.MaxBatch))
+		return
+	}
+	s.requests.Add(uint64(len(batch.Queries)))
+	out := BatchResponse{Responses: make([]QueryResponse, len(batch.Queries))}
+	var wg sync.WaitGroup
+	for i, q := range batch.Queries {
+		wg.Add(1)
+		go func(i int, q QueryRequest) {
+			defer wg.Done()
+			out.Responses[i] = s.execute(r.Context(), q)
+		}(i, q)
+	}
+	wg.Wait()
+	s.writeJSON(w, http.StatusOK, out)
+	s.latency.Observe(float64(time.Since(start).Microseconds()))
+}
+
+// handleHealth is GET /healthz: 200 while serving, 503 once draining
+// (load balancers watching it stop routing before the listener closes).
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// decodeBody strictly decodes a bounded JSON body into v, writing the
+// 400 itself (and reporting false) on malformed input.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// writeResponse emits a mapped QueryResponse, attaching the retry hint
+// load-shedding clients act on.
+func (s *Server) writeResponse(w http.ResponseWriter, resp QueryResponse) {
+	if resp.Status == http.StatusTooManyRequests || resp.Status == http.StatusServiceUnavailable {
+		// Shed now, welcome shortly: the gate sheds on instantaneous
+		// queue overflow, not sustained overload, so a short backoff is
+		// the honest hint.
+		w.Header().Set("Retry-After", "1")
+	}
+	s.writeJSON(w, resp.Status, resp)
+}
+
+// writeError emits a bare error envelope for transport-level failures
+// (bad body, wrong method) that never reached the engine.
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	code := CodeInternal
+	if status == http.StatusBadRequest {
+		code = CodeBadQuery
+	}
+	s.writeJSON(w, status, QueryResponse{Status: status, Error: msg, Code: code})
+}
+
+// writeJSON renders v with the mapped status, counting the outcome class
+// in the registry ("server.status.<code>").
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	s.engine.Metrics.Counter(fmt.Sprintf("server.status.%d", status)).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

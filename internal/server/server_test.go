@@ -1,0 +1,391 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kwsearch/internal/core"
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/resilience"
+)
+
+// newTestServer builds a warm DBLP engine and an httptest server over
+// its handler. The injector (when non-nil) is carried into every
+// request's context via BaseContext, the same hook kwsd exposes.
+func newTestServer(t *testing.T, in *resilience.Injector, opts Options) (*core.Engine, *httptest.Server) {
+	t.Helper()
+	e := core.NewRelational(dataset.DBLP(dataset.DefaultDBLPConfig()))
+	s := New(e, opts)
+	ts := httptest.NewUnstartedServer(s.Handler())
+	if in != nil {
+		ts.Config.BaseContext = func(net.Listener) context.Context {
+			return resilience.WithInjector(context.Background(), in)
+		}
+	}
+	ts.Start()
+	t.Cleanup(ts.Close)
+	return e, ts
+}
+
+// post sends one query and decodes the envelope.
+func post(t *testing.T, url string, q QueryRequest) (QueryResponse, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /query: %v", err)
+	}
+	defer httpResp.Body.Close()
+	var resp QueryResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp, httpResp
+}
+
+func TestQueryMatchesInProcess(t *testing.T) {
+	e, ts := newTestServer(t, nil, Options{})
+	for _, q := range []QueryRequest{
+		{Query: "keyword search"},
+		{Query: "keyword search", Workers: 2},
+		{Query: "wang search", TopK: 3, Semantics: "cn"},
+		{Query: "wang search", Semantics: "banks"},
+	} {
+		resp, httpResp := post(t, ts.URL, q)
+		if httpResp.StatusCode != http.StatusOK {
+			t.Fatalf("%+v: status %d (%s)", q, httpResp.StatusCode, resp.Error)
+		}
+		if resp.Partial {
+			t.Fatalf("%+v: unexpected partial", q)
+		}
+		want, err := reference(e, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := RenderResults(resp.Results); got != want {
+			t.Fatalf("%+v: served answer differs from in-process\nserved:\n%s\nwant:\n%s", q, got, want)
+		}
+		if len(resp.Results) == 0 {
+			t.Fatalf("%+v: no results", q)
+		}
+	}
+}
+
+func TestStatusMapping(t *testing.T) {
+	_, ts := newTestServer(t, nil, Options{})
+	for _, tc := range []struct {
+		name   string
+		q      QueryRequest
+		status int
+		code   string
+	}{
+		{"empty query", QueryRequest{Query: "   "}, http.StatusBadRequest, CodeBadQuery},
+		{"unknown semantics", QueryRequest{Query: "a", Semantics: "nope"}, http.StatusBadRequest, CodeBadQuery},
+		{"xml semantics on relational data", QueryRequest{Query: "keyword", Semantics: "slca"}, http.StatusBadRequest, CodeBadQuery},
+		{"negative deadline", QueryRequest{Query: "a", DeadlineMS: -1}, http.StatusBadRequest, CodeBadQuery},
+	} {
+		resp, httpResp := post(t, ts.URL, tc.q)
+		if httpResp.StatusCode != tc.status || resp.Code != tc.code {
+			t.Errorf("%s: status %d code %q, want %d %q (%s)", tc.name, httpResp.StatusCode, resp.Code, tc.status, tc.code, resp.Error)
+		}
+	}
+
+	// Transport-level failures: wrong method, malformed body, unknown field.
+	httpResp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, httpResp.Body)
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query: status %d, want 405", httpResp.StatusCode)
+	}
+	for _, body := range []string{"{not json", `{"query": "a", "unknown_field": 1}`} {
+		httpResp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, httpResp.Body)
+		httpResp.Body.Close()
+		if httpResp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, httpResp.StatusCode)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, nil, Options{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %d", resp.StatusCode)
+	}
+}
+
+func TestObsEndpointsMounted(t *testing.T) {
+	_, ts := newTestServer(t, nil, Options{})
+	post(t, ts.URL, QueryRequest{Query: "keyword search"})
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "server.requests") {
+			t.Fatalf("/metrics missing serving counters:\n%s", body)
+		}
+	}
+}
+
+// parkQuery fires a query that blocks inside an injected evaluation
+// delay and returns once a worker is provably parked there, plus the
+// cancel releasing it.
+func parkQuery(t *testing.T, ts *httptest.Server, in *resilience.Injector) (cancel func(), done <-chan error) {
+	t.Helper()
+	req := QueryRequest{Query: "keyword database", TopK: 10000, Workers: 2}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query", bytes.NewReader(body))
+	if err != nil {
+		cancelCtx()
+		t.Fatal(err)
+	}
+	ch := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(httpReq)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		ch <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for in.Hits(resilience.StageEval) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if in.Hits(resilience.StageEval) == 0 {
+		cancelCtx()
+		t.Fatal("query never reached the evaluation stage")
+	}
+	return cancelCtx, ch
+}
+
+// TestOverloadSheds429 pins the load-shedding path: with the engine's
+// only slot parked on an injected delay and no queue, a second query is
+// shed with 429 + Retry-After, and the envelope carries the typed code.
+func TestOverloadSheds429(t *testing.T) {
+	in := resilience.NewInjector(1).Arm(resilience.StageEval, resilience.Fault{Delay: time.Minute})
+	e, ts := newTestServer(t, in, Options{})
+	e.Admit(1, 0)
+	cancel, done := parkQuery(t, ts, in)
+	defer func() { cancel(); <-done }()
+
+	resp, httpResp := post(t, ts.URL, QueryRequest{Query: "keyword search"})
+	if httpResp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", httpResp.StatusCode, resp.Error)
+	}
+	if resp.Code != CodeOverloaded {
+		t.Errorf("code %q, want %q", resp.Code, CodeOverloaded)
+	}
+	if httpResp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+// TestDeadlineWhileQueued503 pins the queued-deadline path: a query that
+// joins the wait queue and dies there returns 503, distinct from both
+// 429 (shed instantly) and a 200 partial (deadline mid-evaluation).
+func TestDeadlineWhileQueued503(t *testing.T) {
+	in := resilience.NewInjector(1).Arm(resilience.StageEval, resilience.Fault{Delay: time.Minute})
+	e, ts := newTestServer(t, in, Options{})
+	e.Admit(1, 1)
+	cancel, done := parkQuery(t, ts, in)
+	defer func() { cancel(); <-done }()
+
+	resp, httpResp := post(t, ts.URL, QueryRequest{Query: "keyword search", DeadlineMS: 50})
+	if httpResp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (%s)", httpResp.StatusCode, resp.Error)
+	}
+	if resp.Code != CodeDeadline {
+		t.Errorf("code %q, want %q", resp.Code, CodeDeadline)
+	}
+	if httpResp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+}
+
+// TestDeadlinePartial200 pins the certified-prefix contract on the wire:
+// an expiring per-request deadline is a success — 200, "partial": true,
+// and the results are a byte-exact prefix of the full answer.
+func TestDeadlinePartial200(t *testing.T) {
+	e, ts := newTestServer(t, nil, Options{})
+	heavy := QueryRequest{Query: "keyword search", TopK: 10000, MaxCNSize: 6, DeadlineMS: 1}
+	resp, httpResp := post(t, ts.URL, heavy)
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (%s)", httpResp.StatusCode, resp.Error)
+	}
+	if !resp.Partial {
+		t.Fatal("deadline did not produce a partial response")
+	}
+	full := heavy
+	full.DeadlineMS = 0
+	want, err := reference(e, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RenderResults(resp.Results); !strings.HasPrefix(want, got) {
+		t.Fatalf("partial answer is not a prefix of the full answer\npartial:\n%s\nfull:\n%s", got, want)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	e, ts := newTestServer(t, nil, Options{})
+	batch := BatchRequest{Queries: []QueryRequest{
+		{Query: "keyword search"},
+		{Query: "bogus", Semantics: "nope"},
+		{Query: "wang search", Workers: 2},
+	}}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", httpResp.StatusCode)
+	}
+	var out BatchResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Responses) != 3 {
+		t.Fatalf("got %d responses, want 3", len(out.Responses))
+	}
+	wantStatus := []int{200, 400, 200}
+	for i, r := range out.Responses {
+		if r.Status != wantStatus[i] {
+			t.Errorf("item %d: status %d, want %d (%s)", i, r.Status, wantStatus[i], r.Error)
+		}
+	}
+	for _, i := range []int{0, 2} {
+		want, err := reference(e, batch.Queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := RenderResults(out.Responses[i].Results); got != want {
+			t.Errorf("item %d differs from in-process answer", i)
+		}
+	}
+
+	// Fan-out bound: an oversized batch is rejected whole.
+	over := BatchRequest{Queries: make([]QueryRequest, 65)}
+	for i := range over.Queries {
+		over.Queries[i] = QueryRequest{Query: "keyword"}
+	}
+	body, _ = json.Marshal(over)
+	httpResp, err = http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, httpResp.Body)
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d, want 400", httpResp.StatusCode)
+	}
+}
+
+// TestDrainFinishesInFlight pins graceful drain on a Start-based server:
+// a request parked mid-evaluation when Drain begins completes with its
+// full, correct answer; the drain then refuses new connections and
+// returns nil within its deadline.
+func TestDrainFinishesInFlight(t *testing.T) {
+	e := core.NewRelational(dataset.DBLP(dataset.DefaultDBLPConfig()))
+	in := resilience.NewInjector(1).Arm(resilience.StageEval, resilience.Fault{Delay: 100 * time.Millisecond, After: 0, Every: 4})
+	s := New(e, Options{BaseContext: func() context.Context {
+		return resilience.WithInjector(context.Background(), in)
+	}})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + s.Addr()
+
+	q := QueryRequest{Query: "keyword database", TopK: 10000, Workers: 2}
+	var resp QueryResponse
+	var reqErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		body, _ := json.Marshal(q)
+		httpResp, err := http.Post(url+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			reqErr = err
+			return
+		}
+		defer httpResp.Body.Close()
+		if httpResp.StatusCode != http.StatusOK {
+			reqErr = errors.New("in-flight request status not 200")
+			return
+		}
+		reqErr = json.NewDecoder(httpResp.Body).Decode(&resp)
+	}()
+
+	// Wait until the query is provably mid-evaluation, then drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for in.Hits(resilience.StageEval) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if in.Hits(resilience.StageEval) == 0 {
+		t.Fatal("query never reached evaluation")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain = %v, want nil", err)
+	}
+	wg.Wait()
+	if reqErr != nil {
+		t.Fatalf("in-flight request failed across drain: %v", reqErr)
+	}
+	if resp.Partial {
+		t.Fatal("in-flight request came back partial; drain must not impose a deadline")
+	}
+	want, err := reference(e, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RenderResults(resp.Results); got != want {
+		t.Fatal("in-flight request's drained answer differs from in-process reference")
+	}
+
+	// Drained means drained.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("connection accepted after Drain")
+	}
+}

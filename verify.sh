@@ -25,7 +25,7 @@ go test $short ./...
 echo "==> go test -race (concurrency-bearing packages)"
 go test -race $short ./internal/parallel/... ./internal/stream/... ./internal/cn/... \
     ./internal/cache/... ./internal/exec/... ./internal/lca/... ./internal/obs/... \
-    ./internal/resilience/... ./internal/core/...
+    ./internal/resilience/... ./internal/core/... ./internal/server/...
 
 echo "==> kwslint ./..."
 go run ./cmd/kwslint ./...
