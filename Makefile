@@ -1,6 +1,6 @@
 # Convenience targets; verify.sh is the canonical sequence.
 
-.PHONY: verify verify-short build test race lint bench
+.PHONY: verify verify-short build test race lint lint-fix bench
 
 verify:
 	./verify.sh
@@ -17,10 +17,14 @@ test:
 race:
 	go test -race ./internal/parallel/... ./internal/stream/... ./internal/cn/... \
 		./internal/cache/... ./internal/exec/... ./internal/lca/... ./internal/obs/... \
-		./internal/resilience/... ./internal/core/... ./internal/server/...
+		./internal/resilience/... ./internal/core/... ./internal/server/... \
+		./internal/analysis/...
 
 lint:
 	go run ./cmd/kwslint ./...
+
+lint-fix:
+	go run ./cmd/kwslint -fix ./...
 
 bench:
 	go run ./cmd/benchrunner

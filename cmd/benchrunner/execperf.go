@@ -113,6 +113,9 @@ type execPerfJSON struct {
 	// Serving records the HTTP front end's throughput, tail latency and
 	// shed rate over a gated engine (E36).
 	Serving servingJSON `json:"serving"`
+	// Lint records the static-analysis driver's full-tree wall time,
+	// serial vs parallel (see cmd/kwslint).
+	Lint lintJSON `json:"kwslint"`
 }
 
 // stageJSON is one pipeline stage's share of the traced execution. Name
@@ -217,6 +220,10 @@ func writeExecPerformance(path string) error {
 	if err != nil {
 		return err
 	}
+	lint, err := measureLint()
+	if err != nil {
+		return err
+	}
 
 	evaluated, skipped, reuses := x.CounterTotals()
 	postings, results := x.CacheStats()
@@ -238,6 +245,7 @@ func writeExecPerformance(path string) error {
 		Stages:          stagesFromTrace(root),
 		Resilience:      res,
 		Serving:         serving,
+		Lint:            lint,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -256,5 +264,7 @@ func writeExecPerformance(path string) error {
 		res.CtxOverheadPct, time.Duration(res.CtxBackgroundNS), time.Duration(res.CtxDeadlineNS), res.ShedP99US)
 	fmt.Printf("performance: serving %.0f qps p99 %v, shed rate %.2f at 2x capacity\n",
 		serving.ThroughputQPS, time.Duration(serving.P99US)*time.Microsecond, serving.ShedRate)
+	fmt.Printf("performance: kwslint %d pkgs serial %v, parallel %v (%.2fx), %d diagnostics\n",
+		lint.Packages, time.Duration(lint.SerialNS), time.Duration(lint.ParallelNS), lint.Speedup, lint.Diagnostics)
 	return nil
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+
+	"kwsearch/internal/analysis"
+	"kwsearch/internal/analysis/rules"
+)
+
+// lintJSON is the kwslint block of BENCH_exec.json: wall time of the
+// full-tree analysis, serial vs parallel driver, so the linter's own
+// performance has a recorded trajectory like every other subsystem.
+type lintJSON struct {
+	Packages    int     `json:"packages"`
+	Rules       int     `json:"rules"`
+	SerialNS    int64   `json:"serial_ns"`
+	ParallelNS  int64   `json:"parallel_ns"`
+	Speedup     float64 `json:"speedup"`
+	Workers     int     `json:"workers"`
+	Diagnostics int     `json:"diagnostics"`
+}
+
+// measureLint times analysis.AnalyzeDirs over the whole module with one
+// worker and with the default worker count. It calls the driver
+// in-process (no `go run` compile step) so the numbers isolate analysis
+// cost. Best-of-2: package load dominates and is disk-cache sensitive.
+func measureLint() (lintJSON, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return lintJSON{}, err
+	}
+	ld, err := analysis.NewLoader(root)
+	if err != nil {
+		return lintJSON{}, err
+	}
+	dirs, err := ld.MatchDirs([]string{filepath.Join(root, "...")})
+	if err != nil {
+		return lintJSON{}, err
+	}
+	ruleSet := rules.Default()
+	ctx := context.Background()
+
+	var results []analysis.DirResult
+	serial := bestOf(2, func() { results = analysis.AnalyzeDirs(ctx, root, dirs, ruleSet, 1) })
+	parallel := bestOf(2, func() { results = analysis.AnalyzeDirs(ctx, root, dirs, ruleSet, 0) })
+
+	diags := 0
+	for _, r := range results {
+		diags += len(r.Diags)
+	}
+	return lintJSON{
+		Packages:    len(dirs),
+		Rules:       len(ruleSet),
+		SerialNS:    serial.Nanoseconds(),
+		ParallelNS:  parallel.Nanoseconds(),
+		Speedup:     float64(serial) / float64(parallel),
+		Workers:     0, // 0 = GOMAXPROCS at run time
+		Diagnostics: diags,
+	}, nil
+}
+
+// moduleRoot walks up from the working directory to the go.mod, so the
+// lint measurement covers the whole module wherever benchrunner runs.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ".", nil
+		}
+		dir = parent
+	}
+}

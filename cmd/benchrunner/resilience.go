@@ -101,7 +101,7 @@ func runE35() error {
 		_, qerr := e.Query(context.Background(), core.Request{Query: "keyword search"})
 		lat = append(lat, time.Since(start))
 		if !errors.Is(qerr, core.ErrOverloaded) && shedErr == nil {
-			shedErr = fmt.Errorf("shed query %d err = %v, want ErrOverloaded", i, qerr)
+			shedErr = fmt.Errorf("shed query %d err = %w, want ErrOverloaded", i, qerr)
 		}
 	}
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
@@ -186,7 +186,7 @@ func measureResilience() (resilienceJSON, error) {
 		start := time.Now()
 		if _, qerr := e.Query(context.Background(), core.Request{Query: "keyword search"}); !errors.Is(qerr, core.ErrOverloaded) {
 			cancel()
-			return resilienceJSON{}, fmt.Errorf("shed query err = %v, want ErrOverloaded", qerr)
+			return resilienceJSON{}, fmt.Errorf("shed query err = %w, want ErrOverloaded", qerr)
 		}
 		lat = append(lat, time.Since(start))
 	}

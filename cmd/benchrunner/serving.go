@@ -122,7 +122,7 @@ func measureServing() (servingJSON, error) {
 		out.BurstN, out.BurstShed = n, 0
 		for i := 0; i < n; i++ {
 			if errs[i] != nil {
-				return out, fmt.Errorf("burst query %d: %v", i, errs[i])
+				return out, fmt.Errorf("burst query %d: %w", i, errs[i])
 			}
 			switch statuses[i] {
 			case http.StatusOK:

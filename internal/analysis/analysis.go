@@ -35,6 +35,9 @@ type Diagnostic struct {
 	Pos     token.Position
 	Rule    string
 	Message string
+	// Fix, when non-nil, is a machine-applicable remediation (see
+	// SuggestedFix); kwslint -fix applies it.
+	Fix *SuggestedFix
 }
 
 // String formats the diagnostic the way compilers do:
@@ -58,10 +61,11 @@ type Pass struct {
 	// Info carries the type-checker's results for expressions in Files.
 	Info *types.Info
 
-	rule     string
-	diags    *[]Diagnostic
-	ignores  []ignoreDirective
-	reported map[string]bool
+	rule      string
+	diags     *[]Diagnostic
+	ignores   []ignoreDirective
+	reported  map[string]bool
+	summaries *Summaries
 }
 
 // ignoreDirective is one parsed `//lint:ignore rules reason` comment: it
@@ -133,11 +137,24 @@ func (p *Pass) suppressed(rule string, pos token.Position) bool {
 // suppression directive covers it. Duplicate (position, rule, message)
 // triples are coalesced so rules may re-visit nodes freely.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportfFix is Reportf with a suggested fix attached: kwslint -fix
+// applies fix's edits, and the JSON output marks the finding fixable.
+func (p *Pass) ReportfFix(pos token.Pos, fix *SuggestedFix, format string, args ...interface{}) {
+	p.report(pos, fix, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fix *SuggestedFix, format string, args ...interface{}) {
 	position := p.Fset.Position(pos)
 	if p.suppressed(p.rule, position) {
 		return
 	}
-	d := Diagnostic{Pos: position, Rule: p.rule, Message: fmt.Sprintf(format, args...)}
+	if fix != nil && !fix.resolve(p.Fset) {
+		fix = nil // unresolvable edits: keep the finding, drop the fix
+	}
+	d := Diagnostic{Pos: position, Rule: p.rule, Message: fmt.Sprintf(format, args...), Fix: fix}
 	key := d.String()
 	if p.reported[key] {
 		return

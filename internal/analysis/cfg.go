@@ -1,0 +1,448 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Block is one basic block of a control-flow graph: a maximal run of
+// statements (and control-carrying expressions) that executes without
+// branching, followed by zero or more successor edges. Nodes appear in
+// evaluation order; a non-exit block that no edge reaches is dead code
+// (e.g. statements after a return).
+type Block struct {
+	// Index is the block's position in CFG.Blocks (stable, 0 = entry).
+	Index int
+	// Nodes holds the block's statements and the control expressions
+	// evaluated inside it (an if condition, a range statement's head).
+	// Compound statements (if/for/switch/select) are not themselves
+	// nodes — their pieces are distributed over the blocks they induce.
+	Nodes []ast.Node
+	// Succs are the blocks control may transfer to next.
+	Succs []*Block
+}
+
+// CFG is an intra-procedural control-flow graph over one function body.
+// It is deliberately lightweight: no φ-nodes, no expression-level
+// ordering inside a statement, and function literals are not expanded —
+// build a separate CFG per literal. Returns and panics edge to Exit;
+// deferred calls are visible both as DeferStmt nodes where they are
+// registered and in Deferred for exit-time reasoning.
+type CFG struct {
+	// Entry is the block control enters first.
+	Entry *Block
+	// Exit is the single synthetic exit block every return/panic and the
+	// fall-off-the-end path edge to. It holds no nodes.
+	Exit *Block
+	// Blocks lists every block, Entry first and Exit last.
+	Blocks []*Block
+	// Deferred collects the calls registered by DeferStmts anywhere in
+	// the body, in source order. They run (in reverse) on every path to
+	// Exit whether or not the registering block is on that path — a
+	// conservative over-approximation rules must keep in mind.
+	Deferred []*ast.CallExpr
+}
+
+// NewCFG builds the control-flow graph of body. The builder handles
+// if/else, for (init/cond/post), range, switch and type switch (with
+// fallthrough), select (one block per comm clause), labeled
+// break/continue, goto, return, and treats panic(...) and os.Exit(...)
+// expression statements as jumps to Exit.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: map[string]*Block{}}
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	exit := b.newBlock()
+	b.cfg.Exit = exit
+	// Retarget the placeholder exit edges recorded while building.
+	for _, blk := range b.cfg.Blocks {
+		for i, s := range blk.Succs {
+			if s == sentinelExit {
+				blk.Succs[i] = exit
+			}
+		}
+	}
+	b.edge(b.cur, exit) // fall off the end
+	return b.cfg
+}
+
+// FindNode locates the top-level block node whose source range contains
+// n, returning the block and that node. It returns (nil, nil) when n is
+// not inside any block node (e.g. n is part of a function literal, whose
+// body is not expanded into the enclosing CFG).
+func (c *CFG) FindNode(n ast.Node) (*Block, ast.Node) {
+	for _, blk := range c.Blocks {
+		for _, bn := range blk.Nodes {
+			if bn.Pos() <= n.Pos() && n.End() <= bn.End() {
+				return blk, bn
+			}
+		}
+	}
+	return nil, nil
+}
+
+// sentinelExit stands in for the exit block during the build (the real
+// exit is appended last so Blocks stays in rough source order).
+var sentinelExit = &Block{Index: -1}
+
+// frame is one enclosing breakable/continuable construct during the
+// build: break jumps to brk; continue (loops only, cont != nil) to cont.
+type frame struct {
+	label string
+	brk   *Block
+	cont  *Block
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	frames []frame
+	labels map[string]*Block
+	// fallthroughTarget is the next case clause's block while building a
+	// switch clause body, nil elsewhere.
+	fallthroughTarget *Block
+	// pendingLabel names the label wrapping the next loop/switch/select
+	// so labeled break/continue resolve to the right frame.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// jump ends the current block with an edge to target and continues in a
+// fresh (initially unreachable) block for any trailing dead code.
+func (b *cfgBuilder) jump(target *Block) {
+	b.edge(b.cur, target)
+	b.cur = b.newBlock()
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findFrame resolves a break/continue target: the innermost frame, or
+// the innermost frame carrying the label. wantCont restricts the search
+// to loop frames.
+func (b *cfgBuilder) findFrame(label string, wantCont bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if wantCont && f.cont == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cond, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			elseEnd := b.cur
+			after := b.newBlock()
+			b.edge(thenEnd, after)
+			b.edge(elseEnd, after)
+			b.cur = after
+		} else {
+			after := b.newBlock()
+			b.edge(cond, after)
+			b.edge(thenEnd, after)
+			b.cur = after
+		}
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		contTarget := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			contTarget = post
+		}
+		b.frames = append(b.frames, frame{label: label, brk: after, cont: contTarget})
+		b.cur = body
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, contTarget)
+		if post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(b.cur, head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		// The head holds the ranged operand and the key/value targets as
+		// separate nodes — never the RangeStmt itself, whose source range
+		// contains the body and would make FindNode resolve body
+		// statements to the head block.
+		b.add(s.X)
+		if s.Key != nil {
+			b.add(s.Key)
+		}
+		if s.Value != nil {
+			b.add(s.Value)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.frames = append(b.frames, frame{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(label, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(label, s.Body)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock()
+		b.frames = append(b.frames, frame{label: label, brk: after})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			clause := b.newBlock()
+			b.edge(head, clause)
+			b.cur = clause
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(sentinelExit)
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok.String() {
+		case "break":
+			if f := b.findFrame(label, false); f != nil {
+				b.jump(f.brk)
+			} else {
+				b.jump(sentinelExit)
+			}
+		case "continue":
+			if f := b.findFrame(label, true); f != nil {
+				b.jump(f.cont)
+			} else {
+				b.jump(sentinelExit)
+			}
+		case "goto":
+			b.jump(b.labelBlock(label))
+		case "fallthrough":
+			if b.fallthroughTarget != nil {
+				b.jump(b.fallthroughTarget)
+			}
+		}
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isNoReturnCall(s.X) {
+			b.jump(sentinelExit)
+		}
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Deferred = append(b.cfg.Deferred, s.Call)
+
+	case nil:
+		// nothing
+
+	default:
+		// AssignStmt, DeclStmt, GoStmt, IncDecStmt, SendStmt, EmptyStmt, ...
+		b.add(s)
+	}
+}
+
+// caseClauses builds the shared clause structure of switch and type
+// switch: one block per clause, each edged from the head and into a
+// common after-block, with fallthrough wired to the next clause.
+func (b *cfgBuilder) caseClauses(label string, body *ast.BlockStmt) {
+	head := b.cur
+	after := b.newBlock()
+	b.frames = append(b.frames, frame{label: label, brk: after})
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	savedFT := b.fallthroughTarget
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		if i+1 < len(blocks) {
+			b.fallthroughTarget = blocks[i+1]
+		} else {
+			b.fallthroughTarget = nil
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.fallthroughTarget = savedFT
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// labelBlock returns (creating on first use) the block a label names, so
+// forward gotos resolve before the labeled statement is reached.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// isNoReturnCall reports whether e is a call that never returns:
+// panic(...), os.Exit(...), log.Fatal*(...), runtime.Goexit().
+func isNoReturnCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case id.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case id.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+			return true
+		case id.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		}
+	}
+	return false
+}
+
+// WalkShallow walks n in evaluation order like ast.Inspect but does not
+// descend into function literals: their bodies execute on a different
+// control path (or goroutine) and belong to their own CFG.
+func WalkShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}

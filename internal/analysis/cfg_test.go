@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFuncBody parses src as a function body wrapped in a file and
+// returns the body and fileset.
+func parseFuncBody(t *testing.T, body string) (*token.FileSet, *ast.BlockStmt) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(c *CFG) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(c.Entry)
+	return seen
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	_, body := parseFuncBody(t, "x := 1\ny := 2\n_ = x + y")
+	c := NewCFG(body)
+	if len(c.Entry.Nodes) != 3 {
+		t.Fatalf("entry nodes = %d, want 3", len(c.Entry.Nodes))
+	}
+	if len(c.Entry.Succs) != 1 || c.Entry.Succs[0] != c.Exit {
+		t.Fatalf("entry should fall through to exit")
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	_, body := parseFuncBody(t, `
+x := 1
+if x > 0 {
+	x = 2
+} else {
+	x = 3
+}
+_ = x`)
+	c := NewCFG(body)
+	r := reachable(c)
+	if !r[c.Exit] {
+		t.Fatalf("exit unreachable")
+	}
+	// Entry (decl + cond) must have two successors: then and else.
+	if len(c.Entry.Succs) != 2 {
+		t.Fatalf("cond successors = %d, want 2", len(c.Entry.Succs))
+	}
+}
+
+func TestCFGReturnMakesDeadCode(t *testing.T) {
+	_, body := parseFuncBody(t, "return\nx := 1\n_ = x")
+	c := NewCFG(body)
+	r := reachable(c)
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok && !r[b] {
+				t.Fatalf("return block unreachable")
+			}
+			if as, ok := n.(*ast.AssignStmt); ok && r[b] {
+				t.Fatalf("statement after return is reachable: %v", as)
+			}
+		}
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	_, body := parseFuncBody(t, `
+s := 0
+for i := 0; i < 10; i++ {
+	s += i
+	if s > 5 {
+		break
+	}
+	if s == 2 {
+		continue
+	}
+	s++
+}
+_ = s`)
+	c := NewCFG(body)
+	r := reachable(c)
+	if !r[c.Exit] {
+		t.Fatalf("exit unreachable through loop")
+	}
+	// There must be a back edge: some reachable block (not the head's
+	// predecessor chain) with an edge to an earlier-indexed block.
+	back := false
+	for b := range r {
+		for _, s := range b.Succs {
+			if s.Index < b.Index {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatalf("no back edge in loop CFG")
+	}
+}
+
+func TestCFGRangeAndLabeledBreak(t *testing.T) {
+	_, body := parseFuncBody(t, `
+sum := 0
+outer:
+for _, x := range []int{1, 2, 3} {
+	for {
+		sum += x
+		break outer
+	}
+}
+_ = sum`)
+	c := NewCFG(body)
+	if !reachable(c)[c.Exit] {
+		t.Fatalf("labeled break does not reach exit")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	_, body := parseFuncBody(t, `
+ch := make(chan int)
+done := make(chan struct{})
+select {
+case ch <- 1:
+	_ = ch
+case <-done:
+	return
+default:
+}
+_ = ch`)
+	c := NewCFG(body)
+	// The select head (entry block) must fan out to 3 clause blocks.
+	if got := len(c.Entry.Succs); got != 3 {
+		t.Fatalf("select fan-out = %d, want 3", got)
+	}
+	// The send must be findable, and live in a clause block distinct
+	// from entry.
+	var send *ast.SendStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SendStmt); ok {
+			send = s
+		}
+		return true
+	})
+	blk, top := c.FindNode(send)
+	if blk == nil || blk == c.Entry {
+		t.Fatalf("send not in a clause block (blk=%v)", blk)
+	}
+	if top != ast.Node(send) {
+		t.Fatalf("FindNode top = %T, want *ast.SendStmt", top)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	_, body := parseFuncBody(t, `
+x := 1
+hits := 0
+switch x {
+case 1:
+	hits++
+	fallthrough
+case 2:
+	hits++
+case 3:
+	hits--
+}
+_ = hits`)
+	c := NewCFG(body)
+	if !reachable(c)[c.Exit] {
+		t.Fatalf("switch does not reach exit")
+	}
+	// No default: the head must edge straight to the after-block too, so
+	// entry has 3 case successors + 1 after successor.
+	if got := len(c.Entry.Succs); got != 4 {
+		t.Fatalf("switch head successors = %d, want 4 (3 cases + no-match)", got)
+	}
+}
+
+func TestCFGPanicEdgesToExit(t *testing.T) {
+	_, body := parseFuncBody(t, `
+x := 1
+if x > 0 {
+	panic("boom")
+}
+_ = x`)
+	c := NewCFG(body)
+	r := reachable(c)
+	// The assignment after the if must still be reachable (x <= 0 path),
+	// and the panic block must not flow into it.
+	var panicBlk *Block
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok && isNoReturnCall(es.X) {
+				panicBlk = b
+			}
+		}
+	}
+	if panicBlk == nil || !r[panicBlk] {
+		t.Fatalf("panic block missing or unreachable")
+	}
+	if len(panicBlk.Succs) != 1 || panicBlk.Succs[0] != c.Exit {
+		t.Fatalf("panic block should edge only to exit, got %d succs", len(panicBlk.Succs))
+	}
+}
+
+func TestCFGDeferredCollected(t *testing.T) {
+	_, body := parseFuncBody(t, `
+mu := 0
+defer func() { _ = mu }()
+defer println("x")
+_ = mu`)
+	c := NewCFG(body)
+	if len(c.Deferred) != 2 {
+		t.Fatalf("deferred = %d, want 2", len(c.Deferred))
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	_, body := parseFuncBody(t, `
+i := 0
+loop:
+i++
+if i < 3 {
+	goto loop
+}
+_ = i`)
+	c := NewCFG(body)
+	if !reachable(c)[c.Exit] {
+		t.Fatalf("goto loop never reaches exit")
+	}
+}
+
+func TestCFGFuncLitNotExpanded(t *testing.T) {
+	fset, body := parseFuncBody(t, `
+f := func() {
+	return
+}
+f()`)
+	_ = fset
+	c := NewCFG(body)
+	// The return inside the literal must not create an edge to exit from
+	// the entry block's middle: entry holds both statements and falls
+	// through.
+	if len(c.Entry.Nodes) != 2 {
+		t.Fatalf("entry nodes = %d, want 2 (lit assign + call)", len(c.Entry.Nodes))
+	}
+	var ret *ast.ReturnStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			ret = r
+		}
+		return true
+	})
+	// FindNode maps the literal's return to the assignment node that
+	// contains it — WalkShallow is what keeps transfer functions out.
+	seen := 0
+	WalkShallow(body, func(n ast.Node) bool {
+		if n == ast.Node(ret) {
+			seen++
+		}
+		return true
+	})
+	if seen != 0 {
+		t.Fatalf("WalkShallow descended into function literal")
+	}
+}
+
+func TestCFGBlocksEndWithExit(t *testing.T) {
+	for _, src := range []string{
+		"x := 1\n_ = x",
+		"for {\nbreak\n}",
+		"switch {\ncase true:\n}",
+		"return",
+	} {
+		_, body := parseFuncBody(t, src)
+		c := NewCFG(body)
+		if c.Blocks[len(c.Blocks)-1] != c.Exit {
+			t.Fatalf("%q: exit is not the last block", src)
+		}
+		if c.Blocks[0] != c.Entry {
+			t.Fatalf("%q: entry is not the first block", src)
+		}
+		if !strings.Contains(src, "for") && !reachable(c)[c.Exit] {
+			t.Fatalf("%q: exit unreachable", src)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Fact is an abstract dataflow state at one program point. Facts are
+// immutable values: Join and a Transfer must return fresh facts (or one
+// of their operands) rather than mutate. A nil Fact means "unreachable"
+// (the lattice bottom); the solver handles nil, implementations never
+// see it.
+type Fact interface {
+	// Equal reports whether other carries the same abstract state. The
+	// solver uses it to detect the fixpoint, so it must be reflexive and
+	// consistent with Join (Join(a, a).Equal(a)).
+	Equal(other Fact) bool
+	// Join merges a state arriving over another CFG edge into this one,
+	// returning the least upper bound. For a "must hold on every path"
+	// domain this is set intersection / logical AND; for "may" domains,
+	// union / OR.
+	Join(other Fact) Fact
+}
+
+// Transfer applies the effect of one block node to the incoming fact and
+// returns the outgoing fact. Nodes are the ast.Node values stored in
+// Block.Nodes; transfer functions should use WalkShallow when scanning
+// them so function-literal bodies don't leak into the enclosing frame.
+type Transfer func(n ast.Node, in Fact) Fact
+
+// Solution is the fixpoint of a forward dataflow problem over one CFG:
+// the abstract state at the entry and exit of every reachable block.
+type Solution struct {
+	cfg *CFG
+	tr  Transfer
+	// In and Out map each block to the state on entry/exit. Unreachable
+	// blocks are absent (nil fact).
+	In  map[*Block]Fact
+	Out map[*Block]Fact
+}
+
+// Forward solves a forward dataflow problem: starting from entry at the
+// CFG's entry block, it propagates facts along edges with the classic
+// worklist algorithm until nothing changes. Termination is the
+// implementor's contract: the domain must have finite height and Join
+// must be monotone.
+func Forward(cfg *CFG, entry Fact, tr Transfer) *Solution {
+	s := &Solution{cfg: cfg, tr: tr, In: map[*Block]Fact{}, Out: map[*Block]Fact{}}
+	s.In[cfg.Entry] = entry
+	work := []*Block{cfg.Entry}
+	queued := map[*Block]bool{cfg.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		in := s.In[b]
+		if in == nil {
+			continue
+		}
+		out := in
+		for _, n := range b.Nodes {
+			out = s.tr(n, out)
+		}
+		s.Out[b] = out
+		for _, succ := range b.Succs {
+			next := out
+			if cur := s.In[succ]; cur != nil {
+				next = cur.Join(out)
+				if next.Equal(cur) {
+					continue
+				}
+			}
+			s.In[succ] = next
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return s
+}
+
+// Before returns the fact in force immediately before the top-level
+// block node containing n, recomputed by replaying the block's transfer
+// functions. The second result is false when n is unreachable or outside
+// every block (e.g. inside a function literal).
+func (s *Solution) Before(n ast.Node) (Fact, bool) {
+	blk, top := s.cfg.FindNode(n)
+	if blk == nil {
+		return nil, false
+	}
+	f := s.In[blk]
+	if f == nil {
+		return nil, false
+	}
+	for _, bn := range blk.Nodes {
+		if bn == top {
+			return f, true
+		}
+		f = s.tr(bn, f)
+	}
+	return f, true
+}
+
+// AtExit returns the fact at the CFG's exit block (the join over every
+// return/panic/fall-off path), or nil when no path reaches it.
+func (s *Solution) AtExit() Fact { return s.In[s.cfg.Exit] }

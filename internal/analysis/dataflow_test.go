@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// boolFact is a must-analysis fact: true iff the tracked event happened
+// on every path. Join is AND.
+type boolFact bool
+
+func (b boolFact) Equal(o Fact) bool { return b == o.(boolFact) }
+func (b boolFact) Join(o Fact) Fact  { return boolFact(bool(b) && bool(o.(boolFact))) }
+
+// markerTransfer flips the fact to true at any call to a function named
+// "mark".
+func markerTransfer(n ast.Node, in Fact) Fact {
+	found := false
+	WalkShallow(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+				found = true
+			}
+		}
+		return true
+	})
+	if found {
+		return boolFact(true)
+	}
+	return in
+}
+
+// findCall locates the first call to the named function.
+func findCall(body *ast.BlockStmt, name string) *ast.CallExpr {
+	var out *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				out = call
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func TestForwardMustOnBothBranches(t *testing.T) {
+	_, body := parseFuncBody(t, `
+x := 1
+if x > 0 {
+	mark()
+} else {
+	mark()
+}
+sink()`)
+	c := NewCFG(body)
+	s := Forward(c, boolFact(false), markerTransfer)
+	f, ok := s.Before(findCall(body, "sink"))
+	if !ok {
+		t.Fatalf("sink unreachable")
+	}
+	if !bool(f.(boolFact)) {
+		t.Fatalf("mark() on both branches should be must-true at sink")
+	}
+}
+
+func TestForwardMustOneBranchOnly(t *testing.T) {
+	_, body := parseFuncBody(t, `
+x := 1
+if x > 0 {
+	mark()
+}
+sink()`)
+	c := NewCFG(body)
+	s := Forward(c, boolFact(false), markerTransfer)
+	f, ok := s.Before(findCall(body, "sink"))
+	if !ok {
+		t.Fatalf("sink unreachable")
+	}
+	if bool(f.(boolFact)) {
+		t.Fatalf("mark() on one branch must not be must-true at sink")
+	}
+}
+
+func TestForwardLoopFixpoint(t *testing.T) {
+	_, body := parseFuncBody(t, `
+for i := 0; i < 10; i++ {
+	if i == 3 {
+		mark()
+	}
+}
+sink()`)
+	c := NewCFG(body)
+	s := Forward(c, boolFact(false), markerTransfer)
+	f, ok := s.Before(findCall(body, "sink"))
+	if !ok {
+		t.Fatalf("sink unreachable")
+	}
+	// The loop may execute zero times, and mark() is conditional: the
+	// must-fact at sink is false. The solver must also terminate (this
+	// test hanging = no fixpoint).
+	if bool(f.(boolFact)) {
+		t.Fatalf("conditional mark in loop must not be must-true after it")
+	}
+}
+
+func TestForwardEarlyReturnPathExcluded(t *testing.T) {
+	_, body := parseFuncBody(t, `
+x := 1
+if x > 0 {
+	return
+}
+mark()
+sink()`)
+	c := NewCFG(body)
+	s := Forward(c, boolFact(false), markerTransfer)
+	f, ok := s.Before(findCall(body, "sink"))
+	if !ok {
+		t.Fatalf("sink unreachable")
+	}
+	if !bool(f.(boolFact)) {
+		t.Fatalf("the only path to sink passes mark(); must-fact should be true")
+	}
+	// The exit join sees both the early return (false) and the fall-off
+	// path (true): must-analysis says false.
+	if exitFact := s.AtExit(); exitFact == nil || bool(exitFact.(boolFact)) {
+		t.Fatalf("exit fact = %v, want false (early-return path never marked)", exitFact)
+	}
+}
+
+func TestForwardDeadCodeHasNoFact(t *testing.T) {
+	_, body := parseFuncBody(t, `
+return
+sink()`)
+	c := NewCFG(body)
+	s := Forward(c, boolFact(false), markerTransfer)
+	if _, ok := s.Before(findCall(body, "sink")); ok {
+		t.Fatalf("dead code should have no fact")
+	}
+}
+
+func TestForwardSelectClauseFacts(t *testing.T) {
+	_, body := parseFuncBody(t, `
+ch := make(chan int)
+mark()
+select {
+case ch <- 1:
+	sink()
+default:
+}`)
+	c := NewCFG(body)
+	s := Forward(c, boolFact(false), markerTransfer)
+	f, ok := s.Before(findCall(body, "sink"))
+	if !ok {
+		t.Fatalf("clause body unreachable")
+	}
+	if !bool(f.(boolFact)) {
+		t.Fatalf("fact before select must flow into comm clause bodies")
+	}
+}

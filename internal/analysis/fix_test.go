@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTestModule materializes files (path -> content) under a fresh
+// temp module root with its own go.mod, so the Loader resolves it
+// independently of the enclosing repository.
+func writeTestModule(t testing.TB, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	if _, ok := files["go.mod"]; !ok {
+		if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module fixtest\n\ngo 1.21\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// loadTestDir loads one directory of the temp module.
+func loadTestDir(t testing.TB, dir string) *Package {
+	t.Helper()
+	ld, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := ld.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return pkg
+}
+
+// renameRule is the test rule of this file: it flags every identifier
+// named from and suggests renaming it to to.
+type renameRule struct{ from, to string }
+
+func (r renameRule) Name() string { return "rename-" + r.from }
+func (r renameRule) Doc() string  { return "test rule: rename " + r.from }
+func (r renameRule) Check(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == r.from {
+				p.ReportfFix(id.Pos(), &SuggestedFix{
+					Message: "rename to " + r.to,
+					Edits:   []TextEdit{{Pos: id.Pos(), End: id.End(), NewText: r.to}},
+				}, "identifier %s should be %s", r.from, r.to)
+			}
+			return true
+		})
+	}
+}
+
+const misspelled = "package fixtest\n\nvar speling = 1\n\nfunc useIt() int { return speling }\n"
+
+func TestApplyFixesRewritesAndConverges(t *testing.T) {
+	root := writeTestModule(t, map[string]string{"p/p.go": misspelled})
+	dir := filepath.Join(root, "p")
+	rule := renameRule{from: "speling", to: "spelling"}
+
+	diags := Run(loadTestDir(t, dir), []Rule{rule})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	results, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(results) != 1 || results[0].Edits != 2 {
+		t.Fatalf("got %d results (edits %v), want 1 result with 2 edits", len(results), results)
+	}
+	content := string(results[0].Content)
+	if strings.Contains(content, "speling") || !strings.Contains(content, "spelling") {
+		t.Fatalf("fix did not rewrite:\n%s", content)
+	}
+
+	// Writing the fixes and re-analyzing converges: zero findings, and a
+	// second ApplyFixes round has nothing to do — the -fix loop is
+	// idempotent at the engine level.
+	if err := WriteFixes(results); err != nil {
+		t.Fatalf("WriteFixes: %v", err)
+	}
+	again := Run(loadTestDir(t, dir), []Rule{rule})
+	if len(again) != 0 {
+		t.Fatalf("after fix, got %d diagnostics, want 0: %v", len(again), again)
+	}
+	rerun, err := ApplyFixes(again)
+	if err != nil || len(rerun) != 0 {
+		t.Fatalf("second fix round: results %v, err %v; want none", rerun, err)
+	}
+}
+
+func TestApplyFixesDeduplicatesIdenticalEdits(t *testing.T) {
+	root := writeTestModule(t, map[string]string{"p/p.go": misspelled})
+	dir := filepath.Join(root, "p")
+	rule := renameRule{from: "speling", to: "spelling"}
+
+	// Two analysis runs propose the same edits twice over; the fix
+	// engine must collapse them instead of double-applying.
+	pkg := loadTestDir(t, dir)
+	diags := append(Run(pkg, []Rule{rule}), Run(pkg, []Rule{rule})...)
+	results, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(results) != 1 || results[0].Edits != 2 {
+		t.Fatalf("got %d results (edits %v), want 1 result with 2 deduplicated edits", len(results), results)
+	}
+}
+
+// clobberRule proposes an edit spanning the whole var declaration, which
+// overlaps renameRule's ident-level edit without being identical.
+type clobberRule struct{}
+
+func (clobberRule) Name() string { return "clobber" }
+func (clobberRule) Doc() string  { return "test rule: conflicting edit" }
+func (clobberRule) Check(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			p.ReportfFix(gd.Pos(), &SuggestedFix{
+				Message: "rewrite declaration",
+				Edits:   []TextEdit{{Pos: gd.Pos(), End: gd.End(), NewText: "var renamed = 1"}},
+			}, "var decl rewritten")
+		}
+	}
+}
+
+func TestApplyFixesRejectsOverlappingEdits(t *testing.T) {
+	root := writeTestModule(t, map[string]string{"p/p.go": misspelled})
+	dir := filepath.Join(root, "p")
+
+	diags := Run(loadTestDir(t, dir), []Rule{renameRule{from: "speling", to: "spelling"}, clobberRule{}})
+	if _, err := ApplyFixes(diags); err == nil {
+		t.Fatal("ApplyFixes accepted overlapping edits; want an error")
+	} else if !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("overlap error does not say so: %v", err)
+	}
+}
+
+func TestApplyFixesRejectsUnresolvedEdits(t *testing.T) {
+	// A fix fabricated outside Pass.report never went through resolve():
+	// the engine must refuse it loudly rather than guess at offsets.
+	d := Diagnostic{
+		Pos:  token.Position{Filename: "x.go", Line: 1, Column: 1},
+		Rule: "fabricated",
+		Fix: &SuggestedFix{
+			Message: "bogus",
+			Edits:   []TextEdit{{Pos: 1, End: 2, NewText: "y"}},
+		},
+	}
+	if _, err := ApplyFixes([]Diagnostic{d}); err == nil {
+		t.Fatal("ApplyFixes accepted an unresolved edit; want an error")
+	} else if !strings.Contains(err.Error(), "unresolved") {
+		t.Fatalf("unresolved error does not say so: %v", err)
+	}
+}
+
+// breakerRule suggests a fix that yields unparsable Go, which the fix
+// engine must refuse (gofmt gate) instead of writing a broken file.
+type breakerRule struct{}
+
+func (breakerRule) Name() string { return "breaker" }
+func (breakerRule) Doc() string  { return "test rule: syntactically invalid fix" }
+func (breakerRule) Check(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "speling" {
+				p.ReportfFix(id.Pos(), &SuggestedFix{
+					Message: "break it",
+					Edits:   []TextEdit{{Pos: id.Pos(), End: id.End(), NewText: "] not go ["}},
+				}, "broken suggestion")
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func TestApplyFixesRejectsUnparsableResult(t *testing.T) {
+	root := writeTestModule(t, map[string]string{"p/p.go": misspelled})
+	dir := filepath.Join(root, "p")
+
+	diags := Run(loadTestDir(t, dir), []Rule{breakerRule{}})
+	if len(diags) == 0 {
+		t.Fatal("breaker rule found nothing")
+	}
+	if _, err := ApplyFixes(diags); err == nil {
+		t.Fatal("ApplyFixes accepted a fix producing invalid Go; want an error")
+	}
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// recorder wraps a real testing.TB but swallows Errorf, counting calls,
+// so the meta-tests below can assert that RunFixtureTest DOES fail.
+type recorder struct {
+	testing.TB
+	errors int
+}
+
+func (r *recorder) Helper()                                   {}
+func (r *recorder) Errorf(format string, args ...interface{}) { r.errors++ }
+
+// TestFixtureMultipleWantsOneLine: one `// want "a" "b"` comment expects
+// two diagnostics on its line, and the harness matches each quoted
+// string against a distinct diagnostic — the same finding cannot satisfy
+// both.
+func TestFixtureMultipleWantsOneLine(t *testing.T) {
+	root := writeTestModule(t, map[string]string{
+		"p/p.go": "package p\n\n" +
+			"var speling, tpyo = 1, 2 // want \"speling should be\" \"tpyo should be\"\n",
+	})
+	RunFixtureTest(t, filepath.Join(root, "p"), []Rule{
+		renameRule{from: "speling", to: "spelling"},
+		renameRule{from: "tpyo", to: "typo"},
+	})
+}
+
+// TestFixtureFailsWhenExpectedDiagnosticMissing: a want with no matching
+// diagnostic must fail the fixture — this is what makes fixtures a real
+// pin on rule behavior rather than decorative comments.
+func TestFixtureFailsWhenExpectedDiagnosticMissing(t *testing.T) {
+	root := writeTestModule(t, map[string]string{
+		"p/p.go": "package p\n\n" +
+			"var speling = 1 // want \"speling should be\" \"this never fires\"\n",
+	})
+	rec := &recorder{TB: t}
+	RunFixtureTest(rec, filepath.Join(root, "p"), []Rule{renameRule{from: "speling", to: "spelling"}})
+	if rec.errors != 1 {
+		t.Fatalf("harness flagged %d failures, want exactly 1 (the unmatched want)", rec.errors)
+	}
+}
+
+// TestFixtureFailsOnUnexpectedDiagnostic: the harness is two-sided — a
+// diagnostic with no matching want also fails.
+func TestFixtureFailsOnUnexpectedDiagnostic(t *testing.T) {
+	root := writeTestModule(t, map[string]string{
+		"p/p.go": "package p\n\nvar speling = 1\n",
+	})
+	rec := &recorder{TB: t}
+	RunFixtureTest(rec, filepath.Join(root, "p"), []Rule{renameRule{from: "speling", to: "spelling"}})
+	if rec.errors != 1 {
+		t.Fatalf("harness flagged %d failures, want exactly 1 (the unexpected diagnostic)", rec.errors)
+	}
+}
+
+// TestFixtureMultiRuleIgnoreList: one //lint:ignore directive naming
+// several rules comma-separated suppresses each of them on the next
+// line, and only them.
+func TestFixtureMultiRuleIgnoreList(t *testing.T) {
+	root := writeTestModule(t, map[string]string{
+		"p/p.go": "package p\n\n" +
+			"//lint:ignore rename-speling,rename-tpyo fixture exercises multi-rule ignore\n" +
+			"var speling, tpyo, thrid = 1, 2, 3 // want \"thrid should be\"\n",
+	})
+	RunFixtureTest(t, filepath.Join(root, "p"), []Rule{
+		renameRule{from: "speling", to: "spelling"},
+		renameRule{from: "tpyo", to: "typo"},
+		renameRule{from: "thrid", to: "third"},
+	})
+}
+
+// TestFixtureWantOffset: `// want+N` anchors the expectation N lines
+// below the comment, for diagnostics on declarations where a directly
+// preceding comment would become documentation.
+func TestFixtureWantOffset(t *testing.T) {
+	root := writeTestModule(t, map[string]string{
+		"p/p.go": "package p\n\n" +
+			"// want+2 \"speling should be\"\n" +
+			"\n" +
+			"var speling = 1\n",
+	})
+	RunFixtureTest(t, filepath.Join(root, "p"), []Rule{renameRule{from: "speling", to: "spelling"}})
+}

@@ -1,0 +1,144 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kwsearch/internal/analysis"
+)
+
+// AtomicSetLoad flags Set/Store calls on an atomic (or atomic-backed)
+// value whose argument reads another atomic via Load/Value: the
+// read-then-publish pair is not one atomic operation, so two goroutines
+// can interleave their loads and land their stores out of order,
+// publishing a stale value that never self-corrects.
+//
+// This is the exact shape of the PR 5 queued-gauge race:
+// g.queuedGauge.Set(g.queued.Load()) let a racing acquirer publish depth
+// 1 after another had published 2, freezing the gauge at the stale
+// value. Same-object Set(Load()) is the classic lost-update
+// read-modify-write. Both repair the same way: mirror by commutative
+// deltas (Add) or use CompareAndSwap.
+type AtomicSetLoad struct{}
+
+// Name implements analysis.Rule.
+func (AtomicSetLoad) Name() string { return "atomicsetload" }
+
+// Doc implements analysis.Rule.
+func (AtomicSetLoad) Doc() string {
+	return "Set/Store of a value read from an atomic Load is a racy read-modify-write or stale publish; use Add deltas or CompareAndSwap"
+}
+
+// Check implements analysis.Rule.
+func (r AtomicSetLoad) Check(p *analysis.Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Set" && sel.Sel.Name != "Store") {
+				return true
+			}
+			if !atomicLike(p, sel.X) {
+				return true
+			}
+			setPath, _ := analysis.SelectorPath(sel.X)
+			for _, arg := range call.Args {
+				load := findAtomicLoad(p, arg)
+				if load == nil {
+					continue
+				}
+				loadSel := load.Fun.(*ast.SelectorExpr)
+				loadPath, _ := analysis.SelectorPath(loadSel.X)
+				if setPath != "" && setPath == loadPath {
+					p.Reportf(call.Pos(), "%s.%s(%s.%s()) is a non-atomic read-modify-write: racing writers lose updates; use Add or CompareAndSwap",
+						setPath, sel.Sel.Name, loadPath, loadSel.Sel.Name)
+				} else {
+					p.Reportf(call.Pos(), "%s.%s publishes a value read from %s.%s: the load/store pair does not commute across goroutines, so a stale value can land last; mirror by Add deltas or CompareAndSwap",
+						exprPath(sel.X), sel.Sel.Name, exprPath(loadSel.X), loadSel.Sel.Name)
+				}
+				break
+			}
+			return true
+		})
+	}
+}
+
+// findAtomicLoad returns the first Load()/Value() call on an atomic-like
+// receiver inside e, not descending into function literals.
+func findAtomicLoad(p *analysis.Pass, e ast.Expr) *ast.CallExpr {
+	var out *ast.CallExpr
+	analysis.WalkShallow(e, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Load" && sel.Sel.Name != "Value") {
+			return true
+		}
+		if len(call.Args) != 0 {
+			return true
+		}
+		if atomicLike(p, sel.X) {
+			out = call
+		}
+		return true
+	})
+	return out
+}
+
+// atomicLike reports whether expr's type is a sync/atomic type, or a
+// named type whose underlying struct directly wraps one (obs.Gauge,
+// obs.Counter). With no type information (fixture mode) it falls back to
+// trusting the Load/Set method-name shape.
+func atomicLike(p *analysis.Pass, expr ast.Expr) bool {
+	t := p.TypeOf(expr)
+	if t == nil {
+		return true // fixture mode: names already matched
+	}
+	return atomicType(t, 1)
+}
+
+// atomicType reports whether t is (or, up to depth levels of struct
+// wrapping, contains only as its concurrency core) a sync/atomic type.
+func atomicType(t types.Type, depth int) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync/atomic" {
+			return true
+		}
+	}
+	if depth == 0 {
+		return false
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if atomicType(st.Field(i).Type(), depth-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprPath renders expr as a dotted path for diagnostics, degrading to
+// "expression" when it has computed parts.
+func exprPath(expr ast.Expr) string {
+	if s, ok := analysis.SelectorPath(expr); ok {
+		return s
+	}
+	return "expression"
+}

@@ -1,0 +1,324 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kwsearch/internal/analysis"
+)
+
+// CtxDrop is the dataflow companion to CtxFirst: where CtxFirst asks
+// "does this function take and touch a context at all", CtxDrop asks
+// "does every path that blocks or admits work actually consult it
+// first". It runs a forward must-analysis over the function's CFG with
+// the abstract domain {ctx consulted on every path? yes/no} and flags:
+//
+//   - fast paths: a channel send/receive reached by a path on which the
+//     context was never consulted, in a function that does consult it
+//     elsewhere. This is the PR 5 Gate bug: Acquire's free-slot fast
+//     path admitted already-cancelled queries because only the slow
+//     (queue) path checked ctx.
+//   - loops: a for/range whose body communicates on a channel but never
+//     consults the context inside the loop, so cancellation cannot
+//     interrupt the iteration.
+//
+// A channel operation inside a select that also has a ctx.Done() case is
+// the cancellation idiom itself and never flagged. "Consult" means
+// calling ctx.Err/Done/Deadline/Value or passing ctx to another call
+// (including one whose package-local summary shows it consults its own
+// context parameter).
+type CtxDrop struct{}
+
+// Name implements analysis.Rule.
+func (CtxDrop) Name() string { return "ctxdrop" }
+
+// Doc implements analysis.Rule.
+func (CtxDrop) Doc() string {
+	return "every path that blocks or admits work must consult ctx first: check ctx.Err() on fast paths and inside communicating loops"
+}
+
+// Check implements analysis.Rule.
+func (r CtxDrop) Check(p *analysis.Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ctx := ctxParamObject(p, fn.Type)
+			if ctx == nil {
+				continue
+			}
+			r.checkBody(p, ctx, fn.Body)
+			// Worker goroutines and closures capture the same ctx; each
+			// literal body is its own control-flow universe.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					r.checkBody(p, ctx, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// ctxObj identifies the context parameter: by type-checker object when
+// available, by name otherwise.
+type ctxObj struct {
+	obj  types.Object
+	name string
+}
+
+// ctxParamObject resolves the function's context.Context parameter.
+func ctxParamObject(p *analysis.Pass, ft *ast.FuncType) *ctxObj {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		if !isContextType(p, field.Type) || len(field.Names) == 0 {
+			continue
+		}
+		id := field.Names[0]
+		if id.Name == "_" {
+			return nil
+		}
+		c := &ctxObj{name: id.Name}
+		if p.Info != nil {
+			c.obj = p.Info.Defs[id]
+		}
+		return c
+	}
+	return nil
+}
+
+// refersToCtx reports whether id is the context parameter.
+func (c *ctxObj) refersTo(p *analysis.Pass, id *ast.Ident) bool {
+	if c.obj != nil && p.Info != nil {
+		return p.Info.Uses[id] == c.obj
+	}
+	return id.Name == c.name
+}
+
+// consultFact is the must-analysis domain: consulted is true only when
+// every path from entry to this point consulted the context.
+type consultFact bool
+
+func (f consultFact) Equal(o analysis.Fact) bool { return f == o.(consultFact) }
+func (f consultFact) Join(o analysis.Fact) analysis.Fact {
+	return consultFact(bool(f) && bool(o.(consultFact)))
+}
+
+func (r CtxDrop) checkBody(p *analysis.Pass, ctx *ctxObj, body *ast.BlockStmt) {
+	// Precondition: the body (or the function it belongs to) consults
+	// ctx somewhere. A function that ignores its context entirely is
+	// CtxFirst's finding, not a dropped fast path.
+	if !r.consultsAnywhere(p, ctx, body) {
+		return
+	}
+	guarded := guardedChannelOps(p, ctx, body)
+	cfg := analysis.NewCFG(body)
+	transfer := func(n ast.Node, in analysis.Fact) analysis.Fact {
+		if bool(in.(consultFact)) {
+			return in
+		}
+		if r.nodeConsults(p, ctx, n) {
+			return consultFact(true)
+		}
+		return in
+	}
+	sol := analysis.Forward(cfg, consultFact(false), transfer)
+
+	// Fast paths: channel ops reachable with consulted == false.
+	for _, op := range channelOps(p, ctx, body) {
+		if guarded[op.node] {
+			continue
+		}
+		fact, ok := sol.Before(op.node)
+		if !ok {
+			continue // unreachable or inside a nested literal
+		}
+		if !bool(fact.(consultFact)) {
+			p.Reportf(op.node.Pos(), "%s on a path that never consulted %s: a cancelled caller can still %s; check %s.Err() before the fast path",
+				op.what, ctx.name, op.verb, ctx.name)
+		}
+	}
+
+	// Loops: a communicating loop must consult ctx every iteration.
+	analysis.WalkShallow(body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loopBody = n.Body
+		case *ast.RangeStmt:
+			loopBody = n.Body
+		default:
+			return true
+		}
+		ops := channelOps(p, ctx, loopBody)
+		unguardedOp := false
+		for _, op := range ops {
+			if !guarded[op.node] {
+				unguardedOp = true
+			}
+		}
+		if !unguardedOp {
+			return true
+		}
+		if r.consultsAnywhere(p, ctx, loopBody) {
+			return true
+		}
+		p.Reportf(n.Pos(), "loop communicates on channels but never consults %s: cancellation cannot interrupt it; check %s.Err() or select on %s.Done() each iteration",
+			ctx.name, ctx.name, ctx.name)
+		return true
+	})
+}
+
+// chanOp is one channel communication relevant to the rule.
+type chanOp struct {
+	node ast.Node
+	what string
+	verb string
+}
+
+// channelOps collects channel sends and receives in body (shallow:
+// nested function literals excluded), skipping receives from ctx.Done().
+func channelOps(p *analysis.Pass, ctx *ctxObj, body ast.Node) []chanOp {
+	var ops []chanOp
+	analysis.WalkShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			ops = append(ops, chanOp{node: n, what: "channel send", verb: "be admitted"})
+		case *ast.UnaryExpr:
+			if n.Op.String() != "<-" {
+				return true
+			}
+			if isCtxDoneCall(p, ctx, n.X) {
+				return true
+			}
+			ops = append(ops, chanOp{node: n, what: "channel receive", verb: "block here"})
+		}
+		return true
+	})
+	return ops
+}
+
+// guardedChannelOps returns the channel operations appearing as comm
+// clauses of a select that also selects on ctx.Done() — the cancellation
+// idiom, exempt from flagging.
+func guardedChannelOps(p *analysis.Pass, ctx *ctxObj, body ast.Node) map[ast.Node]bool {
+	guarded := map[ast.Node]bool{}
+	analysis.WalkShallow(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDone := false
+		for _, c := range sel.Body.List {
+			cc := c.(*ast.CommClause)
+			if commReceivesDone(p, ctx, cc.Comm) {
+				hasDone = true
+			}
+		}
+		if !hasDone {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm == nil {
+				continue
+			}
+			analysis.WalkShallow(cc.Comm, func(m ast.Node) bool {
+				switch m.(type) {
+				case *ast.SendStmt, *ast.UnaryExpr:
+					guarded[m] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return guarded
+}
+
+// commReceivesDone reports whether a select comm statement receives from
+// ctx.Done().
+func commReceivesDone(p *analysis.Pass, ctx *ctxObj, comm ast.Stmt) bool {
+	found := false
+	if comm == nil {
+		return false
+	}
+	analysis.WalkShallow(comm, func(n ast.Node) bool {
+		if ue, ok := n.(*ast.UnaryExpr); ok && ue.Op.String() == "<-" && isCtxDoneCall(p, ctx, ue.X) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isCtxDoneCall reports whether e is ctx.Done().
+func isCtxDoneCall(p *analysis.Pass, ctx *ctxObj, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && ctx.refersTo(p, id)
+}
+
+// nodeConsults reports whether the block node consults ctx: calls
+// ctx.Err/Done/Deadline/Value or passes ctx to a call.
+func (r CtxDrop) nodeConsults(p *analysis.Pass, ctx *ctxObj, n ast.Node) bool {
+	found := false
+	analysis.WalkShallow(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Err", "Done", "Deadline", "Value":
+				if id, ok := sel.X.(*ast.Ident); ok && ctx.refersTo(p, id) {
+					found = true
+					return false
+				}
+			}
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && ctx.refersTo(p, id) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// consultsAnywhere reports whether any node in body consults ctx,
+// including inside nested literals (a worker that selects on ctx.Done()
+// counts for its parent's precondition).
+func (r CtxDrop) consultsAnywhere(p *analysis.Pass, ctx *ctxObj, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if r.nodeConsults(p, ctx, n) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

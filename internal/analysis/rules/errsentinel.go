@@ -1,0 +1,236 @@
+package rules
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"kwsearch/internal/analysis"
+)
+
+// ErrSentinel flags the two ways typed sentinel errors get mishandled
+// once they travel through wrapping layers:
+//
+//   - comparing with == or != (err == ErrOverloaded): the comparison
+//     fails the moment any layer wraps the sentinel with %w, which the
+//     resilience package does deliberately (ErrDeadlineExceeded wraps
+//     context.DeadlineExceeded). errors.Is unwraps; == does not.
+//   - wrapping with %v or %s in fmt.Errorf when the argument is an
+//     error: the cause is flattened to text and errors.Is/As can no
+//     longer see it; %w preserves the chain.
+//
+// Both carry suggested fixes (kwslint -fix): the comparison becomes
+// errors.Is(err, ErrX) (inserting the errors import when missing), and
+// the verb becomes %w.
+type ErrSentinel struct{}
+
+// Name implements analysis.Rule.
+func (ErrSentinel) Name() string { return "errsentinel" }
+
+// Doc implements analysis.Rule.
+func (ErrSentinel) Doc() string {
+	return "compare sentinel errors with errors.Is, not ==/!=, and wrap causes with %w, not %v/%s"
+}
+
+// Check implements analysis.Rule.
+func (r ErrSentinel) Check(p *analysis.Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				r.checkCompare(p, file, n)
+			case *ast.CallExpr:
+				r.checkWrap(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkCompare flags err ==/!= ErrSentinel and suggests errors.Is.
+func (r ErrSentinel) checkCompare(p *analysis.Pass, file *ast.File, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	var errSide, sentinelSide ast.Expr
+	switch {
+	case isSentinelExpr(p, be.Y) && isErrorType(p, be.X):
+		errSide, sentinelSide = be.X, be.Y
+	case isSentinelExpr(p, be.X) && isErrorType(p, be.Y):
+		errSide, sentinelSide = be.Y, be.X
+	default:
+		return
+	}
+	neg := ""
+	if be.Op == token.NEQ {
+		neg = "!"
+	}
+	replacement := neg + "errors.Is(" + renderExpr(p.Fset, errSide) + ", " + renderExpr(p.Fset, sentinelSide) + ")"
+	fix := &analysis.SuggestedFix{
+		Message: "replace " + be.Op.String() + " with errors.Is",
+		Edits:   []analysis.TextEdit{{Pos: be.Pos(), End: be.End(), NewText: replacement}},
+	}
+	if edit, ok := importErrorsEdit(file); ok {
+		fix.Edits = append(fix.Edits, edit)
+	}
+	p.ReportfFix(be.Pos(), fix,
+		"sentinel error compared with %s: wrapping breaks identity, use %serrors.Is(%s, %s)",
+		be.Op, neg, renderExpr(p.Fset, errSide), renderExpr(p.Fset, sentinelSide))
+}
+
+// checkWrap flags fmt.Errorf verbs that flatten an error argument.
+func (r ErrSentinel) checkWrap(p *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if path := pkgNameOf(p, id); path != "fmt" && !(path == "" && id.Name == "fmt") {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	raw := lit.Value // quoted source text; offsets map 1:1 onto file bytes
+	if strings.Contains(raw, "%[") || strings.Contains(raw, "*") {
+		return // indexed verbs / star widths reorder arguments; stay out
+	}
+	argIdx := 0
+	for i := 0; i < len(raw); i++ {
+		if raw[i] != '%' {
+			continue
+		}
+		pct := i
+		// Scan flags/width/precision to the verb letter.
+		j := i + 1
+		for j < len(raw) && strings.ContainsRune("+-# 0123456789.", rune(raw[j])) {
+			j++
+		}
+		if j >= len(raw) {
+			break
+		}
+		verb := raw[j]
+		i = j
+		if verb == '%' {
+			continue
+		}
+		idx := argIdx
+		argIdx++
+		if verb != 'v' && verb != 's' {
+			continue
+		}
+		if 1+idx >= len(call.Args) || !isErrorType(p, call.Args[1+idx]) {
+			continue
+		}
+		start := lit.Pos() + token.Pos(pct) // the '%'
+		end := lit.Pos() + token.Pos(j+1)   // past the verb
+		fix := &analysis.SuggestedFix{
+			Message: "wrap with %w",
+			Edits:   []analysis.TextEdit{{Pos: start, End: end, NewText: "%w"}},
+		}
+		p.ReportfFix(start, fix,
+			"fmt.Errorf flattens an error with %%%c: errors.Is/As lose the cause, wrap with %%w", verb)
+	}
+}
+
+// isSentinelExpr reports whether e names a sentinel error: an identifier
+// or selector whose terminal name starts with "Err" and whose type (when
+// known) is an error.
+func isSentinelExpr(p *analysis.Pass, e ast.Expr) bool {
+	name := ""
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return false
+	}
+	// Exported ErrFoo, or unexported errFoo (uppercase 4th rune keeps
+	// plain locals like err/err2 out).
+	sentinelName := strings.HasPrefix(name, "Err") ||
+		(strings.HasPrefix(name, "err") && len(name) > 3 && name[3] >= 'A' && name[3] <= 'Z')
+	if !sentinelName {
+		return false
+	}
+	if t := p.TypeOf(e); t != nil {
+		return isErrorishType(t)
+	}
+	return true // fixture mode: the name shape already matched
+}
+
+// isErrorType reports whether e's type is error (or implements it).
+// Without type info it accepts identifiers that look like errors.
+func isErrorType(p *analysis.Pass, e ast.Expr) bool {
+	if t := p.TypeOf(e); t != nil {
+		return isErrorishType(t)
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return looksLikeErrName(e.Name)
+	case *ast.SelectorExpr:
+		return looksLikeErrName(e.Sel.Name)
+	}
+	return false
+}
+
+func looksLikeErrName(name string) bool {
+	low := strings.ToLower(name)
+	return low == "err" || strings.HasPrefix(low, "err") || strings.HasSuffix(low, "err")
+}
+
+// isErrorishType reports whether t is the error interface or a type
+// implementing it.
+func isErrorishType(t types.Type) bool {
+	errIface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface) ||
+		types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// renderExpr prints an expression back to source text.
+func renderExpr(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+// importErrorsEdit returns the edit inserting an "errors" import into
+// file, and false when the file already imports it. gofmt (applied by
+// the fix engine) re-sorts the block afterwards.
+func importErrorsEdit(file *ast.File) (analysis.TextEdit, bool) {
+	if importsPath(file, "errors") {
+		return analysis.TextEdit{}, false
+	}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			return analysis.TextEdit{Pos: gd.Lparen + 1, End: gd.Lparen + 1, NewText: "\n\"errors\""}, true
+		}
+		// Single unparenthesized import: add a sibling declaration.
+		return analysis.TextEdit{Pos: gd.End(), End: gd.End(), NewText: "\nimport \"errors\""}, true
+	}
+	// No imports at all: insert after the package clause.
+	return analysis.TextEdit{Pos: file.Name.End(), End: file.Name.End(), NewText: "\n\nimport \"errors\""}, true
+}

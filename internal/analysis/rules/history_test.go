@@ -1,0 +1,90 @@
+package rules
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kwsearch/internal/analysis"
+)
+
+// The history fixtures replay repository bugs verbatim:
+// testdata/src/history_gate_prefix holds the resilience Gate exactly as
+// it shipped in the robustness-layer PR (queued gauge mirrored by
+// Set(Load()), no entry ctx check, == on a wrapped sentinel), and
+// history_gate_fixed holds the current repaired version. The tests here
+// are the would-have-caught guarantee: each rule fires on the historical
+// code and stays silent on the fix.
+
+// historyRules are the rules distilled from the Gate's bug history.
+var historyRules = []analysis.Rule{AtomicSetLoad{}, CtxDrop{}, ErrSentinel{}}
+
+func runHistory(t *testing.T, dir string) []analysis.Diagnostic {
+	t.Helper()
+	path := filepath.Join("testdata", "src", dir)
+	ld, err := analysis.NewLoader(path)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := ld.LoadDir(path)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	return analysis.Run(pkg, historyRules)
+}
+
+// byRule buckets diagnostics by rule name.
+func byRule(diags []analysis.Diagnostic) map[string][]analysis.Diagnostic {
+	out := map[string][]analysis.Diagnostic{}
+	for _, d := range diags {
+		out[d.Rule] = append(out[d.Rule], d)
+	}
+	return out
+}
+
+// TestRulesCatchHistoricalGateBugs asserts each rule would have caught
+// the bug it was distilled from, at the shape it actually shipped in.
+func TestRulesCatchHistoricalGateBugs(t *testing.T) {
+	got := byRule(runHistory(t, "history_gate_prefix"))
+
+	// The queued-gauge race: g.queuedGauge.Set(g.queued.Load()) appears
+	// twice (inline and in the deferred refresh closure); both are the
+	// same stale-publish shape.
+	if n := len(got["atomicsetload"]); n < 2 {
+		t.Errorf("atomicsetload: got %d findings on the historical gate, want >= 2 (inline + deferred Set(Load()))", n)
+	}
+	for _, d := range got["atomicsetload"] {
+		if !strings.Contains(d.Message, "queuedGauge") {
+			t.Errorf("atomicsetload finding does not name the gauge: %s", d)
+		}
+	}
+
+	// The admission bug: the free-slot fast path admitted queries whose
+	// context was already cancelled, because only the queue path
+	// consulted ctx.
+	if n := len(got["ctxdrop"]); n != 1 {
+		t.Fatalf("ctxdrop: got %d findings on the historical gate, want exactly 1 (the fast-path send): %v", n, got["ctxdrop"])
+	}
+	if d := got["ctxdrop"][0]; !strings.Contains(d.Message, "never consulted ctx") {
+		t.Errorf("ctxdrop finding has unexpected message: %s", d)
+	}
+
+	// The sentinel comparison: err == ErrDeadlineExceeded on a sentinel
+	// that deliberately wraps context.DeadlineExceeded.
+	if n := len(got["errsentinel"]); n != 1 {
+		t.Fatalf("errsentinel: got %d findings on the historical gate, want exactly 1: %v", n, got["errsentinel"])
+	}
+	if d := got["errsentinel"][0]; !strings.Contains(d.Message, "errors.Is") {
+		t.Errorf("errsentinel finding has unexpected message: %s", d)
+	}
+}
+
+// TestRulesSilentOnFixedGate is the other half of would-have-caught: the
+// repaired Gate (ctx.Err() first, gauge mirrored by Add deltas,
+// errors.Is on the sentinel) produces zero findings, so the rules
+// describe the bugs, not the file.
+func TestRulesSilentOnFixedGate(t *testing.T) {
+	if diags := runHistory(t, "history_gate_fixed"); len(diags) != 0 {
+		t.Errorf("fixed gate should be clean, got %d findings: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,375 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"kwsearch/internal/analysis"
+)
+
+// lockBits is the per-mutex abstract state tracked by LockHold.
+type lockBits uint8
+
+const (
+	lockHeld lockBits = 1 << iota
+	// lockDeferred marks a registered `defer mu.Unlock()`: the lock is
+	// still held, but provably released on every path to return.
+	lockDeferred
+)
+
+// lockFact maps mutex selector paths ("s.mu", RLocks suffixed "/R") to
+// their state. It is a must-analysis: Join keeps only mutexes in the
+// same state on every incoming path, so "provably held" is exactly what
+// survives. Facts are immutable — transfer copies before writing.
+type lockFact map[string]lockBits
+
+// Equal implements analysis.Fact.
+func (f lockFact) Equal(o analysis.Fact) bool {
+	g := o.(lockFact)
+	if len(f) != len(g) {
+		return false
+	}
+	for k, v := range f {
+		if g[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Join implements analysis.Fact (intersection: must semantics).
+func (f lockFact) Join(o analysis.Fact) analysis.Fact {
+	g := o.(lockFact)
+	out := lockFact{}
+	for k, v := range f {
+		if gv, ok := g[k]; ok {
+			if merged := v & gv; merged != 0 {
+				out[k] = merged
+			}
+		}
+	}
+	return out
+}
+
+func (f lockFact) with(k string, bits lockBits) lockFact {
+	out := make(lockFact, len(f)+1)
+	for k2, v2 := range f {
+		out[k2] = v2
+	}
+	out[k] = out[k] | bits
+	return out
+}
+
+func (f lockFact) without(k string) lockFact {
+	if _, ok := f[k]; !ok {
+		return f
+	}
+	out := make(lockFact, len(f))
+	for k2, v2 := range f {
+		if k2 != k {
+			out[k2] = v2
+		}
+	}
+	return out
+}
+
+// heldPaths lists the mutexes currently held (any state including a
+// deferred release), sorted for deterministic messages.
+func (f lockFact) heldPaths(requireNoDefer bool) []string {
+	var out []string
+	for k, v := range f {
+		if v&lockHeld == 0 {
+			continue
+		}
+		if requireNoDefer && v&lockDeferred != 0 {
+			continue
+		}
+		out = append(out, strings.TrimSuffix(k, "/R"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LockHold runs a forward must-held dataflow over each function: Lock/
+// RLock set the held bit for the receiver's selector path, Unlock/
+// RUnlock clear it, defer Unlock marks a certified exit release, and a
+// call into a same-package helper applies that helper's lock/unlock
+// summary one level deep. It flags:
+//
+//   - a channel send/receive, select communication, WaitGroup.Wait or
+//     time.Sleep executed while a mutex is provably held: the goroutine
+//     can park indefinitely with the lock, stalling every other reader
+//     and writer (sync.Cond.Wait is exempt — it owns this pattern).
+//   - a return reached with a mutex provably held and no deferred
+//     unlock: an early-error return that leaks the lock poisons the
+//     whole process, the classic hand-found bug in span/stream cleanup.
+//
+// Functions whose name contains "lock" (LockedGet, lockShard) are
+// exempt from the return check — returning locked is their contract.
+type LockHold struct{}
+
+// Name implements analysis.Rule.
+func (LockHold) Name() string { return "lockhold" }
+
+// Doc implements analysis.Rule.
+func (LockHold) Doc() string {
+	return "no blocking operation (channel op, Wait, Sleep) while a mutex is held, and no return path that leaks a held mutex"
+}
+
+// Check implements analysis.Rule.
+func (r LockHold) Check(p *analysis.Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			r.checkBody(p, fn.Name.Name, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					r.checkBody(p, fn.Name.Name, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (r LockHold) checkBody(p *analysis.Pass, fnName string, body *ast.BlockStmt) {
+	// Cheap pre-scan: no Lock calls, no work to do.
+	hasLock := false
+	analysis.WalkShallow(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") && isMutexExpr(p, sel.X) {
+				hasLock = true
+			}
+		}
+		return !hasLock
+	})
+	if !hasLock {
+		return
+	}
+
+	cfg := analysis.NewCFG(body)
+	transfer := func(n ast.Node, in analysis.Fact) analysis.Fact {
+		f := in.(lockFact)
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			if key, verb := mutexCallKey(p, ds.Call); verb == "unlock" {
+				if _, held := f[key]; held {
+					f = f.with(key, lockDeferred)
+				}
+				return f
+			}
+			// A deferred helper whose summary unlocks: an exit-time
+			// release, not an immediate one. Its lock effects (if any)
+			// happen at exit too and are ignored.
+			if sel, ok := ds.Call.Fun.(*ast.SelectorExpr); ok && p.Info != nil {
+				if sum := p.Summaries().Of(p.Info.Uses[sel.Sel]); sum != nil {
+					if base, ok := analysis.SelectorPath(sel.X); ok {
+						for _, rel := range sum.UnlocksReceiver {
+							key := joinLockPath(base, rel)
+							if _, held := f[key]; held {
+								f = f.with(key, lockDeferred)
+							}
+						}
+					}
+				}
+			}
+			return f
+		}
+		analysis.WalkShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// defer handled above; no CallExpr under a DeferStmt node
+			// reaches this walk.
+			if key, verb := mutexCallKey(p, call); key != "" {
+				switch verb {
+				case "lock":
+					f = f.with(key, lockHeld)
+				case "unlock":
+					f = f.without(key)
+				}
+				return true
+			}
+			f = r.applySummary(p, call, f)
+			return true
+		})
+		return f
+	}
+	sol := analysis.Forward(cfg, lockFact{}, transfer)
+
+	// Blocking operations while provably holding a lock.
+	analysis.WalkShallow(body, func(n ast.Node) bool {
+		what := blockingOp(p, n)
+		if what == "" {
+			return true
+		}
+		fact, ok := sol.Before(n)
+		if !ok {
+			return true
+		}
+		if held := fact.(lockFact).heldPaths(false); len(held) > 0 {
+			p.Reportf(n.Pos(), "%s while %s is held: the goroutine can park with the lock and stall every other locker; release before blocking",
+				what, strings.Join(held, ", "))
+		}
+		return true
+	})
+
+	// Return paths that leak a held mutex.
+	if strings.Contains(strings.ToLower(fnName), "lock") {
+		return
+	}
+	analysis.WalkShallow(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		fact, ok := sol.Before(ret)
+		if !ok {
+			return true
+		}
+		if held := fact.(lockFact).heldPaths(true); len(held) > 0 {
+			p.Reportf(ret.Pos(), "return with %s still held and no deferred unlock: this path leaks the lock",
+				strings.Join(held, ", "))
+		}
+		return true
+	})
+}
+
+// applySummary applies a same-package callee's lock/unlock effects one
+// call deep: x.helper() where helper's summary unlocks receiver field
+// "mu" clears "x.mu".
+func (r LockHold) applySummary(p *analysis.Pass, call *ast.CallExpr, f lockFact) lockFact {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || p.Info == nil {
+		return f
+	}
+	obj := p.Info.Uses[sel.Sel]
+	sum := p.Summaries().Of(obj)
+	if sum == nil {
+		return f
+	}
+	base, ok := analysis.SelectorPath(sel.X)
+	if !ok {
+		return f
+	}
+	for _, rel := range sum.UnlocksReceiver {
+		f = f.without(joinLockPath(base, rel))
+	}
+	for _, rel := range sum.LocksReceiver {
+		f = f.with(joinLockPath(base, rel), lockHeld)
+	}
+	return f
+}
+
+// joinLockPath rebases a receiver-relative lock path ("mu", "mu/R")
+// onto the caller's receiver expression ("s" -> "s.mu", "s.mu/R").
+func joinLockPath(base, rel string) string {
+	rel, isR := strings.CutSuffix(rel, "/R")
+	key := base
+	if rel != "" {
+		key = base + "." + rel
+	}
+	if isR {
+		key += "/R"
+	}
+	return key
+}
+
+// mutexCallKey classifies call as a mutex lock/unlock: it returns the
+// selector-path key ("s.mu", read locks suffixed "/R") and "lock" or
+// "unlock", or ("", "") when call is not a mutex operation.
+func mutexCallKey(p *analysis.Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", ""
+	}
+	var verb string
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		verb = "lock"
+	case "Unlock", "RUnlock":
+		verb = "unlock"
+	default:
+		return "", ""
+	}
+	if !isMutexExpr(p, sel.X) {
+		return "", ""
+	}
+	key, ok := analysis.SelectorPath(sel.X)
+	if !ok {
+		return "", ""
+	}
+	if strings.HasPrefix(sel.Sel.Name, "R") {
+		key += "/R"
+	}
+	return key, verb
+}
+
+// isMutexExpr reports whether expr's type is sync.Mutex or sync.RWMutex
+// (directly, behind a pointer, or as the lock half of an embedding),
+// falling back to mu-ish names without type information.
+func isMutexExpr(p *analysis.Pass, expr ast.Expr) bool {
+	if t := p.TypeOf(expr); t != nil {
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+				(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+		}
+		return false
+	}
+	path, ok := analysis.SelectorPath(expr)
+	if !ok {
+		return false
+	}
+	last := path
+	if i := strings.LastIndexByte(path, '.'); i >= 0 {
+		last = path[i+1:]
+	}
+	low := strings.ToLower(last)
+	return low == "mu" || low == "mutex" || low == "lock" || strings.HasSuffix(low, "mu")
+}
+
+// blockingOp classifies a node that can park the goroutine: channel
+// sends/receives (select comms included — holding a lock across any
+// select arm blocks), WaitGroup.Wait and time.Sleep. sync.Cond.Wait is
+// exempt: it unlocks its own mutex while parked.
+func blockingOp(p *analysis.Pass, n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return "channel send"
+	case *ast.UnaryExpr:
+		if n.Op.String() == "<-" {
+			return "channel receive"
+		}
+	case *ast.CallExpr:
+		sel, ok := n.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		switch sel.Sel.Name {
+		case "Wait":
+			if isWaitGroup(p, sel.X) {
+				return "WaitGroup.Wait"
+			}
+		case "Sleep":
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if path := pkgNameOf(p, id); path == "time" || (path == "" && id.Name == "time") {
+					return "time.Sleep"
+				}
+			}
+		}
+	}
+	return ""
+}

@@ -28,9 +28,15 @@ func Default() []analysis.Rule {
 			"internal/exec", "internal/cn", "internal/lca",
 			"internal/banks", "internal/steiner", "internal/core",
 			"internal/server", "cmd/kwsd",
+			"internal/analysis", "cmd/kwslint",
 		}},
 		FloatEq{Packages: []string{"internal/rank", "internal/cn", "internal/banks"}},
 		DocComment{Only: []string{"internal/"}},
+		AtomicSetLoad{},
+		CtxDrop{},
+		LockHold{},
+		ErrSentinel{},
+		WgAdd{},
 	}
 }
 

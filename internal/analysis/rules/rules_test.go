@@ -21,6 +21,12 @@ func TestDocCommentFixture(t *testing.T) { fixture(t, "doccomment", DocComment{}
 func TestSpanLeakFixture(t *testing.T)   { fixture(t, "spanleak", SpanLeak{}) }
 func TestCtxFirstFixture(t *testing.T)   { fixture(t, "ctxfirst", CtxFirst{}) }
 
+func TestAtomicSetLoadFixture(t *testing.T) { fixture(t, "atomicsetload", AtomicSetLoad{}) }
+func TestCtxDropFixture(t *testing.T)       { fixture(t, "ctxdrop", CtxDrop{}) }
+func TestLockHoldFixture(t *testing.T)      { fixture(t, "lockhold", LockHold{}) }
+func TestErrSentinelFixture(t *testing.T)   { fixture(t, "errsentinel", ErrSentinel{}) }
+func TestWgAddFixture(t *testing.T)         { fixture(t, "wgadd", WgAdd{}) }
+
 // TestSuppression runs the FULL default rule set over a fixture whose
 // violations all carry //lint:ignore directives: the only expected
 // diagnostics are the ones the fixture marks (a directive naming the
@@ -42,7 +48,11 @@ func (r *recorder) Errorf(format string, args ...interface{}) { r.errors++ }
 // its rule disabled must produce failures, proving the fixtures actually
 // pin rule behavior.
 func TestFixtureFailsWhenRuleDisabled(t *testing.T) {
-	for _, dir := range []string{"maprange", "rand", "goroutine", "mutexval", "floateq", "doccomment", "spanleak", "ctxfirst"} {
+	for _, dir := range []string{
+		"maprange", "rand", "goroutine", "mutexval", "floateq", "doccomment",
+		"spanleak", "ctxfirst",
+		"atomicsetload", "ctxdrop", "lockhold", "errsentinel", "wgadd",
+	} {
 		rec := &recorder{TB: t}
 		analysis.RunFixtureTest(rec, filepath.Join("testdata", "src", dir), nil)
 		if rec.errors == 0 {
@@ -64,6 +74,11 @@ func TestRuleNamesStable(t *testing.T) {
 		"missing-doc-comment":         true,
 		"span-leak":                   true,
 		"ctx-first":                   true,
+		"atomicsetload":               true,
+		"ctxdrop":                     true,
+		"lockhold":                    true,
+		"errsentinel":                 true,
+		"wgadd":                       true,
 	}
 	got := Default()
 	if len(got) != len(want) {

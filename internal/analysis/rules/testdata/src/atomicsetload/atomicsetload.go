@@ -1,0 +1,68 @@
+// Package fixture exercises the atomicsetload rule: Set/Store of a value
+// read from an atomic Load is either a lost-update read-modify-write
+// (same object) or a stale publish (different objects).
+package fixture
+
+import "sync/atomic"
+
+// Gauge mirrors the repo's obs.Gauge shape: a named struct directly
+// wrapping an atomic — the rule must see through one level of wrapping.
+type Gauge struct{ v atomic.Int64 }
+
+// Set publishes an absolute value.
+func (g *Gauge) Set(x int64) { g.v.Store(x) }
+
+// Add applies a delta.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+type admission struct {
+	queued      atomic.Int64
+	queuedGauge Gauge
+	depth       atomic.Int64
+}
+
+// MirrorByAbsoluteValue is the PR 5 queued-gauge race verbatim in shape:
+// two goroutines can Load 1 and 2, then Store 2 and 1 in that order,
+// freezing the gauge at a stale depth.
+func (a *admission) MirrorByAbsoluteValue() {
+	a.queuedGauge.Set(a.queued.Load()) // want "publishes a value read from"
+}
+
+// BumpLostUpdate is the classic same-object read-modify-write: racing
+// writers both Load n and both Store n+1, losing one increment.
+func (a *admission) BumpLostUpdate() {
+	a.depth.Store(a.depth.Load() + 1) // want "non-atomic read-modify-write"
+}
+
+// StoreOnBareAtomic also fires when both sides are bare sync/atomic
+// values rather than wrappers.
+func (a *admission) StoreOnBareAtomic() {
+	a.depth.Store(a.queued.Load()) // want "publishes a value read from"
+}
+
+// MirrorByDeltas is the correct repair: commutative Add deltas keep the
+// mirror eventually exact under races. Silent.
+func (a *admission) MirrorByDeltas() {
+	a.queued.Add(1)
+	a.queuedGauge.Add(1)
+}
+
+// AbsoluteStoreOfConstant has no atomic load feeding the store. Silent.
+func (a *admission) AbsoluteStoreOfConstant() {
+	a.queuedGauge.Set(0)
+	a.depth.Store(42)
+}
+
+// CompareAndSwapLoop is the other correct repair shape. Silent: the
+// Load feeds CompareAndSwap, not Set/Store.
+func (a *admission) CompareAndSwapLoop() {
+	for {
+		old := a.depth.Load()
+		if a.depth.CompareAndSwap(old, old+1) {
+			return
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package fixture exercises the ctxdrop rule: in a function that does
+// consult its context, every path that blocks or admits work must have
+// consulted it first — fast paths and communicating loops included.
+package fixture
+
+import "context"
+
+type gate struct {
+	slots chan struct{}
+}
+
+// FastPathSkipsCtx is the PR 5 Gate.Acquire bug in miniature: the
+// free-slot fast path admits without ever looking at ctx, so an
+// already-cancelled query still grabs a slot.
+func (g *gate) FastPathSkipsCtx(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}: // want "never consulted ctx"
+		return nil
+	default:
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ChecksErrFirst consults ctx before the fast path: silent.
+func (g *gate) ChecksErrFirst(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// DrainLoopIgnoresCtx checks ctx once at entry, then pumps forever: the
+// loop body never consults ctx, so cancellation cannot interrupt it.
+func DrainLoopIgnoresCtx(ctx context.Context, in <-chan int, out chan<- int) {
+	if ctx.Err() != nil {
+		return
+	}
+	for v := range in { // want "cancellation cannot interrupt"
+		out <- v
+	}
+}
+
+// DrainLoopGuarded selects on ctx.Done each iteration: silent.
+func DrainLoopGuarded(ctx context.Context, in <-chan int, out chan<- int) {
+	for v := range in {
+		select {
+		case out <- v:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// DrainLoopErrCheck consults ctx.Err inside the loop body: silent (the
+// send itself is reached only after a consult on every iteration).
+func DrainLoopErrCheck(ctx context.Context, in <-chan int, out chan<- int) {
+	for v := range in {
+		if ctx.Err() != nil {
+			return
+		}
+		out <- v
+	}
+}
+
+// WorkerFastPath: a spawned worker captures ctx; its own fast path sends
+// without consulting it even though its slow path does.
+func WorkerFastPath(ctx context.Context, out chan<- int, fast bool) {
+	go func() {
+		if fast {
+			out <- 1 // want "never consulted ctx"
+			return
+		}
+		select {
+		case out <- 2:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// IgnoresCtxEntirely never consults ctx at all: that is ctxfirst's
+// finding, not a dropped fast path. Silent here.
+func IgnoresCtxEntirely(ctx context.Context, ch chan int) {
+	ch <- 1
+}
+
+// PassesCtxDownstream consults by delegation: handing ctx to a callee
+// counts, so the send after it is on a consulted path. Silent.
+func PassesCtxDownstream(ctx context.Context, ch chan int, work func(context.Context) error) error {
+	if err := work(ctx); err != nil {
+		return err
+	}
+	ch <- 1
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package fixture exercises the errsentinel rule: sentinel errors must
+// be compared with errors.Is (wrapping breaks ==), and error causes must
+// be wrapped with %w (wrapping with %v flattens the chain).
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverloaded mirrors the resilience package's shed sentinel.
+var ErrOverloaded = errors.New("overloaded")
+
+// errShutdown is an unexported sentinel; the rule matches errX names too.
+var errShutdown = errors.New("shutting down")
+
+// CompareEq is the broken shape: the moment any layer wraps
+// ErrOverloaded with %w, == stops matching.
+func CompareEq(err error) bool {
+	return err == ErrOverloaded // want "use errors.Is"
+}
+
+// CompareNeq flips the polarity; the fix is !errors.Is.
+func CompareNeq(err error) bool {
+	return err != ErrOverloaded // want "use !errors.Is"
+}
+
+// CompareReversed puts the sentinel on the left.
+func CompareReversed(err error) bool {
+	return errShutdown == err // want "use errors.Is"
+}
+
+// UsesErrorsIs is the correct form. Silent.
+func UsesErrorsIs(err error) bool {
+	return errors.Is(err, ErrOverloaded)
+}
+
+// NilChecksAreFine: nil is not a sentinel. Silent.
+func NilChecksAreFine(err error) bool {
+	return err == nil || err != nil
+}
+
+// WrapWithV flattens the cause to text: errors.Is can no longer see it.
+func WrapWithV(err error) error {
+	return fmt.Errorf("load shed: %v", err) // want "wrap with %w"
+}
+
+// WrapWithS is the same bug with the string verb.
+func WrapWithS(err error) error {
+	return fmt.Errorf("load shed: %s", err) // want "wrap with %w"
+}
+
+// WrapLaterArg: the error is not the first verb; the rule maps verbs to
+// arguments positionally.
+func WrapLaterArg(q string, err error) error {
+	return fmt.Errorf("query %q failed: %v", q, err) // want "wrap with %w"
+}
+
+// WrapWithW is the correct form. Silent.
+func WrapWithW(err error) error {
+	return fmt.Errorf("load shed: %w", err)
+}
+
+// VOnNonError formats a plain value; nothing to preserve. Silent.
+func VOnNonError(n int) error {
+	return fmt.Errorf("bad arity: %v", n)
+}
+
+// PercentLiteral: %% is not a verb and must not shift argument mapping.
+func PercentLiteral(err error) error {
+	return fmt.Errorf("100%% shed: %v", err) // want "wrap with %w"
+}

@@ -2,7 +2,6 @@ package resilience
 
 import (
 	"context"
-	"errors"
 	"sync/atomic"
 	"time"
 
@@ -56,9 +55,6 @@ func (g *Gate) Instrument(reg *obs.Registry) {
 // Limit returns the gate's concurrency limit.
 func (g *Gate) Limit() int { return cap(g.slots) }
 
-// MaxQueue returns the gate's wait-queue capacity.
-func (g *Gate) MaxQueue() int { return int(g.maxQueue) }
-
 // Queued returns the current number of waiters.
 func (g *Gate) Queued() int { return int(g.queued.Load()) }
 
@@ -69,13 +65,6 @@ func (g *Gate) Queued() int { return int(g.queued.Load()) }
 // expired while queued, or context.Canceled when the caller gave up.
 func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
 	start := time.Now()
-	// A context that is already cancelled or expired must never be
-	// admitted — and when it races a full queue, the caller's typed
-	// context error wins over ErrOverloaded: the query was dead before
-	// the gate could shed it.
-	if err := ctx.Err(); err != nil {
-		return nil, g.failTyped(err)
-	}
 	// Fast path: a free slot means no queueing at all.
 	select {
 	case g.slots <- struct{}{}:
@@ -92,36 +81,26 @@ func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
 		g.shed.Inc()
 		return nil, ErrOverloaded
 	}
-	// The gauge mirrors the queue depth by deltas, not Set(Load()):
-	// atomic adds commute, so racing acquirers cannot publish a stale
-	// value out of order and the gauge provably returns to the true
-	// depth (0 at quiescence) after any churn.
-	g.queuedGauge.Add(1)
+	g.queuedGauge.Set(g.queued.Load())
+	defer func() {
+		g.queuedGauge.Set(g.queued.Load())
+	}()
 	select {
 	case g.slots <- struct{}{}:
 		g.queued.Add(-1)
-		g.queuedGauge.Add(-1)
 		g.admitted.Inc()
 		g.waitHist.Observe(float64(time.Since(start).Microseconds()))
 		return g.releaseFunc(), nil
 	case <-ctx.Done():
 		g.queued.Add(-1)
-		g.queuedGauge.Add(-1)
-		return nil, g.failTyped(ctx.Err())
+		err := AsTyped(ctx.Err())
+		if err == ErrDeadlineExceeded {
+			g.timedOut.Inc()
+		} else {
+			g.shed.Inc()
+		}
+		return nil, err
 	}
-}
-
-// failTyped maps a done context's error to the gate's typed sentinel and
-// bumps the matching outcome counter: an expired deadline counts as a
-// queue timeout, a cancellation as shed load.
-func (g *Gate) failTyped(ctxErr error) error {
-	err := AsTyped(ctxErr)
-	if errors.Is(err, ErrDeadlineExceeded) {
-		g.timedOut.Inc()
-	} else {
-		g.shed.Inc()
-	}
-	return err
 }
 
 // releaseFunc returns the idempotent slot release for one admission.

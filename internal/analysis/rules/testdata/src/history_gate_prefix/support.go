@@ -1,0 +1,25 @@
+// Package resilience (fixture copy): the minimal sentinel and mapping
+// definitions gate.go needs to type-check, mirroring the real package.
+// The gate.go beside this file is the pre-fix version replayed verbatim
+// from repository history for the would-have-caught tests.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrOverloaded mirrors the real shed sentinel.
+var ErrOverloaded = errors.New("kwsearch: overloaded, query shed")
+
+// ErrDeadlineExceeded mirrors the real deadline sentinel.
+var ErrDeadlineExceeded = fmt.Errorf("kwsearch: deadline exceeded: %w", context.DeadlineExceeded)
+
+// AsTyped mirrors the real context-error mapping.
+func AsTyped(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrDeadlineExceeded
+	}
+	return err
+}

@@ -1,0 +1,131 @@
+// Package fixture exercises the lockhold rule: no parking on a channel,
+// WaitGroup or timer while a mutex is provably held, and no return path
+// that leaks a held lock.
+package fixture
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+var errNotFound = errors.New("not found")
+
+type store struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items map[string]int
+	ch    chan int
+}
+
+// SendWhileLocked parks on a channel send with mu held: every other
+// locker stalls until some receiver drains the channel.
+func (s *store) SendWhileLocked(v int) {
+	s.mu.Lock()
+	s.ch <- v // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+// SleepWhileLocked naps with the lock. The deferred unlock does not
+// release during the sleep, so it is still flagged.
+func (s *store) SleepWhileLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while s.mu is held"
+}
+
+// WaitWhileLocked joins a WaitGroup with the lock held: if any counted
+// goroutine needs mu to finish, this deadlocks.
+func (s *store) WaitWhileLocked(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want "WaitGroup.Wait while s.mu is held"
+}
+
+// EarlyErrorPathLeaks takes the error path out with mu still held.
+func (s *store) EarlyErrorPathLeaks(k string) (int, error) {
+	s.mu.Lock()
+	v, ok := s.items[k]
+	if !ok {
+		return 0, errNotFound // want "return with s.mu still held"
+	}
+	s.mu.Unlock()
+	return v, nil
+}
+
+// DeferredUnlockIsFine: the canonical shape. Silent.
+func (s *store) DeferredUnlockIsFine(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[k]
+}
+
+// ReadThenWriteEscalation: the RLock/RUnlock pair balances, the
+// later write Lock leaks on the early return.
+func (s *store) ReadThenWriteEscalation(grow bool) int {
+	s.rw.RLock()
+	n := len(s.items)
+	s.rw.RUnlock()
+	if grow {
+		s.rw.Lock()
+		return n // want "return with s.rw still held"
+	}
+	return n
+}
+
+// LockedOnOnePathOnly: held on only one incoming path, so the must
+// analysis cannot prove the send blocks under the lock. Silent by
+// design — lockhold trades this miss for zero false positives.
+func (s *store) LockedOnOnePathOnly(b bool, v int) {
+	if b {
+		s.mu.Lock()
+	}
+	s.ch <- v
+	if b {
+		s.mu.Unlock()
+	}
+}
+
+// unlockAll exists for its call summary: it unlocks the receiver's mu.
+func (s *store) unlockAll() { s.mu.Unlock() }
+
+// UsesHelperRelease releases through a helper; the one-call-deep summary
+// clears the held bit, so the return is clean. Silent.
+func (s *store) UsesHelperRelease(k string) int {
+	s.mu.Lock()
+	v := s.items[k]
+	s.unlockAll()
+	return v
+}
+
+// DeferredHelperRelease registers the helper release for exit: the held
+// bit flips to deferred, certifying every return. Silent.
+func (s *store) DeferredHelperRelease(k string) int {
+	s.mu.Lock()
+	defer s.unlockAll()
+	return s.items[k]
+}
+
+// lockShard returns holding the lock by contract; functions with "lock"
+// in the name are exempt from the return check.
+func (s *store) lockShard() *store {
+	s.mu.Lock()
+	return s
+}
+
+type condStore struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+// WaitForWork uses sync.Cond.Wait, which unlocks its own mutex while
+// parked — the one blocking-while-locked pattern that is correct. Silent.
+func (c *condStore) WaitForWork() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.n == 0 {
+		c.cond.Wait()
+	}
+	c.n--
+}

@@ -1,0 +1,62 @@
+// Package fixture exercises the wgadd rule: WaitGroup.Add inside the
+// goroutine being counted races the matching Wait.
+package fixture
+
+import "sync"
+
+// AddInsideGoroutine is the racy shape: the scheduler may run Wait
+// before the goroutine body executes Add, so Wait returns early.
+func AddInsideGoroutine(work []func()) {
+	var wg sync.WaitGroup
+	for _, w := range work {
+		go func(f func()) {
+			wg.Add(1) // want "races Wait"
+			defer wg.Done()
+			f()
+		}(w)
+	}
+	wg.Wait()
+}
+
+// AddBeforeGo is the correct shape. Silent.
+func AddBeforeGo(work []func()) {
+	var wg sync.WaitGroup
+	for _, w := range work {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(w)
+	}
+	wg.Wait()
+}
+
+// FieldWaitGroup: the rule sees through struct fields too.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+// Spawn races exactly like the local-variable form.
+func (p *pool) Spawn(f func()) {
+	go func() {
+		p.wg.Add(1) // want "races Wait"
+		defer p.wg.Done()
+		f()
+	}()
+}
+
+// NestedOwnGroup: a goroutine that declares its own WaitGroup for an
+// inner fan-out owns it — Add inside is fine. Silent.
+func NestedOwnGroup(work []func()) {
+	go func() {
+		var inner sync.WaitGroup
+		for _, w := range work {
+			inner.Add(1)
+			go func(f func()) {
+				defer inner.Done()
+				f()
+			}(w)
+		}
+		inner.Wait()
+	}()
+}

@@ -1,0 +1,130 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kwsearch/internal/analysis"
+)
+
+// WgAdd flags sync.WaitGroup.Add calls made inside the goroutine being
+// counted: `go func() { wg.Add(1); ... }()` races the matching Wait —
+// the scheduler may run Wait before the goroutine body executes Add, so
+// Wait returns while work is still in flight. The Add must happen in the
+// spawning goroutine, before the go statement.
+//
+// Add on a WaitGroup declared inside the literal itself is fine (a
+// nested fan-out owns its own group), so the rule only fires when the
+// WaitGroup is captured from an enclosing scope.
+type WgAdd struct{}
+
+// Name implements analysis.Rule.
+func (WgAdd) Name() string { return "wgadd" }
+
+// Doc implements analysis.Rule.
+func (WgAdd) Doc() string {
+	return "WaitGroup.Add inside the spawned goroutine races Wait; call Add before the go statement"
+}
+
+// Check implements analysis.Rule.
+func (r WgAdd) Check(p *analysis.Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Add" || len(call.Args) != 1 {
+					return true
+				}
+				if !isWaitGroup(p, sel.X) {
+					return true
+				}
+				if definedWithin(p, sel.X, lit) {
+					return true
+				}
+				p.Reportf(call.Pos(), "WaitGroup.Add inside the spawned goroutine races Wait (Wait may return before this Add runs); Add before the go statement")
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// isWaitGroup reports whether expr's type is sync.WaitGroup (possibly
+// behind a pointer), falling back to the conventional wg name when type
+// information is missing.
+func isWaitGroup(p *analysis.Pass, expr ast.Expr) bool {
+	if t := p.TypeOf(expr); t != nil {
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+	}
+	path, ok := analysis.SelectorPath(expr)
+	return ok && (path == "wg" || hasSuffixFold(path, ".wg"))
+}
+
+// definedWithin reports whether the root object of expr is declared
+// inside the function literal (a locally owned WaitGroup, not a capture).
+func definedWithin(p *analysis.Pass, expr ast.Expr, lit *ast.FuncLit) bool {
+	root := expr
+	for {
+		sel, ok := root.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		root = sel.X
+	}
+	id, ok := root.(*ast.Ident)
+	if !ok || p.Info == nil {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return lit.Pos() <= obj.Pos() && obj.Pos() <= lit.End()
+}
+
+// hasSuffixFold is strings.HasSuffix, ASCII case-insensitive.
+func hasSuffixFold(s, suffix string) bool {
+	if len(s) < len(suffix) {
+		return false
+	}
+	tail := s[len(s)-len(suffix):]
+	for i := 0; i < len(suffix); i++ {
+		a, b := tail[i], suffix[i]
+		if 'A' <= a && a <= 'Z' {
+			a += 'a' - 'A'
+		}
+		if 'A' <= b && b <= 'Z' {
+			b += 'a' - 'A'
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}

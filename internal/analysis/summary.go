@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FuncSummary records the caller-visible effects of one function or
+// method, so rules can reason one call deep without going
+// inter-procedural: which receiver-relative mutex paths it locks or
+// unlocks, and whether it consults a context it receives.
+type FuncSummary struct {
+	// Name is the function's name (diagnostics only).
+	Name string
+	// LocksReceiver and UnlocksReceiver list receiver-relative selector
+	// paths ("mu", "state.mu") of sync.Mutex/RWMutex values the function
+	// Lock()s / Unlock()s anywhere in its body, including via defer.
+	// RLock/RUnlock paths carry an "/R" suffix, matching LockPath.
+	LocksReceiver   []string
+	UnlocksReceiver []string
+	// ConsultsCtx reports that the function reads its context parameter
+	// (ctx.Err(), ctx.Done(), ctx.Deadline()) or passes it to a call.
+	ConsultsCtx bool
+}
+
+// Summaries holds the per-package call-summary pass: one FuncSummary per
+// function declaration, keyed by the *types.Func object so call sites
+// resolve through Info.Uses.
+type Summaries struct {
+	funcs map[types.Object]*FuncSummary
+}
+
+// Of returns the summary for a called function object, or nil when the
+// object is unknown (external package, type info missing).
+func (s *Summaries) Of(obj types.Object) *FuncSummary {
+	if s == nil || obj == nil {
+		return nil
+	}
+	return s.funcs[obj]
+}
+
+// Summaries computes (once, lazily) the call summaries of every function
+// declared in the pass's package.
+func (p *Pass) Summaries() *Summaries {
+	if p.summaries != nil {
+		return p.summaries
+	}
+	s := &Summaries{funcs: map[types.Object]*FuncSummary{}}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			var obj types.Object
+			if p.Info != nil {
+				obj = p.Info.Defs[fn.Name]
+			}
+			if obj == nil {
+				continue
+			}
+			s.funcs[obj] = summarize(p, fn)
+		}
+	}
+	p.summaries = s
+	return s
+}
+
+// summarize computes one function's summary by a shallow lexical scan
+// (function literals excluded: their effects happen on another control
+// path, typically another goroutine).
+func summarize(p *Pass, fn *ast.FuncDecl) *FuncSummary {
+	sum := &FuncSummary{Name: fn.Name.Name}
+	recv := ""
+	if fn.Recv != nil && len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
+		recv = fn.Recv.List[0].Names[0].Name
+	}
+	ctx := contextParamIdent(p, fn.Type)
+	WalkShallow(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if ctx != nil {
+			for _, arg := range call.Args {
+				if id, ok := arg.(*ast.Ident); ok && id.Name == ctx.Name {
+					sum.ConsultsCtx = true
+				}
+			}
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if ctx != nil {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == ctx.Name &&
+				(sel.Sel.Name == "Err" || sel.Sel.Name == "Done" || sel.Sel.Name == "Deadline" || sel.Sel.Name == "Value") {
+				sum.ConsultsCtx = true
+			}
+		}
+		if recv == "" {
+			return true
+		}
+		var verb string
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			verb = "lock"
+		case "Unlock", "RUnlock":
+			verb = "unlock"
+		default:
+			return true
+		}
+		path, ok := SelectorPath(sel.X)
+		if !ok {
+			return true
+		}
+		rel, ok := strings.CutPrefix(path, recv+".")
+		if !ok {
+			if path != recv {
+				return true
+			}
+			rel = "" // the receiver itself embeds the mutex
+		}
+		if strings.HasPrefix(sel.Sel.Name, "R") {
+			rel += "/R"
+		}
+		if verb == "lock" {
+			sum.LocksReceiver = append(sum.LocksReceiver, rel)
+		} else {
+			sum.UnlocksReceiver = append(sum.UnlocksReceiver, rel)
+		}
+		return true
+	})
+	return sum
+}
+
+// SelectorPath flattens a chain of identifiers and field selections into
+// a dotted path ("g.state.mu"). It fails (ok=false) on anything with
+// computed parts — index expressions, calls, parenthesized trees — whose
+// aliasing a syntactic path cannot capture.
+func SelectorPath(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := SelectorPath(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+// contextParamIdent returns the identifier of the first parameter whose
+// type looks like context.Context (by type info when available, by
+// syntax otherwise), or nil.
+func contextParamIdent(p *Pass, ft *ast.FuncType) *ast.Ident {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		if !isContextExpr(p, field.Type) || len(field.Names) == 0 {
+			continue
+		}
+		return field.Names[0]
+	}
+	return nil
+}
+
+// isContextExpr reports whether expr denotes context.Context.
+func isContextExpr(p *Pass, expr ast.Expr) bool {
+	if t := p.TypeOf(expr); t != nil {
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+				return true
+			}
+		}
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "context"
+}

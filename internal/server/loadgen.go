@@ -270,7 +270,7 @@ func SelfCheck(ctx context.Context, baseURL string, e *core.Engine, cfg SelfChec
 	}
 	resp, _, err := postQuery(ctx, client, baseURL, cfg.HeavyQuery)
 	if err != nil {
-		return report, fmt.Errorf("deadline probe: %v", err)
+		return report, fmt.Errorf("deadline probe: %w", err)
 	}
 	report.Queries++
 	switch {
@@ -337,6 +337,7 @@ func overloadBurst(ctx context.Context, client *http.Client, baseURL string, e *
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				//lint:ignore ctxdrop start-gun barrier: closed unconditionally right after the spawn loop, never blocks past it
 				<-startGun
 				resp, _, err := postQuery(ctx, client, baseURL, heavy)
 				statuses[i], errs[i] = resp.Status, err
@@ -347,7 +348,7 @@ func overloadBurst(ctx context.Context, client *http.Client, baseURL string, e *
 		for i := 0; i < n; i++ {
 			out.queries++
 			if errs[i] != nil {
-				return out, fmt.Errorf("overload probe: query %d: %v", i, errs[i])
+				return out, fmt.Errorf("overload probe: query %d: %w", i, errs[i])
 			}
 			switch statuses[i] {
 			case http.StatusOK:

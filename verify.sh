@@ -25,9 +25,10 @@ go test $short ./...
 echo "==> go test -race (concurrency-bearing packages)"
 go test -race $short ./internal/parallel/... ./internal/stream/... ./internal/cn/... \
     ./internal/cache/... ./internal/exec/... ./internal/lca/... ./internal/obs/... \
-    ./internal/resilience/... ./internal/core/... ./internal/server/...
+    ./internal/resilience/... ./internal/core/... ./internal/server/... \
+    ./internal/analysis/...
 
-echo "==> kwslint ./..."
-go run ./cmd/kwslint ./...
+echo "==> kwslint -json ./... (report: kwslint.json)"
+go run ./cmd/kwslint -json ./... > kwslint.json
 
 echo "verify: OK"
