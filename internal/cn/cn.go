@@ -6,7 +6,6 @@
 package cn
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 
@@ -55,9 +54,23 @@ func (c *CN) KeywordNodes() []int {
 	return out
 }
 
-// adjacency returns, per node, the incident edge indices.
+// adjacency returns, per node, the incident edge indices. The rows are
+// carved from one backing array sized by a degree-counting pass — the
+// function runs once per Canonical call, so per-row append growth
+// showed up in the cold-plan profile.
 func (c *CN) adjacency() [][]int {
+	deg := make([]int, len(c.Nodes))
+	for _, e := range c.Edges {
+		deg[e.A]++
+		deg[e.B]++
+	}
 	adj := make([][]int, len(c.Nodes))
+	backing := make([]int, 0, 2*len(c.Edges))
+	for i, d := range deg {
+		start := len(backing)
+		backing = backing[:start+d]
+		adj[i] = backing[start:start : start+d]
+	}
 	for ei, e := range c.Edges {
 		adj[e.A] = append(adj[e.A], ei)
 		adj[e.B] = append(adj[e.B], ei)
@@ -117,7 +130,19 @@ func (c *CN) String() string {
 // identity matters (cite.citing vs cite.cited) but which endpoint the tree
 // grew from does not.
 func edgeLabel(e schemagraph.Edge) string {
-	return fmt.Sprintf("%s.%s->%s.%s", e.From, e.FromCol, e.To, e.ToCol)
+	// Hand-rolled concatenation: this sits on the canonicalization hot
+	// path (once per grown partial per enumeration level), where
+	// fmt.Sprintf's boxing dominated the cold-plan profile.
+	n := len(e.From) + len(e.FromCol) + len(e.To) + len(e.ToCol) + 4
+	b := make([]byte, 0, n)
+	b = append(b, e.From...)
+	b = append(b, '.')
+	b = append(b, e.FromCol...)
+	b = append(b, "->"...)
+	b = append(b, e.To...)
+	b = append(b, '.')
+	b = append(b, e.ToCol...)
+	return string(b)
 }
 
 // Canonical returns a string that is identical for isomorphic CNs

@@ -13,6 +13,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"kwsearch/internal/invindex"
 	"kwsearch/internal/lca"
 	"kwsearch/internal/obs"
+	"kwsearch/internal/plan"
 	"kwsearch/internal/relstore"
 	"kwsearch/internal/resilience"
 	"kwsearch/internal/schemagraph"
@@ -212,6 +214,12 @@ type Engine struct {
 	// Exec is the concurrent cached execution layer used by CN searches
 	// when Options.Workers > 1. Populated by NewRelational.
 	Exec *exec.Executor
+	// Plans is the candidate-network plan cache, shared between the
+	// serial CN path and the executor: a query's compiled CN set depends
+	// only on the schema graph and the keyword→relation membership
+	// signature, so warm signatures skip enumeration entirely whichever
+	// path runs them. Populated by NewRelational; nil on XML engines.
+	Plans *plan.Cache
 	// LastExecStats describes the most recent executor-backed search.
 	// Writes are serialized by execMu, making concurrent Query calls
 	// safe; read it through ExecStats. Per-query stats are better taken
@@ -258,7 +266,8 @@ func NewRelational(db *relstore.DB) *Engine {
 			e.FreeTables = append(e.FreeTables, name)
 		}
 	}
-	e.Exec = exec.New(db, ix, exec.Options{FreeTables: e.FreeTables, Metrics: reg})
+	e.Plans = plan.New(plan.Options{Workers: runtime.GOMAXPROCS(0), Metrics: reg})
+	e.Exec = exec.New(db, ix, exec.Options{FreeTables: e.FreeTables, Metrics: reg, Plans: e.Plans})
 	return e
 }
 
@@ -354,13 +363,31 @@ func (e *Engine) searchCN(ctx context.Context, terms []string, opts Options, sp 
 		return out, nil
 	}
 	lookupSpan(sp, terms, func(t string) int { return len(e.Index.Postings(t)) })
+	bsp := sp.Child("bind")
 	ev := cn.NewEvaluator(e.DB, e.Index, terms)
+	kwTables := ev.KeywordTables()
+	bsp.SetAttr("keyword_tables", len(kwTables))
+	bsp.End()
 	esp := sp.Child("enumerate")
-	cns, err := cn.EnumerateCtx(ctx, e.Schema, cn.EnumerateOptions{
+	eopts := cn.EnumerateOptions{
 		MaxSize:       opts.MaxCNSize,
-		KeywordTables: ev.KeywordTables(),
+		KeywordTables: kwTables,
 		FreeTables:    e.FreeTables,
-	})
+	}
+	var cns []*cn.CN
+	var err error
+	if e.Plans != nil {
+		var ps *plan.PlanSet
+		var planHit bool
+		ps, planHit, err = e.Plans.Get(ctx, e.Schema, eopts)
+		if err == nil {
+			cns = ps.CNs() // immutable, share-safe: evaluation is read-only
+			esp.SetAttr("plan_cached", planHit)
+		}
+	} else {
+		// Hand-assembled engines without a plan cache keep the direct path.
+		cns, err = cn.EnumerateCtx(ctx, e.Schema, eopts)
+	}
 	if err != nil {
 		esp.SetAttr("cancelled", true)
 		esp.End()

@@ -66,7 +66,8 @@ func TestTraceShapeGoldenSerial(t *testing.T) {
 		"query(keywords,results,semantics)\n" +
 		"  clean(cleaned,terms)\n" +
 		"  lookup(postings,terms)\n" +
-		"  enumerate(cns)\n" +
+		"  bind(keyword_tables)\n" +
+		"  enumerate(cns,plan_cached)\n" +
 		"  evaluate(certified_early,cns,driver_advances,pipelined,produced,pruned)\n" +
 		"  rank(results)\n"
 	if got := resp.Trace.Shape(); got != want {
@@ -87,7 +88,8 @@ func TestTraceShapeGoldenParallel(t *testing.T) {
 		"query(keywords,result_cache_hit,results,semantics)\n" +
 		"  clean(cleaned,terms)\n" +
 		"  lookup(postings,terms)\n" +
-		"  enumerate(cns)\n" +
+		"  bind(keyword_tables)\n" +
+		"  enumerate(cns,plan_cached)\n" +
 		"  evaluate(evaluated,prefix_reuses,skipped,workers)\n" +
 		"    worker-0(busy,evaluated,idle,jobs,prefix_reuses,skipped)\n" +
 		"    worker-1(busy,evaluated,idle,jobs,prefix_reuses,skipped)\n" +

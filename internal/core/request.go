@@ -117,6 +117,23 @@ func (e *Engine) Admit(limit, maxQueue int) {
 // one.
 func (e *Engine) Gate() *resilience.Gate { return e.gate }
 
+// SetPlanNamespace re-namespaces the engine's plan cache: every plan
+// key the engine (and its executor) derives from here on is prefixed
+// with ns, so engines serving different tenants over one shared cache
+// can never read each other's compiled plans. Storage, capacity and
+// counters stay shared. Call during setup, before concurrent queries;
+// the swap is not synchronized. No-op on engines without a plan cache
+// (XML engines).
+func (e *Engine) SetPlanNamespace(ns string) {
+	if e.Plans == nil {
+		return
+	}
+	e.Plans = e.Plans.WithNamespace(ns)
+	if e.Exec != nil {
+		e.Exec.SetPlans(e.Plans)
+	}
+}
+
 func badQuery(msg string) error {
 	return fmt.Errorf("%s: %w", msg, ErrBadQuery)
 }

@@ -30,6 +30,7 @@ import (
 	"kwsearch/internal/invindex"
 	"kwsearch/internal/obs"
 	"kwsearch/internal/parallel"
+	"kwsearch/internal/plan"
 	"kwsearch/internal/relstore"
 	"kwsearch/internal/schemagraph"
 	"kwsearch/internal/text"
@@ -47,6 +48,15 @@ type Options struct {
 	ResultCacheSize int
 	// CacheShards stripes both caches (0 = 16).
 	CacheShards int
+	// Plans is the candidate-network plan cache consulted before
+	// enumeration. Leave nil to have the executor build a private one
+	// (PlanCacheSize entries, cold compilation parallelized across
+	// Workers); core.NewRelational passes a cache shared with the
+	// engine's serial path so both hit the same compiled plans.
+	Plans *plan.Cache
+	// PlanCacheSize bounds the private plan cache built when Plans is
+	// nil (0 = 128).
+	PlanCacheSize int
 	// Metrics, when non-nil, receives the executor's lifetime counters and
 	// both cache counter sets (see Instrument). Leaving it nil costs one
 	// branch per counter event.
@@ -119,6 +129,9 @@ type Stats struct {
 	// ResultCacheHit reports that the whole answer came from the result
 	// cache and nothing below it ran.
 	ResultCacheHit bool
+	// PlanCacheHit reports that the candidate-network set came from the
+	// plan cache and enumeration was skipped entirely.
+	PlanCacheHit bool
 	// Partial reports that the run was interrupted (deadline, cancellation
 	// or an injected fault) and the returned results are the certified
 	// prefix of the full top-k rather than the whole answer. Partial
@@ -145,6 +158,7 @@ type Executor struct {
 
 	postings *cache.Cache[[]invindex.Posting]
 	results  *cache.Cache[[]cn.Result]
+	plans    *plan.Cache
 
 	evaluated *obs.Counter
 	skipped   *obs.Counter
@@ -166,6 +180,15 @@ func New(db *relstore.DB, ix *invindex.Index, opts Options) *Executor {
 		evaluated: &obs.Counter{},
 		skipped:   &obs.Counter{},
 		reuses:    &obs.Counter{},
+	}
+	x.plans = opts.Plans
+	if x.plans == nil {
+		x.plans = plan.New(plan.Options{
+			Size:    opts.PlanCacheSize,
+			Shards:  opts.CacheShards,
+			Workers: opts.Workers,
+			Metrics: opts.Metrics,
+		})
 	}
 	if opts.Metrics != nil {
 		x.Instrument(opts.Metrics)
@@ -197,9 +220,21 @@ func (x *Executor) Postings(term string) []invindex.Posting {
 	})
 }
 
-// InvalidateCaches bumps both cache generations — call after growing the
-// index or mutating the database.
+// InvalidateCaches bumps every cache generation — postings, results and
+// compiled plans. Call after growing the index or mutating the database
+// (a schema change also changes the plan keys' fingerprint, but the gen
+// bump reclaims the dead entries' LRU capacity immediately).
 func (x *Executor) InvalidateCaches() {
+	x.postings.Invalidate()
+	x.results.Invalidate()
+	x.plans.Invalidate()
+}
+
+// InvalidateDataCaches bumps only the value-dependent caches (postings
+// and results), keeping compiled plans warm. Benchmarks use it to
+// measure the warm-plan path — the steady state of a serving engine,
+// whose schema changes far more rarely than its data.
+func (x *Executor) InvalidateDataCaches() {
 	x.postings.Invalidate()
 	x.results.Invalidate()
 }
@@ -207,6 +242,19 @@ func (x *Executor) InvalidateCaches() {
 // CacheStats returns the posting- and result-cache counters.
 func (x *Executor) CacheStats() (postings, results cache.Stats) {
 	return x.postings.Stats(), x.results.Stats()
+}
+
+// Plans returns the executor's plan cache (shared with the engine when
+// core.NewRelational wired it).
+func (x *Executor) Plans() *plan.Cache { return x.plans }
+
+// SetPlans replaces the executor's plan cache handle — used by
+// core.Engine.SetPlanNamespace to re-namespace a shared cache. Call
+// before concurrent use; the executor does not synchronize the swap.
+func (x *Executor) SetPlans(p *plan.Cache) {
+	if p != nil {
+		x.plans = p
+	}
 }
 
 // normTerms normalizes and drops empty tokens.
@@ -266,11 +314,24 @@ func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error
 		}
 	}
 
-	esp := sp.Child("enumerate")
+	// Binding resolves each keyword to its per-relation tuple sets R^Q —
+	// data-dependent work that repeats whenever the value caches are
+	// cold, so it gets its own span rather than hiding inside enumerate
+	// (which a warm plan reduces to a cache probe).
+	bsp := sp.Child("bind")
 	ev := cn.NewEvaluator(x.db, x.ix, terms)
-	cns, err := cn.EnumerateCtx(ctx, x.sg, cn.EnumerateOptions{
+	kwTables := ev.KeywordTables()
+	bsp.SetAttr("keyword_tables", len(kwTables))
+	bsp.End()
+
+	// The enumerate stage goes through the plan cache: warm signatures
+	// skip enumeration entirely, cold ones compile (in parallel when the
+	// cache was built with Workers > 1) and are cached for every later
+	// query with the same schema + membership signature.
+	esp := sp.Child("enumerate")
+	ps, planHit, err := x.plans.Get(ctx, x.sg, cn.EnumerateOptions{
 		MaxSize:       q.MaxCNSize,
-		KeywordTables: ev.KeywordTables(),
+		KeywordTables: kwTables,
 		FreeTables:    x.opts.FreeTables,
 	})
 	if err != nil {
@@ -279,8 +340,11 @@ func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error
 		esp.End()
 		return nil, st, err
 	}
+	cns := ps.CNs() // immutable, share-safe: evaluation is read-only
 	st.CNs = len(cns)
+	st.PlanCacheHit = planHit
 	esp.SetAttr("cns", len(cns))
+	esp.SetAttr("plan_cached", planHit)
 	esp.End()
 	if len(cns) == 0 {
 		x.results.Put(key, nil)

@@ -1,0 +1,55 @@
+package exec
+
+import (
+	"context"
+	"testing"
+)
+
+// TestPlanCacheHitStat pins the Stats.PlanCacheHit wiring: the first
+// execution of a signature compiles (no hit), a later execution of the
+// same signature reuses the compiled plan even after the value-dependent
+// caches are flushed, and a full InvalidateCaches forces a recompile.
+func TestPlanCacheHitStat(t *testing.T) {
+	x := newTestExecutor(2)
+	q := Query{Terms: []string{"keyword", "search"}, K: 5, MaxCNSize: 5}
+
+	_, st, err := x.TopK(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PlanCacheHit {
+		t.Fatal("cold executor claims a plan-cache hit")
+	}
+
+	x.InvalidateDataCaches() // drops postings + results, keeps plans
+	_, st, err = x.TopK(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ResultCacheHit {
+		t.Fatal("result cache survived InvalidateDataCaches")
+	}
+	if !st.PlanCacheHit {
+		t.Fatal("warm executor missed the plan cache")
+	}
+
+	// A different query with the same keyword→relation membership
+	// signature shares the plan: that is the whole point of keying plans
+	// by signature instead of by query string.
+	_, st, err = x.TopK(context.Background(), Query{Terms: []string{"query", "optimization"}, K: 5, MaxCNSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.PlanCacheHit {
+		t.Fatal("same-signature query missed the plan cache")
+	}
+
+	x.InvalidateCaches() // schema-level flush includes plans
+	_, st, err = x.TopK(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PlanCacheHit {
+		t.Fatal("plan survived InvalidateCaches")
+	}
+}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -76,7 +77,7 @@ func TestCancellationMidEvaluation(t *testing.T) {
 			cancel()
 			close(done)
 		}()
-		rs, _, err := x.TopK(ctx, q)
+		rs, st, err := x.TopK(ctx, q)
 		<-done
 		switch err {
 		case nil:
@@ -84,8 +85,15 @@ func TestCancellationMidEvaluation(t *testing.T) {
 				t.Fatalf("trial %d: uncancelled answer differs from serial", trial)
 			}
 		case context.Canceled:
-			if rs != nil {
-				t.Fatalf("trial %d: cancelled call returned %d results", trial, len(rs))
+			// The certified prefix travels with the error (possibly empty,
+			// possibly the whole answer when cancellation raced completion);
+			// whatever came back must be a byte-exact prefix of the serial
+			// top-k — never a torn result.
+			if got := renderResults(rs); !strings.HasPrefix(want, got) {
+				t.Fatalf("trial %d: cancelled call returned a non-prefix answer (%d results)", trial, len(rs))
+			}
+			if len(rs) > 0 && !st.Partial {
+				t.Fatalf("trial %d: cancelled call returned %d results without Stats.Partial", trial, len(rs))
 			}
 		default:
 			t.Fatalf("trial %d: unexpected error %v", trial, err)

@@ -76,20 +76,32 @@ func (a Assignment) Makespan() float64 {
 }
 
 func sortJobsByCost(jobs []Job) []Job {
-	out := append([]Job(nil), jobs...)
 	// Equal-cost jobs tie-break on the canonical CN string: with a plain
 	// stable sort, worker placement of equal-cost jobs depends on the
 	// caller's input order, which silently changes which prefixes are
 	// co-located (and thus how much shared-prefix reuse the executor
 	// gets) between runs. The canonical tie-break makes Assign a pure
-	// function of the job *set*.
-	sort.SliceStable(out, func(i, j int) bool {
-		ci, cj := out[i].Cost(), out[j].Cost()
-		if !fmath.Eq(ci, cj) {
-			return ci > cj
+	// function of the job *set*. Costs and canonical keys are memoized
+	// up front: recomputing them inside the comparator made Assign a
+	// measurable slice of both the per-query and the cold-plan profiles.
+	costs := make([]float64, len(jobs))
+	keys := make([]string, len(jobs))
+	idx := make([]int, len(jobs))
+	for i, j := range jobs {
+		costs[i] = j.Cost()
+		keys[i] = j.CN.Canonical()
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if !fmath.Eq(costs[idx[a]], costs[idx[b]]) {
+			return costs[idx[a]] > costs[idx[b]]
 		}
-		return out[i].CN.Canonical() < out[j].CN.Canonical()
+		return keys[idx[a]] < keys[idx[b]]
 	})
+	out := make([]Job, len(jobs))
+	for i, j := range idx {
+		out[i] = jobs[j]
+	}
 	return out
 }
 

@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"kwsearch/internal/cn"
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/schemagraph"
+)
+
+// dblpGraph is the DBLP schema graph (A ↔ W ↔ P, P → C, P ↔ Cite ↔ P),
+// the heaviest enumeration workload the repo's datasets produce.
+func dblpGraph(b *testing.B) *schemagraph.Graph {
+	b.Helper()
+	return schemagraph.FromDB(dataset.DBLP(dataset.DefaultDBLPConfig()))
+}
+
+// dblpOpts is a three-keyword-table signature on the DBLP schema at the
+// engine's default MaxSize, the shape of a real "keyword in author,
+// paper and conference" query.
+func dblpOpts() cn.EnumerateOptions {
+	return cn.EnumerateOptions{
+		MaxSize:       5,
+		KeywordTables: []string{"author", "paper", "conference"},
+		FreeTables:    []string{"write", "cite"},
+	}
+}
+
+// BenchmarkPlanCacheWarm measures the steady-state hit path: key
+// derivation plus one sharded LRU lookup, the cost a warm query pays
+// instead of full enumeration.
+func BenchmarkPlanCacheWarm(b *testing.B) {
+	g := dblpGraph(b)
+	c := New(Options{Workers: 4})
+	if _, _, err := c.Get(context.Background(), g, dblpOpts()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, hit, err := c.Get(context.Background(), g, dblpOpts())
+		if err != nil || !hit {
+			b.Fatalf("hit=%v err=%v", hit, err)
+		}
+	}
+}
+
+// BenchmarkPlanCacheCold measures a full compile per iteration (the
+// generation bump forces a rebuild), i.e. the miss path a schema change
+// or first-seen signature pays.
+func BenchmarkPlanCacheCold(b *testing.B) {
+	g := dblpGraph(b)
+	c := New(Options{Workers: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Invalidate()
+		if _, _, err := c.Get(context.Background(), g, dblpOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnumerate compares serial cn.EnumerateCtx against the
+// frontier-partitioned parallel cold path at several pool sizes.
+func BenchmarkEnumerate(b *testing.B) {
+	g := dblpGraph(b)
+	opts := dblpOpts()
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cn.EnumerateCtx(context.Background(), g, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, w := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("parallel-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EnumerateParallel(context.Background(), g, opts, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,181 @@
+package plan
+
+// This file is the cold path of the plan cache: parallel candidate-
+// network enumeration. The breadth-first frontier of cn.EnumerateCtx
+// partitions by root keyword table — every partial CN grows from exactly
+// one seed, and the serial frontier is grouped by seed in sorted order
+// at every level — so each level's expansion fans out seed groups across
+// a worker pool (placed by parallel.Assign, the same sharing-aware
+// partitioner the evaluation pool uses) and a level barrier merges the
+// children back in seed order with global canonical deduplication,
+// first occurrence winning. The barrier keeps the dedupe set global, so
+// no worker ever re-explores a subtree another seed already claimed,
+// and the merge order equals the serial visit order: the output is
+// byte-identical to cn.EnumerateCtx (asserted under -race and by
+// property tests over randomized schemas).
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"kwsearch/internal/cn"
+	"kwsearch/internal/parallel"
+	"kwsearch/internal/schemagraph"
+)
+
+// EnumerateParallel enumerates candidate networks with each level's
+// frontier partitioned by root keyword table across a pool of workers,
+// returning exactly what cn.EnumerateCtx returns — same CNs, same
+// order. workers <= 1, or fewer than two seeds, falls back to the
+// serial enumerator. Any worker error (cancellation, an injected fault)
+// aborts the whole enumeration: a partial CN set would silently change
+// which answers exist.
+func EnumerateParallel(ctx context.Context, g *schemagraph.Graph, opts cn.EnumerateOptions, workers int) ([]*cn.CN, error) {
+	seeds := normTables(g, opts.KeywordTables)
+	if workers <= 1 || len(seeds) < 2 {
+		return cn.EnumerateCtx(ctx, g, opts)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	maxSize := opts.MaxSize
+	if maxSize <= 0 {
+		maxSize = 5
+	}
+
+	// Emission bookkeeping, mirroring the serial enumerator: levels by
+	// size, global canonical dedupe, MaxCNs early exit.
+	var out []*cn.CN
+	frontierSeen := map[string]bool{}
+	emit := func(c *cn.CN) bool {
+		if c.Valid() {
+			out = append(out, c)
+			if opts.MaxCNs > 0 && len(out) >= opts.MaxCNs {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Seed frontier: one single-node partial per keyword table, sorted.
+	// normTables already sorted, deduplicated and HasTable-filtered.
+	var frontier []*cn.CN
+	for _, t := range seeds {
+		c := &cn.CN{Nodes: []cn.NodeSpec{{Table: t}}}
+		frontierSeen[c.Canonical()] = true
+		if !emit(c) {
+			return out, nil
+		}
+		frontier = append(frontier, c)
+	}
+
+	for size := 1; size < maxSize; size++ {
+		// Group the frontier by root seed. Children inherit their
+		// parent's root (growth only appends nodes), and the merge below
+		// appends in seed order, so the frontier is grouped by seed in
+		// sorted seed order at every level — the groups are contiguous
+		// slices.
+		groups := groupBySeed(frontier, seeds)
+
+		// One job per seed-group chunk; a seed whose subtree dominates
+		// the frontier (skew is the norm — hub tables fan out hardest)
+		// is split into contiguous chunks so Assign can balance it
+		// across the pool. Chunking preserves the merge order: chunks
+		// are emitted seed by seed, in order, and concatenating their
+		// outputs in job order equals concatenating the groups.
+		chunk := len(frontier)/(workers*4) + 1
+		var jobs []parallel.Job
+		var jobGroups [][]*cn.CN
+		for _, grp := range groups {
+			for len(grp) > 0 {
+				n := chunk
+				if n > len(grp) {
+					n = len(grp)
+				}
+				part := grp[:n]
+				grp = grp[n:]
+				jobs = append(jobs, parallel.Job{
+					CN:          part[0],
+					Prefixes:    []string{part[0].Canonical()},
+					PrefixCosts: []float64{float64(len(part))},
+				})
+				jobGroups = append(jobGroups, part)
+			}
+		}
+		assignment := parallel.Assign(jobs, workers)
+
+		// Expand each worker's groups concurrently; results land in the
+		// group's own slot (disjoint writes, no lock beyond the join).
+		slot := map[*cn.CN]int{}
+		for i, grp := range jobGroups {
+			slot[grp[0]] = i
+		}
+		grown := make([][][]cn.Grown, len(jobGroups))
+		errs := make([]error, len(jobGroups))
+		var wg sync.WaitGroup
+		for _, workerJobs := range assignment.Jobs {
+			if len(workerJobs) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(workerJobs []parallel.Job) {
+				defer wg.Done()
+				for _, j := range workerJobs {
+					i := slot[j.CN]
+					grown[i], errs[i] = cn.Expand(ctx, g, opts, jobGroups[i])
+				}
+			}(workerJobs)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		// Level barrier: merge children in seed order, then partial
+		// order, then child order — the serial visit order — deduping
+		// globally so the next level's groups stay disjoint.
+		var next []*cn.CN
+		for _, perPartial := range grown {
+			for _, children := range perPartial {
+				for _, gc := range children {
+					if frontierSeen[gc.Key] {
+						continue
+					}
+					frontierSeen[gc.Key] = true
+					if !emit(gc.CN) {
+						return out, nil
+					}
+					next = append(next, gc.CN)
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// groupBySeed splits a frontier into per-seed groups (seed = Nodes[0],
+// the table the partial grew from), preserving order within each group.
+// Output groups follow sorted seed order.
+func groupBySeed(frontier []*cn.CN, seeds []string) [][]*cn.CN {
+	if !sort.StringsAreSorted(seeds) {
+		// normTables sorts; a violation here means a caller bypassed it.
+		sort.Strings(seeds)
+	}
+	idx := make(map[string]int, len(seeds))
+	for i, s := range seeds {
+		idx[s] = i
+	}
+	groups := make([][]*cn.CN, len(seeds))
+	for _, c := range frontier {
+		i := idx[c.Nodes[0].Table]
+		groups[i] = append(groups[i], c)
+	}
+	return groups
+}

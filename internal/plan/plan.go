@@ -1,0 +1,216 @@
+// Package plan is the candidate-network plan cache between the engine
+// façade (internal/core, internal/exec) and CN enumeration
+// (internal/cn): the DISCOVER-style breadth-first generation depends
+// only on the schema graph and on *which* relations hold keyword
+// matches, never on the keyword values themselves, so it is a pure
+// plan-compilation step — Mragyati (Sarda & Jain) treats it as
+// query-to-SQL translation and EMBANKS as a precomputable structure,
+// and both argue for compiling once and reusing.
+//
+// A compiled plan is keyed by (namespace, schema-graph fingerprint,
+// keyword→relation membership signature, MaxSize, MaxCNs) and stored in
+// the sharded generation-aware LRU of internal/cache: warm queries skip
+// enumeration entirely, Invalidate bumps the generation so a schema
+// change can never serve a stale plan (the fingerprint in the key
+// already guards this; the generation bump is the belt to that
+// suspender), and the namespace prefix keeps the cache per-tenant ready
+// without per-tenant capacity bookkeeping. Cold signatures are compiled
+// by EnumerateParallel, which partitions the breadth-first frontier by
+// root keyword table across a worker pool and merges byte-identically
+// to serial enumeration.
+package plan
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"kwsearch/internal/cache"
+	"kwsearch/internal/cn"
+	"kwsearch/internal/obs"
+	"kwsearch/internal/schemagraph"
+)
+
+// Options tunes a plan cache. The zero value is a working configuration.
+type Options struct {
+	// Size bounds the number of cached plans (0 = 128).
+	Size int
+	// Shards stripes the underlying LRU (0 = 8).
+	Shards int
+	// Workers is the cold-path enumeration pool size (0 = 1, serial).
+	// Parallel compilation only engages when a signature has at least
+	// two seed keyword tables to partition.
+	Workers int
+	// Namespace prefixes every key, isolating tenants that share one
+	// cache (and its capacity). Empty is the default namespace.
+	Namespace string
+	// Metrics, when non-nil, receives the cache counters under "plan.*"
+	// (hits, misses, evictions, stale, builds) and the cold-path build
+	// time histogram "plan.build_us".
+	Metrics *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Size <= 0 {
+		o.Size = 128
+	}
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// PlanSet is one compiled candidate-network set. It is immutable and
+// share-safe: the same *PlanSet is handed to every query that hits its
+// key, possibly on many goroutines at once, so neither the slice nor
+// the CNs it points to may be mutated — evaluation layers treat CNs as
+// read-only, which is exactly the contract (internal/exec decomposes,
+// prewarms and joins against them without writing).
+type PlanSet struct {
+	cns []*cn.CN
+	key string
+}
+
+// CNs returns the compiled candidate networks in enumeration order
+// (nondecreasing size, deterministic within a size). The slice is the
+// cache's own: callers must not append to, reorder or mutate it.
+func (p *PlanSet) CNs() []*cn.CN { return p.cns }
+
+// Len returns the number of candidate networks in the plan.
+func (p *PlanSet) Len() int { return len(p.cns) }
+
+// Key returns the cache key the plan was compiled under (diagnostics).
+func (p *PlanSet) Key() string { return p.key }
+
+// Cache is a concurrency-safe plan cache. Construct with New; handles
+// derived with WithNamespace share the same storage and counters.
+type Cache struct {
+	lru    *cache.Cache[*PlanSet]
+	opts   Options
+	builds *obs.Counter
+	// buildUS is nil unless Options.Metrics was set; recording build
+	// times is only useful where something can read them.
+	buildUS *obs.Histogram
+}
+
+// New builds a plan cache.
+func New(opts Options) *Cache {
+	opts = opts.withDefaults()
+	c := &Cache{
+		lru:    cache.New[*PlanSet](opts.Size, opts.Shards),
+		opts:   opts,
+		builds: &obs.Counter{},
+	}
+	if opts.Metrics != nil {
+		c.lru.Instrument(opts.Metrics, "plan")
+		c.builds = opts.Metrics.Attach("plan.builds", c.builds)
+		c.buildUS = opts.Metrics.Histogram("plan.build_us")
+	}
+	return c
+}
+
+// WithNamespace returns a handle on the same cache whose keys are
+// prefixed with ns — tenants share capacity and counters but can never
+// read each other's plans. The receiver is unchanged.
+func (c *Cache) WithNamespace(ns string) *Cache {
+	nc := *c
+	nc.opts.Namespace = ns
+	return &nc
+}
+
+// Namespace returns the handle's key prefix.
+func (c *Cache) Namespace() string { return c.opts.Namespace }
+
+// normTables sorts, deduplicates and filters a table list down to the
+// tables the graph actually has — two option bundles that differ only
+// in unknown tables or ordering compile to the same plan, so they
+// should share a key.
+func normTables(g *schemagraph.Graph, tables []string) []string {
+	out := make([]string, 0, len(tables))
+	for _, t := range tables {
+		if g.HasTable(t) {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	n := 0
+	for i, t := range out {
+		if i == 0 || t != out[n-1] {
+			out[n] = t
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// Key derives the cache key of an enumeration request: namespace,
+// schema-graph fingerprint, keyword→relation membership signature (the
+// sorted keyword and free table sets — enumeration never sees keyword
+// values), and the MaxSize/MaxCNs bounds, normalized the way
+// cn.EnumerateCtx normalizes them.
+func Key(namespace string, g *schemagraph.Graph, opts cn.EnumerateOptions) string {
+	maxSize := opts.MaxSize
+	if maxSize <= 0 {
+		maxSize = 5
+	}
+	maxCNs := opts.MaxCNs
+	if maxCNs < 0 {
+		maxCNs = 0
+	}
+	var b strings.Builder
+	b.WriteString(namespace)
+	b.WriteByte('\x00')
+	b.WriteString(g.Fingerprint())
+	b.WriteString("|kw=")
+	b.WriteString(strings.Join(normTables(g, opts.KeywordTables), ","))
+	b.WriteString("|free=")
+	b.WriteString(strings.Join(normTables(g, opts.FreeTables), ","))
+	b.WriteString("|ms=")
+	b.WriteString(strconv.Itoa(maxSize))
+	b.WriteString("|mc=")
+	b.WriteString(strconv.Itoa(maxCNs))
+	return b.String()
+}
+
+// Get returns the compiled plan for the request, compiling and caching
+// it on a miss. The bool reports whether the plan came from the cache.
+// Compilation honors ctx (cancellation, deadlines, fault injection) and
+// a failed build is never cached — the next Get retries. Concurrent
+// misses on one key may compile twice; the results are identical and
+// the last write wins, so the duplicated work is bounded by the number
+// of simultaneously cold callers.
+func (c *Cache) Get(ctx context.Context, g *schemagraph.Graph, opts cn.EnumerateOptions) (*PlanSet, bool, error) {
+	key := Key(c.opts.Namespace, g, opts)
+	if ps, ok := c.lru.Get(key); ok {
+		return ps, true, nil
+	}
+	start := time.Now()
+	cns, err := EnumerateParallel(ctx, g, opts, c.opts.Workers)
+	if err != nil {
+		return nil, false, err
+	}
+	c.builds.Inc()
+	c.buildUS.Observe(float64(time.Since(start).Microseconds()))
+	ps := &PlanSet{cns: cns, key: key}
+	c.lru.Put(key, ps)
+	return ps, false, nil
+}
+
+// Invalidate bumps the cache generation: every cached plan becomes
+// stale and is dropped lazily on next access. Call after any schema
+// change (the fingerprint key already isolates schema versions; the
+// bump additionally stops a dead schema's plans from occupying LRU
+// capacity) — internal/exec wires this into InvalidateCaches.
+func (c *Cache) Invalidate() { c.lru.Invalidate() }
+
+// Stats returns the underlying LRU counters (hits, misses, evictions,
+// stale, live entries).
+func (c *Cache) Stats() cache.Stats { return c.lru.Stats() }
+
+// Builds returns the number of cold compilations performed.
+func (c *Cache) Builds() uint64 { return c.builds.Value() }

@@ -1,0 +1,91 @@
+package schemagraph
+
+import (
+	"testing"
+
+	"kwsearch/internal/dataset"
+)
+
+// TestFingerprintOrderIndependent pins the property the plan cache
+// (internal/plan) keys on: two graphs built from the same schema — in any
+// table or edge order — share a fingerprint.
+func TestFingerprintOrderIndependent(t *testing.T) {
+	tables := []string{"author", "write", "paper", "conference"}
+	edges := []Edge{
+		{From: "write", FromCol: "aid", To: "author", ToCol: "aid"},
+		{From: "write", FromCol: "pid", To: "paper", ToCol: "pid"},
+		{From: "paper", FromCol: "cid", To: "conference", ToCol: "cid"},
+	}
+	a, err := New(tables, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(
+		[]string{"paper", "conference", "write", "author"},
+		[]Edge{edges[2], edges[0], edges[1]},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("same schema, different fingerprints: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+	if len(a.Fingerprint()) != 16 {
+		t.Errorf("fingerprint %q not a 16-hex-digit hash", a.Fingerprint())
+	}
+}
+
+// TestFingerprintDistinguishesSchemas checks that any schema change the
+// plan cache must notice — a new table, a new foreign key, a reweighted
+// edge — moves the fingerprint.
+func TestFingerprintDistinguishesSchemas(t *testing.T) {
+	tables := []string{"author", "write", "paper"}
+	edges := []Edge{
+		{From: "write", FromCol: "aid", To: "author", ToCol: "aid"},
+		{From: "write", FromCol: "pid", To: "paper", ToCol: "pid"},
+	}
+	base, err := New(tables, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withTable, err := New(append([]string{"cite"}, tables...), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withTable.Fingerprint() == base.Fingerprint() {
+		t.Error("adding a table did not change the fingerprint")
+	}
+
+	withEdge, err := New(tables, append([]Edge{{From: "author", FromCol: "favpid", To: "paper", ToCol: "pid"}}, edges...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withEdge.Fingerprint() == base.Fingerprint() {
+		t.Error("adding a foreign key did not change the fingerprint")
+	}
+
+	reweighted := []Edge{edges[0], edges[1]}
+	reweighted[1].Weight = 0.5
+	withWeight, err := New(tables, reweighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withWeight.Fingerprint() == base.Fingerprint() {
+		t.Error("reweighting an edge did not change the fingerprint")
+	}
+}
+
+// TestFingerprintFromDBStable: FromDB on the same dataset always lands on
+// the same fingerprint (the cache key survives process restarts), and a
+// dataset with a different schema lands elsewhere.
+func TestFingerprintFromDBStable(t *testing.T) {
+	a := FromDB(dataset.DBLP(dataset.DefaultDBLPConfig()))
+	b := FromDB(dataset.DBLP(dataset.DefaultDBLPConfig()))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("same dataset, different fingerprints: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+	if w := FromDB(dataset.WidomBib()); w.Fingerprint() == a.Fingerprint() {
+		t.Error("distinct schemas share a fingerprint")
+	}
+}

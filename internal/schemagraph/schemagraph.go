@@ -29,6 +29,7 @@ type Graph struct {
 	index  map[string]int
 	edges  []Edge
 	adj    map[string][]int // table -> indices into edges (either endpoint)
+	fp     string           // content fingerprint, computed at construction
 }
 
 // New builds a schema graph over the given table names and edges. Unknown
@@ -63,8 +64,44 @@ func New(tables []string, edges []Edge) (*Graph, error) {
 			g.adj[e.To] = append(g.adj[e.To], idx)
 		}
 	}
+	g.fp = fingerprint(g.tables, g.edges)
 	return g, nil
 }
+
+// fingerprint hashes the full graph content (sorted tables, sorted edge
+// encodings including weights) with FNV-64a. Two graphs built from the
+// same schema — in any table or edge order — share the fingerprint.
+func fingerprint(tables []string, edges []Edge) string {
+	encs := make([]string, 0, len(edges))
+	for _, e := range edges {
+		encs = append(encs, fmt.Sprintf("%s.%s->%s.%s@%g", e.From, e.FromCol, e.To, e.ToCol, e.Weight))
+	}
+	sort.Strings(encs)
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= uint64(';')
+		h *= 1099511628211
+	}
+	for _, t := range tables { // already sorted by New
+		mix(t)
+	}
+	mix("|")
+	for _, e := range encs {
+		mix(e)
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// Fingerprint returns a stable content hash of the graph: equal for
+// graphs with the same tables and foreign-key edges, regardless of
+// construction order. The plan cache (internal/plan) keys compiled
+// candidate-network sets by it, so schema changes — which always rebuild
+// the immutable Graph — can never serve a stale plan.
+func (g *Graph) Fingerprint() string { return g.fp }
 
 // FromDB derives the schema graph of a relstore database from its declared
 // foreign keys.

@@ -51,6 +51,13 @@ type Options struct {
 	// (and so every request). Tests use it to carry a fault injector
 	// into the pipeline; production leaves it nil.
 	BaseContext func() context.Context
+	// PlanNamespace, when non-empty, re-namespaces the engine's
+	// candidate-network plan cache (core.Engine.SetPlanNamespace) before
+	// serving: daemons that point several tenants' engines at one shared
+	// plan cache isolate their compiled plans by giving each server a
+	// distinct namespace. The plan.* hit/miss/build metrics remain
+	// visible on /metrics either way.
+	PlanNamespace string
 }
 
 func (o Options) withDefaults() Options {
@@ -86,6 +93,9 @@ type Server struct {
 // connections — its caches stay warm and its admission gate (when
 // installed via Engine.Admit) sheds load for every client at once.
 func New(engine *core.Engine, opts Options) *Server {
+	if ns := opts.PlanNamespace; ns != "" {
+		engine.SetPlanNamespace(ns)
+	}
 	s := &Server{
 		engine:   engine,
 		opts:     opts.withDefaults(),

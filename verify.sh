@@ -26,7 +26,7 @@ echo "==> go test -race (concurrency-bearing packages)"
 go test -race $short ./internal/parallel/... ./internal/stream/... ./internal/cn/... \
     ./internal/cache/... ./internal/exec/... ./internal/lca/... ./internal/obs/... \
     ./internal/resilience/... ./internal/core/... ./internal/server/... \
-    ./internal/analysis/...
+    ./internal/analysis/... ./internal/plan/...
 
 echo "==> kwslint -json ./... (report: kwslint.json)"
 go run ./cmd/kwslint -json ./... > kwslint.json
