@@ -1,6 +1,6 @@
 # Convenience targets; verify.sh is the canonical sequence.
 
-.PHONY: verify verify-short build test race lint lint-fix bench bench-plan
+.PHONY: verify verify-short build test race lint lint-fix bench bench-plan obs-bench
 
 verify:
 	./verify.sh
@@ -31,3 +31,7 @@ bench:
 
 bench-plan:
 	go test -bench 'PlanCache|Enumerate' -benchmem -run zz ./internal/plan/
+
+obs-bench:
+	go test -bench ObsSuiteOverhead -benchmem -run zz .
+	go run ./cmd/benchrunner -obs-overhead

@@ -171,6 +171,9 @@ type execPerfJSON struct {
 	// Lint records the static-analysis driver's full-tree wall time,
 	// serial vs parallel (see cmd/kwslint).
 	Lint lintJSON `json:"kwslint"`
+	// Observability records the production observability suite's cost
+	// over obs-off plus its evidence counters (E38).
+	Observability observabilityJSON `json:"observability"`
 }
 
 // stageJSON is one pipeline stage's share of the traced execution. Name
@@ -359,6 +362,10 @@ func writeExecPerformance(path string) error {
 	if err != nil {
 		return err
 	}
+	observability, err := measureObservability()
+	if err != nil {
+		return err
+	}
 
 	evaluated, skipped, reuses := x.CounterTotals()
 	postings, results := x.CacheStats()
@@ -393,9 +400,10 @@ func writeExecPerformance(path string) error {
 		},
 		Stages:     stagesFromTrace(rootCold),
 		StagesWarm: stagesFromTrace(rootWarm),
-		Resilience: res,
-		Serving:    serving,
-		Lint:       lint,
+		Resilience:    res,
+		Serving:       serving,
+		Lint:          lint,
+		Observability: observability,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -418,5 +426,7 @@ func writeExecPerformance(path string) error {
 		serving.ThroughputQPS, time.Duration(serving.P99US)*time.Microsecond, serving.ShedRate)
 	fmt.Printf("performance: kwslint %d pkgs serial %v, parallel %v (%.2fx), %d diagnostics\n",
 		lint.Packages, time.Duration(lint.SerialNS), time.Duration(lint.ParallelNS), lint.Speedup, lint.Diagnostics)
+	fmt.Printf("performance: observability suite %.2f%% overhead, %d slowlog exemplar(s), prom scrape %d bytes\n",
+		observability.OverheadPct, observability.SlowlogCaptured, observability.PromScrapeBytes)
 	return nil
 }

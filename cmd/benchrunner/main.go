@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 )
 
 // experiment is one runnable reproduction; it prints its table and returns
@@ -36,7 +37,26 @@ func register(id, title string, run func() error) {
 func main() {
 	performance := flag.Bool("performance", false,
 		"run the executor-efficiency workload (cache hit/miss/eviction, per-worker jobs) and write BENCH_exec.json")
+	obsGate := flag.Bool("obs-overhead", false,
+		"measure the observability suite's overhead vs obs-off and exit 1 when it exceeds the 5% budget (the verify.sh gate)")
 	flag.Parse()
+	if *obsGate {
+		o, err := measureObservability()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs-overhead: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("obs-overhead: %.2f%% (budget %.0f%%), baseline %s vs full %s, %d rounds\n",
+			o.OverheadPct, obsOverheadBudgetPct,
+			time.Duration(o.BaselineNS), time.Duration(o.FullNS), o.Rounds)
+		if o.OverheadPct > obsOverheadBudgetPct {
+			fmt.Fprintf(os.Stderr, "obs-overhead: %.2f%% exceeds the %.0f%% budget\n", o.OverheadPct, obsOverheadBudgetPct)
+			os.Exit(1)
+		}
+		if flag.NArg() == 0 && !*performance {
+			return
+		}
+	}
 	if *performance {
 		if err := writeExecPerformance("BENCH_exec.json"); err != nil {
 			fmt.Fprintf(os.Stderr, "performance: %v\n", err)

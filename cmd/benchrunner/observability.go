@@ -1,0 +1,198 @@
+package main
+
+// E38: the production observability suite's cost. The full suite —
+// tail-sampling slow-query log (every query runs a root span), a
+// structured logger in the request context, windowed latency series and
+// SLO burn gauges — is paired against the same engine with none of it
+// installed. Pairing is per query — each workload query runs on both
+// arms back-to-back, the minimum per (query, arm) survives across
+// rounds, and the overhead is the ratio of the per-arm sums of minima —
+// so a load spike on a shared box must persist across every round of a
+// ~4ms window to bias the comparison. The 5% budget is enforced by
+// verify.sh via the -obs-overhead gate.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"kwsearch/internal/core"
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/obs"
+)
+
+func init() {
+	register("E38", "observability suite overhead — tail-sampled traces, ctx logger, windowed SLO metrics vs obs-off", runE38)
+}
+
+// obsOverheadBudgetPct is the acceptance budget: the full suite may cost
+// at most this much over the obs-off baseline.
+const obsOverheadBudgetPct = 5.0
+
+// observabilityJSON is the BENCH_exec.json "observability" block.
+type observabilityJSON struct {
+	// OverheadPct is (FullNS / BaselineNS - 1) * 100. Each arm's time is
+	// the sum over workload queries of that query's minimum across
+	// rounds. The minimum is the noise-resistant estimator — scheduling
+	// interference only ever adds time, so the min is the closest
+	// observation of each (query, arm)'s true cost; coarser designs
+	// (whole-workload best-of, median of per-round ratios) both produced
+	// readings past the whole budget under a concurrently running test
+	// suite.
+	OverheadPct float64 `json:"overhead_pct"`
+	Rounds      int     `json:"rounds"`
+	// BaselineNS / FullNS are the per-arm sums of per-query minima.
+	BaselineNS int64 `json:"baseline_ns"`
+	FullNS     int64 `json:"full_ns"`
+	// SlowlogCaptured counts the exemplars the probe queries left behind
+	// (a deadline-partial probe plus everything past the threshold).
+	SlowlogCaptured uint64 `json:"slowlog_captured"`
+	// PromScrapeBytes is the size of one /metrics/prom exposition of the
+	// instrumented engine after the workload.
+	PromScrapeBytes int `json:"prom_scrape_bytes"`
+}
+
+// obsWorkload runs the shared executor workload once through
+// Engine.Query in the warm-plan steady state and returns its wall time.
+func obsWorkload(ctx context.Context, e *core.Engine) (time.Duration, error) {
+	total := time.Duration(0)
+	for _, terms := range execQueries {
+		d, err := obsQuery(ctx, e, strings.Join(terms, " "))
+		if err != nil {
+			return 0, err
+		}
+		total += d
+	}
+	return total, nil
+}
+
+// obsQuery times one warm-plan steady-state query (value caches
+// flushed, compiled plan kept).
+func obsQuery(ctx context.Context, e *core.Engine, query string) (time.Duration, error) {
+	e.Exec.InvalidateDataCaches()
+	req := core.Request{Query: query, TopK: 10, MaxCNSize: 5, Workers: 4}
+	start := time.Now()
+	_, err := e.Query(ctx, req)
+	return time.Since(start), err
+}
+
+// measureObservability prices the full suite against obs-off and
+// collects the block's evidence counters.
+func measureObservability() (observabilityJSON, error) {
+	db := dataset.DBLP(dataset.DefaultDBLPConfig())
+	off := core.NewRelational(db)
+	full := core.NewRelational(db)
+	sl := obs.NewSlowLog(64, core.DefaultSLOThreshold)
+	full.SetSlowLog(sl)
+	fullCtx := obs.WithLogger(context.Background(), obs.NewLogger(io.Discard, obs.LevelInfo))
+	fullCtx = obs.WithRequestID(fullCtx, "bench-obs")
+
+	// Warm both engines (plan compilation out of the timing).
+	if _, err := obsWorkload(context.Background(), off); err != nil {
+		return observabilityJSON{}, err
+	}
+	if _, err := obsWorkload(fullCtx, full); err != nil {
+		return observabilityJSON{}, err
+	}
+
+	// The same noise controls as the E35 ctx probe (measureResilience),
+	// at per-query granularity: the garbage collector is parked for the
+	// whole probe with one explicit collection between rounds (so a
+	// pause cannot land inside a timed region), each query's two arms
+	// run back-to-back (pinning every comparison to one ~4ms thermal
+	// state, not one per 40ms workload), the leading arm alternates per
+	// (round, query) so drift taxes both arms equally, and the per-arm
+	// time is the sum of per-query minima across rounds — interference
+	// only ever adds time, so each minimum is the cleanest observation
+	// of that query on that arm. Coarser pairings (whole-workload
+	// best-of, median of per-round ratios) both swung past the 5%
+	// budget when go test ./... saturated the box.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	const rounds = 10
+	const far = time.Duration(1<<63 - 1)
+	minOff := make([]time.Duration, len(execQueries))
+	minFull := make([]time.Duration, len(execQueries))
+	for i := range minOff {
+		minOff[i], minFull[i] = far, far
+	}
+	for r := 0; r < rounds; r++ {
+		runtime.GC() // collect outside the timed regions, not inside them
+		for qi, terms := range execQueries {
+			q := strings.Join(terms, " ")
+			var tOff, tFull time.Duration
+			var errOff, errFull error
+			if (r+qi)%2 == 0 {
+				tOff, errOff = obsQuery(context.Background(), off, q)
+				tFull, errFull = obsQuery(fullCtx, full, q)
+			} else {
+				tFull, errFull = obsQuery(fullCtx, full, q)
+				tOff, errOff = obsQuery(context.Background(), off, q)
+			}
+			if err := firstErr(errOff, errFull); err != nil {
+				return observabilityJSON{}, err
+			}
+			if tOff < minOff[qi] {
+				minOff[qi] = tOff
+			}
+			if tFull < minFull[qi] {
+				minFull[qi] = tFull
+			}
+		}
+	}
+	var bestOff, bestFull time.Duration
+	for i := range minOff {
+		bestOff += minOff[i]
+		bestFull += minFull[i]
+	}
+
+	// A deadline-partial probe proves the tail-sampling path captures
+	// under the production threshold (the workload itself is healthy).
+	if _, err := full.Query(fullCtx, core.Request{
+		Query: "keyword search", TopK: 10000, MaxCNSize: 6, Workers: 4, Deadline: time.Millisecond,
+	}); err != nil {
+		return observabilityJSON{}, err
+	}
+
+	var sb strings.Builder
+	if _, err := obs.WritePromText(&sb, full.Metrics.Snapshot()); err != nil {
+		return observabilityJSON{}, err
+	}
+
+	return observabilityJSON{
+		OverheadPct:     (float64(bestFull)/float64(bestOff) - 1) * 100,
+		Rounds:          rounds,
+		BaselineNS:      bestOff.Nanoseconds(),
+		FullNS:          bestFull.Nanoseconds(),
+		SlowlogCaptured: sl.Captured(),
+		PromScrapeBytes: sb.Len(),
+	}, nil
+}
+
+func runE38() error {
+	o, err := measureObservability()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   suite overhead %.2f%% (budget %.0f%%): baseline %v vs full %v, per-query minima over %d rounds\n",
+		o.OverheadPct, obsOverheadBudgetPct, time.Duration(o.BaselineNS), time.Duration(o.FullNS), o.Rounds)
+	fmt.Printf("   slowlog captured %d exemplar(s); /metrics/prom scrape %d bytes\n",
+		o.SlowlogCaptured, o.PromScrapeBytes)
+	// The ≤5% budget itself is enforced by `benchrunner -obs-overhead`
+	// (the verify.sh gate), which runs with the box to itself. E38 also
+	// runs under `go test ./...` via TestAllExperimentsReproduce, where
+	// every other package's tests saturate the cores concurrently — in
+	// that environment a 5% wall-clock comparison is unresolvable (the
+	// same engine pair measured 5-22% apart under deliberate saturation),
+	// so asserting it here would only ever fail on noise. The experiment
+	// asserts the functional evidence instead, exactly as E35 does with
+	// its ctx-overhead budget (asserted by BenchmarkCtxOverhead, not by
+	// the experiment).
+	return firstErr(
+		expect(o.SlowlogCaptured > 0, "deadline probe left no slowlog exemplar"),
+		expect(o.PromScrapeBytes > 0, "empty prom exposition"),
+	)
+}

@@ -5,10 +5,19 @@
 //
 // Endpoints:
 //
-//	POST /query     one query        {"query": "keyword search", "k": 5, ...}
-//	POST /batch     up to 64 queries {"queries": [...]}
-//	GET  /healthz   200 while serving, 503 once draining
-//	GET  /metrics   metrics-registry snapshot (also /debug/vars, /debug/pprof)
+//	POST /query          one query        {"query": "keyword search", "k": 5, ...}
+//	POST /batch          up to 64 queries {"queries": [...]}
+//	GET  /healthz        200 while serving, 503 once draining
+//	GET  /readyz         readiness probe; 503 the instant a drain begins
+//	GET  /metrics        metrics-registry snapshot (JSON, windows and SLO burn included)
+//	GET  /metrics/prom   Prometheus 0.0.4 text exposition of the same snapshot
+//	GET  /debug/slowlog  tail-sampled slow/errored/shed query exemplars with span trees
+//	                     (also /debug/vars, /debug/pprof)
+//
+// Observability is tuned with -log-level (structured JSON lines on
+// stderr, request ids joining access log, engine lines and exemplars),
+// -slowlog-ms (capture threshold) and -slowlog-cap (exemplar ring
+// size).
 //
 // Status codes follow the engine's typed errors: 400 bad query, 429 shed
 // by admission control (Retry-After set), 503 deadline expired while
@@ -37,8 +46,22 @@ import (
 
 	"kwsearch/internal/core"
 	"kwsearch/internal/dataset"
+	"kwsearch/internal/obs"
 	"kwsearch/internal/server"
 )
+
+// buildLogger maps the -log-level flag onto a stderr structured logger;
+// "off" disables logging entirely (a nil obs.Logger no-ops).
+func buildLogger(level string) (*obs.Logger, error) {
+	if level == "off" || level == "none" {
+		return nil, nil
+	}
+	lv, err := obs.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewLogger(os.Stderr, lv), nil
+}
 
 func main() {
 	os.Exit(run())
@@ -56,6 +79,9 @@ func run() int {
 	selfcheck := flag.Bool("selfcheck", false, "serve on a loopback port, drive the built-in load generator against it, report, and exit")
 	clients := flag.Int("clients", 8, "selfcheck: concurrent clients")
 	perClient := flag.Int("per-client", 10, "selfcheck: queries per client")
+	logLevel := flag.String("log-level", "info", "structured-log level: debug | info | warn | error | off")
+	slowlogMS := flag.Int("slowlog-ms", 100, "slow-query capture threshold in ms (0 disables the duration trigger; errored/shed/partial queries are always captured)")
+	slowlogCap := flag.Int("slowlog-cap", 64, "slow-query exemplar ring capacity (0 disables tail sampling entirely)")
 	flag.Parse()
 
 	engine, err := buildEngine(*data)
@@ -66,10 +92,21 @@ func run() int {
 	if *admit > 0 {
 		engine.Admit(*admit, *admitQueue)
 	}
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var slowlog *obs.SlowLog
+	if *slowlogCap > 0 {
+		slowlog = obs.NewSlowLog(*slowlogCap, time.Duration(*slowlogMS)*time.Millisecond)
+	}
 	srv := server.New(engine, server.Options{
 		DefaultWorkers:  *workers,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
+		Logger:          logger,
+		SlowLog:         slowlog,
 	})
 
 	if *selfcheck {

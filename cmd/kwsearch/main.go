@@ -55,7 +55,10 @@ func main() {
 	stats := flag.Bool("stats", false, "print the engine's metrics-registry snapshot after the search")
 	trace := flag.Bool("trace", false, "print the query's span tree (pipeline stages with timings and attributes)")
 	jsonOut := flag.Bool("json", false, "emit results, stats and trace as one JSON object")
-	serve := flag.String("serve", "", "after the query, serve /metrics, /debug/vars and /debug/pprof on this address and block")
+	serve := flag.String("serve", "", "after the query, serve /metrics, /metrics/prom, /debug/vars, /debug/pprof (and /debug/slowlog with -slowlog-cap) on this address and block")
+	logLevel := flag.String("log-level", "warn", "structured-log level for engine lines on stderr: debug | info | warn | error | off")
+	slowlogMS := flag.Int("slowlog-ms", 100, "slow-query capture threshold in ms (0 disables the duration trigger)")
+	slowlogCap := flag.Int("slowlog-cap", 0, "slow-query exemplar ring capacity (0 = tail sampling off); captured exemplars are summarized on stderr")
 	flag.Parse()
 	query := strings.Join(flag.Args(), " ")
 	if query == "" {
@@ -81,12 +84,24 @@ func main() {
 	if *admit > 0 {
 		engine.Admit(*admit, *admitQueue)
 	}
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var slowlog *obs.SlowLog
+	if *slowlogCap > 0 {
+		slowlog = obs.NewSlowLog(*slowlogCap, time.Duration(*slowlogMS)*time.Millisecond)
+		engine.SetSlowLog(slowlog)
+	}
+	ctx := obs.WithLogger(context.Background(), logger)
 	req := core.Request{
 		Query: query, TopK: *k, Semantics: semantics, Clean: *doClean,
 		Workers: *workers, Deadline: *deadline,
 		Trace: *trace || *jsonOut,
 	}
-	resp, err := runQueries(engine, req, *concurrent)
+	resp, err := runQueries(ctx, engine, req, *concurrent)
+	printSlowLog(slowlog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		switch {
@@ -107,12 +122,12 @@ func main() {
 	}
 
 	if *serve != "" {
-		srv, err := obs.Serve(*serve, engine.Metrics)
+		srv, err := obs.ServeWith(*serve, engine.Metrics, slowlog)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (prom on /metrics/prom, pprof on /debug/pprof/)\n", srv.Addr())
 		// Block until interrupted, then drain in-flight scrapes
 		// gracefully (bounded) instead of dropping them mid-body.
 		sig := make(chan os.Signal, 1)
@@ -133,9 +148,9 @@ func main() {
 // capacity, some runs shed — the returned error is the most severe
 // failure across runs (bad query, then shed, then queued deadline), so
 // the exit code reflects what the burst hit even when one run won.
-func runQueries(engine *core.Engine, req core.Request, n int) (*core.Response, error) {
+func runQueries(ctx context.Context, engine *core.Engine, req core.Request, n int) (*core.Response, error) {
 	if n <= 1 {
-		return engine.Query(context.Background(), req)
+		return engine.Query(ctx, req)
 	}
 	responses := make([]*core.Response, n)
 	errs := make([]error, n)
@@ -145,8 +160,9 @@ func runQueries(engine *core.Engine, req core.Request, n int) (*core.Response, e
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			//lint:ignore ctxdrop start-gun barrier: closed unconditionally right after the spawn loop, never blocks past it
 			<-startGun
-			responses[i], errs[i] = engine.Query(context.Background(), req)
+			responses[i], errs[i] = engine.Query(ctx, req)
 		}(i)
 	}
 	close(startGun)
@@ -189,6 +205,32 @@ func runQueries(engine *core.Engine, req core.Request, n int) (*core.Response, e
 		return nil, worst
 	}
 	return resp, nil
+}
+
+// buildLogger maps the -log-level flag onto a stderr structured logger;
+// "off" disables logging entirely (a nil obs.Logger no-ops).
+func buildLogger(level string) (*obs.Logger, error) {
+	if level == "off" || level == "none" {
+		return nil, nil
+	}
+	lv, err := obs.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewLogger(os.Stderr, lv), nil
+}
+
+// printSlowLog summarizes the tail-sampled exemplars on stderr, one line
+// per retained query (newest first). No-op without -slowlog-cap.
+func printSlowLog(sl *obs.SlowLog) {
+	if sl == nil || sl.Len() == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "slowlog: %d captured (cap %d, threshold %s)\n", sl.Captured(), sl.Cap(), sl.Threshold())
+	for _, en := range sl.Entries() {
+		fmt.Fprintf(os.Stderr, "slowlog: seq=%d outcome=%s duration=%s keywords_hash=%s plan=%s\n",
+			en.Seq, en.Outcome, en.Duration, en.KeywordsHash, en.PlanSignature)
+	}
 }
 
 // printText is the human-readable output path: ranked results, then the

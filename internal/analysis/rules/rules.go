@@ -29,7 +29,7 @@ func Default() []analysis.Rule {
 			"internal/banks", "internal/steiner", "internal/core",
 			"internal/server", "cmd/kwsd",
 			"internal/analysis", "cmd/kwslint",
-			"internal/plan",
+			"internal/plan", "internal/obs",
 		}},
 		FloatEq{Packages: []string{"internal/rank", "internal/cn", "internal/banks"}},
 		DocComment{Only: []string{"internal/"}},

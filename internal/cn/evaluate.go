@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"kwsearch/internal/invindex"
+	"kwsearch/internal/obs"
 	"kwsearch/internal/relstore"
 	"kwsearch/internal/text"
 )
@@ -44,6 +45,16 @@ type lookupKey struct {
 // NewEvaluator prepares an evaluator for the given query terms (normalized
 // through the shared tokenizer).
 func NewEvaluator(db *relstore.DB, ix *invindex.Index, terms []string) *Evaluator {
+	return NewEvaluatorTraced(db, ix, terms, nil)
+}
+
+// NewEvaluatorTraced is NewEvaluator with the binding work recorded as
+// child spans of sp (the caller's "bind" span): "postings" covers the
+// per-keyword posting-list fetches, "materialize" the per-table R^Q/R^{}
+// tuple-set construction and max-score computation. Binding dominates
+// warm query time, so the split makes the two data-dependent halves
+// separately attributable in traces. A nil sp costs nothing.
+func NewEvaluatorTraced(db *relstore.DB, ix *invindex.Index, terms []string, sp *obs.Span) *Evaluator {
 	norm := make([]string, 0, len(terms))
 	for _, t := range terms {
 		if n := text.Normalize(t); n != "" {
@@ -61,18 +72,24 @@ func NewEvaluator(db *relstore.DB, ix *invindex.Index, terms []string) *Evaluato
 		scores:     make(map[relstore.TupleID]float64),
 		maxScores:  make(map[string]float64),
 	}
-	ev.buildTupleSets()
+	ev.buildTupleSets(sp)
 	return ev
 }
 
-func (ev *Evaluator) buildTupleSets() {
+func (ev *Evaluator) buildTupleSets(sp *obs.Span) {
+	psp := sp.Child("postings")
 	matching := map[relstore.TupleID]uint32{}
 	for ti, term := range ev.Terms {
 		for _, doc := range ev.Index.Docs(term) {
 			matching[relstore.TupleID(doc)] |= 1 << uint(ti)
 		}
 	}
+	psp.SetAttr("terms", len(ev.Terms))
+	psp.SetAttr("matched_tuples", len(matching))
+	psp.End()
 	ev.tupleTerms = matching
+	msp := sp.Child("materialize")
+	kwTables := 0
 	for _, name := range ev.DB.TableNames() {
 		t := ev.DB.Table(name)
 		var kw, free []*relstore.Tuple
@@ -85,6 +102,9 @@ func (ev *Evaluator) buildTupleSets() {
 		}
 		ev.kwSets[name] = kw
 		ev.freeSets[name] = free
+		if len(kw) > 0 {
+			kwTables++
+		}
 		best := 0.0
 		for _, tp := range kw {
 			if s := ev.TupleScore(tp); s > best {
@@ -93,6 +113,9 @@ func (ev *Evaluator) buildTupleSets() {
 		}
 		ev.maxScores[name] = best
 	}
+	msp.SetAttr("tables", len(ev.DB.TableNames()))
+	msp.SetAttr("keyword_tables", kwTables)
+	msp.End()
 }
 
 // KeywordTables returns the tables with a non-empty R^Q, sorted — the input

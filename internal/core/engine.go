@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"kwsearch/internal/banks"
 	"kwsearch/internal/clean"
@@ -231,6 +232,10 @@ type Engine struct {
 	execMu sync.Mutex
 	// gate is the admission controller, nil unless Admit installed one.
 	gate *resilience.Gate
+	// slowlog is the tail-sampling slow-query log, nil unless SetSlowLog
+	// installed one. With it installed, every query runs a cheap trace
+	// and slow/errored/shed/partial queries are retained as exemplars.
+	slowlog *obs.SlowLog
 }
 
 // ExecStats returns a copy of LastExecStats, safe under concurrent
@@ -268,7 +273,26 @@ func NewRelational(db *relstore.DB) *Engine {
 	}
 	e.Plans = plan.New(plan.Options{Workers: runtime.GOMAXPROCS(0), Metrics: reg})
 	e.Exec = exec.New(db, ix, exec.Options{FreeTables: e.FreeTables, Metrics: reg, Plans: e.Plans})
+	registerQuerySLO(reg)
 	return e
+}
+
+// DefaultSLOThreshold is the default query-latency objective the engine
+// registers burn-rate gauges for: 100ms, matching the serving layer's
+// default deadline scale. Re-register "query_latency" on the engine's
+// registry to tune it.
+const DefaultSLOThreshold = 100 * time.Millisecond
+
+// registerQuerySLO installs the engine-level latency SLO over the
+// windowed query.latency_us series: 99% of queries under
+// DefaultSLOThreshold.
+func registerQuerySLO(reg *obs.Registry) {
+	_ = reg.Windowed("query.latency_us") // create the series eagerly
+	reg.RegisterSLO("query_latency", obs.SLO{
+		Series:    "query.latency_us",
+		Threshold: float64(DefaultSLOThreshold.Microseconds()),
+		Objective: 0.99,
+	})
 }
 
 // NewXML builds an engine over an XML tree.
@@ -282,6 +306,7 @@ func NewXML(tree *xmltree.Tree) *Engine {
 	}
 	reg := obs.NewRegistry()
 	rix.Instrument(reg, "invindex")
+	registerQuerySLO(reg)
 	return &Engine{Tree: tree, XIndex: xix, Cleaner: clean.NewCleaner(rix), Metrics: reg}
 }
 
@@ -353,6 +378,7 @@ func (e *Engine) searchCN(ctx context.Context, terms []string, opts Options, sp 
 		e.LastExecStats = xst
 		e.execMu.Unlock()
 		st.Exec = &xst
+		st.PlanSignature = xst.PlanKey
 		if err != nil {
 			// rs is the certified prefix (possibly empty); Query decides
 			// whether the error becomes a partial response.
@@ -364,7 +390,7 @@ func (e *Engine) searchCN(ctx context.Context, terms []string, opts Options, sp 
 	}
 	lookupSpan(sp, terms, func(t string) int { return len(e.Index.Postings(t)) })
 	bsp := sp.Child("bind")
-	ev := cn.NewEvaluator(e.DB, e.Index, terms)
+	ev := cn.NewEvaluatorTraced(e.DB, e.Index, terms, bsp)
 	kwTables := ev.KeywordTables()
 	bsp.SetAttr("keyword_tables", len(kwTables))
 	bsp.End()
@@ -382,6 +408,7 @@ func (e *Engine) searchCN(ctx context.Context, terms []string, opts Options, sp 
 		ps, planHit, err = e.Plans.Get(ctx, e.Schema, eopts)
 		if err == nil {
 			cns = ps.CNs() // immutable, share-safe: evaluation is read-only
+			st.PlanSignature = ps.Key()
 			esp.SetAttr("plan_cached", planHit)
 		}
 	} else {

@@ -38,6 +38,12 @@ type Stats struct {
 	// Exec holds the worker-pool execution stats when the query ran
 	// through internal/exec (CandidateNetworks with Workers > 1).
 	Exec *exec.Stats `json:"exec,omitempty"`
+	// PlanSignature is the plan-cache key the query compiled under
+	// (namespace + schema fingerprint + keyword→relation membership
+	// signature + size bounds); "" when the query never reached the
+	// enumerate stage. Slow-query exemplars carry it so latency outliers
+	// can be correlated with plan-cache churn.
+	PlanSignature string `json:"plan_signature,omitempty"`
 	// Metrics is the delta of the engine's registry over this query:
 	// every counter incremented and histogram observed while it ran.
 	Metrics obs.Snapshot `json:"metrics"`
@@ -87,13 +93,33 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 		defer cancel()
 	}
 	start := time.Now()
+	lg := obs.FromContext(ctx)
+
+	// Tail sampling: with a slow-query log installed every query runs a
+	// cheap always-on trace, so the span tree already exists if the query
+	// turns out to be worth retaining. Response.Trace still honors
+	// req.Trace alone — sampling never changes what the caller sees.
+	sampled := e.slowlog != nil
+	var root *obs.Span
+	if opts.Trace || sampled {
+		root = obs.StartSpan("query")
+		root.SetAttr("semantics", opts.Semantics.String())
+	}
 
 	if err := resilience.Inject(ctx, resilience.StageAdmit); err != nil {
-		return nil, resilience.AsTyped(err)
+		terr := resilience.AsTyped(err)
+		root.End()
+		e.captureRejected(ctx, req, root, terr, time.Since(start), lg)
+		return nil, terr
 	}
 	if e.gate != nil {
+		// The admit stage is part of the trace so shed queries still
+		// produce a well-formed tree (root → admit) for the slowlog.
+		asp := root.Child("admit")
 		release, err := e.gate.Acquire(ctx)
+		asp.End()
 		if err != nil {
+			asp.SetAttr("rejected", true)
 			if e.Metrics != nil {
 				switch {
 				case errors.Is(err, ErrOverloaded):
@@ -102,6 +128,8 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 					e.Metrics.Counter("query.deadline").Inc()
 				}
 			}
+			root.End()
+			e.captureRejected(ctx, req, root, err, time.Since(start), lg)
 			return nil, err
 		}
 		defer release()
@@ -110,11 +138,6 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	var before obs.Snapshot
 	if e.Metrics != nil {
 		before = e.Metrics.Snapshot()
-	}
-	var root *obs.Span
-	if opts.Trace {
-		root = obs.StartSpan("query")
-		root.SetAttr("semantics", opts.Semantics.String())
 	}
 
 	csp := root.Child("clean")
@@ -125,7 +148,9 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	root.SetAttr("keywords", len(terms))
 	if len(terms) == 0 {
 		root.End()
-		return nil, badQuery("core: empty query")
+		err := badQuery("core: empty query")
+		e.capture(ctx, req, root, nil, obs.OutcomeError, err.Error(), time.Since(start), lg)
+		return nil, err
 	}
 
 	st := Stats{Semantics: opts.Semantics, Terms: terms}
@@ -153,6 +178,8 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 		} else {
 			root.SetAttr("ctx_done", true)
 			root.End()
+			st.Elapsed = time.Since(start)
+			e.capture(ctx, req, root, &st, obs.OutcomeError, err.Error(), st.Elapsed, lg)
 			return nil, err
 		}
 	}
@@ -167,16 +194,120 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	}
 	root.End()
 	if e.Metrics != nil {
-		e.Metrics.Histogram("query.elapsed_us").Observe(float64(st.Elapsed.Microseconds()))
+		us := float64(st.Elapsed.Microseconds())
+		e.Metrics.Histogram("query.elapsed_us").Observe(us)
+		e.Metrics.Windowed("query.latency_us").Observe(us)
 		if partial {
 			e.Metrics.Counter("query.deadline").Inc()
 			e.Metrics.Counter("query.partial").Inc()
 		}
 		st.Metrics = e.Metrics.Snapshot().Sub(before)
 	}
-	resp := &Response{Results: results, Partial: partial, Stats: st, Trace: root}
+	if outcome, ok := e.slowlog.Classify(st.Elapsed, false, partial); ok {
+		e.capture(ctx, req, root, &st, outcome, "", st.Elapsed, lg)
+	}
+	if lg.Enabled(obs.LevelDebug) {
+		lg.Debug("query executed",
+			obs.F("keywords_hash", obs.KeywordsHash(req.Query)),
+			obs.F("semantics", st.Semantics.String()),
+			obs.F("results", st.Results),
+			obs.F("partial", partial),
+			obs.F("plan_signature", st.PlanSignature),
+			obs.F("elapsed", st.Elapsed))
+	}
+	var trace *Trace
+	if opts.Trace {
+		trace = root
+	}
+	resp := &Response{Results: results, Partial: partial, Stats: st, Trace: trace}
 	if opts.Observer != nil {
 		opts.Observer(resp.Stats, resp.Trace)
 	}
 	return resp, nil
+}
+
+// SetSlowLog installs (or, with nil, removes) the tail-sampling
+// slow-query log: every query runs a cheap trace, and slow, errored,
+// shed, partial or deadline-expired queries are retained as exemplars
+// (span tree + Stats + plan signature). The log's capture counters land
+// in Engine.Metrics. Call during setup, before concurrent queries; the
+// swap is not synchronized.
+func (e *Engine) SetSlowLog(l *obs.SlowLog) {
+	e.slowlog = l
+	if l != nil && e.Metrics != nil {
+		l.Instrument(e.Metrics)
+	}
+}
+
+// SlowLog returns the engine's slow-query log, nil unless SetSlowLog
+// installed one.
+func (e *Engine) SlowLog() *obs.SlowLog { return e.slowlog }
+
+// planNamespace is the tenant namespace exemplars and log lines carry.
+func (e *Engine) planNamespace() string {
+	if e.Plans == nil {
+		return ""
+	}
+	return e.Plans.Namespace()
+}
+
+// rejectOutcome classifies an admission failure for the slowlog.
+func rejectOutcome(err error) obs.Outcome {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return obs.OutcomeShed
+	case errors.Is(err, ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		return obs.OutcomeDeadline
+	}
+	return obs.OutcomeError
+}
+
+// captureRejected retains an exemplar for a query rejected before
+// evaluation (shed by the gate, or its deadline lapsed while queued).
+func (e *Engine) captureRejected(ctx context.Context, req Request, root *obs.Span, err error, elapsed time.Duration, lg *obs.Logger) {
+	e.capture(ctx, req, root, nil, rejectOutcome(err), err.Error(), elapsed, lg)
+}
+
+// capture retains one query exemplar in the slow-query log and emits
+// the corresponding structured warn line. No-op without a slowlog.
+func (e *Engine) capture(ctx context.Context, req Request, root *obs.Span, st *Stats, outcome obs.Outcome, errText string, elapsed time.Duration, lg *obs.Logger) {
+	if e.slowlog == nil {
+		return
+	}
+	entry := obs.Entry{
+		RequestID:    obs.RequestIDFrom(ctx),
+		Namespace:    e.planNamespace(),
+		KeywordsHash: obs.KeywordsHash(req.Query),
+		Outcome:      outcome,
+		Duration:     elapsed,
+		Err:          errText,
+		Trace:        root,
+	}
+	if st != nil {
+		entry.Keywords = st.Terms
+		entry.PlanSignature = st.PlanSignature
+		entry.Stats = *st
+	}
+	seq := e.slowlog.Record(entry)
+	if lg.Enabled(obs.LevelWarn) {
+		fields := []obs.Field{
+			obs.F("slowlog_seq", seq),
+			obs.F("outcome", string(outcome)),
+			obs.F("keywords_hash", entry.KeywordsHash),
+			obs.F("elapsed", elapsed),
+		}
+		if entry.RequestID != "" {
+			fields = append(fields, obs.F("request_id", entry.RequestID))
+		}
+		if entry.Namespace != "" {
+			fields = append(fields, obs.F("namespace", entry.Namespace))
+		}
+		if entry.PlanSignature != "" {
+			fields = append(fields, obs.F("plan_signature", entry.PlanSignature))
+		}
+		if errText != "" {
+			fields = append(fields, obs.F("error", errText))
+		}
+		lg.Warn("query captured in slowlog", fields...)
+	}
 }

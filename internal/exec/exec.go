@@ -132,6 +132,11 @@ type Stats struct {
 	// PlanCacheHit reports that the candidate-network set came from the
 	// plan cache and enumeration was skipped entirely.
 	PlanCacheHit bool
+	// PlanKey is the plan-cache key the query compiled under (namespace +
+	// schema fingerprint + membership signature + size bounds) — the join
+	// key between a query exemplar and plan-cache churn. Empty when the
+	// query never reached the enumerate stage.
+	PlanKey string
 	// Partial reports that the run was interrupted (deadline, cancellation
 	// or an injected fault) and the returned results are the certified
 	// prefix of the full top-k rather than the whole answer. Partial
@@ -319,7 +324,7 @@ func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error
 	// cold, so it gets its own span rather than hiding inside enumerate
 	// (which a warm plan reduces to a cache probe).
 	bsp := sp.Child("bind")
-	ev := cn.NewEvaluator(x.db, x.ix, terms)
+	ev := cn.NewEvaluatorTraced(x.db, x.ix, terms, bsp)
 	kwTables := ev.KeywordTables()
 	bsp.SetAttr("keyword_tables", len(kwTables))
 	bsp.End()
@@ -343,6 +348,7 @@ func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error
 	cns := ps.CNs() // immutable, share-safe: evaluation is read-only
 	st.CNs = len(cns)
 	st.PlanCacheHit = planHit
+	st.PlanKey = ps.Key()
 	esp.SetAttr("cns", len(cns))
 	esp.SetAttr("plan_cached", planHit)
 	esp.End()

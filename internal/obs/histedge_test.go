@@ -1,0 +1,137 @@
+package obs
+
+// Regression tests for the documented Histogram quantile edge cases and
+// the Snapshot.Sub semantics — the histogram-hardening satellite.
+// TestHistogramNaNObserveDropped fails against the pre-fix Observe (a
+// single NaN CAS-accumulated into the running sum poisoned every later
+// Sum), and TestSnapshotSubWindowed fails against the pre-fix Sub
+// (histogram Count/Sum were carried cumulatively, so "delta around one
+// request" silently reported since-boot totals).
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	h := NewHistogram(nil)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("empty histogram count/sum nonzero")
+	}
+	// Round-trip: an empty histogram snapshot is all-zero JSON-safe.
+	reg := NewRegistry()
+	_ = reg.Histogram("empty")
+	s := reg.Snapshot()
+	if s.Histograms["empty"] != (HistogramSnapshot{}) {
+		t.Errorf("empty snapshot = %+v", s.Histograms["empty"])
+	}
+}
+
+func TestHistogramOverflowSaturation(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	h := NewHistogram(bounds)
+	// Every observation lands past the last bound: the overflow bucket
+	// has no upper edge, so all quantiles saturate to the last bound.
+	for i := 0; i < 1000; i++ {
+		h.Observe(1e9)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 100 {
+			t.Errorf("saturated Quantile(%v) = %v, want last bound 100", q, got)
+		}
+	}
+	// Sum still reflects the true values even though quantiles clamp.
+	if h.Sum() != 1000*1e9 {
+		t.Errorf("saturated Sum = %v", h.Sum())
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	h := NewHistogram([]float64{50})
+	h.Observe(7)
+	if got := h.Quantile(0.5); got != 50 {
+		t.Errorf("single observation quantile = %v, want bucket bound 50", got)
+	}
+	h.Observe(9000) // overflow
+	if got := h.Quantile(1); got != 50 {
+		t.Errorf("single-bucket overflow quantile = %v, want 50 (saturated)", got)
+	}
+}
+
+func TestHistogramNaNObserveDropped(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(4)
+	h.Observe(math.NaN())
+	h.Observe(16)
+	if h.Count() != 2 {
+		t.Errorf("count = %d, want 2 (NaN dropped)", h.Count())
+	}
+	if math.IsNaN(h.Sum()) {
+		t.Fatal("NaN observation poisoned the sum")
+	}
+	if h.Sum() != 20 {
+		t.Errorf("sum = %v, want 20", h.Sum())
+	}
+	if math.IsNaN(h.Quantile(0.5)) {
+		t.Error("NaN observation poisoned quantiles")
+	}
+}
+
+func TestSnapshotSubHistogramDeltas(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat")
+	h.Observe(10)
+	h.Observe(20)
+	before := reg.Snapshot()
+	h.Observe(30)
+	delta := reg.Snapshot().Sub(before)
+
+	d := delta.Histograms["lat"]
+	if d.Count != 1 {
+		t.Errorf("delta count = %d, want 1 (pre-fix carried cumulative 3)", d.Count)
+	}
+	if math.Abs(d.Sum-30) > 1e-9 {
+		t.Errorf("delta sum = %v, want 30", d.Sum)
+	}
+	// Quantiles are documented as carried from the later snapshot (the
+	// snapshot retains no bucket history): they describe the cumulative
+	// distribution, not the interval.
+	if d.P50 == 0 {
+		t.Error("delta quantiles should carry the later snapshot's values")
+	}
+}
+
+func TestSnapshotSubWindowed(t *testing.T) {
+	reg := NewRegistry()
+	clk := newTickClock(time.Unix(7_000_000, 0))
+	w := reg.Windowed("lat").WithClock(clk.Now)
+	reg.RegisterSLO("lat_slo", SLO{Series: "lat", Threshold: 4, Objective: 0.5})
+	w.Observe(1)
+	before := reg.Snapshot()
+	w.Observe(100)
+	delta := reg.Snapshot().Sub(before)
+
+	// Windowed series are already time-scoped: Sub carries the later
+	// snapshot's view (both observations are inside the window), never a
+	// window-minus-window subtraction.
+	win, ok := delta.Windows["lat"]
+	if !ok {
+		t.Fatal("windows dropped by Sub")
+	}
+	if win.Last1m.Count != 2 {
+		t.Errorf("windowed count after Sub = %d, want 2 (later snapshot)", win.Last1m.Count)
+	}
+	slo, ok := delta.SLOs["lat_slo"]
+	if !ok {
+		t.Fatal("SLOs dropped by Sub")
+	}
+	if slo.BurnRate1m != 1.0 { // 1 of 2 bad, budget 0.5 → burn 1.0
+		t.Errorf("burn after Sub = %v, want 1.0", slo.BurnRate1m)
+	}
+}

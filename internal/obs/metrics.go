@@ -116,21 +116,18 @@ func NewHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
 }
 
-// Observe records one value.
+// Observe records one value. NaN observations are dropped: NaN
+// compares false with every bound (it would land in an arbitrary
+// bucket) and a single NaN added to the running sum would poison every
+// later Sum and mean.
 func (h *Histogram) Observe(v float64) {
-	if h == nil {
+	if h == nil || math.IsNaN(v) {
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
-	for {
-		old := h.sum.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if h.sum.CompareAndSwap(old, next) {
-			return
-		}
-	}
+	addFloatBits(&h.sum, v)
 }
 
 // Count returns the number of observations.
@@ -150,53 +147,27 @@ func (h *Histogram) Sum() float64 {
 }
 
 // Quantile estimates the q-quantile (0 <= q <= 1) from the bucket
-// counts: the target rank's bucket is located, then the estimate
-// interpolates linearly between the bucket's bounds. The estimate is
-// always within the true value's bucket, so its error is bounded by the
-// bucket width. Returns 0 with no observations.
+// counts: the counts are snapshotted, the target rank's bucket is
+// located, then the estimate interpolates linearly between the bucket's
+// bounds. The estimate is always within the true value's bucket, so its
+// error is bounded by the bucket width. Documented edge cases (pinned
+// by tests): an empty histogram returns 0 for every quantile, and
+// observations past the last bound saturate in the overflow bucket, so
+// any quantile landing there reports the last bound itself — the
+// histogram cannot resolve values beyond its bounds.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	// rank is 1-based: the ceil(q*total)-th smallest observation.
-	rank := uint64(math.Ceil(q * float64(total)))
-	if rank == 0 {
-		rank = 1
-	}
-	var cum uint64
+	// Snapshot the counts once so a quantile read racing Observe can't
+	// walk past a moving cumulative total.
+	counts := make([]uint64, len(h.counts))
+	var total uint64
 	for i := range h.counts {
-		cum += h.counts[i].Load()
-		if cum < rank {
-			continue
-		}
-		lo := 0.0
-		if i > 0 {
-			lo = h.bounds[i-1]
-		}
-		hi := lo
-		if i < len(h.bounds) {
-			hi = h.bounds[i]
-		}
-		// Interpolate by the rank's position inside this bucket.
-		inBucket := h.counts[i].Load()
-		if inBucket <= 1 || hi == lo {
-			return hi
-		}
-		below := cum - inBucket
-		frac := float64(rank-below) / float64(inBucket)
-		return lo + frac*(hi-lo)
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
 	}
-	return h.bounds[len(h.bounds)-1]
+	return quantileFromCounts(h.bounds, counts, total, q)
 }
 
 // HistogramSnapshot is a point-in-time view of a histogram used by
@@ -217,6 +188,8 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	windows  map[string]*WindowedHistogram
+	slos     map[string]SLO
 }
 
 // NewRegistry returns an empty registry.
@@ -225,6 +198,8 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		windows:  map[string]*WindowedHistogram{},
+		slos:     map[string]SLO{},
 	}
 }
 
@@ -293,12 +268,46 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Windowed returns the windowed histogram registered under name with
+// the default bounds and window geometry, creating it on first use. Nil
+// registries return nil (a no-op series).
+func (r *Registry) Windowed(name string) *WindowedHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.windows[name]
+	if !ok {
+		w = NewWindowedHistogram(nil, 0, 0)
+		r.windows[name] = w
+	}
+	return w
+}
+
+// RegisterSLO derives burn-rate gauges named name from the windowed
+// series slo.Series at every snapshot. Re-registering a name replaces
+// the SLO (operators tune thresholds live).
+func (r *Registry) RegisterSLO(name string, slo SLO) {
+	if r == nil || name == "" || slo.Series == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.slos[name] = slo
+}
+
 // Snapshot is a point-in-time copy of every metric in a registry,
 // JSON-marshalable and renderable for CLIs.
 type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters,omitempty"`
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// Windows holds the 1m/5m views of every windowed series; SLOs the
+	// burn-rate gauges derived from them. Both are already time-scoped,
+	// so Sub carries them from the later snapshot unchanged.
+	Windows map[string]WindowSnapshot `json:"windows,omitempty"`
+	SLOs    map[string]SLOSnapshot    `json:"slos,omitempty"`
 }
 
 // Snapshot copies the current value of every metric. Nil registries
@@ -326,22 +335,66 @@ func (r *Registry) Snapshot() Snapshot {
 			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
 		}
 	}
+	if len(r.windows) > 0 {
+		s.Windows = make(map[string]WindowSnapshot, len(r.windows))
+		for name, w := range r.windows {
+			s.Windows[name] = WindowSnapshot{
+				Last1m: w.Window(Window1m),
+				Last5m: w.Window(Window5m),
+			}
+		}
+	}
+	if len(r.slos) > 0 {
+		s.SLOs = make(map[string]SLOSnapshot, len(r.slos))
+		for name, slo := range r.slos {
+			w := r.windows[slo.Series] // nil → no-op series, burn 0
+			s.SLOs[name] = SLOSnapshot{
+				Series:     slo.Series,
+				Threshold:  slo.Threshold,
+				Objective:  slo.Objective,
+				BurnRate1m: burnRate(w.BadFraction(Window1m, slo.Threshold), slo.Objective),
+				BurnRate5m: burnRate(w.BadFraction(Window5m, slo.Threshold), slo.Objective),
+			}
+		}
+	}
 	return s
 }
 
-// Sub returns the counter-wise difference s - earlier (gauges and
-// histograms are carried over from s unchanged): the per-query delta a
-// caller gets by snapshotting around one request.
+// Sub returns the difference s - earlier: the per-query delta a caller
+// gets by snapshotting around one request. Semantics per section
+// (documented contract, pinned by tests):
+//
+//   - counters: numeric difference, zero deltas omitted;
+//   - gauges: carried from s unchanged (a gauge is a level, not a flow
+//     — "in-flight was 3" minus "in-flight was 5" has no meaning);
+//   - histograms: Count and Sum are differenced (both are cumulative);
+//     the quantiles are carried from s, because bucket-level history is
+//     not retained in a snapshot — they describe the distribution up to
+//     s, not the interval;
+//   - windowed series and SLO burn rates: carried from s unchanged.
+//     They are already time-scoped by construction, so subtracting two
+//     of them would double-apply a window; the later snapshot is the
+//     well-defined interval view.
 func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 	out := Snapshot{
-		Counters:   map[string]uint64{},
-		Gauges:     s.Gauges,
-		Histograms: s.Histograms,
+		Counters: map[string]uint64{},
+		Gauges:   s.Gauges,
+		Windows:  s.Windows,
+		SLOs:     s.SLOs,
 	}
 	for name, v := range s.Counters {
 		d := v - earlier.Counters[name]
 		if d != 0 {
 			out.Counters[name] = d
+		}
+	}
+	if len(s.Histograms) > 0 {
+		out.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
+		for name, h := range s.Histograms {
+			prev := earlier.Histograms[name]
+			h.Count -= prev.Count
+			h.Sum -= prev.Sum
+			out.Histograms[name] = h
 		}
 	}
 	return out

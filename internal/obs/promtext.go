@@ -1,0 +1,183 @@
+package obs
+
+// This file renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4) so any standard scraper ingests the registry — the
+// /metrics JSON stays for humans and tests, /metrics/prom is for
+// Prometheus. Rendering works from a Snapshot, not the live registry,
+// so tests can feed fixed snapshots and the scrape cost is one snapshot
+// plus formatting.
+//
+// Mapping:
+//   - counters  → "<name>_total" with TYPE counter;
+//   - gauges    → "<name>" with TYPE gauge;
+//   - histograms→ summary-style series: "<name>{quantile="0.5|0.95|0.99"}"
+//     plus "<name>_sum" / "<name>_count";
+//   - windowed  → the same summary series with a window="1m|5m" label;
+//   - SLOs      → "slo_burn_rate{slo="<name>",window=...}" gauges plus
+//     threshold/objective info gauges.
+//
+// Metric names are sanitized (dots → underscores, invalid runes → '_')
+// and prefixed "kwsearch_"; output is sorted by name so scrapes are
+// deterministic and diffable.
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promNamePrefix namespaces every exposed series.
+const promNamePrefix = "kwsearch_"
+
+// promName sanitizes a registry metric name into a legal Prometheus
+// metric name: [a-zA-Z_:][a-zA-Z0-9_:]*, with the package prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promNamePrefix) + len(name))
+	b.WriteString(promNamePrefix)
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the exposition format (backslash,
+// double quote, newline).
+func promLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promFloat formats a sample value; Prometheus accepts Go's shortest
+// float form plus +Inf/-Inf/NaN spellings.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+type promWriter struct {
+	w   io.Writer
+	n   int
+	err error
+}
+
+func (p *promWriter) line(s string) {
+	if p.err != nil {
+		return
+	}
+	n, err := io.WriteString(p.w, s)
+	p.n += n
+	if err == nil {
+		n, err = io.WriteString(p.w, "\n")
+		p.n += n
+	}
+	p.err = err
+}
+
+func (p *promWriter) typeLine(name, kind string) { p.line("# TYPE " + name + " " + kind) }
+
+func (p *promWriter) sample(name, labels string, v string) {
+	if labels != "" {
+		p.line(name + "{" + labels + "} " + v)
+	} else {
+		p.line(name + " " + v)
+	}
+}
+
+// summarySeries emits one summary-style block (quantiles + sum + count)
+// under name with extra labels (may be "").
+func (p *promWriter) summarySeries(name, extraLabels string, h HistogramSnapshot) {
+	quantile := func(q, v string) {
+		labels := `quantile="` + q + `"`
+		if extraLabels != "" {
+			labels = extraLabels + "," + labels
+		}
+		p.sample(name, labels, v)
+	}
+	quantile("0.5", promFloat(h.P50))
+	quantile("0.95", promFloat(h.P95))
+	quantile("0.99", promFloat(h.P99))
+	p.sample(name+"_sum", extraLabels, promFloat(h.Sum))
+	p.sample(name+"_count", extraLabels, strconv.FormatUint(h.Count, 10))
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePromText renders s in the Prometheus text exposition format,
+// returning the bytes written.
+func WritePromText(w io.Writer, s Snapshot) (int, error) {
+	p := &promWriter{w: w}
+
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name) + "_total"
+		p.typeLine(pn, "counter")
+		p.sample(pn, "", strconv.FormatUint(s.Counters[name], 10))
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		p.typeLine(pn, "gauge")
+		p.sample(pn, "", strconv.FormatInt(s.Gauges[name], 10))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		pn := promName(name)
+		p.typeLine(pn, "summary")
+		p.summarySeries(pn, "", s.Histograms[name])
+	}
+	for _, name := range sortedKeys(s.Windows) {
+		pn := promName(name)
+		p.typeLine(pn, "summary")
+		win := s.Windows[name]
+		p.summarySeries(pn, `window="1m"`, win.Last1m)
+		p.summarySeries(pn, `window="5m"`, win.Last5m)
+	}
+	if len(s.SLOs) > 0 {
+		burn := promNamePrefix + "slo_burn_rate"
+		p.typeLine(burn, "gauge")
+		for _, name := range sortedKeys(s.SLOs) {
+			slo := s.SLOs[name]
+			base := `slo="` + promLabel(name) + `"`
+			p.sample(burn, base+`,window="1m"`, promFloat(slo.BurnRate1m))
+			p.sample(burn, base+`,window="5m"`, promFloat(slo.BurnRate5m))
+		}
+		thr := promNamePrefix + "slo_threshold"
+		p.typeLine(thr, "gauge")
+		for _, name := range sortedKeys(s.SLOs) {
+			p.sample(thr, `slo="`+promLabel(name)+`"`, promFloat(s.SLOs[name].Threshold))
+		}
+		obj := promNamePrefix + "slo_objective"
+		p.typeLine(obj, "gauge")
+		for _, name := range sortedKeys(s.SLOs) {
+			p.sample(obj, `slo="`+promLabel(name)+`"`, promFloat(s.SLOs[name].Objective))
+		}
+	}
+	return p.n, p.err
+}
+
+// promContentType is the exposition format content type scrapers expect.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromHandler serves reg's snapshot in Prometheus text format — the
+// /metrics/prom endpoint.
+func PromHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", promContentType)
+		_, _ = WritePromText(w, reg.Snapshot())
+	})
+}

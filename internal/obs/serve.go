@@ -14,11 +14,16 @@ import (
 // Handler returns the observability mux for reg, for callers that mount
 // the endpoints on their own server (cmd/kwsd does):
 //
-//	/metrics     — JSON Snapshot of reg
-//	/debug/vars  — the process's expvar page (reg is also published
-//	               there under "kwsearch" on first call)
-//	/debug/pprof — the standard pprof index, profiles included
-func Handler(reg *Registry) http.Handler {
+//	/metrics      — JSON Snapshot of reg (windows and SLO burn included)
+//	/metrics/prom — Prometheus text exposition of the same snapshot
+//	/debug/vars   — the process's expvar page (reg is also published
+//	                there under "kwsearch" on first call)
+//	/debug/pprof  — the standard pprof index, profiles included
+func Handler(reg *Registry) http.Handler { return HandlerWith(reg, nil) }
+
+// HandlerWith is Handler plus the slow-query log endpoint: when slowlog
+// is non-nil, /debug/slowlog serves its retained exemplars.
+func HandlerWith(reg *Registry, slowlog *SlowLog) http.Handler {
 	publishExpvar(reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -27,6 +32,10 @@ func Handler(reg *Registry) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(reg.Snapshot())
 	})
+	mux.Handle("/metrics/prom", PromHandler(reg))
+	if slowlog != nil {
+		mux.Handle("/debug/slowlog", slowlog.Handler())
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -42,13 +51,19 @@ func Handler(reg *Registry) http.Handler {
 // errors synchronously and can read the chosen port from Addr when addr
 // ends in ":0"), then serves in a background goroutine. Stop it with
 // (*Server).Shutdown for a graceful drain, or Close to abort.
-func Serve(addr string, reg *Registry) (*Server, error) {
+func Serve(addr string, reg *Registry) (*Server, error) { return ServeWith(addr, reg, nil) }
+
+// ServeWith is Serve with a slow-query log mounted at /debug/slowlog
+// (when non-nil).
+//
+//lint:ignore ctx-first server lifetime is managed by Shutdown/Close, not a context
+func ServeWith(addr string, reg *Registry, slowlog *SlowLog) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	srv := &Server{
-		http: &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second},
+		http: &http.Server{Handler: HandlerWith(reg, slowlog), ReadHeaderTimeout: 5 * time.Second},
 		ln:   ln,
 		done: make(chan error, 1),
 	}

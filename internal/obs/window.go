@@ -1,0 +1,356 @@
+package obs
+
+// This file is the time-windowed half of the metrics registry. A plain
+// Histogram accumulates since process start, which answers "what
+// happened over the lifetime" but not the operator's question — what is
+// p99 *right now*, and is the SLO burning. WindowedHistogram keeps a
+// ring of bounded-bucket sub-histograms, one per fixed time slot;
+// observations land in the current slot with the same
+// one-atomic-add-per-event cost as Histogram, and reads merge the slots
+// covering the requested window. Old slots are reused in place (the
+// ring is bounded), so memory is slots × buckets regardless of traffic.
+//
+// SLO derives burn-rate gauges from a windowed series: the fraction of
+// observations over the latency threshold in a window, divided by the
+// error budget (1 - objective). Burn rate 1.0 means the budget is being
+// consumed exactly as fast as it accrues; >1 means the SLO is burning.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default window geometry: 10-second slots, enough of them to cover the
+// 5-minute reporting window plus the partially-filled active slot.
+const (
+	// DefaultSlotDuration is the granularity of the ring; windows are
+	// reported in whole slots, so it bounds the staleness of a windowed
+	// quantile.
+	DefaultSlotDuration = 10 * time.Second
+	// DefaultSlots covers 5 minutes of DefaultSlotDuration slots, plus
+	// one extra so the oldest full slot is still present while the
+	// active slot fills.
+	DefaultSlots = 31
+)
+
+// Reporting windows every snapshot and exposition renders.
+var (
+	// Window1m is the fast window: burn alarms, live dashboards.
+	Window1m = time.Minute
+	// Window5m is the slow window: less noise, slower to clear.
+	Window5m = 5 * time.Minute
+)
+
+// WindowedHistogram is a rolling-window histogram: a ring of
+// fixed-bucket slot histograms rotated by wall time. Observe is
+// lock-free after the first observation of each slot (one bucket search
+// plus three atomic adds); Window merges the covering slots on read.
+// Nil receivers no-op, matching the other metric types.
+//
+// Concurrent rotation and reads are safe under the race detector; at a
+// slot boundary a merged read may miss (or double-see) the handful of
+// observations racing the rotation — windowed quantiles are estimates,
+// bounded by one slot's worth of churn.
+type WindowedHistogram struct {
+	bounds  []float64
+	slotDur time.Duration
+	slots   int
+
+	// rotate guards slot reuse: resetting a slot's counters and
+	// advancing its epoch happens under the lock, exactly once per slot
+	// per rotation.
+	rotate sync.Mutex
+	// epoch[i] is the absolute slot index (unix-time / slotDur) the ring
+	// slot currently holds; a read includes the slot only when its epoch
+	// falls inside the requested window, so stale slots age out without
+	// synchronous clearing.
+	epochs []atomic.Int64
+	counts [][]atomic.Uint64 // [slot][bucket], one overflow bucket per slot
+	sums   []atomic.Uint64   // float64 bits per slot, CAS-accumulated
+	totals []atomic.Uint64   // observation count per slot
+
+	// now is the clock, swappable in tests for deterministic rotation.
+	now func() time.Time
+}
+
+// NewWindowedHistogram builds a windowed histogram with the given
+// ascending bucket upper bounds (DefaultBuckets when nil) and window
+// geometry (defaults when non-positive).
+func NewWindowedHistogram(bounds []float64, slotDur time.Duration, slots int) *WindowedHistogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets
+	}
+	if slotDur <= 0 {
+		slotDur = DefaultSlotDuration
+	}
+	if slots <= 0 {
+		slots = DefaultSlots
+	}
+	w := &WindowedHistogram{
+		bounds:  append([]float64(nil), bounds...),
+		slotDur: slotDur,
+		slots:   slots,
+		epochs:  make([]atomic.Int64, slots),
+		counts:  make([][]atomic.Uint64, slots),
+		sums:    make([]atomic.Uint64, slots),
+		totals:  make([]atomic.Uint64, slots),
+		now:     time.Now,
+	}
+	for i := range w.counts {
+		w.counts[i] = make([]atomic.Uint64, len(bounds)+1)
+		w.epochs[i].Store(-1) // no slot holds epoch -1: empty until first use
+	}
+	return w
+}
+
+// WithClock swaps the rotation clock (tests pin it); returns w.
+func (w *WindowedHistogram) WithClock(now func() time.Time) *WindowedHistogram {
+	if w != nil && now != nil {
+		w.now = now
+	}
+	return w
+}
+
+// epochNow returns the absolute index of the current time slot.
+func (w *WindowedHistogram) epochNow() int64 {
+	return w.now().UnixNano() / int64(w.slotDur)
+}
+
+// slot returns the ring slot for epoch, rotating (resetting a stale
+// slot) when the ring has wrapped past it.
+func (w *WindowedHistogram) slot(epoch int64) int {
+	i := int(epoch % int64(w.slots))
+	if w.epochs[i].Load() == epoch {
+		return i
+	}
+	w.rotate.Lock()
+	defer w.rotate.Unlock()
+	if w.epochs[i].Load() != epoch {
+		for b := range w.counts[i] {
+			w.counts[i][b].Store(0)
+		}
+		w.sums[i].Store(0)
+		w.totals[i].Store(0)
+		w.epochs[i].Store(epoch)
+	}
+	return i
+}
+
+// Observe records one value in the current time slot. NaN observations
+// are dropped (they cannot land in a bucket and would poison the sum).
+func (w *WindowedHistogram) Observe(v float64) {
+	if w == nil || math.IsNaN(v) {
+		return
+	}
+	i := w.slot(w.epochNow())
+	b := searchBuckets(w.bounds, v)
+	w.counts[i][b].Add(1)
+	w.totals[i].Add(1)
+	addFloatBits(&w.sums[i], v)
+}
+
+// merged accumulates the slots whose epoch lies within the last n slots
+// (the active slot included) into plain counters.
+func (w *WindowedHistogram) merged(n int) (counts []uint64, total uint64, sum float64) {
+	counts = make([]uint64, len(w.bounds)+1)
+	nowEpoch := w.epochNow()
+	oldest := nowEpoch - int64(n) + 1
+	for i := 0; i < w.slots; i++ {
+		e := w.epochs[i].Load()
+		if e < oldest || e > nowEpoch {
+			continue
+		}
+		for b := range counts {
+			counts[b] += w.counts[i][b].Load()
+		}
+		total += w.totals[i].Load()
+		sum += math.Float64frombits(w.sums[i].Load())
+	}
+	return counts, total, sum
+}
+
+// windowSlots converts a duration into a covering slot count (at least
+// one, at most the ring length).
+func (w *WindowedHistogram) windowSlots(d time.Duration) int {
+	n := int((d + w.slotDur - 1) / w.slotDur)
+	if n < 1 {
+		n = 1
+	}
+	if n > w.slots {
+		n = w.slots
+	}
+	return n
+}
+
+// Window merges the slots covering the last d of wall time and returns
+// their snapshot (count, sum, p50/p95/p99). Durations beyond the ring's
+// coverage are clamped to it. Nil receivers return a zero snapshot.
+func (w *WindowedHistogram) Window(d time.Duration) HistogramSnapshot {
+	if w == nil {
+		return HistogramSnapshot{}
+	}
+	counts, total, sum := w.merged(w.windowSlots(d))
+	return HistogramSnapshot{
+		Count: total,
+		Sum:   sum,
+		P50:   quantileFromCounts(w.bounds, counts, total, 0.50),
+		P95:   quantileFromCounts(w.bounds, counts, total, 0.95),
+		P99:   quantileFromCounts(w.bounds, counts, total, 0.99),
+	}
+}
+
+// Quantile estimates the q-quantile over the last d of wall time, with
+// Histogram.Quantile's semantics (0 on an empty window).
+func (w *WindowedHistogram) Quantile(d time.Duration, q float64) float64 {
+	if w == nil {
+		return 0
+	}
+	counts, total, _ := w.merged(w.windowSlots(d))
+	return quantileFromCounts(w.bounds, counts, total, q)
+}
+
+// BadFraction returns the fraction of observations in the last d whose
+// value exceeded threshold (0 on an empty window). The boundary is
+// bucket-resolved: an observation counts as bad when its whole bucket
+// lies above the threshold, so thresholds should sit on bucket bounds
+// for exact accounting.
+func (w *WindowedHistogram) BadFraction(d time.Duration, threshold float64) float64 {
+	if w == nil {
+		return 0
+	}
+	counts, total, _ := w.merged(w.windowSlots(d))
+	if total == 0 {
+		return 0
+	}
+	var good uint64
+	for i, bound := range w.bounds {
+		if bound <= threshold {
+			good += counts[i]
+		}
+	}
+	return float64(total-good) / float64(total)
+}
+
+// WindowSnapshot is the point-in-time view of a windowed series every
+// Registry.Snapshot carries: the two standard reporting windows.
+type WindowSnapshot struct {
+	Last1m HistogramSnapshot `json:"1m"`
+	Last5m HistogramSnapshot `json:"5m"`
+}
+
+// SLO derives burn-rate gauges from a windowed latency series: the
+// objective "an Objective fraction of observations stay at or under
+// Threshold" has an error budget of (1 - Objective), and the burn rate
+// over a window is the observed bad fraction divided by that budget.
+type SLO struct {
+	// Series names the windowed histogram (in the same registry) the SLO
+	// is computed over.
+	Series string
+	// Threshold is the latency objective in the series' unit.
+	Threshold float64
+	// Objective is the target good fraction, e.g. 0.99.
+	Objective float64
+}
+
+// SLOSnapshot is the rendered state of one SLO at snapshot time.
+type SLOSnapshot struct {
+	Series    string  `json:"series"`
+	Threshold float64 `json:"threshold"`
+	Objective float64 `json:"objective"`
+	// BurnRate1m / BurnRate5m are the budget burn rates over the two
+	// reporting windows: 1.0 consumes the budget exactly as it accrues.
+	BurnRate1m float64 `json:"burn_rate_1m"`
+	BurnRate5m float64 `json:"burn_rate_5m"`
+}
+
+// burnRate computes badFraction / (1 - objective), guarding degenerate
+// objectives (>= 1 would divide by zero; report the bad fraction
+// scaled by a minimal budget instead of Inf).
+func burnRate(bad, objective float64) float64 {
+	budget := 1 - objective
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	return bad / budget
+}
+
+// searchBuckets returns the bucket index for v: the first bound >= v,
+// or the overflow bucket past the last bound.
+func searchBuckets(bounds []float64, v float64) int {
+	lo, hi := 0, len(bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// addFloatBits CAS-accumulates v into a float64-bits atomic.
+func addFloatBits(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// quantileFromCounts estimates the q-quantile from already-snapshotted
+// bucket counts — the shared core of Histogram.Quantile and
+// WindowedHistogram.Window. Semantics (documented contract, pinned by
+// tests):
+//
+//   - total == 0 → 0 (an empty histogram has no quantiles);
+//   - the estimate interpolates linearly inside the target rank's
+//     bucket, so its error is bounded by that bucket's width;
+//   - observations past the last bound saturate in the overflow bucket,
+//     whose "width" is zero: every quantile landing there reports the
+//     last bound itself (the histogram cannot see past its bounds).
+func quantileFromCounts(bounds []float64, counts []uint64, total uint64, q float64) float64 {
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is 1-based: the ceil(q*total)-th smallest observation.
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range counts {
+		inBucket := counts[i]
+		cum += inBucket
+		if cum < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := lo
+		if i < len(bounds) {
+			hi = bounds[i]
+		}
+		if inBucket <= 1 || hi == lo {
+			return hi
+		}
+		below := cum - inBucket
+		frac := float64(rank-below) / float64(inBucket)
+		return lo + frac*(hi-lo)
+	}
+	// Unreachable when counts sum to >= total; concurrent snapshots can
+	// undershoot, in which case the top bound is the sound answer.
+	return bounds[len(bounds)-1]
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tickClock is an adjustable test clock.
+type tickClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTickClock(start time.Time) *tickClock { return &tickClock{t: start} }
+
+func (c *tickClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *tickClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestWindowed(clk *tickClock) *WindowedHistogram {
+	return NewWindowedHistogram(nil, 10*time.Second, 31).WithClock(clk.Now)
+}
+
+func TestWindowedObservationsAgeOut(t *testing.T) {
+	clk := newTickClock(time.Unix(1_000_000, 0))
+	w := newTestWindowed(clk)
+
+	for i := 0; i < 100; i++ {
+		w.Observe(100)
+	}
+	if got := w.Window(time.Minute).Count; got != 100 {
+		t.Fatalf("fresh window count = %d, want 100", got)
+	}
+	if got := w.Window(5 * time.Minute).Count; got != 100 {
+		t.Fatalf("5m window count = %d, want 100", got)
+	}
+
+	// 2 minutes later the observations left the 1m window but not 5m.
+	clk.Advance(2 * time.Minute)
+	if got := w.Window(time.Minute).Count; got != 0 {
+		t.Errorf("1m window after 2m = %d, want 0", got)
+	}
+	if got := w.Window(5 * time.Minute).Count; got != 100 {
+		t.Errorf("5m window after 2m = %d, want 100", got)
+	}
+
+	// 6 minutes later everything aged out.
+	clk.Advance(4 * time.Minute)
+	if got := w.Window(5 * time.Minute).Count; got != 0 {
+		t.Errorf("5m window after 6m = %d, want 0", got)
+	}
+	if q := w.Quantile(5*time.Minute, 0.99); q != 0 {
+		t.Errorf("empty window p99 = %v, want 0", q)
+	}
+}
+
+func TestWindowedMergesAcrossSlots(t *testing.T) {
+	clk := newTickClock(time.Unix(2_000_000, 0))
+	w := newTestWindowed(clk)
+
+	// Spread observations across 5 slots inside one minute.
+	for slot := 0; slot < 5; slot++ {
+		for i := 0; i < 10; i++ {
+			w.Observe(math.Pow(4, float64(slot))) // 1, 4, 16, 64, 256
+		}
+		clk.Advance(10 * time.Second)
+	}
+	snap := w.Window(time.Minute)
+	if snap.Count != 50 {
+		t.Fatalf("merged count = %d, want 50", snap.Count)
+	}
+	wantSum := 10.0 * (1 + 4 + 16 + 64 + 256)
+	if math.Abs(snap.Sum-wantSum) > 1e-9 {
+		t.Errorf("merged sum = %v, want %v", snap.Sum, wantSum)
+	}
+	// p50 = 25th smallest of 10×{1,4,16,64,256} → the 16-bucket.
+	if snap.P50 < 4 || snap.P50 > 16 {
+		t.Errorf("merged p50 = %v, want within (4,16]", snap.P50)
+	}
+}
+
+func TestWindowedRingReusesSlots(t *testing.T) {
+	clk := newTickClock(time.Unix(3_000_000, 0))
+	w := newTestWindowed(clk)
+
+	// Drive far more slots than the ring holds; counts must never
+	// accumulate across reuse.
+	for round := 0; round < 100; round++ {
+		w.Observe(1)
+		clk.Advance(10 * time.Second)
+	}
+	// The final Advance left the current slot empty; the 1m window spans
+	// 6 slots (current + 5 back), of which the 5 older ones hold one
+	// observation each. The 5m window spans 30 slots → 29 populated.
+	got := w.Window(time.Minute).Count
+	if got != 5 {
+		t.Errorf("1m count after long run = %d, want 5", got)
+	}
+	if got5 := w.Window(5 * time.Minute).Count; got5 != 29 {
+		t.Errorf("5m count after long run = %d, want 29", got5)
+	}
+}
+
+func TestWindowedNaNDropped(t *testing.T) {
+	clk := newTickClock(time.Unix(4_000_000, 0))
+	w := newTestWindowed(clk)
+	w.Observe(math.NaN())
+	w.Observe(8)
+	snap := w.Window(time.Minute)
+	if snap.Count != 1 {
+		t.Errorf("NaN was counted: count = %d", snap.Count)
+	}
+	if math.IsNaN(snap.Sum) {
+		t.Error("NaN poisoned the windowed sum")
+	}
+}
+
+func TestWindowedNilSafety(t *testing.T) {
+	var w *WindowedHistogram
+	w.Observe(1)
+	if w.Window(time.Minute) != (HistogramSnapshot{}) {
+		t.Error("nil Window should be zero")
+	}
+	if w.Quantile(time.Minute, 0.5) != 0 || w.BadFraction(time.Minute, 10) != 0 {
+		t.Error("nil reads should be 0")
+	}
+	if w.WithClock(time.Now) != nil {
+		t.Error("WithClock on nil should stay nil")
+	}
+}
+
+func TestWindowedBadFractionAndBurnRate(t *testing.T) {
+	clk := newTickClock(time.Unix(5_000_000, 0))
+	reg := NewRegistry()
+	w := reg.Windowed("lat").WithClock(clk.Now)
+	reg.RegisterSLO("query_latency", SLO{Series: "lat", Threshold: 64, Objective: 0.9})
+
+	// 90 good (≤64), 10 bad (>64): bad fraction 0.1, budget 0.1 → burn 1.0.
+	for i := 0; i < 90; i++ {
+		w.Observe(16)
+	}
+	for i := 0; i < 10; i++ {
+		w.Observe(1024)
+	}
+	if bf := w.BadFraction(time.Minute, 64); math.Abs(bf-0.1) > 1e-9 {
+		t.Errorf("bad fraction = %v, want 0.1", bf)
+	}
+	snap := reg.Snapshot()
+	slo, ok := snap.SLOs["query_latency"]
+	if !ok {
+		t.Fatal("SLO missing from snapshot")
+	}
+	if math.Abs(slo.BurnRate1m-1.0) > 1e-9 || math.Abs(slo.BurnRate5m-1.0) > 1e-9 {
+		t.Errorf("burn rates = %v / %v, want 1.0", slo.BurnRate1m, slo.BurnRate5m)
+	}
+	win, ok := snap.Windows["lat"]
+	if !ok || win.Last1m.Count != 100 {
+		t.Errorf("windows block missing or wrong: %+v", win)
+	}
+
+	// Empty window → burn 0, not NaN.
+	clk.Advance(10 * time.Minute)
+	slo = reg.Snapshot().SLOs["query_latency"]
+	if slo.BurnRate1m != 0 || slo.BurnRate5m != 0 {
+		t.Errorf("empty-window burn = %v / %v, want 0", slo.BurnRate1m, slo.BurnRate5m)
+	}
+
+	// Degenerate objective must not divide by zero.
+	if r := burnRate(0.5, 1.0); math.IsInf(r, 0) || math.IsNaN(r) {
+		t.Errorf("burnRate with objective 1.0 = %v", r)
+	}
+}
+
+func TestWindowedConcurrentObserveAndRead(t *testing.T) {
+	clk := newTickClock(time.Unix(6_000_000, 0))
+	w := newTestWindowed(clk)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				w.Observe(float64(i % 1000))
+				if i%100 == 0 {
+					clk.Advance(time.Second)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		_ = w.Window(time.Minute)
+		_ = w.BadFraction(5*time.Minute, 100)
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+func TestSearchBucketsMatchesSort(t *testing.T) {
+	bounds := DefaultBuckets
+	for _, v := range []float64{0, 0.5, 1, 2, 3.99, 4, 5, 1e6, 1e12} {
+		got := searchBuckets(bounds, v)
+		// Reference: first index with bounds[i] >= v.
+		want := len(bounds)
+		for i, b := range bounds {
+			if b >= v {
+				want = i
+				break
+			}
+		}
+		if got != want {
+			t.Errorf("searchBuckets(%v) = %d, want %d", v, got, want)
+		}
+	}
+}

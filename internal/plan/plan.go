@@ -84,8 +84,20 @@ func (p *PlanSet) CNs() []*cn.CN { return p.cns }
 // Len returns the number of candidate networks in the plan.
 func (p *PlanSet) Len() int { return len(p.cns) }
 
-// Key returns the cache key the plan was compiled under (diagnostics).
-func (p *PlanSet) Key() string { return p.key }
+// Key returns the cache key the plan was compiled under, rendered
+// printable for diagnostics (Stats.PlanKey, slowlog exemplars): the
+// NUL namespace separator of the storage key would otherwise leak into
+// JSON output as an escaped zero byte.
+func (p *PlanSet) Key() string {
+	ns, rest, ok := strings.Cut(p.key, "\x00")
+	if !ok {
+		return p.key
+	}
+	if ns == "" {
+		return rest
+	}
+	return "ns=" + ns + "|" + rest
+}
 
 // Cache is a concurrency-safe plan cache. Construct with New; handles
 // derived with WithNamespace share the same storage and counters.

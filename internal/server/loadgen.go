@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"kwsearch/internal/core"
+	"kwsearch/internal/obs"
 )
 
 // DBLPWorkload is the default self-check workload over the synthetic
@@ -294,6 +295,45 @@ func SelfCheck(ctx context.Context, baseURL string, e *core.Engine, cfg SelfChec
 		report.Shed += shed.sheds
 		if err != nil {
 			checkErrs = append(checkErrs, err.Error())
+		}
+	}
+
+	// Phase 4: slowlog coverage. With a tail-sampling slow-query log
+	// installed on the engine, every shed, partial, and deadline-queued
+	// query the run produced must have left an exemplar, and every
+	// retained exemplar must carry a well-formed span tree plus the
+	// keywords-hash join key.
+	if sl := e.SlowLog(); sl != nil {
+		byOutcome := map[obs.Outcome]int{}
+		for _, en := range sl.Entries() {
+			byOutcome[en.Outcome]++
+			switch {
+			case en.Trace == nil:
+				checkErrs = append(checkErrs, fmt.Sprintf("slowlog: entry %d (%s) has no trace", en.Seq, en.Outcome))
+			case en.Trace.WellFormed(cfg.Timeout) != nil:
+				checkErrs = append(checkErrs, fmt.Sprintf("slowlog: entry %d (%s) trace malformed: %v",
+					en.Seq, en.Outcome, en.Trace.WellFormed(cfg.Timeout)))
+			}
+			if en.KeywordsHash == "" {
+				checkErrs = append(checkErrs, fmt.Sprintf("slowlog: entry %d (%s) missing keywords hash", en.Seq, en.Outcome))
+			}
+		}
+		// Per-outcome coverage is only checkable while the ring has never
+		// evicted; past that point older exemplars are legitimately gone.
+		if sl.Captured() <= uint64(sl.Cap()) {
+			for _, c := range []struct {
+				outcome obs.Outcome
+				want    int
+			}{
+				{obs.OutcomeShed, report.Shed},
+				{obs.OutcomePartial, report.Partial},
+				{obs.OutcomeDeadline, report.DeadlineQueued},
+			} {
+				if byOutcome[c.outcome] < c.want {
+					checkErrs = append(checkErrs, fmt.Sprintf(
+						"slowlog: %d %s exemplars for %d %s responses", byOutcome[c.outcome], c.outcome, c.want, c.outcome))
+				}
+			}
 		}
 	}
 

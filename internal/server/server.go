@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,16 @@ type Options struct {
 	// distinct namespace. The plan.* hit/miss/build metrics remain
 	// visible on /metrics either way.
 	PlanNamespace string
+	// Logger, when non-nil, is the server's structured logger. Every
+	// request gets a derived logger carrying the request id (and plan
+	// namespace), placed in the request context so the engine's debug
+	// and slowlog-capture lines join up with the serving layer's, and
+	// one access-log info line is emitted per request.
+	Logger *obs.Logger
+	// SlowLog, when non-nil, is installed on the engine
+	// (core.Engine.SetSlowLog) so every served query is tail-sampled,
+	// and its retained exemplars are served at /debug/slowlog.
+	SlowLog *obs.SlowLog
 }
 
 func (o Options) withDefaults() Options {
@@ -76,12 +87,20 @@ type Server struct {
 	engine *core.Engine
 	opts   Options
 	mux    *http.ServeMux
+	logger *obs.Logger
 
 	// Serving-path metrics, registered in the engine's registry.
-	requests *obs.Counter
-	batches  *obs.Counter
-	inflight *obs.Gauge
-	latency  *obs.Histogram
+	requests   *obs.Counter
+	batches    *obs.Counter
+	inflight   *obs.Gauge
+	latency    *obs.Histogram
+	latencyWin *obs.WindowedHistogram
+
+	// Request-id generation: a per-process prefix (start time, base36)
+	// plus a monotonic counter, so ids are unique across restarts and
+	// cheap to mint.
+	idPrefix string
+	idSeq    atomic.Uint64
 
 	httpSrv  *http.Server
 	ln       net.Listener
@@ -96,20 +115,35 @@ func New(engine *core.Engine, opts Options) *Server {
 	if ns := opts.PlanNamespace; ns != "" {
 		engine.SetPlanNamespace(ns)
 	}
-	s := &Server{
-		engine:   engine,
-		opts:     opts.withDefaults(),
-		mux:      http.NewServeMux(),
-		requests: engine.Metrics.Counter("server.requests"),
-		batches:  engine.Metrics.Counter("server.batches"),
-		inflight: engine.Metrics.Gauge("server.inflight"),
-		latency:  engine.Metrics.Histogram("server.latency_us"),
+	if opts.SlowLog != nil {
+		engine.SetSlowLog(opts.SlowLog)
 	}
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/batch", s.handleBatch)
+	s := &Server{
+		engine:     engine,
+		opts:       opts.withDefaults(),
+		mux:        http.NewServeMux(),
+		logger:     opts.Logger,
+		requests:   engine.Metrics.Counter("server.requests"),
+		batches:    engine.Metrics.Counter("server.batches"),
+		inflight:   engine.Metrics.Gauge("server.inflight"),
+		latency:    engine.Metrics.Histogram("server.latency_us"),
+		latencyWin: engine.Metrics.Windowed("server.latency_win_us"),
+		idPrefix:   strconv.FormatInt(time.Now().UnixNano(), 36),
+	}
+	// The server-level SLO mirrors the engine's query SLO but over wall
+	// time as the client saw it (decode + admission + evaluation).
+	engine.Metrics.RegisterSLO("server_latency", obs.SLO{
+		Series:    "server.latency_win_us",
+		Threshold: float64(core.DefaultSLOThreshold.Microseconds()),
+		Objective: 0.99,
+	})
+	s.mux.HandleFunc("/query", s.withObs("/query", s.handleQuery))
+	s.mux.HandleFunc("/batch", s.withObs("/batch", s.handleBatch))
 	s.mux.HandleFunc("/healthz", s.handleHealth)
-	obsMux := obs.Handler(engine.Metrics)
+	s.mux.HandleFunc("/readyz", s.handleReady)
+	obsMux := obs.HandlerWith(engine.Metrics, opts.SlowLog)
 	s.mux.Handle("/metrics", obsMux)
+	s.mux.Handle("/metrics/prom", obsMux)
 	s.mux.Handle("/debug/", obsMux)
 	return s
 }
@@ -174,6 +208,111 @@ func (s *Server) Close() error {
 	return err
 }
 
+// accessInfo collects per-request facts the handlers learn after the
+// middleware has already run (the keywords hash is only known once the
+// body is decoded). Batch items record concurrently, hence the mutex.
+type accessInfo struct {
+	mu     sync.Mutex
+	hashes []string
+}
+
+func (a *accessInfo) record(hash string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.hashes = append(a.hashes, hash)
+	a.mu.Unlock()
+}
+
+type accessInfoKey struct{}
+
+func accessInfoFrom(ctx context.Context) *accessInfo {
+	ai, _ := ctx.Value(accessInfoKey{}).(*accessInfo)
+	return ai
+}
+
+// statusRecorder captures the status code and body size a handler wrote,
+// for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// newRequestID mints a process-unique request id.
+func (s *Server) newRequestID() string {
+	return s.idPrefix + "-" + strconv.FormatUint(s.idSeq.Add(1), 10)
+}
+
+// withObs wraps a handler with the serving layer's observability
+// middleware: it assigns (or adopts, from X-Request-Id) a request id,
+// echoes it on the response, derives a per-request logger carrying the
+// id and plan namespace into the request context — so engine debug
+// lines and slowlog exemplars join up with the access log — and emits
+// one structured access-log line per request with the route, status,
+// response size, elapsed time and the keywords hash(es) the handler
+// recorded while decoding.
+func (s *Server) withObs(route string, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = s.newRequestID()
+		}
+		ctx := obs.WithRequestID(r.Context(), id)
+		ai := &accessInfo{}
+		ctx = context.WithValue(ctx, accessInfoKey{}, ai)
+		lg := s.logger
+		if lg != nil {
+			fields := []obs.Field{obs.F("request_id", id)}
+			if ns := s.opts.PlanNamespace; ns != "" {
+				fields = append(fields, obs.F("namespace", ns))
+			}
+			lg = lg.With(fields...)
+			ctx = obs.WithLogger(ctx, lg)
+		}
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusRecorder{ResponseWriter: w}
+		next(sw, r.WithContext(ctx))
+		if lg.Enabled(obs.LevelInfo) {
+			fields := []obs.Field{
+				obs.F("route", route),
+				obs.F("method", r.Method),
+				obs.F("status", sw.status),
+				obs.F("bytes", sw.bytes),
+				obs.F("elapsed", time.Since(start)),
+			}
+			ai.mu.Lock()
+			switch len(ai.hashes) {
+			case 0:
+			case 1:
+				fields = append(fields, obs.F("keywords_hash", ai.hashes[0]))
+			default:
+				fields = append(fields, obs.F("queries", len(ai.hashes)))
+			}
+			ai.mu.Unlock()
+			lg.Info("request", fields...)
+		}
+	}
+}
+
 // toRequest lowers a wire request onto core.Request, applying the
 // server's defaults and deadline cap.
 func (s *Server) toRequest(q QueryRequest) (core.Request, error) {
@@ -214,6 +353,18 @@ func (s *Server) execute(ctx context.Context, q QueryRequest) QueryResponse {
 	req, err := s.toRequest(q)
 	if err != nil {
 		return errorResponse(q.Query, err)
+	}
+	kwHash := obs.KeywordsHash(q.Query)
+	accessInfoFrom(ctx).record(kwHash)
+	if lg := obs.FromContext(ctx); lg != nil {
+		// The per-query logger adds the fields only this layer knows:
+		// the keywords hash (join key into traces and the slowlog) and
+		// the effective deadline after defaulting and clamping.
+		fields := []obs.Field{obs.F("keywords_hash", kwHash)}
+		if req.Deadline > 0 {
+			fields = append(fields, obs.F("deadline", req.Deadline))
+		}
+		ctx = obs.WithLogger(ctx, lg.With(fields...))
 	}
 	resp, err := s.engine.Query(ctx, req)
 	if err != nil {
@@ -278,7 +429,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// with it — the earlier one wins.
 	resp := s.execute(r.Context(), q)
 	s.writeResponse(w, resp)
-	s.latency.Observe(float64(time.Since(start).Microseconds()))
+	s.observeLatency(time.Since(start))
 }
 
 // handleBatch is POST /batch: up to MaxBatch queries fanned out
@@ -319,7 +470,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	s.writeJSON(w, http.StatusOK, out)
-	s.latency.Observe(float64(time.Since(start).Microseconds()))
+	s.observeLatency(time.Since(start))
+}
+
+// observeLatency records one request's wall time in both the cumulative
+// histogram and the rolling windowed series behind the server SLO.
+func (s *Server) observeLatency(d time.Duration) {
+	us := float64(d.Microseconds())
+	s.latency.Observe(us)
+	s.latencyWin.Observe(us)
 }
 
 // handleHealth is GET /healthz: 200 while serving, 503 once draining
@@ -332,6 +491,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReady is GET /readyz: the readiness probe load balancers gate
+// traffic on. It flips 503 the instant Drain begins — same trigger as
+// /healthz, kept as a separate endpoint so liveness and readiness can
+// diverge (a future warming phase would hold /readyz at 503 while
+// /healthz already reports the process alive).
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
 }
 
 // decodeBody strictly decodes a bounded JSON body into v, writing the

@@ -28,6 +28,9 @@ go test -race $short ./internal/parallel/... ./internal/stream/... ./internal/cn
     ./internal/resilience/... ./internal/core/... ./internal/server/... \
     ./internal/analysis/... ./internal/plan/...
 
+echo "==> observability overhead gate (E38 budget: 5%)"
+go run ./cmd/benchrunner -obs-overhead
+
 echo "==> kwslint -json ./... (report: kwslint.json)"
 go run ./cmd/kwslint -json ./... > kwslint.json
 
