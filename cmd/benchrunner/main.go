@@ -39,7 +39,24 @@ func main() {
 		"run the executor-efficiency workload (cache hit/miss/eviction, per-worker jobs) and write BENCH_exec.json")
 	obsGate := flag.Bool("obs-overhead", false,
 		"measure the observability suite's overhead vs obs-off and exit 1 when it exceeds the 5% budget (the verify.sh gate)")
+	bindGate := flag.Bool("bind-gate", false,
+		"measure the bind stage's share of a warm steady-state query and exit 1 when it exceeds the 35% budget (the verify.sh gate)")
 	flag.Parse()
+	if *bindGate {
+		share, err := warmBindShare()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bind-gate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bind-gate: warm bind share %.1f%% (budget %.0f%%)\n", share, bindWarmShareBudgetPct)
+		if share > bindWarmShareBudgetPct {
+			fmt.Fprintf(os.Stderr, "bind-gate: %.1f%% exceeds the %.0f%% budget\n", share, bindWarmShareBudgetPct)
+			os.Exit(1)
+		}
+		if flag.NArg() == 0 && !*performance && !*obsGate {
+			return
+		}
+	}
 	if *obsGate {
 		o, err := measureObservability()
 		if err != nil {

@@ -69,10 +69,14 @@ func TestExitCodeBadQuery(t *testing.T) {
 
 func TestExitCodeShed(t *testing.T) {
 	// 16 concurrent runs against a gate with one slot and no queue: the
-	// burst must shed and the exit code must say so. Scheduling could in
-	// principle serialize a burst, so allow a few attempts.
+	// burst must shed and the exit code must say so. The query asks for
+	// k=10000 so each run's serial evaluation outlasts a scheduler
+	// quantum even on one core — a fast query can serialize the whole
+	// burst and nothing sheds (binding from posting lists made the
+	// default query quick enough for exactly that). Scheduling could
+	// still in principle serialize it, so allow a few attempts.
 	for attempt := 0; attempt < 3; attempt++ {
-		code, _, stderr := runCLI(t, "-n", "16", "-admit", "1", "-admit-queue", "0", "keyword", "search")
+		code, _, stderr := runCLI(t, "-n", "16", "-admit", "1", "-admit-queue", "0", "-k", "10000", "keyword", "search")
 		if code == 4 {
 			if !strings.Contains(stderr, "shed=") {
 				t.Errorf("stderr missing the concurrent-runs summary:\n%s", stderr)

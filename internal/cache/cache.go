@@ -221,6 +221,11 @@ func (c *Cache[V]) Invalidate() {
 	c.gen.Add(1)
 }
 
+// Gen returns the current generation counter. Consumers that snapshot
+// derived state (e.g. a binder's materialized tuple sets) can compare
+// generations to detect an Invalidate between two observations.
+func (c *Cache[V]) Gen() uint64 { return c.gen.Load() }
+
 // Len returns the number of live entries, including not-yet-collected
 // stale ones.
 func (c *Cache[V]) Len() int {

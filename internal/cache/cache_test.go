@@ -63,6 +63,16 @@ func TestGenerationInvalidation(t *testing.T) {
 	}
 }
 
+func TestGenCounter(t *testing.T) {
+	c := New[int](16, 4)
+	g := c.Gen()
+	c.Invalidate()
+	c.Invalidate()
+	if got := c.Gen(); got != g+2 {
+		t.Fatalf("Gen = %d after two invalidations, want %d", got, g+2)
+	}
+}
+
 func TestCapacitySpreadAcrossShards(t *testing.T) {
 	c := New[int](64, 8)
 	if c.Shards() != 8 {

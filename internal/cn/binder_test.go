@@ -1,0 +1,327 @@
+package cn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"kwsearch/internal/dataset"
+	"kwsearch/internal/invindex"
+	"kwsearch/internal/relstore"
+	"kwsearch/internal/schemagraph"
+)
+
+// corpusVocab is small on purpose: terms collide across tables and
+// tuples, exercising multi-term tuples, multi-table terms and the
+// ID-sort/dedup path of the merge.
+var corpusVocab = []string{
+	"query", "keyword", "search", "database", "join", "index",
+	"graph", "rank", "tuple", "stream", "cache", "widom",
+}
+
+// randomCorpusDB builds a random bibliography-shaped database: nEnt
+// entity tables (id key + text column) chained by link tables, with
+// random text drawn from corpusVocab. It returns the DB and the link
+// (free) table names.
+func randomCorpusDB(rng *rand.Rand, nEnt int) (*relstore.DB, []string) {
+	db := relstore.NewDB()
+	for i := 0; i < nEnt; i++ {
+		db.MustCreateTable(&relstore.TableSchema{
+			Name: fmt.Sprintf("ent%d", i),
+			Columns: []relstore.Column{
+				{Name: "id", Type: relstore.KindInt},
+				{Name: "txt", Type: relstore.KindString, Text: true},
+			},
+			Key: "id",
+		})
+	}
+	var free []string
+	for i := 1; i < nEnt; i++ {
+		name := fmt.Sprintf("link%d", i)
+		free = append(free, name)
+		db.MustCreateTable(&relstore.TableSchema{
+			Name: name,
+			Columns: []relstore.Column{
+				{Name: "a", Type: relstore.KindInt},
+				{Name: "b", Type: relstore.KindInt},
+			},
+			ForeignKeys: []relstore.ForeignKey{
+				{Column: "a", RefTable: fmt.Sprintf("ent%d", i-1), RefColumn: "id"},
+				{Column: "b", RefTable: fmt.Sprintf("ent%d", i), RefColumn: "id"},
+			},
+		})
+	}
+	rows := make([]int, nEnt)
+	for i := 0; i < nEnt; i++ {
+		rows[i] = 5 + rng.Intn(25)
+		for r := 0; r < rows[i]; r++ {
+			words := make([]string, 1+rng.Intn(3))
+			for w := range words {
+				words[w] = corpusVocab[rng.Intn(len(corpusVocab))]
+			}
+			db.MustInsert(fmt.Sprintf("ent%d", i), map[string]relstore.Value{
+				"id":  relstore.Int(int64(r)),
+				"txt": relstore.String(strings.Join(words, " ")),
+			})
+		}
+	}
+	for i := 1; i < nEnt; i++ {
+		for r := 0; r < 10+rng.Intn(30); r++ {
+			db.MustInsert(fmt.Sprintf("link%d", i), map[string]relstore.Value{
+				"a": relstore.Int(int64(rng.Intn(rows[i-1]))),
+				"b": relstore.Int(int64(rng.Intn(rows[i]))),
+			})
+		}
+	}
+	return db, free
+}
+
+// assertBindingsEqual compares two BindSources bit-for-bit over every
+// observable: table membership, set contents and order, masks, scores
+// and max-scores.
+func assertBindingsEqual(t *testing.T, db *relstore.DB, want, got BindSource, label string) {
+	t.Helper()
+	w, g := want.KeywordTables(), got.KeywordTables()
+	if fmt.Sprint(w) != fmt.Sprint(g) {
+		t.Fatalf("%s: keyword tables %v != %v", label, g, w)
+	}
+	ids := func(set []*relstore.Tuple) string {
+		var b strings.Builder
+		for _, tp := range set {
+			b.WriteString(strconv.Itoa(int(tp.ID)))
+			b.WriteByte(' ')
+		}
+		return b.String()
+	}
+	for _, name := range db.TableNames() {
+		if w, g := ids(want.KeywordSet(name)), ids(got.KeywordSet(name)); w != g {
+			t.Fatalf("%s: R^Q(%s) = [%s], want [%s]", label, name, g, w)
+		}
+		if w, g := ids(want.FreeSet(name)), ids(got.FreeSet(name)); w != g {
+			t.Fatalf("%s: R^{}(%s) = [%s], want [%s]", label, name, g, w)
+		}
+		wm, gm := want.MaxNodeScore(name), got.MaxNodeScore(name)
+		if math.Float64bits(wm) != math.Float64bits(gm) {
+			t.Fatalf("%s: max score (%s) = %v, want %v", label, name, gm, wm)
+		}
+		for _, tp := range db.Table(name).Tuples() {
+			if want.TermMask(tp.ID) != got.TermMask(tp.ID) {
+				t.Fatalf("%s: mask(%d) = %b, want %b", label, tp.ID, got.TermMask(tp.ID), want.TermMask(tp.ID))
+			}
+			ws, gs := want.TupleScore(tp), got.TupleScore(tp)
+			if math.Float64bits(ws) != math.Float64bits(gs) {
+				t.Fatalf("%s: score(%d) = %v, want %v", label, tp.ID, gs, ws)
+			}
+		}
+	}
+}
+
+// renderBinderResults serializes results bit-exactly (canonical CN,
+// tuple IDs, raw score bits): two lists render equal iff they are
+// byte-identical answers.
+func renderBinderResults(rs []Result) string {
+	var b strings.Builder
+	for _, r := range rs {
+		b.WriteString(r.CN.Canonical())
+		for _, tp := range r.Tuples {
+			b.WriteByte(' ')
+			b.WriteString(strconv.Itoa(int(tp.ID)))
+		}
+		b.WriteByte('@')
+		b.WriteString(strconv.FormatUint(math.Float64bits(r.Score), 16))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestBindingMatchesScanRandomCorpus is the acceptance check for the
+// index-driven binder: over a randomized corpus of schemas, data and
+// queries, the cold one-shot binding, the cold shared-binder binding and
+// the warm (fully cached) shared-binder binding must all be bit-equal to
+// the full-scan reference — and so must the complete top-k answers
+// evaluated through them.
+func TestBindingMatchesScanRandomCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		db, freeTables := randomCorpusDB(rng, 2+rng.Intn(3))
+		ix := invindex.FromDB(db)
+		binder := NewBinder(db, ix, BinderOptions{})
+		for q := 0; q < 4; q++ {
+			terms := make([]string, 1+rng.Intn(3))
+			for i := range terms {
+				terms[i] = corpusVocab[rng.Intn(len(corpusVocab))]
+			}
+			label := fmt.Sprintf("trial %d %v", trial, terms)
+			scan := NewScanBinding(db, ix, terms)
+			oneShot := bindTerms(db, ix, normalizeTerms(terms), nil, nil)
+			cold := binder.Bind(terms)
+			warm := binder.Bind(terms)
+			if warm.TermsCached() != len(terms) || warm.TermsBuilt() != 0 {
+				t.Fatalf("%s: warm bind built %d terms (cached %d), want all %d cached",
+					label, warm.TermsBuilt(), warm.TermsCached(), len(terms))
+			}
+			assertBindingsEqual(t, db, scan, oneShot, label+" one-shot")
+			assertBindingsEqual(t, db, scan, cold, label+" cold-binder")
+			assertBindingsEqual(t, db, scan, warm, label+" warm-binder")
+
+			sg := schemagraph.FromDB(db)
+			cns := Enumerate(sg, EnumerateOptions{
+				MaxSize:       4,
+				KeywordTables: scan.KeywordTables(),
+				FreeTables:    freeTables,
+			})
+			wantRs := renderBinderResults(TopKNaive(NewScanEvaluator(db, ix, terms), cns, 10))
+			gotRs := renderBinderResults(TopKNaive(NewEvaluatorFrom(db, ix, warm), cns, 10))
+			if wantRs != gotRs {
+				t.Fatalf("%s: top-k differs\ngot:\n%swant:\n%s", label, gotRs, wantRs)
+			}
+		}
+	}
+}
+
+// TestBinderGenChurnRace hammers one binder from concurrent queries
+// while another goroutine keeps bumping the cache generation (the churn
+// a live write path would produce). Every query's answer must equal the
+// scan baseline — a stale R^Q slice or a torn lookup map would either
+// diverge or trip the race detector (internal/cn is in verify.sh's
+// -race gate).
+func TestBinderGenChurnRace(t *testing.T) {
+	db := dataset.WidomBib()
+	ix := invindex.FromDB(db)
+	binder := NewBinder(db, ix, BinderOptions{TermCacheSize: 8})
+	terms := []string{"Widom", "XML"}
+	sg := schemagraph.FromDB(db)
+	scan := NewScanBinding(db, ix, terms)
+	cns := Enumerate(sg, EnumerateOptions{
+		MaxSize:       5,
+		KeywordTables: scan.KeywordTables(),
+		FreeTables:    []string{"write"},
+	})
+	want := renderBinderResults(TopKNaive(NewScanEvaluator(db, ix, terms), cns, 10))
+
+	const workers, iters = 4, 50
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				binder.Invalidate()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ev := NewEvaluatorFrom(db, ix, binder.Bind(terms))
+				if got := renderBinderResults(TopKNaive(ev, cns, 10)); got != want {
+					select {
+					case errs <- got:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+	select {
+	case got := <-errs:
+		t.Fatalf("answer diverged under generation churn:\ngot:\n%swant:\n%s", got, want)
+	default:
+	}
+}
+
+// TestBinderInvalidateSeesNewData pins the generation contract: a bound
+// query is a snapshot (later index growth does not leak into it), the
+// binder keeps serving cached bindings until Invalidate, and the first
+// Bind after Invalidate sees the new data.
+func TestBinderInvalidateSeesNewData(t *testing.T) {
+	db, _ := randomCorpusDB(rand.New(rand.NewSource(3)), 2)
+	ix := invindex.FromDB(db)
+	binder := NewBinder(db, ix, BinderOptions{})
+
+	before := binder.Bind([]string{"widom"})
+	n := len(before.KeywordSet("ent0"))
+
+	tp := db.MustInsert("ent0", map[string]relstore.Value{
+		"id":  relstore.Int(9999),
+		"txt": relstore.String("widom widom"),
+	})
+	ix.Add(invindex.DocID(tp.ID), "widom widom")
+
+	stale := binder.Bind([]string{"widom"})
+	if got := len(stale.KeywordSet("ent0")); got != n {
+		t.Fatalf("pre-invalidate bind saw %d matches, want cached %d", got, n)
+	}
+
+	gen := binder.Gen()
+	binder.Invalidate()
+	if binder.Gen() != gen+1 {
+		t.Fatalf("Gen = %d after Invalidate, want %d", binder.Gen(), gen+1)
+	}
+	fresh := binder.Bind([]string{"widom"})
+	if got := len(fresh.KeywordSet("ent0")); got != n+1 {
+		t.Fatalf("post-invalidate bind saw %d matches, want %d", got, n+1)
+	}
+	found := false
+	for _, k := range fresh.KeywordSet("ent0") {
+		if k.ID == tp.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("post-invalidate bind is missing the new tuple")
+	}
+	// The pre-growth binding stays a consistent snapshot.
+	if got := len(before.KeywordSet("ent0")); got != n {
+		t.Fatalf("snapshot mutated: %d matches, want %d", got, n)
+	}
+	// Equivalence holds again against a fresh scan of the grown data.
+	assertBindingsEqual(t, db, NewScanBinding(db, ix, []string{"widom"}), fresh, "post-growth")
+}
+
+// TestTupleScoreZeroFastPath pins the satellite bugfix: the pre-binder
+// evaluator recomputed (and never cached) scores for free tuples on
+// every call; the binding returns an exact 0.0 without touching the
+// index, which is provably the same value — a tuple matching no query
+// term has TF 0 for each, so its Σ TFIDF is exactly 0.
+func TestTupleScoreZeroFastPath(t *testing.T) {
+	db := dataset.WidomBib()
+	ix := invindex.FromDB(db)
+	terms := []string{"Widom", "XML"}
+	b := NewBinder(db, ix, BinderOptions{}).Bind(terms)
+	checked := 0
+	for _, name := range db.TableNames() {
+		for _, tp := range db.Table(name).Tuples() {
+			want := ix.Score(b.Terms(), invindex.DocID(tp.ID))
+			got := b.TupleScore(tp)
+			if math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("score(%s#%d) = %v, want %v", name, tp.ID, got, want)
+			}
+			if b.TermMask(tp.ID) == 0 {
+				if got != 0 {
+					t.Fatalf("free tuple %s#%d scored %v, want exact 0", name, tp.ID, got)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("corpus has no free tuples; the fast path went unexercised")
+	}
+}

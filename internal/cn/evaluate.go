@@ -2,12 +2,10 @@ package cn
 
 import (
 	"context"
-	"sort"
 
 	"kwsearch/internal/invindex"
 	"kwsearch/internal/obs"
 	"kwsearch/internal/relstore"
-	"kwsearch/internal/text"
 )
 
 // Result is one joining tree of tuples produced by a CN: Tuples[i] is bound
@@ -19,193 +17,89 @@ type Result struct {
 	Score  float64
 }
 
-// Evaluator executes candidate networks against a database. It caches the
-// per-relation keyword (R^Q) and free (R^{}) tuple sets for one query and
-// lazily builds join-column lookup tables.
+// Evaluator executes candidate networks against a database. All binding
+// state — the per-relation keyword (R^Q) and free (R^{}) tuple sets,
+// term masks, tuple scores and join-column lookups — comes from its
+// BindSource, so the same evaluation machinery runs over a one-shot
+// index-driven binding (NewEvaluator), the full-scan reference binding
+// (NewScanEvaluator) or a Binding served by the shared generation-aware
+// Binder (NewEvaluatorFrom).
 type Evaluator struct {
 	DB    *relstore.DB
 	Index *invindex.Index
 	Terms []string
 
-	kwSets   map[string][]*relstore.Tuple
-	freeSets map[string][]*relstore.Tuple
-	lookups  map[lookupKey]map[relstore.Value][]*relstore.Tuple
-	// tupleTerms caches which query terms each matching tuple contains.
-	tupleTerms map[relstore.TupleID]uint32
-	// scores caches TupleScore for matching tuples (hot in the pipelined
-	// strategies' bound computations).
-	scores    map[relstore.TupleID]float64
-	maxScores map[string]float64
+	src BindSource
 }
 
-type lookupKey struct {
-	table, column string
-}
-
-// NewEvaluator prepares an evaluator for the given query terms (normalized
-// through the shared tokenizer).
+// NewEvaluator prepares an evaluator for the given query terms
+// (normalized through the shared tokenizer), binding them through the
+// index in O(matched tuples) without a shared cache.
 func NewEvaluator(db *relstore.DB, ix *invindex.Index, terms []string) *Evaluator {
 	return NewEvaluatorTraced(db, ix, terms, nil)
 }
 
 // NewEvaluatorTraced is NewEvaluator with the binding work recorded as
-// child spans of sp (the caller's "bind" span): "postings" covers the
-// per-keyword posting-list fetches, "materialize" the per-table R^Q/R^{}
-// tuple-set construction and max-score computation. Binding dominates
-// warm query time, so the split makes the two data-dependent halves
-// separately attributable in traces. A nil sp costs nothing.
+// child spans of sp (the caller's "bind" span); see Binder.BindTraced
+// for the span split. A nil sp costs nothing.
 func NewEvaluatorTraced(db *relstore.DB, ix *invindex.Index, terms []string, sp *obs.Span) *Evaluator {
-	norm := make([]string, 0, len(terms))
-	for _, t := range terms {
-		if n := text.Normalize(t); n != "" {
-			norm = append(norm, n)
-		}
-	}
-	ev := &Evaluator{
-		DB:         db,
-		Index:      ix,
-		Terms:      norm,
-		kwSets:     make(map[string][]*relstore.Tuple),
-		freeSets:   make(map[string][]*relstore.Tuple),
-		lookups:    make(map[lookupKey]map[relstore.Value][]*relstore.Tuple),
-		tupleTerms: make(map[relstore.TupleID]uint32),
-		scores:     make(map[relstore.TupleID]float64),
-		maxScores:  make(map[string]float64),
-	}
-	ev.buildTupleSets(sp)
-	return ev
+	return NewEvaluatorFrom(db, ix, bindTerms(db, ix, normalizeTerms(terms), nil, sp))
 }
 
-func (ev *Evaluator) buildTupleSets(sp *obs.Span) {
-	psp := sp.Child("postings")
-	matching := map[relstore.TupleID]uint32{}
-	for ti, term := range ev.Terms {
-		for _, doc := range ev.Index.Docs(term) {
-			matching[relstore.TupleID(doc)] |= 1 << uint(ti)
-		}
-	}
-	psp.SetAttr("terms", len(ev.Terms))
-	psp.SetAttr("matched_tuples", len(matching))
-	psp.End()
-	ev.tupleTerms = matching
-	msp := sp.Child("materialize")
-	kwTables := 0
-	for _, name := range ev.DB.TableNames() {
-		t := ev.DB.Table(name)
-		var kw, free []*relstore.Tuple
-		for _, tp := range t.Tuples() {
-			if matching[tp.ID] != 0 {
-				kw = append(kw, tp)
-			} else {
-				free = append(free, tp)
-			}
-		}
-		ev.kwSets[name] = kw
-		ev.freeSets[name] = free
-		if len(kw) > 0 {
-			kwTables++
-		}
-		best := 0.0
-		for _, tp := range kw {
-			if s := ev.TupleScore(tp); s > best {
-				best = s
-			}
-		}
-		ev.maxScores[name] = best
-	}
-	msp.SetAttr("tables", len(ev.DB.TableNames()))
-	msp.SetAttr("keyword_tables", kwTables)
-	msp.End()
+// NewScanEvaluator prepares an evaluator over the full-scan reference
+// binding (NewScanBinding) — the oracle the index-driven paths are
+// asserted byte-identical against.
+func NewScanEvaluator(db *relstore.DB, ix *invindex.Index, terms []string) *Evaluator {
+	return NewEvaluatorFrom(db, ix, NewScanBinding(db, ix, terms))
 }
+
+// NewEvaluatorFrom wraps an existing binding source — the constructor
+// exec.TopK and core.Engine use to consume the shared Binder.
+func NewEvaluatorFrom(db *relstore.DB, ix *invindex.Index, src BindSource) *Evaluator {
+	return &Evaluator{DB: db, Index: ix, Terms: src.Terms(), src: src}
+}
+
+// Source returns the evaluator's binding source.
+func (ev *Evaluator) Source() BindSource { return ev.src }
 
 // KeywordTables returns the tables with a non-empty R^Q, sorted — the input
 // Enumerate needs.
-func (ev *Evaluator) KeywordTables() []string {
-	var out []string
-	for t, set := range ev.kwSets {
-		if len(set) > 0 {
-			out = append(out, t)
-		}
-	}
-	sort.Strings(out)
-	return out
-}
+func (ev *Evaluator) KeywordTables() []string { return ev.src.KeywordTables() }
 
 // KeywordSet returns R^Q for a table.
-func (ev *Evaluator) KeywordSet(table string) []*relstore.Tuple { return ev.kwSets[table] }
+func (ev *Evaluator) KeywordSet(table string) []*relstore.Tuple { return ev.src.KeywordSet(table) }
 
 // FreeSet returns R^{} (tuples matching no query term) for a table.
-func (ev *Evaluator) FreeSet(table string) []*relstore.Tuple { return ev.freeSets[table] }
+func (ev *Evaluator) FreeSet(table string) []*relstore.Tuple { return ev.src.FreeSet(table) }
 
-// TupleScore is the IR score of one tuple for the query, cached for
-// matching tuples.
-func (ev *Evaluator) TupleScore(tp *relstore.Tuple) float64 {
-	if s, ok := ev.scores[tp.ID]; ok {
-		return s
-	}
-	s := ev.Index.Score(ev.Terms, invindex.DocID(tp.ID))
-	if ev.tupleTerms[tp.ID] != 0 {
-		ev.scores[tp.ID] = s
-	}
-	return s
-}
+// TupleScore is the IR score of one tuple for the query (exactly 0 for
+// tuples matching no term; see Binding.TupleScore).
+func (ev *Evaluator) TupleScore(tp *relstore.Tuple) float64 { return ev.src.TupleScore(tp) }
 
 // MaxNodeScore returns the best tuple score available in table's R^Q.
-func (ev *Evaluator) MaxNodeScore(table string) float64 { return ev.maxScores[table] }
+func (ev *Evaluator) MaxNodeScore(table string) float64 { return ev.src.MaxNodeScore(table) }
 
-func (ev *Evaluator) lookup(table, column string) map[relstore.Value][]*relstore.Tuple {
-	key := lookupKey{table, column}
-	if m, ok := ev.lookups[key]; ok {
-		return m
-	}
-	t := ev.DB.Table(table)
-	ci := t.ColumnIndex(column)
-	m := make(map[relstore.Value][]*relstore.Tuple)
-	if ci >= 0 {
-		for _, tp := range t.Tuples() {
-			v := tp.Values[ci]
-			if !v.IsNull() {
-				m[v] = append(m[v], tp)
-			}
-		}
-	}
-	ev.lookups[key] = m
-	return m
-}
-
-// Prewarm materializes the join lookup tables and posting lists the given
-// CNs will touch, making subsequent EvaluateCN calls read-only — required
-// before evaluating from multiple goroutines (the parallel package does
-// this).
+// Prewarm materializes the join lookup tables and free sets the given
+// CNs will touch and seals the binding source, making subsequent
+// EvaluateCN calls read-only — required before evaluating from multiple
+// goroutines (the parallel package does this).
 func (ev *Evaluator) Prewarm(cns []*CN) {
 	_ = ev.PrewarmCtx(context.Background(), cns)
 }
 
 // PrewarmCtx is Prewarm with cancellation checked between CNs. A
-// cancelled prewarm returns ctx's error; the tables built so far stay
+// cancelled prewarm returns ctx's error; the state built so far stays
 // valid (the next call resumes where this one stopped).
 func (ev *Evaluator) PrewarmCtx(ctx context.Context, cns []*CN) error {
-	for _, term := range ev.Terms {
-		ev.Index.Postings(term)
-	}
-	for _, c := range cns {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		for _, e := range c.Edges {
-			ev.lookup(e.Via.From, e.Via.FromCol)
-			ev.lookup(e.Via.To, e.Via.ToCol)
-		}
-	}
-	return nil
+	return ev.src.Prewarm(ctx, cns)
 }
 
 // nodeSet returns the tuple set (keyword or free) for CN node n.
 func (ev *Evaluator) nodeSet(n NodeSpec) []*relstore.Tuple {
 	if n.Free {
-		return ev.freeSets[n.Table]
+		return ev.src.FreeSet(n.Table)
 	}
-	return ev.kwSets[n.Table]
+	return ev.src.KeywordSet(n.Table)
 }
 
 // joinCandidates returns the tuples of CN node `to` that join with tuple tp
@@ -239,7 +133,7 @@ func (ev *Evaluator) joinCandidates(c *CN, e EdgeSpec, from int, tp *relstore.Tu
 	if v.IsNull() {
 		return nil
 	}
-	cands := ev.lookup(toSpec.Table, toCol)[v]
+	cands := ev.src.Lookup(toSpec.Table, toCol)[v]
 	if len(cands) == 0 {
 		return nil
 	}
@@ -248,7 +142,7 @@ func (ev *Evaluator) joinCandidates(c *CN, e EdgeSpec, from int, tp *relstore.Tu
 	// partition keeps CN result sets disjoint).
 	var out []*relstore.Tuple
 	for _, cand := range cands {
-		inKW := ev.tupleTerms[cand.ID] != 0
+		inKW := ev.src.TermMask(cand.ID) != 0
 		if inKW != toSpec.Free {
 			out = append(out, cand)
 		}
@@ -373,7 +267,7 @@ func (ev *Evaluator) finishRow(c *CN, binding []*relstore.Tuple) (Result, bool) 
 	all := ev.allTermsMask()
 	var cover uint32
 	for _, tp := range binding {
-		cover |= ev.tupleTerms[tp.ID]
+		cover |= ev.src.TermMask(tp.ID)
 	}
 	if cover != all {
 		return Result{}, false
@@ -388,7 +282,7 @@ func (ev *Evaluator) finishRow(c *CN, binding []*relstore.Tuple) (Result, bool) 
 			if i == li {
 				continue
 			}
-			rest |= ev.tupleTerms[tp.ID]
+			rest |= ev.src.TermMask(tp.ID)
 		}
 		if rest == all {
 			return Result{}, false
@@ -396,7 +290,7 @@ func (ev *Evaluator) finishRow(c *CN, binding []*relstore.Tuple) (Result, bool) 
 	}
 	score := 0.0
 	for _, tp := range binding {
-		score += ev.TupleScore(tp)
+		score += ev.src.TupleScore(tp)
 	}
 	score /= float64(len(c.Nodes))
 	tuples := make([]*relstore.Tuple, len(binding))

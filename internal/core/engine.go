@@ -215,6 +215,13 @@ type Engine struct {
 	// Exec is the concurrent cached execution layer used by CN searches
 	// when Options.Workers > 1. Populated by NewRelational.
 	Exec *exec.Executor
+	// Binder is the shared keyword→tuple binding layer: R^Q sets are
+	// derived from posting lists with per-term bindings and join-column
+	// lookups cached across queries, shared between the serial CN path
+	// and the executor. Populated by NewRelational; nil on XML engines
+	// and hand-assembled engines (the serial path then falls back to a
+	// one-shot index-driven binding).
+	Binder *cn.Binder
 	// Plans is the candidate-network plan cache, shared between the
 	// serial CN path and the executor: a query's compiled CN set depends
 	// only on the schema graph and the keyword→relation membership
@@ -272,7 +279,10 @@ func NewRelational(db *relstore.DB) *Engine {
 		}
 	}
 	e.Plans = plan.New(plan.Options{Workers: runtime.GOMAXPROCS(0), Metrics: reg})
-	e.Exec = exec.New(db, ix, exec.Options{FreeTables: e.FreeTables, Metrics: reg, Plans: e.Plans})
+	e.Binder = cn.NewBinder(db, ix, cn.BinderOptions{Metrics: reg})
+	e.Exec = exec.New(db, ix, exec.Options{
+		FreeTables: e.FreeTables, Metrics: reg, Plans: e.Plans, Binder: e.Binder,
+	})
 	registerQuerySLO(reg)
 	return e
 }
@@ -316,21 +326,6 @@ func (e *Engine) Terms(query string, doClean bool) []string {
 		return e.Cleaner.Clean(query).Tokens()
 	}
 	return text.Tokenize(query)
-}
-
-// Search runs the query under the selected semantics. It is Query minus
-// the observability artifacts; Options.Observer still fires.
-//
-// Deprecated: use Query with a context.Context and a Request — it adds
-// cancellation, deadlines with partial results, and admission control.
-// Search is a thin wrapper over Query(context.Background(),
-// FromOptions(query, opts)) and stays for compatibility.
-func (e *Engine) Search(query string, opts Options) ([]Result, error) {
-	resp, err := e.Query(context.Background(), FromOptions(query, opts))
-	if err != nil {
-		return nil, err
-	}
-	return resp.Results, nil
 }
 
 func (e *Engine) requireRelational() error {
@@ -390,7 +385,13 @@ func (e *Engine) searchCN(ctx context.Context, terms []string, opts Options, sp 
 	}
 	lookupSpan(sp, terms, func(t string) int { return len(e.Index.Postings(t)) })
 	bsp := sp.Child("bind")
-	ev := cn.NewEvaluatorTraced(e.DB, e.Index, terms, bsp)
+	var ev *cn.Evaluator
+	if e.Binder != nil {
+		ev = cn.NewEvaluatorFrom(e.DB, e.Index, e.Binder.BindTraced(terms, bsp))
+	} else {
+		// Hand-assembled engines without a binder pay a one-shot binding.
+		ev = cn.NewEvaluatorTraced(e.DB, e.Index, terms, bsp)
+	}
 	kwTables := ev.KeywordTables()
 	bsp.SetAttr("keyword_tables", len(kwTables))
 	bsp.End()

@@ -1,18 +1,27 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"kwsearch/internal/dataset"
 )
 
-func TestRelationalCNSearch(t *testing.T) {
-	e := NewRelational(dataset.WidomBib())
-	rs, err := e.Search("Widom XML", Options{K: 5})
+// search runs a Request and returns just the results, the shape most of
+// these tests assert on.
+func search(t *testing.T, e *Engine, req Request) []Result {
+	t.Helper()
+	resp, err := e.Query(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return resp.Results
+}
+
+func TestRelationalCNSearch(t *testing.T) {
+	e := NewRelational(dataset.WidomBib())
+	rs := search(t, e, Request{Query: "Widom XML", TopK: 5})
 	if len(rs) == 0 {
 		t.Fatal("no results")
 	}
@@ -28,10 +37,7 @@ func TestRelationalCNSearch(t *testing.T) {
 
 func TestRelationalSparkSearch(t *testing.T) {
 	e := NewRelational(dataset.WidomBib())
-	rs, err := e.Search("Widom XML", Options{K: 5, Semantics: SparkNetworks})
-	if err != nil {
-		t.Fatal(err)
-	}
+	rs := search(t, e, Request{Query: "Widom XML", TopK: 5, Semantics: SparkNetworks})
 	if len(rs) == 0 {
 		t.Fatal("no results")
 	}
@@ -44,20 +50,14 @@ func TestRelationalSparkSearch(t *testing.T) {
 
 func TestBanksAndSteinerSearch(t *testing.T) {
 	e := NewRelational(dataset.SeltzerBerkeley())
-	rs, err := e.Search("Seltzer Berkeley", Options{K: 3, Semantics: DistinctRoot})
-	if err != nil {
-		t.Fatal(err)
-	}
+	rs := search(t, e, Request{Query: "Seltzer Berkeley", TopK: 3, Semantics: DistinctRoot})
 	if len(rs) == 0 || rs[0].Cost != 1 {
 		t.Fatalf("banks results = %+v", rs)
 	}
 	if rs[0].Root == nil {
 		t.Fatalf("root tuple not resolved")
 	}
-	st, err := e.Search("Seltzer Berkeley", Options{Semantics: SteinerTree})
-	if err != nil {
-		t.Fatal(err)
-	}
+	st := search(t, e, Request{Query: "Seltzer Berkeley", Semantics: SteinerTree})
 	if len(st) != 1 || st[0].Cost != 1 || len(st[0].Tuples) != 2 {
 		t.Fatalf("steiner = %+v", st)
 	}
@@ -66,10 +66,7 @@ func TestBanksAndSteinerSearch(t *testing.T) {
 func TestSearchWithCleaning(t *testing.T) {
 	e := NewRelational(dataset.WidomBib())
 	// Misspelled query is cleaned before searching.
-	rs, err := e.Search("Widon XLM", Options{K: 5, Clean: true})
-	if err != nil {
-		t.Fatal(err)
-	}
+	rs := search(t, e, Request{Query: "Widon XLM", TopK: 5, Clean: true})
 	if len(rs) == 0 {
 		t.Fatal("cleaned query found nothing")
 	}
@@ -77,17 +74,11 @@ func TestSearchWithCleaning(t *testing.T) {
 
 func TestXMLSearch(t *testing.T) {
 	e := NewXML(dataset.ConfXML())
-	rs, err := e.Search("keyword Mark", Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	rs := search(t, e, Request{Query: "keyword Mark"})
 	if len(rs) != 1 || rs[0].Node.Label != "paper" {
 		t.Fatalf("slca results = %+v", rs)
 	}
-	rs, err = e.Search("keyword Mark", Options{Semantics: ELCA})
-	if err != nil {
-		t.Fatal(err)
-	}
+	rs = search(t, e, Request{Query: "keyword Mark", Semantics: ELCA})
 	if len(rs) == 0 {
 		t.Fatal("elca results empty")
 	}
@@ -98,10 +89,7 @@ func TestXMLSearch(t *testing.T) {
 
 func TestReturnNodes(t *testing.T) {
 	e := NewXML(dataset.ConfXML())
-	rs, err := e.Search("keyword Mark", Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	rs := search(t, e, Request{Query: "keyword Mark"})
 	rns := e.ReturnNodes([]string{"keyword", "mark"}, rs[0].Node)
 	if len(rns) == 0 {
 		t.Fatal("no return nodes inferred")
@@ -109,19 +97,24 @@ func TestReturnNodes(t *testing.T) {
 }
 
 func TestSemanticsErrors(t *testing.T) {
+	ctx := context.Background()
 	rel := NewRelational(dataset.WidomBib())
-	if _, err := rel.Search("widom", Options{Semantics: SLCA}); err == nil {
+	if _, err := rel.Query(ctx, Request{Query: "widom", Semantics: SLCA}); err == nil {
 		t.Errorf("SLCA on relational engine must error")
 	}
 	xml := NewXML(dataset.ConfXML())
-	if _, err := xml.Search("mark", Options{Semantics: CandidateNetworks}); err == nil {
+	if _, err := xml.Query(ctx, Request{Query: "mark", Semantics: CandidateNetworks}); err == nil {
 		t.Errorf("CN on XML engine must error")
 	}
-	if _, err := rel.Search("", Options{}); err == nil {
+	if _, err := rel.Query(ctx, Request{Query: ""}); err == nil {
 		t.Errorf("empty query must error")
 	}
-	if got, _ := rel.Search("nosuchterm widom", Options{Semantics: DistinctRoot}); got != nil {
-		t.Errorf("unmatched keyword should yield no graph results: %v", got)
+	resp, err := rel.Query(ctx, Request{Query: "nosuchterm widom", Semantics: DistinctRoot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results != nil {
+		t.Errorf("unmatched keyword should yield no graph results: %v", resp.Results)
 	}
 }
 

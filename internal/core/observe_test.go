@@ -67,8 +67,8 @@ func TestTraceShapeGoldenSerial(t *testing.T) {
 		"  clean(cleaned,terms)\n" +
 		"  lookup(postings,terms)\n" +
 		"  bind(keyword_tables)\n" +
-		"    postings(matched_tuples,terms)\n" +
-		"    materialize(keyword_tables,tables)\n" +
+		"    postings(built_terms,cached_terms,terms)\n" +
+		"    materialize(keyword_tables,matched_tuples)\n" +
 		"  enumerate(cns,plan_cached)\n" +
 		"  evaluate(certified_early,cns,driver_advances,pipelined,produced,pruned)\n" +
 		"  rank(results)\n"
@@ -91,8 +91,8 @@ func TestTraceShapeGoldenParallel(t *testing.T) {
 		"  clean(cleaned,terms)\n" +
 		"  lookup(postings,terms)\n" +
 		"  bind(keyword_tables)\n" +
-		"    postings(matched_tuples,terms)\n" +
-		"    materialize(keyword_tables,tables)\n" +
+		"    postings(built_terms,cached_terms,terms)\n" +
+		"    materialize(keyword_tables,matched_tuples)\n" +
 		"  enumerate(cns,plan_cached)\n" +
 		"  evaluate(evaluated,prefix_reuses,skipped,workers)\n" +
 		"    worker-0(busy,evaluated,idle,jobs,prefix_reuses,skipped)\n" +

@@ -63,24 +63,6 @@ type Request struct {
 	Observer QueryObserver
 }
 
-// FromOptions converts a legacy Options bundle (plus the query text it
-// always traveled beside) into a Request.
-//
-// Deprecated: new code should construct Request directly; this exists so
-// Options-based call sites migrate mechanically.
-func FromOptions(query string, opts Options) Request {
-	return Request{
-		Query:     query,
-		Semantics: opts.Semantics,
-		TopK:      opts.K,
-		MaxCNSize: opts.MaxCNSize,
-		Clean:     opts.Clean,
-		Workers:   opts.Workers,
-		Trace:     opts.Trace,
-		Observer:  opts.Observer,
-	}
-}
-
 // options lowers the request onto the legacy Options shape the search
 // stages still consume internally, applying defaults.
 func (r Request) options(xml bool) Options {

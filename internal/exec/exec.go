@@ -57,6 +57,16 @@ type Options struct {
 	// PlanCacheSize bounds the private plan cache built when Plans is
 	// nil (0 = 128).
 	PlanCacheSize int
+	// Binder is the shared keyword-binding layer that turns query terms
+	// into R^Q tuple sets from posting lists, caching per-term bindings
+	// and join lookups across queries. Leave nil to have the executor
+	// build a private one (BindCacheSize terms); core.NewRelational
+	// passes a binder shared with the engine's serial path so both hit
+	// the same term bindings.
+	Binder *cn.Binder
+	// BindCacheSize bounds the private binder's per-term cache built
+	// when Binder is nil (0 = 1024).
+	BindCacheSize int
 	// Metrics, when non-nil, receives the executor's lifetime counters and
 	// both cache counter sets (see Instrument). Leaving it nil costs one
 	// branch per counter event.
@@ -132,6 +142,12 @@ type Stats struct {
 	// PlanCacheHit reports that the candidate-network set came from the
 	// plan cache and enumeration was skipped entirely.
 	PlanCacheHit bool
+	// BindTermsCached and BindTermsBuilt split the query's terms by
+	// whether their posting-derived bindings came from the shared
+	// binder's cache or were built fresh (a warm binder makes the whole
+	// bind stage a merge of cached slices).
+	BindTermsCached int
+	BindTermsBuilt  int
 	// PlanKey is the plan-cache key the query compiled under (namespace +
 	// schema fingerprint + membership signature + size bounds) — the join
 	// key between a query exemplar and plan-cache churn. Empty when the
@@ -164,6 +180,7 @@ type Executor struct {
 	postings *cache.Cache[[]invindex.Posting]
 	results  *cache.Cache[[]cn.Result]
 	plans    *plan.Cache
+	binder   *cn.Binder
 
 	evaluated *obs.Counter
 	skipped   *obs.Counter
@@ -193,6 +210,14 @@ func New(db *relstore.DB, ix *invindex.Index, opts Options) *Executor {
 			Shards:  opts.CacheShards,
 			Workers: opts.Workers,
 			Metrics: opts.Metrics,
+		})
+	}
+	x.binder = opts.Binder
+	if x.binder == nil {
+		x.binder = cn.NewBinder(db, ix, cn.BinderOptions{
+			TermCacheSize: opts.BindCacheSize,
+			CacheShards:   opts.CacheShards,
+			Metrics:       opts.Metrics,
 		})
 	}
 	if opts.Metrics != nil {
@@ -225,22 +250,32 @@ func (x *Executor) Postings(term string) []invindex.Posting {
 	})
 }
 
-// InvalidateCaches bumps every cache generation — postings, results and
-// compiled plans. Call after growing the index or mutating the database
-// (a schema change also changes the plan keys' fingerprint, but the gen
-// bump reclaims the dead entries' LRU capacity immediately).
+// InvalidateCaches bumps every cache generation — postings, results,
+// term bindings and compiled plans. Call after growing the index or
+// mutating the database (a schema change also changes the plan keys'
+// fingerprint, but the gen bump reclaims the dead entries' LRU capacity
+// immediately).
 func (x *Executor) InvalidateCaches() {
 	x.postings.Invalidate()
 	x.results.Invalidate()
+	x.binder.Invalidate()
 	x.plans.Invalidate()
 }
 
-// InvalidateDataCaches bumps only the value-dependent caches (postings
-// and results), keeping compiled plans warm. Benchmarks use it to
-// measure the warm-plan path — the steady state of a serving engine,
-// whose schema changes far more rarely than its data.
+// InvalidateDataCaches bumps only the value-dependent caches (postings,
+// results and the binder's term bindings + join lookups), keeping
+// compiled plans warm. Call it after data growth under a fixed schema.
 func (x *Executor) InvalidateDataCaches() {
 	x.postings.Invalidate()
+	x.results.Invalidate()
+	x.binder.Invalidate()
+}
+
+// InvalidateResults bumps only the result cache. Benchmarks use it to
+// measure the warm steady state of a serving engine — distinct queries
+// over unchanged data, where postings, term bindings and plans are all
+// legitimately warm and only the whole-answer cache misses.
+func (x *Executor) InvalidateResults() {
 	x.results.Invalidate()
 }
 
@@ -252,6 +287,13 @@ func (x *Executor) CacheStats() (postings, results cache.Stats) {
 // Plans returns the executor's plan cache (shared with the engine when
 // core.NewRelational wired it).
 func (x *Executor) Plans() *plan.Cache { return x.plans }
+
+// Binder returns the executor's binding layer (shared with the engine
+// when core.NewRelational wired it).
+func (x *Executor) Binder() *cn.Binder { return x.binder }
+
+// BinderStats returns the binder's term-cache counters.
+func (x *Executor) BinderStats() cache.Stats { return x.binder.Stats() }
 
 // SetPlans replaces the executor's plan cache handle — used by
 // core.Engine.SetPlanNamespace to re-namespace a shared cache. Call
@@ -319,15 +361,20 @@ func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error
 		}
 	}
 
-	// Binding resolves each keyword to its per-relation tuple sets R^Q —
-	// data-dependent work that repeats whenever the value caches are
-	// cold, so it gets its own span rather than hiding inside enumerate
-	// (which a warm plan reduces to a cache probe).
+	// Binding resolves each keyword to its per-relation tuple sets R^Q
+	// through the shared binder: per-term bindings come from posting
+	// lists (O(matched tuples)) and are cached across queries, so a warm
+	// binder reduces the stage to a merge of cached slices. It keeps its
+	// own span rather than hiding inside enumerate (which a warm plan
+	// reduces to a cache probe).
 	bsp := sp.Child("bind")
-	ev := cn.NewEvaluatorTraced(x.db, x.ix, terms, bsp)
-	kwTables := ev.KeywordTables()
+	binding := x.binder.BindTraced(terms, bsp)
+	ev := cn.NewEvaluatorFrom(x.db, x.ix, binding)
+	kwTables := binding.KeywordTables()
 	bsp.SetAttr("keyword_tables", len(kwTables))
 	bsp.End()
+	st.BindTermsCached = binding.TermsCached()
+	st.BindTermsBuilt = binding.TermsBuilt()
 
 	// The enumerate stage goes through the plan cache: warm signatures
 	// skip enumeration entirely, cold ones compile (in parallel when the
@@ -402,15 +449,18 @@ func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error
 }
 
 // TopKSerial is the reference path: full evaluation of every CN on the
-// calling goroutine, no bound pruning, no caches. The worker pool's
-// answer is asserted byte-identical to this in the package tests.
+// calling goroutine, no bound pruning, no caches — binding included,
+// which comes from the full-scan reference binding rather than the
+// binder. The worker pool's answer is asserted byte-identical to this
+// in the package tests, making every such test a continuous
+// binder-vs-scan equivalence check as well.
 func (x *Executor) TopKSerial(q Query) []cn.Result {
 	q = q.withDefaults(x)
 	terms := normTerms(q.Terms)
 	if len(terms) == 0 {
 		return nil
 	}
-	ev := cn.NewEvaluator(x.db, x.ix, terms)
+	ev := cn.NewScanEvaluator(x.db, x.ix, terms)
 	cns := cn.Enumerate(x.sg, cn.EnumerateOptions{
 		MaxSize:       q.MaxCNSize,
 		KeywordTables: ev.KeywordTables(),

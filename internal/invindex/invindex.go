@@ -174,6 +174,11 @@ func (ix *Index) Terms() []string {
 // HasTerm reports whether the term occurs in the corpus.
 func (ix *Index) HasTerm(term string) bool { return ix.DF(term) > 0 }
 
+// tfWeight is the log-scaled term-frequency factor 1+ln(tf), shared by
+// TFIDF and TermWeights so per-term accumulation of weights reproduces
+// Score bit-for-bit.
+func tfWeight(tf int32) float64 { return 1 + math.Log(float64(tf)) }
+
 // TFIDF returns the TF·IDF weight of term in doc with log-scaled TF:
 // (1+ln(tf))·idf, or 0 when absent.
 func (ix *Index) TFIDF(term string, doc DocID) float64 {
@@ -181,7 +186,27 @@ func (ix *Index) TFIDF(term string, doc DocID) float64 {
 	if tf == 0 {
 		return 0
 	}
-	return (1 + math.Log(float64(tf))) * ix.IDF(term)
+	return tfWeight(int32(tf)) * ix.IDF(term)
+}
+
+// TermWeights returns term's posting list together with each posting's
+// TF·IDF weight — one pass over the list instead of a binary search per
+// document, which is what makes index-driven keyword binding O(matched
+// tuples). The weight expression is exactly TFIDF's, so summing a
+// document's weights over the query terms (in term order) yields the
+// same float64 bits as Score. The posting slice is shared; callers must
+// not mutate it.
+func (ix *Index) TermWeights(term string) ([]Posting, []float64) {
+	ps := ix.Postings(term)
+	if len(ps) == 0 {
+		return ps, nil
+	}
+	idf := ix.IDF(term)
+	ws := make([]float64, len(ps))
+	for i, p := range ps {
+		ws[i] = tfWeight(p.TF) * idf
+	}
+	return ps, ws
 }
 
 // Score sums TFIDF over the query terms for doc — the basic vector-space

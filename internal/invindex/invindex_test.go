@@ -87,6 +87,43 @@ func TestTFIDFAndScore(t *testing.T) {
 	}
 }
 
+// TestTermWeightsBitEqualTFIDF pins the contract the index-driven
+// binder depends on: TermWeights must hand out exactly the postings
+// list with per-doc weights bit-identical to TFIDF, so per-term
+// accumulation reproduces Score to the last float64 bit.
+func TestTermWeightsBitEqualTFIDF(t *testing.T) {
+	ix := smallIndex()
+	for _, term := range append(ix.Terms(), "absent") {
+		ps, ws := ix.TermWeights(term)
+		if len(ps) != len(ws) {
+			t.Fatalf("%s: %d postings, %d weights", term, len(ps), len(ws))
+		}
+		if len(ps) != len(ix.Postings(term)) {
+			t.Fatalf("%s: TermWeights dropped postings", term)
+		}
+		for i, p := range ps {
+			want := ix.TFIDF(term, p.Doc)
+			if math.Float64bits(ws[i]) != math.Float64bits(want) {
+				t.Errorf("%s doc %d: weight %v, want TFIDF %v", term, p.Doc, ws[i], want)
+			}
+		}
+	}
+	// Per-term accumulation in term order equals Score bit-for-bit.
+	q := []string{"keyword", "search", "keyword"}
+	sums := map[DocID]float64{}
+	for _, term := range q {
+		ps, ws := ix.TermWeights(term)
+		for i, p := range ps {
+			sums[p.Doc] += ws[i]
+		}
+	}
+	for doc := DocID(0); doc < 3; doc++ {
+		if math.Float64bits(sums[doc]) != math.Float64bits(ix.Score(q, doc)) {
+			t.Errorf("doc %d: accumulated %v, Score %v", doc, sums[doc], ix.Score(q, doc))
+		}
+	}
+}
+
 func TestIntersectUnion(t *testing.T) {
 	ix := smallIndex()
 	got := ix.Intersect([]string{"keyword", "search"})

@@ -164,7 +164,9 @@ func normTables(g *schemagraph.Graph, tables []string) []string {
 // schema-graph fingerprint, keyword→relation membership signature (the
 // sorted keyword and free table sets — enumeration never sees keyword
 // values), and the MaxSize/MaxCNs bounds, normalized the way
-// cn.EnumerateCtx normalizes them.
+// cn.EnumerateCtx normalizes them. The membership signature comes from
+// the bind layer — cn.BindSource.KeywordTables() is the producer — so
+// distinct queries matching the same relations share one compiled plan.
 func Key(namespace string, g *schemagraph.Graph, opts cn.EnumerateOptions) string {
 	maxSize := opts.MaxSize
 	if maxSize <= 0 {

@@ -31,6 +31,9 @@ go test -race $short ./internal/parallel/... ./internal/stream/... ./internal/cn
 echo "==> observability overhead gate (E38 budget: 5%)"
 go run ./cmd/benchrunner -obs-overhead
 
+echo "==> warm bind share gate (E39 budget: 35%)"
+go run ./cmd/benchrunner -bind-gate
+
 echo "==> kwslint -json ./... (report: kwslint.json)"
 go run ./cmd/kwslint -json ./... > kwslint.json
 
