@@ -179,6 +179,9 @@ type execPerfJSON struct {
 	// Observability records the production observability suite's cost
 	// over obs-off plus its evidence counters (E38).
 	Observability observabilityJSON `json:"observability"`
+	// Sharding records the scatter-gather coordinator's workload wall
+	// time, speedup and merge overhead at 1/2/4/8 shards (E40).
+	Sharding shardingJSON `json:"sharding"`
 }
 
 // stageJSON is one pipeline stage's share of the traced execution. Name
@@ -377,6 +380,10 @@ func writeExecPerformance(path string) error {
 	if err != nil {
 		return err
 	}
+	sharding, err := measureSharding()
+	if err != nil {
+		return err
+	}
 	observability, err := measureObservability()
 	if err != nil {
 		return err
@@ -429,6 +436,7 @@ func writeExecPerformance(path string) error {
 		Serving:       serving,
 		Lint:          lint,
 		Observability: observability,
+		Sharding:      sharding,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

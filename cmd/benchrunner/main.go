@@ -41,7 +41,21 @@ func main() {
 		"measure the observability suite's overhead vs obs-off and exit 1 when it exceeds the 5% budget (the verify.sh gate)")
 	bindGate := flag.Bool("bind-gate", false,
 		"measure the bind stage's share of a warm steady-state query and exit 1 when it exceeds the 35% budget (the verify.sh gate)")
+	shardGate := flag.Bool("shard-gate", false,
+		"run the exec workload through the shard coordinator at 1/2/4/8 shards and exit 1 unless every answer is byte-identical to the single engine (the verify.sh gate)")
 	flag.Parse()
+	if *shardGate {
+		doc, err := measureSharding()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shard-gate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("shard-gate: %d queries byte-identical across %d shard arms\n", doc.Queries, len(doc.Arms))
+		printSharding(doc)
+		if flag.NArg() == 0 && !*performance && !*obsGate && !*bindGate {
+			return
+		}
+	}
 	if *bindGate {
 		share, err := warmBindShare()
 		if err != nil {

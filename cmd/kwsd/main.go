@@ -2,6 +2,7 @@
 // dataset into a warm engine and serves it over HTTP.
 //
 //	kwsd -addr :8791 -data dblp -admit 8 -admit-queue 16
+//	kwsd -addr :8791 -data dblp -shards 4
 //
 // Endpoints:
 //
@@ -48,6 +49,7 @@ import (
 	"kwsearch/internal/dataset"
 	"kwsearch/internal/obs"
 	"kwsearch/internal/server"
+	"kwsearch/internal/shard"
 )
 
 // buildLogger maps the -log-level flag onto a stderr structured logger;
@@ -73,6 +75,7 @@ func run() int {
 	admit := flag.Int("admit", 8, "admission-control concurrency limit (0 = off)")
 	admitQueue := flag.Int("admit-queue", 16, "bounded admission queue depth used with -admit")
 	workers := flag.Int("workers", 1, "default worker-pool size for queries that don't set one")
+	shards := flag.Int("shards", 0, "shard the engine N ways and serve through the scatter-gather coordinator (0/1 = single engine; relational datasets only)")
 	deadline := flag.Duration("deadline", 0, "default per-query time budget for queries that don't set one (0 = none)")
 	maxDeadline := flag.Duration("max-deadline", time.Minute, "ceiling clamped onto any requested per-query deadline (0 = no ceiling)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-drain budget after SIGTERM/SIGINT")
@@ -89,8 +92,19 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	// The serving seam is core.Searcher: a bare engine, or the
+	// scatter-gather coordinator over N shard views of it.
+	var searcher core.Searcher = engine
+	if *shards > 1 {
+		coord, err := shard.New(engine, shard.Options{Shards: *shards})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		searcher = coord
+	}
 	if *admit > 0 {
-		engine.Admit(*admit, *admitQueue)
+		searcher.Admit(*admit, *admitQueue)
 	}
 	logger, err := buildLogger(*logLevel)
 	if err != nil {
@@ -101,7 +115,7 @@ func run() int {
 	if *slowlogCap > 0 {
 		slowlog = obs.NewSlowLog(*slowlogCap, time.Duration(*slowlogMS)*time.Millisecond)
 	}
-	srv := server.New(engine, server.Options{
+	srv := server.New(searcher, server.Options{
 		DefaultWorkers:  *workers,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
@@ -110,14 +124,18 @@ func run() int {
 	})
 
 	if *selfcheck {
-		return runSelfCheck(srv, engine, *clients, *perClient)
+		return runSelfCheck(srv, searcher, *clients, *perClient)
 	}
 
 	if err := srv.Start(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "kwsd: serving %s on http://%s (POST /query, /batch; GET /healthz, /metrics)\n", *data, srv.Addr())
+	if *shards > 1 {
+		fmt.Fprintf(os.Stderr, "kwsd: serving %s over %d shards on http://%s (POST /query, /batch; GET /healthz, /metrics)\n", *data, *shards, srv.Addr())
+	} else {
+		fmt.Fprintf(os.Stderr, "kwsd: serving %s on http://%s (POST /query, /batch; GET /healthz, /metrics)\n", *data, srv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -137,7 +155,7 @@ func run() int {
 // loose on it. The serving engine is shared with the in-process
 // reference path on purpose: identical index, identical caches, so any
 // result divergence is the serving layer's fault.
-func runSelfCheck(srv *server.Server, engine *core.Engine, clients, perClient int) int {
+func runSelfCheck(srv *server.Server, engine core.Searcher, clients, perClient int) int {
 	if err := srv.Start("127.0.0.1:0"); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1

@@ -11,6 +11,7 @@
 //	kwsearch -data dblp -json keyword search | jq .stats
 //	kwsearch -data dblp -serve localhost:6060 keyword search
 //	kwsearch -data dblp -n 16 -admit 1 keyword search
+//	kwsearch -data dblp -shards 4 -stats keyword search
 //
 // -n runs the query that many times concurrently against the shared
 // engine; combined with -admit it demonstrates load shedding from the
@@ -38,6 +39,7 @@ import (
 	"kwsearch/internal/core"
 	"kwsearch/internal/dataset"
 	"kwsearch/internal/obs"
+	"kwsearch/internal/shard"
 	"kwsearch/internal/snippet"
 )
 
@@ -48,6 +50,7 @@ func main() {
 	doClean := flag.Bool("clean", false, "run noisy-channel query cleaning first")
 	snip := flag.Bool("snippets", false, "print snippets for XML results")
 	workers := flag.Int("workers", 1, "worker-pool size for cn/slca evaluation (>1 enables the parallel executor)")
+	shards := flag.Int("shards", 0, "shard the engine N ways and answer through the scatter-gather coordinator (0/1 = single engine; relational datasets only)")
 	deadline := flag.Duration("deadline", 0, "per-query time budget (0 = none); an expiring deadline returns the partial answer certified so far")
 	admit := flag.Int("admit", 0, "admission-control concurrency limit (0 = off; relevant with -serve under external load)")
 	admitQueue := flag.Int("admit-queue", 0, "bounded admission queue depth used with -admit")
@@ -72,6 +75,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// The searcher seam: a bare engine, or the scatter-gather coordinator
+	// over N shard views of it — every later step is identical.
+	var searcher core.Searcher = engine
+	if *shards > 1 {
+		coord, err := shard.New(engine, shard.Options{Shards: *shards})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		searcher = coord
+	}
 	semantics, err := core.ParseSemantics(*sem)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -82,7 +96,7 @@ func main() {
 		fmt.Printf("cleaned query: %s\n", engine.Cleaner.Clean(query))
 	}
 	if *admit > 0 {
-		engine.Admit(*admit, *admitQueue)
+		searcher.Admit(*admit, *admitQueue)
 	}
 	logger, err := buildLogger(*logLevel)
 	if err != nil {
@@ -92,7 +106,7 @@ func main() {
 	var slowlog *obs.SlowLog
 	if *slowlogCap > 0 {
 		slowlog = obs.NewSlowLog(*slowlogCap, time.Duration(*slowlogMS)*time.Millisecond)
-		engine.SetSlowLog(slowlog)
+		searcher.SetSlowLog(slowlog)
 	}
 	ctx := obs.WithLogger(context.Background(), logger)
 	req := core.Request{
@@ -100,7 +114,7 @@ func main() {
 		Workers: *workers, Deadline: *deadline,
 		Trace: *trace || *jsonOut,
 	}
-	resp, err := runQueries(ctx, engine, req, *concurrent)
+	resp, err := runQueries(ctx, searcher, req, *concurrent)
 	printSlowLog(slowlog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -118,11 +132,11 @@ func main() {
 	if *jsonOut {
 		emitJSON(query, resp)
 	} else {
-		printText(engine, resp, *snip, *trace, *stats)
+		printText(searcher.Registry(), resp, *snip, *trace, *stats)
 	}
 
 	if *serve != "" {
-		srv, err := obs.ServeWith(*serve, engine.Metrics, slowlog)
+		srv, err := obs.ServeWith(*serve, searcher.Registry(), slowlog)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -148,7 +162,7 @@ func main() {
 // capacity, some runs shed — the returned error is the most severe
 // failure across runs (bad query, then shed, then queued deadline), so
 // the exit code reflects what the burst hit even when one run won.
-func runQueries(ctx context.Context, engine *core.Engine, req core.Request, n int) (*core.Response, error) {
+func runQueries(ctx context.Context, engine core.Searcher, req core.Request, n int) (*core.Response, error) {
 	if n <= 1 {
 		return engine.Query(ctx, req)
 	}
@@ -235,7 +249,7 @@ func printSlowLog(sl *obs.SlowLog) {
 
 // printText is the human-readable output path: ranked results, then the
 // optional span tree and metrics snapshot.
-func printText(engine *core.Engine, resp *core.Response, snip, trace, stats bool) {
+func printText(reg *obs.Registry, resp *core.Response, snip, trace, stats bool) {
 	if resp.Partial {
 		fmt.Println("partial results: the deadline expired before the answer was complete")
 	}
@@ -254,6 +268,13 @@ func printText(engine *core.Engine, resp *core.Response, snip, trace, stats bool
 		fmt.Printf("\ntrace (%s total):\n%s", resp.Stats.Elapsed, resp.Trace)
 	}
 	if stats {
+		if len(resp.Stats.Shards) > 0 {
+			fmt.Printf("\nsharding: %d shards, merge overhead %s\n", len(resp.Stats.Shards), resp.Stats.Merge)
+			for _, sh := range resp.Stats.Shards {
+				fmt.Printf("shard %d: results=%d pulled=%d partial=%v elapsed=%s\n",
+					sh.Shard, sh.Results, sh.Pulled, sh.Partial, sh.Elapsed)
+			}
+		}
 		if st := resp.Stats.Exec; st != nil {
 			fmt.Printf("\nexec: workers=%d cns=%d evaluated=%d skipped=%d prefix-reuses=%d result-cache-hit=%v plan-cache-hit=%v\n",
 				st.Workers, st.CNs, st.Evaluated, st.Skipped, st.PrefixReuses, st.ResultCacheHit, st.PlanCacheHit)
@@ -261,8 +282,8 @@ func printText(engine *core.Engine, resp *core.Response, snip, trace, stats bool
 				fmt.Printf("exec: jobs per worker %v\n", st.JobsPerWorker)
 			}
 		}
-		if engine.Metrics != nil {
-			fmt.Printf("\nmetrics:\n%s", engine.Metrics.Snapshot())
+		if reg != nil {
+			fmt.Printf("\nmetrics:\n%s", reg.Snapshot())
 		}
 	}
 }

@@ -20,26 +20,33 @@ import (
 // would depend on production order, and the serial vs parallel execution
 // paths in internal/exec could not be byte-compared.
 func SortResults(rs []Result) {
-	sort.SliceStable(rs, func(i, j int) bool {
-		if !fmath.Eq(rs[i].Score, rs[j].Score) {
-			return rs[i].Score > rs[j].Score
+	sort.SliceStable(rs, func(i, j int) bool { return Less(rs[i], rs[j]) })
+}
+
+// Less is SortResults' comparator as a standalone strict weak order —
+// the total order every top-k list in the system follows. The sharding
+// coordinator's cross-shard merge uses it directly: per-shard lists
+// arrive already in this order, so merging by Less reproduces the
+// sorted concatenation exactly.
+func Less(a, b Result) bool {
+	if !fmath.Eq(a.Score, b.Score) {
+		return a.Score > b.Score
+	}
+	if len(a.Tuples) != len(b.Tuples) {
+		return len(a.Tuples) < len(b.Tuples)
+	}
+	if ka, kb := resultKey(a), resultKey(b); ka != kb {
+		return ka < kb
+	}
+	if ca, cb := a.CN.Canonical(), b.CN.Canonical(); ca != cb {
+		return ca < cb
+	}
+	for n := range a.Tuples {
+		if ta, tb := a.Tuples[n].ID, b.Tuples[n].ID; ta != tb {
+			return ta < tb
 		}
-		if len(rs[i].Tuples) != len(rs[j].Tuples) {
-			return len(rs[i].Tuples) < len(rs[j].Tuples)
-		}
-		if ki, kj := resultKey(rs[i]), resultKey(rs[j]); ki != kj {
-			return ki < kj
-		}
-		if ci, cj := rs[i].CN.Canonical(), rs[j].CN.Canonical(); ci != cj {
-			return ci < cj
-		}
-		for n := range rs[i].Tuples {
-			if a, b := rs[i].Tuples[n].ID, rs[j].Tuples[n].ID; a != b {
-				return a < b
-			}
-		}
-		return false
-	})
+	}
+	return false
 }
 
 func resultKey(r Result) string {
@@ -199,7 +206,14 @@ func TopKGlobalPipelineCtx(ctx context.Context, ev *Evaluator, cns []*CN, k int,
 				driver = n
 			}
 		}
-		tuples := append([]*relstore.Tuple(nil), ev.KeywordSet(c.Nodes[driver].Table)...)
+		src := ev.KeywordSet(c.Nodes[driver].Table)
+		if driver == 0 {
+			// When the driver is the owner node the partition prunes its
+			// tuples up front; other drivers stay unfiltered and the owner
+			// filter inside EvaluateCNWith discards foreign results.
+			src = ev.filterOwned(src)
+		}
+		tuples := append([]*relstore.Tuple(nil), src...)
 		sort.SliceStable(tuples, func(i, j int) bool {
 			return ev.TupleScore(tuples[i]) > ev.TupleScore(tuples[j])
 		})

@@ -16,7 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"kwsearch/internal/banks"
@@ -228,15 +228,23 @@ type Engine struct {
 	// signature, so warm signatures skip enumeration entirely whichever
 	// path runs them. Populated by NewRelational; nil on XML engines.
 	Plans *plan.Cache
-	// LastExecStats describes the most recent executor-backed search.
-	// Writes are serialized by execMu, making concurrent Query calls
-	// safe; read it through ExecStats. Per-query stats are better taken
-	// from Response.Stats.Exec, which is never overwritten by later
-	// queries.
-	LastExecStats exec.Stats
+	// lastExec points at an immutable snapshot of the most recent
+	// executor-backed search's stats. Each query publishes a fresh struct
+	// with one atomic pointer store, so concurrent readers always see one
+	// query's stats whole — never a merge of two queries' fields (the
+	// previous exported mutable field invited exactly that: unsynchronized
+	// readers racing a writer could observe a half-updated struct). Read
+	// it through ExecStats; per-query stats are better taken from
+	// Response.Stats.Exec, which is never overwritten by later queries.
+	lastExec atomic.Pointer[exec.Stats]
 
-	// execMu guards LastExecStats.
-	execMu sync.Mutex
+	// forceExec routes CN queries through the exec pool even at
+	// Workers <= 1. Shard views set it: at the top-k tie boundary the
+	// serial Global Pipeline may surface a different subset of
+	// equal-score results than the exhaustive reference order, and the
+	// cross-shard merge needs every shard in the reference order to stay
+	// byte-identical to the single-engine answer.
+	forceExec bool
 	// gate is the admission controller, nil unless Admit installed one.
 	gate *resilience.Gate
 	// slowlog is the tail-sampling slow-query log, nil unless SetSlowLog
@@ -245,13 +253,21 @@ type Engine struct {
 	slowlog *obs.SlowLog
 }
 
-// ExecStats returns a copy of LastExecStats, safe under concurrent
-// Query calls.
+// ExecStats returns the stats snapshot of the most recent
+// executor-backed search (the zero Stats before any ran), safe under
+// concurrent Query calls: the snapshot is immutable and swapped with one
+// atomic store, so it is always one query's stats whole.
 func (e *Engine) ExecStats() exec.Stats {
-	e.execMu.Lock()
-	defer e.execMu.Unlock()
-	return e.LastExecStats
+	if st := e.lastExec.Load(); st != nil {
+		return *st
+	}
+	return exec.Stats{}
 }
+
+// Registry returns the engine's metrics registry — the method form of
+// the Metrics field, required by the Searcher seam so the sharding
+// coordinator (whose registry is unexported) can satisfy it too.
+func (e *Engine) Registry() *obs.Registry { return e.Metrics }
 
 // NewRelational builds an engine over a relational database.
 func NewRelational(db *relstore.DB) *Engine {
@@ -285,6 +301,51 @@ func NewRelational(db *relstore.DB) *Engine {
 	})
 	registerQuerySLO(reg)
 	return e
+}
+
+// ShardView derives a shard engine from a relational engine: the same
+// physical database, index, schema graph, cleaner, plan cache and binder
+// (all concurrency-safe and partition-agnostic), with a private executor
+// restricted to the results keep admits. The restriction is logical —
+// no data is copied or moved — and applies at the CN owner node (node
+// 0), so the shard views of a disjoint, complete partition of the
+// tuple-ID space tile the result space exactly (see internal/cn's
+// partition.go and DESIGN.md's sharding layer).
+//
+// The executor is private because the result cache's key carries no
+// partition identity; it reports into reg (one registry per shard gives
+// the coordinator per-shard attribution; nil gets a fresh private one).
+// Shard views force CN queries through the exec pool even at one
+// worker: among equal-score results at the k boundary the serial Global
+// Pipeline may keep a different subset of the ties than the exhaustive
+// reference order, and the cross-shard merge is byte-identical to the
+// single-engine answer only when every shard follows the reference
+// order.
+func (e *Engine) ShardView(keep cn.Partition, reg *obs.Registry) *Engine {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	sv := &Engine{
+		DB:         e.DB,
+		Schema:     e.Schema,
+		Graph:      e.Graph,
+		Index:      e.Index,
+		Cleaner:    e.Cleaner,
+		FreeTables: e.FreeTables,
+		Metrics:    reg,
+		Binder:     e.Binder,
+		Plans:      e.Plans,
+		forceExec:  true,
+	}
+	sv.Exec = exec.New(e.DB, e.Index, exec.Options{
+		FreeTables: e.FreeTables,
+		Metrics:    reg,
+		Plans:      e.Plans,
+		Binder:     e.Binder,
+		Partition:  keep,
+	})
+	registerQuerySLO(reg)
+	return sv
 }
 
 // DefaultSLOThreshold is the default query-latency objective the engine
@@ -363,15 +424,14 @@ func (e *Engine) searchCN(ctx context.Context, terms []string, opts Options, sp 
 	if err := e.requireRelational(); err != nil {
 		return nil, err
 	}
-	if opts.Semantics == CandidateNetworks && opts.Workers > 1 && e.Exec != nil {
+	if opts.Semantics == CandidateNetworks && (opts.Workers > 1 || e.forceExec) && e.Exec != nil {
 		lookupSpan(sp, terms, func(t string) int { return len(e.Exec.Postings(t)) })
 		rs, xst, err := e.Exec.TopK(ctx, exec.Query{
 			Terms: terms, K: opts.K, MaxCNSize: opts.MaxCNSize, Workers: opts.Workers,
 			Trace: sp,
 		})
-		e.execMu.Lock()
-		e.LastExecStats = xst
-		e.execMu.Unlock()
+		snap := xst
+		e.lastExec.Store(&snap)
 		st.Exec = &xst
 		st.PlanSignature = xst.PlanKey
 		if err != nil {

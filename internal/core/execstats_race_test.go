@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"kwsearch/internal/dataset"
+)
+
+// TestExecStatsConsistentUnderConcurrency is the regression test for
+// torn executor-stat snapshots: ExecStats must hand back one whole
+// Stats struct from a single query, never fields mixed from two
+// concurrent ones. Two queries with different plan keys and CN counts
+// run in parallel with readers; a torn snapshot pairs one query's
+// PlanKey with the other's CNs and trips the expectation map. The
+// unsynchronized-read variant of this (a bare field access next to
+// concurrent queries) also fails -race outright, which is how verify.sh
+// runs this package.
+func TestExecStatsConsistentUnderConcurrency(t *testing.T) {
+	e := NewRelational(dataset.DBLP(dataset.DefaultDBLPConfig()))
+	// The plan key is the schema + keyword-table-membership signature,
+	// so the two queries must bind different table sets: "keyword
+	// search" hits paper text, "wang" hits author names.
+	queries := []Request{
+		{Query: "keyword search", Workers: 2},
+		{Query: "wang", Workers: 2},
+	}
+
+	// Solo runs establish the legitimate (PlanKey, CNs) pairings.
+	expected := map[string]int{}
+	for _, q := range queries {
+		if _, err := e.Query(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+		st := e.ExecStats()
+		if st.PlanKey == "" {
+			t.Fatalf("query %q left no exec stats", q.Query)
+		}
+		expected[st.PlanKey] = st.CNs
+		e.Exec.InvalidateResults()
+	}
+	if len(expected) != 2 {
+		t.Fatalf("test queries share a plan key; need two distinct shapes, got %v", expected)
+	}
+
+	iters := 40
+	if testing.Short() {
+		iters = 8
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	report := func(msg string) {
+		select {
+		case errs <- msg:
+		default:
+		}
+	}
+	done := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				st := e.ExecStats()
+				switch {
+				case st.ResultCacheHit:
+					// Cache-hit snapshots carry no plan shape at all.
+					if st.PlanKey != "" || st.CNs != 0 {
+						report("cache-hit snapshot carries plan fields: torn merge")
+						return
+					}
+				case st.PlanKey != "":
+					want, ok := expected[st.PlanKey]
+					if !ok {
+						report("snapshot has unknown plan key " + st.PlanKey)
+						return
+					}
+					if st.CNs != want {
+						report("snapshot pairs plan key with wrong CN count: torn merge")
+						return
+					}
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < iters; i++ {
+				q := queries[(w+i)%len(queries)]
+				if _, err := e.Query(context.Background(), q); err != nil {
+					report("query: " + err.Error())
+					return
+				}
+				if i%4 == 0 {
+					// Keep cold (non-cache-hit) snapshots flowing.
+					e.Exec.InvalidateResults()
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(done)
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}

@@ -44,9 +44,39 @@ type Stats struct {
 	// enumerate stage. Slow-query exemplars carry it so latency outliers
 	// can be correlated with plan-cache churn.
 	PlanSignature string `json:"plan_signature,omitempty"`
+	// Shards is the per-shard breakdown when the query ran through the
+	// internal/shard coordinator: one entry per shard in shard order.
+	// Empty on single-engine queries.
+	Shards []ShardStat `json:"shards,omitempty"`
+	// Merge is the coordinator's merge overhead: the wall time between
+	// the slowest shard finishing and the merged response being ready.
+	// Zero on single-engine queries.
+	Merge time.Duration `json:"merge_ns,omitempty"`
 	// Metrics is the delta of the engine's registry over this query:
 	// every counter incremented and histogram observed while it ran.
 	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// ShardStat is one shard's view of a coordinated query (Stats.Shards).
+type ShardStat struct {
+	// Shard is the shard index (0-based).
+	Shard int `json:"shard"`
+	// Results is how many results this shard's sub-query returned (its
+	// local top-k length).
+	Results int `json:"results"`
+	// Pulled counts the results the k-way merge actually consumed from
+	// this shard — the merge-efficiency signal (the merge stops after k
+	// pops, so sum over shards ≤ k; a skewed workload pulls k from one
+	// shard and 0 from the rest).
+	Pulled int `json:"pulled"`
+	// Partial reports this shard's answer was a certified prefix (its
+	// deadline expired mid-evaluation).
+	Partial bool `json:"partial,omitempty"`
+	// Elapsed is this shard's wall time for its sub-query.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Exec is this shard's executor stats, when its query ran through
+	// the pool (always, for shard views).
+	Exec *exec.Stats `json:"exec,omitempty"`
 }
 
 // QueryObserver receives every Query's Stats and Trace as it completes.

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"context"
+
+	"kwsearch/internal/obs"
+	"kwsearch/internal/resilience"
+)
+
+// Searcher is the serving-layer seam over one logical engine: the
+// context-first query contract plus the operational knobs the HTTP
+// server, the load generator and the CLIs wire up. *Engine implements
+// it directly; *shard.Coordinator implements it over N shard engines,
+// so every transport runs unchanged against either.
+type Searcher interface {
+	// Query runs one search request under ctx; see Engine.Query for the
+	// cancellation, deadline-partial and typed-error contract every
+	// implementation must honor.
+	Query(ctx context.Context, req Request) (*Response, error)
+	// Registry returns the searcher's metrics registry (never nil for
+	// constructor-built searchers).
+	Registry() *obs.Registry
+	// Admit installs admission control (non-positive limit removes it).
+	Admit(limit, maxQueue int)
+	// Gate returns the admission gate, nil unless Admit installed one.
+	Gate() *resilience.Gate
+	// SetSlowLog installs (or with nil removes) the tail-sampling
+	// slow-query log.
+	SetSlowLog(l *obs.SlowLog)
+	// SlowLog returns the slow-query log, nil unless installed.
+	SlowLog() *obs.SlowLog
+	// SetPlanNamespace re-namespaces the plan cache (tenant isolation).
+	SetPlanNamespace(ns string)
+}
+
+var _ Searcher = (*Engine)(nil)

@@ -20,6 +20,7 @@ package exec
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"strconv"
 	"strings"
@@ -71,6 +72,14 @@ type Options struct {
 	// both cache counter sets (see Instrument). Leaving it nil costs one
 	// branch per counter event.
 	Metrics *obs.Registry
+	// Partition, when non-nil, restricts every evaluation to the results
+	// whose owner tuple (CN node 0's binding) it admits — the shard
+	// engines of internal/shard each run one executor with their slice of
+	// the tuple-ID space here. Partitioned executors must not share a
+	// result cache with differently-partitioned ones (the result-cache
+	// key carries no partition identity), which is why shard engines get
+	// private executors over the shared binder and plan cache.
+	Partition cn.Partition
 }
 
 func (o Options) withDefaults() Options {
@@ -158,6 +167,15 @@ type Stats struct {
 	// prefix of the full top-k rather than the whole answer. Partial
 	// answers are never cached.
 	Partial bool
+	// CertifiedBound is, for a Partial run, the highest score bound any
+	// abandoned CN could still reach: every returned result strictly
+	// dominates it, and no unevaluated work can exceed it. It is what the
+	// sharding coordinator needs to certify a cross-shard merge — the
+	// global prefix is cut at the maximum CertifiedBound over the partial
+	// shards. Clamped at 0 (scores are strictly positive, so the clamp
+	// never weakens the certificate) to keep the field JSON-safe; 0 on
+	// complete runs.
+	CertifiedBound float64
 	// WorkerBusy is, per pool worker, the time spent inside CN evaluation;
 	// WorkerIdle is the rest of that worker's wall time in the pool
 	// (waiting on the shared top-k lock, bound checks, scheduling). Both
@@ -369,7 +387,7 @@ func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error
 	// reduces to a cache probe).
 	bsp := sp.Child("bind")
 	binding := x.binder.BindTraced(terms, bsp)
-	ev := cn.NewEvaluatorFrom(x.db, x.ix, binding)
+	ev := cn.NewEvaluatorFrom(x.db, x.ix, binding).Restrict(x.opts.Partition)
 	kwTables := binding.KeywordTables()
 	bsp.SetAttr("keyword_tables", len(kwTables))
 	bsp.End()
@@ -420,7 +438,7 @@ func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error
 
 	vsp := sp.Child("evaluate")
 	vsp.SetAttr("workers", len(assignment.Jobs))
-	top, perWorker, err := x.runPool(ctx, ev, assignment, q.K, vsp)
+	top, perWorker, abandonedBound, err := x.runPool(ctx, ev, assignment, q.K, vsp)
 	for _, ws := range perWorker {
 		st.Evaluated += ws.Evaluated
 		st.Skipped += ws.Skipped
@@ -437,6 +455,7 @@ func (x *Executor) TopK(ctx context.Context, q Query) ([]cn.Result, Stats, error
 	x.reuses.Add(uint64(st.PrefixReuses))
 	if err != nil {
 		st.Partial = true
+		st.CertifiedBound = math.Max(0, abandonedBound)
 		vsp.SetAttr("partial", true)
 		vsp.SetAttr("certified", len(top))
 		vsp.End()
@@ -460,7 +479,7 @@ func (x *Executor) TopKSerial(q Query) []cn.Result {
 	if len(terms) == 0 {
 		return nil
 	}
-	ev := cn.NewScanEvaluator(x.db, x.ix, terms)
+	ev := cn.NewScanEvaluator(x.db, x.ix, terms).Restrict(x.opts.Partition)
 	cns := cn.Enumerate(x.sg, cn.EnumerateOptions{
 		MaxSize:       q.MaxCNSize,
 		KeywordTables: ev.KeywordTables(),

@@ -117,8 +117,11 @@ func certifiedPrefix(rs []cn.Result, bound float64) []cn.Result {
 // together with the interrupting error: each worker records the highest
 // bound it walked away from, and only results strictly dominating the
 // maximum abandoned bound survive — a provable prefix of the serial
-// top-k.
-func (x *Executor) runPool(parent context.Context, ev *cn.Evaluator, a parallel.Assignment, k int, sp *obs.Span) ([]cn.Result, []runStats, error) {
+// top-k. That maximum is returned as bound so callers (Stats.
+// CertifiedBound, and through it the cross-shard merge) can re-certify
+// the prefix after combining it with other partial answers; it is -Inf
+// when nothing was abandoned.
+func (x *Executor) runPool(parent context.Context, ev *cn.Evaluator, a parallel.Assignment, k int, sp *obs.Span) ([]cn.Result, []runStats, float64, error) {
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
@@ -261,9 +264,9 @@ func (x *Executor) runPool(parent context.Context, ev *cn.Evaluator, a parallel.
 				bound = b
 			}
 		}
-		return certifiedPrefix(top.snapshot(), bound), perWorker, err
+		return certifiedPrefix(top.snapshot(), bound), perWorker, bound, err
 	}
-	return top.snapshot(), perWorker, nil
+	return top.snapshot(), perWorker, math.Inf(-1), nil
 }
 
 // evalJob evaluates one CN with materialized-prefix reuse, checking ctx

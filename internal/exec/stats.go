@@ -1,0 +1,47 @@
+package exec
+
+// MergeStats combines per-shard Stats into one executor-level view, in
+// the given order (the sharding coordinator passes shards 0..N-1, so the
+// concatenated per-worker slices read as shard-0's workers, then
+// shard-1's, ...). Counters sum; Workers is the total pool size across
+// shards; ResultCacheHit and PlanCacheHit hold only when every shard
+// hit (a single cold shard means real work ran); Partial is true when
+// any shard was interrupted, and CertifiedBound is the maximum over the
+// shards — the bound the cross-shard merge certifies its global prefix
+// against. PlanKey takes the first non-empty key (shards share one plan
+// cache, so the keys agree whenever more than one is set).
+func MergeStats(sts []Stats) Stats {
+	var out Stats
+	if len(sts) == 0 {
+		return out
+	}
+	out.ResultCacheHit = true
+	out.PlanCacheHit = true
+	for _, st := range sts {
+		out.Workers += st.Workers
+		out.JobsPerWorker = append(out.JobsPerWorker, st.JobsPerWorker...)
+		if st.CNs > out.CNs {
+			// Shards share the plan cache: each sees the same CN set, so
+			// the count is a max, not a sum.
+			out.CNs = st.CNs
+		}
+		out.Evaluated += st.Evaluated
+		out.Skipped += st.Skipped
+		out.PrefixReuses += st.PrefixReuses
+		out.ResultCacheHit = out.ResultCacheHit && st.ResultCacheHit
+		out.PlanCacheHit = out.PlanCacheHit && st.PlanCacheHit
+		out.BindTermsCached += st.BindTermsCached
+		out.BindTermsBuilt += st.BindTermsBuilt
+		if out.PlanKey == "" {
+			out.PlanKey = st.PlanKey
+		}
+		out.Partial = out.Partial || st.Partial
+		if st.CertifiedBound > out.CertifiedBound {
+			out.CertifiedBound = st.CertifiedBound
+		}
+		out.WorkerBusy = append(out.WorkerBusy, st.WorkerBusy...)
+		out.WorkerIdle = append(out.WorkerIdle, st.WorkerIdle...)
+		out.SkippedPerWorker = append(out.SkippedPerWorker, st.SkippedPerWorker...)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"kwsearch/internal/obs"
+)
+
+// TestBatchItemRequestIDs is the regression test for batch-item
+// correlation: every item of a /batch request must run under its own
+// derived sub-id (parent request id + "#" + item index), so slow-query
+// log entries and per-request log lines attribute to the item, not the
+// whole batch. Pre-fix, all items shared the parent id and the slowlog
+// showed three indistinguishable entries.
+func TestBatchItemRequestIDs(t *testing.T) {
+	// A 1ns threshold tail-samples every query, so each batch item
+	// lands in the slowlog with the request id its context carried.
+	sl := obs.NewSlowLog(64, time.Nanosecond)
+	_, ts := newTestServer(t, nil, Options{SlowLog: sl})
+
+	batch := BatchRequest{Queries: []QueryRequest{
+		{Query: "keyword search"},
+		{Query: "wang search"},
+		{Query: "database"},
+	}}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, httpResp.Body)
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", httpResp.StatusCode)
+	}
+
+	var ids []string
+	for _, e := range sl.Entries() {
+		ids = append(ids, e.RequestID)
+	}
+	if len(ids) != len(batch.Queries) {
+		t.Fatalf("slowlog captured %d entries (%v), want %d", len(ids), ids, len(batch.Queries))
+	}
+	parent := ""
+	seen := map[string]bool{}
+	for _, id := range ids {
+		i := strings.LastIndexByte(id, '#')
+		if i < 1 {
+			t.Fatalf("batch item request id %q has no #index sub-id", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate batch item request id %q in %v", id, ids)
+		}
+		seen[id] = true
+		if parent == "" {
+			parent = id[:i]
+		} else if id[:i] != parent {
+			t.Fatalf("batch items disagree on parent id: %q vs %q", id[:i], parent)
+		}
+	}
+	var suffixes []string
+	for id := range seen {
+		suffixes = append(suffixes, id[strings.LastIndexByte(id, '#'):])
+	}
+	sort.Strings(suffixes)
+	if got := strings.Join(suffixes, " "); got != "#0 #1 #2" {
+		t.Fatalf("item sub-ids %q, want #0 #1 #2", got)
+	}
+}

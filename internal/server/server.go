@@ -84,7 +84,8 @@ func (o Options) withDefaults() Options {
 // Server serves one engine over HTTP. Construct with New, bind with
 // Start, stop with Drain (graceful) or Close (abortive).
 type Server struct {
-	engine *core.Engine
+	engine core.Searcher
+	reg    *obs.Registry
 	opts   Options
 	mux    *http.ServeMux
 	logger *obs.Logger
@@ -108,31 +109,35 @@ type Server struct {
 	draining atomic.Bool
 }
 
-// New builds a server over engine. The engine is shared across all
-// connections — its caches stay warm and its admission gate (when
-// installed via Engine.Admit) sheds load for every client at once.
-func New(engine *core.Engine, opts Options) *Server {
+// New builds a server over engine — a single core.Engine or the
+// internal/shard coordinator, anything satisfying core.Searcher. The
+// engine is shared across all connections — its caches stay warm and
+// its admission gate (when installed via Admit) sheds load for every
+// client at once.
+func New(engine core.Searcher, opts Options) *Server {
 	if ns := opts.PlanNamespace; ns != "" {
 		engine.SetPlanNamespace(ns)
 	}
 	if opts.SlowLog != nil {
 		engine.SetSlowLog(opts.SlowLog)
 	}
+	reg := engine.Registry()
 	s := &Server{
 		engine:     engine,
+		reg:        reg,
 		opts:       opts.withDefaults(),
 		mux:        http.NewServeMux(),
 		logger:     opts.Logger,
-		requests:   engine.Metrics.Counter("server.requests"),
-		batches:    engine.Metrics.Counter("server.batches"),
-		inflight:   engine.Metrics.Gauge("server.inflight"),
-		latency:    engine.Metrics.Histogram("server.latency_us"),
-		latencyWin: engine.Metrics.Windowed("server.latency_win_us"),
+		requests:   reg.Counter("server.requests"),
+		batches:    reg.Counter("server.batches"),
+		inflight:   reg.Gauge("server.inflight"),
+		latency:    reg.Histogram("server.latency_us"),
+		latencyWin: reg.Windowed("server.latency_win_us"),
 		idPrefix:   strconv.FormatInt(time.Now().UnixNano(), 36),
 	}
 	// The server-level SLO mirrors the engine's query SLO but over wall
 	// time as the client saw it (decode + admission + evaluation).
-	engine.Metrics.RegisterSLO("server_latency", obs.SLO{
+	reg.RegisterSLO("server_latency", obs.SLO{
 		Series:    "server.latency_win_us",
 		Threshold: float64(core.DefaultSLOThreshold.Microseconds()),
 		Objective: 0.99,
@@ -141,7 +146,7 @@ func New(engine *core.Engine, opts Options) *Server {
 	s.mux.HandleFunc("/batch", s.withObs("/batch", s.handleBatch))
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
-	obsMux := obs.HandlerWith(engine.Metrics, opts.SlowLog)
+	obsMux := obs.HandlerWith(reg, opts.SlowLog)
 	s.mux.Handle("/metrics", obsMux)
 	s.mux.Handle("/metrics/prom", obsMux)
 	s.mux.Handle("/debug/", obsMux)
@@ -460,12 +465,31 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.requests.Add(uint64(len(batch.Queries)))
 	out := BatchResponse{Responses: make([]QueryResponse, len(batch.Queries))}
+	parentID := obs.RequestIDFrom(r.Context())
 	var wg sync.WaitGroup
 	for i, q := range batch.Queries {
 		wg.Add(1)
 		go func(i int, q QueryRequest) {
 			defer wg.Done()
-			out.Responses[i] = s.execute(r.Context(), q)
+			// Each batch item gets its own correlation id, "<batch-id>#<i>",
+			// threaded through the request context and a fresh per-item
+			// logger: engine debug lines and slowlog exemplars then name the
+			// item, not just the batch. The logger derives from the server's
+			// base logger rather than the context's — obs.Logger.With
+			// appends fields without dedup, so deriving from the in-context
+			// logger would emit both the batch id and the item id under the
+			// same key.
+			ctx := r.Context()
+			subID := parentID + "#" + strconv.Itoa(i)
+			ctx = obs.WithRequestID(ctx, subID)
+			if s.logger != nil {
+				fields := []obs.Field{obs.F("request_id", subID)}
+				if ns := s.opts.PlanNamespace; ns != "" {
+					fields = append(fields, obs.F("namespace", ns))
+				}
+				ctx = obs.WithLogger(ctx, s.logger.With(fields...))
+			}
+			out.Responses[i] = s.execute(ctx, q)
 		}(i, q)
 	}
 	wg.Wait()
@@ -545,7 +569,7 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 // writeJSON renders v with the mapped status, counting the outcome class
 // in the registry ("server.status.<code>").
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
-	s.engine.Metrics.Counter(fmt.Sprintf("server.status.%d", status)).Inc()
+	s.reg.Counter(fmt.Sprintf("server.status.%d", status)).Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
